@@ -1,0 +1,99 @@
+//! Regenerates every table and figure of the paper on a simulated corpus.
+//!
+//! ```text
+//! figures [--tiny | --scale F | --paper] [--seed N] [--json PATH] [ids...]
+//! ```
+//!
+//! Without ids, all experiments run. `--json` additionally writes the
+//! reports (including the paper-vs-measured checks) as JSON for machine
+//! consumption (EXPERIMENTS.md provenance).
+
+use std::io::Write;
+
+use rtbh_bench::{all_figures, Context};
+use rtbh_sim::ScenarioConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--tiny | --scale F | --paper] [--seed N] [--json PATH] [ids...]\n\
+         ids: t1 f2 f3 f4 f5 f6 f7 f8 f9 f10 f11 f12 f13 t2 t3 f14 f15 f16 f17 t4 f18 f19 s31 s54"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut config = ScenarioConfig::paper();
+    let mut json_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tiny" => config = ScenarioConfig::tiny(),
+            "--paper" => config = ScenarioConfig::paper(),
+            "--scale" => {
+                let f: f64 = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                config = ScenarioConfig::scaled(f);
+            }
+            "--seed" => {
+                config.seed = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            id if !id.starts_with('-') => wanted.push(id.to_string()),
+            _ => usage(),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    eprintln!(
+        "generating corpus: {} days, {} members, {} events (seed {:#x}) ...",
+        config.days,
+        config.members,
+        config.total_events(),
+        config.seed
+    );
+    let ctx = Context::build(config);
+    eprintln!(
+        "corpus: {} BGP updates, {} flow samples, {} inferred events ({:.1?})",
+        ctx.analyzer.corpus().updates.len(),
+        ctx.analyzer.corpus().flows.len(),
+        ctx.analyzer.events().len(),
+        t0.elapsed()
+    );
+
+    let reports = all_figures(&ctx);
+    let selected: Vec<_> = reports
+        .iter()
+        .filter(|r| wanted.is_empty() || wanted.iter().any(|w| w == r.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {wanted:?}");
+        usage();
+    }
+    for r in &selected {
+        println!("{}", r.render());
+    }
+
+    // Summary of paper-vs-measured checks.
+    let mut within = 0usize;
+    let mut total = 0usize;
+    for r in &selected {
+        for c in &r.checks {
+            if let Some(p) = c.paper {
+                total += 1;
+                let tolerance = (p.abs() * 0.35).max(0.05);
+                if (c.measured - p).abs() <= tolerance {
+                    within += 1;
+                }
+            }
+        }
+    }
+    println!("== summary: {within}/{total} paper-anchored checks within ±35% (or ±0.05) ==");
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&selected).expect("serializable reports");
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        f.write_all(json.as_bytes()).expect("write json output");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,41 @@
+//! The figure/table regeneration harness.
+//!
+//! One function per table and figure of the paper; each returns a
+//! [`FigureReport`] with the regenerated series/rows and, where the paper
+//! states concrete numbers, the paper value alongside the measured one.
+//! The `figures` binary renders them as text and optionally JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod render;
+
+use rtbh_core::pipeline::{Analyzer, FullReport};
+use rtbh_sim::{GroundTruth, ScenarioConfig, SimOutput};
+
+pub use figures::all_figures;
+pub use render::FigureReport;
+
+/// A fully prepared experiment context: simulated corpus + analysis results
+/// + (for scoring annotations only) the ground truth.
+pub struct Context {
+    /// The scenario that generated the corpus.
+    pub config: ScenarioConfig,
+    /// The prepared analyzer (cleaning, alignment, events, indices).
+    pub analyzer: Analyzer,
+    /// Every analysis result.
+    pub report: FullReport,
+    /// The simulator's ground truth, used only to annotate reports.
+    pub truth: GroundTruth,
+}
+
+impl Context {
+    /// Runs the scenario and the full pipeline.
+    pub fn build(config: ScenarioConfig) -> Self {
+        let SimOutput { corpus, truth } = rtbh_sim::run(&config);
+        let analyzer = Analyzer::with_defaults(corpus);
+        let report = analyzer.full();
+        Self { config, analyzer, report, truth }
+    }
+}

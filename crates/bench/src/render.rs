@@ -1,0 +1,151 @@
+//! Text rendering of figure reports.
+
+use serde::Serialize;
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureReport {
+    /// Experiment id (`f5`, `t2`, `s31`, ...).
+    pub id: &'static str,
+    /// Human title, matching the paper's caption.
+    pub title: &'static str,
+    /// Rendered lines (tables, series, annotations).
+    pub lines: Vec<String>,
+    /// Key numbers: `(name, paper value if stated, measured value)`.
+    pub checks: Vec<Check>,
+}
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Check {
+    /// What is being compared.
+    pub name: String,
+    /// The paper's value, if the paper states one (else None → shape-only).
+    pub paper: Option<f64>,
+    /// The measured value on the regenerated corpus.
+    pub measured: f64,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Self { id, title, lines: Vec::new(), checks: Vec::new() }
+    }
+
+    /// Appends a rendered line.
+    pub fn line(&mut self, text: impl Into<String>) {
+        self.lines.push(text.into());
+    }
+
+    /// Records a paper-vs-measured check.
+    pub fn check(&mut self, name: impl Into<String>, paper: Option<f64>, measured: f64) {
+        self.checks.push(Check { name: name.into(), paper, measured });
+    }
+
+    /// Renders the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for l in &self.lines {
+            out.push_str("  ");
+            out.push_str(l);
+            out.push('\n');
+        }
+        if !self.checks.is_empty() {
+            out.push_str("  -- paper vs measured --\n");
+            for c in &self.checks {
+                match c.paper {
+                    Some(p) => out.push_str(&format!(
+                        "  {:<46} paper {:>10.4}   measured {:>10.4}\n",
+                        c.name, p, c.measured
+                    )),
+                    None => out.push_str(&format!(
+                        "  {:<46} paper        n/a   measured {:>10.4}\n",
+                        c.name, c.measured
+                    )),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A tiny ASCII sparkline for a numeric series (peak-normalised).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "▁".repeat(values.len().min(80));
+    }
+    // Downsample to at most 80 columns.
+    let cols = values.len().min(80);
+    let chunk = values.len().div_ceil(cols);
+    values
+        .chunks(chunk)
+        .map(|c| {
+            let v = c.iter().copied().fold(0.0f64, f64::max);
+            let idx = ((v / max) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats an ECDF as a quantile row.
+pub fn cdf_row(label: &str, cdf: &rtbh_stats::Ecdf) -> String {
+    if cdf.is_empty() {
+        return format!("{label}: (empty)");
+    }
+    let q = |p: f64| cdf.quantile(p).unwrap_or(f64::NAN);
+    format!(
+        "{label}: n={} min={:.3} q25={:.3} median={:.3} q75={:.3} q90={:.3} max={:.3}",
+        cdf.len(),
+        q(0.0),
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        q(0.9),
+        q(1.0)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_checks() {
+        let mut r = FigureReport::new("f6", "test");
+        r.line("series here");
+        r.check("median /32 drop rate", Some(0.53), 0.51);
+        r.check("shape only", None, 1.0);
+        let text = r.render();
+        assert!(text.contains("f6"));
+        assert!(text.contains("series here"));
+        assert!(text.contains("0.53"));
+        assert!(text.contains("n/a"));
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_peaky() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn sparkline_downsamples_long_series() {
+        let values: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        assert!(sparkline(&values).chars().count() <= 80);
+    }
+
+    #[test]
+    fn cdf_row_renders() {
+        let cdf: rtbh_stats::Ecdf = (1..=10).map(|i| i as f64).collect();
+        let row = cdf_row("x", &cdf);
+        assert!(row.contains("n=10"));
+        assert!(row.contains("median=5.5"));
+        let empty = rtbh_stats::Ecdf::new(Vec::new());
+        assert!(cdf_row("y", &empty).contains("empty"));
+    }
+}

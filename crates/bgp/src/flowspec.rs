@@ -1,0 +1,357 @@
+//! BGP Flow Specification (RFC 8955) — semantic subset.
+//!
+//! The paper repeatedly contrasts RTBH's all-or-nothing semantics with
+//! finer-grained alternatives: ACL filters, **BGP FlowSpec** and Advanced
+//! Blackholing (§1, §7.2), and shows in §5.5 that port-level filtering on
+//! the known amplification services would have fully served 90% of the
+//! anomaly-backed events *without* the collateral damage. This module models
+//! the match/action semantics of FlowSpec rules so that comparison can be
+//! run programmatically (see `examples/flowspec_mitigation.rs` and the
+//! `ablate strategy` study).
+//!
+//! Wire encoding of FlowSpec NLRI is out of scope; the paper's analyses work
+//! at rule semantics level, and so do we.
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::{
+    AmplificationProtocol, Ipv4Addr, Port, Prefix, Protocol, AMPLIFICATION_PROTOCOLS,
+};
+
+/// An inclusive transport-port range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortRange {
+    /// Lowest matching port.
+    pub lo: Port,
+    /// Highest matching port (inclusive).
+    pub hi: Port,
+}
+
+impl PortRange {
+    /// A single-port range.
+    pub const fn single(port: Port) -> Self {
+        Self { lo: port, hi: port }
+    }
+
+    /// True if `port` lies inside.
+    pub const fn contains(&self, port: Port) -> bool {
+        self.lo <= port && port <= self.hi
+    }
+}
+
+/// The traffic-filtering action of a rule (RFC 8955 §7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FlowAction {
+    /// `traffic-rate 0`: drop.
+    Discard,
+    /// `traffic-rate N` bytes/second (we only record the budget; enforcement
+    /// belongs to the data plane).
+    RateLimit(f64),
+    /// Explicitly accept (terminal).
+    Accept,
+}
+
+/// One FlowSpec rule: all present components must match (logical AND);
+/// within a component, any alternative may match (logical OR) — RFC 8955 §5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpecRule {
+    /// Destination prefix component (mandatory here — every rule protects
+    /// someone).
+    pub dst_prefix: Prefix,
+    /// Optional source prefix component.
+    pub src_prefix: Option<Prefix>,
+    /// IP protocol alternatives (empty = any).
+    pub protocols: Vec<Protocol>,
+    /// Source-port alternatives (empty = any).
+    pub src_ports: Vec<PortRange>,
+    /// Destination-port alternatives (empty = any).
+    pub dst_ports: Vec<PortRange>,
+    /// Fragment component: `Some(true)` matches only non-initial fragments,
+    /// `Some(false)` only non-fragments, `None` both.
+    pub fragment: Option<bool>,
+    /// What to do with matching traffic.
+    pub action: FlowAction,
+}
+
+impl FlowSpecRule {
+    /// A discard-everything rule for a destination — RTBH expressed as
+    /// FlowSpec.
+    pub fn discard_all(dst_prefix: Prefix) -> Self {
+        Self {
+            dst_prefix,
+            src_prefix: None,
+            protocols: Vec::new(),
+            src_ports: Vec::new(),
+            dst_ports: Vec::new(),
+            fragment: None,
+            action: FlowAction::Discard,
+        }
+    }
+
+    /// True if the packet's five-tuple (+ fragment flag) matches.
+    pub fn matches(
+        &self,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        protocol: Protocol,
+        src_port: Port,
+        dst_port: Port,
+        fragment: bool,
+    ) -> bool {
+        if !self.dst_prefix.contains_addr(dst_ip) {
+            return false;
+        }
+        if let Some(sp) = self.src_prefix {
+            if !sp.contains_addr(src_ip) {
+                return false;
+            }
+        }
+        if !self.protocols.is_empty() && !self.protocols.contains(&protocol) {
+            return false;
+        }
+        if let Some(want_fragment) = self.fragment {
+            if fragment != want_fragment {
+                return false;
+            }
+        }
+        // Port components only ever match port-carrying, non-fragment
+        // packets (fragments have no transport header).
+        if !self.src_ports.is_empty() {
+            if fragment || !protocol.has_ports() {
+                return false;
+            }
+            if !self.src_ports.iter().any(|r| r.contains(src_port)) {
+                return false;
+            }
+        }
+        if !self.dst_ports.is_empty() {
+            if fragment || !protocol.has_ports() {
+                return false;
+            }
+            if !self.dst_ports.iter().any(|r| r.contains(dst_port)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An ordered rule table; the first matching rule's action applies
+/// (RFC 8955 orders by specificity — callers insert in that order).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpecTable {
+    rules: Vec<FlowSpecRule>,
+}
+
+impl FlowSpecTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule (lowest priority so far).
+    pub fn push(&mut self, rule: FlowSpecRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules in priority order.
+    pub fn rules(&self) -> &[FlowSpecRule] {
+        &self.rules
+    }
+
+    /// The action for a packet: first match wins; no match = accept.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate(
+        &self,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        protocol: Protocol,
+        src_port: Port,
+        dst_port: Port,
+        fragment: bool,
+    ) -> FlowAction {
+        self.rules
+            .iter()
+            .find(|r| r.matches(src_ip, dst_ip, protocol, src_port, dst_port, fragment))
+            .map(|r| r.action)
+            .unwrap_or(FlowAction::Accept)
+    }
+}
+
+/// The §5.5 mitigation table for one victim: one discard rule per known UDP
+/// amplification source port, plus a rule for non-initial fragments —
+/// exactly the "a priori known port list" whose emulated filtering covered
+/// 90% of the paper's anomaly events.
+pub fn amplification_mitigation(victim: Prefix) -> FlowSpecTable {
+    let mut table = FlowSpecTable::new();
+    for proto in AMPLIFICATION_PROTOCOLS {
+        if *proto == AmplificationProtocol::Fragmentation {
+            table.push(FlowSpecRule {
+                dst_prefix: victim,
+                src_prefix: None,
+                protocols: Vec::new(),
+                src_ports: Vec::new(),
+                dst_ports: Vec::new(),
+                fragment: Some(true),
+                action: FlowAction::Discard,
+            });
+        } else {
+            table.push(FlowSpecRule {
+                dst_prefix: victim,
+                src_prefix: None,
+                protocols: vec![Protocol::Udp],
+                src_ports: vec![PortRange::single(proto.source_port())],
+                dst_ports: Vec::new(),
+                fragment: Some(false),
+                action: FlowAction::Discard,
+            });
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn victim() -> Prefix {
+        "203.0.113.7/32".parse().unwrap()
+    }
+
+    fn amp(src_port: Port) -> (Ipv4Addr, Ipv4Addr, Protocol, Port, Port, bool) {
+        (
+            "20.0.0.5".parse().unwrap(),
+            "203.0.113.7".parse().unwrap(),
+            Protocol::Udp,
+            src_port,
+            49152,
+            false,
+        )
+    }
+
+    #[test]
+    fn discard_all_is_rtbh() {
+        let rule = FlowSpecRule::discard_all(victim());
+        let (s, d, p, sp, dp, f) = amp(389);
+        assert!(rule.matches(s, d, p, sp, dp, f));
+        // Legit TCP/443 to the victim also matches — that is the collateral.
+        assert!(rule.matches(s, d, Protocol::Tcp, 40_000, 443, false));
+        // Different destination never matches.
+        assert!(!rule.matches(s, "203.0.113.8".parse().unwrap(), p, sp, dp, f));
+    }
+
+    #[test]
+    fn port_component_is_or_of_ranges() {
+        let rule = FlowSpecRule {
+            dst_prefix: victim(),
+            src_prefix: None,
+            protocols: vec![Protocol::Udp],
+            src_ports: vec![PortRange::single(53), PortRange { lo: 120, hi: 130 }],
+            dst_ports: Vec::new(),
+            fragment: None,
+            action: FlowAction::Discard,
+        };
+        let (s, d, p, _, dp, f) = amp(0);
+        assert!(rule.matches(s, d, p, 53, dp, f));
+        assert!(rule.matches(s, d, p, 123, dp, f));
+        assert!(!rule.matches(s, d, p, 131, dp, f));
+        assert!(!rule.matches(s, d, Protocol::Tcp, 53, dp, f), "protocol AND port");
+    }
+
+    #[test]
+    fn port_components_never_match_fragments_or_portless() {
+        let rule = FlowSpecRule {
+            dst_prefix: victim(),
+            src_prefix: None,
+            protocols: Vec::new(),
+            src_ports: vec![PortRange::single(0)],
+            dst_ports: Vec::new(),
+            fragment: None,
+            action: FlowAction::Discard,
+        };
+        let (s, d, _, _, _, _) = amp(0);
+        assert!(!rule.matches(s, d, Protocol::Udp, 0, 0, true), "fragments have no ports");
+        assert!(!rule.matches(s, d, Protocol::Icmp, 0, 0, false), "ICMP has no ports");
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut table = FlowSpecTable::new();
+        let mut accept_dns = FlowSpecRule::discard_all(victim());
+        accept_dns.protocols = vec![Protocol::Udp];
+        accept_dns.src_ports = vec![PortRange::single(53)];
+        accept_dns.action = FlowAction::Accept;
+        table.push(accept_dns);
+        table.push(FlowSpecRule::discard_all(victim()));
+        let (s, d, p, _, dp, f) = amp(0);
+        assert_eq!(table.evaluate(s, d, p, 53, dp, f), FlowAction::Accept);
+        assert_eq!(table.evaluate(s, d, p, 54, dp, f), FlowAction::Discard);
+    }
+
+    #[test]
+    fn empty_table_accepts() {
+        let (s, d, p, sp, dp, f) = amp(389);
+        assert_eq!(FlowSpecTable::new().evaluate(s, d, p, sp, dp, f), FlowAction::Accept);
+    }
+
+    #[test]
+    fn mitigation_table_matches_classifier_exactly() {
+        // The FlowSpec mitigation and the analysis-side classifier must
+        // agree on every (protocol, src_port, fragment) combination.
+        let table = amplification_mitigation(victim());
+        assert_eq!(table.len(), AMPLIFICATION_PROTOCOLS.len());
+        let d: Ipv4Addr = "203.0.113.7".parse().unwrap();
+        let s: Ipv4Addr = "20.0.0.5".parse().unwrap();
+        for proto in [Protocol::Udp, Protocol::Tcp, Protocol::Icmp] {
+            for src_port in [0u16, 17, 19, 53, 123, 389, 1900, 11211, 40_000] {
+                for fragment in [false, true] {
+                    let classified =
+                        AmplificationProtocol::classify(proto, src_port, fragment).is_some();
+                    let dropped = table.evaluate(s, d, proto, src_port, 55_555, fragment)
+                        == FlowAction::Discard;
+                    assert_eq!(
+                        classified, dropped,
+                        "divergence at {proto} src={src_port} frag={fragment}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mitigation_spares_legitimate_service_traffic() {
+        let table = amplification_mitigation(victim());
+        let d: Ipv4Addr = "203.0.113.7".parse().unwrap();
+        let s: Ipv4Addr = "100.64.0.9".parse().unwrap();
+        // An HTTPS request from a client's ephemeral port passes.
+        assert_eq!(
+            table.evaluate(s, d, Protocol::Tcp, 51_000, 443, false),
+            FlowAction::Accept
+        );
+        // Even UDP/443 (QUIC) passes — only amplification *source* ports drop.
+        assert_eq!(
+            table.evaluate(s, d, Protocol::Udp, 51_000, 443, false),
+            FlowAction::Accept
+        );
+    }
+
+    #[test]
+    fn rate_limit_action_is_carried() {
+        let mut rule = FlowSpecRule::discard_all(victim());
+        rule.action = FlowAction::RateLimit(1_000_000.0);
+        let mut table = FlowSpecTable::new();
+        table.push(rule);
+        let (s, d, p, sp, dp, f) = amp(389);
+        assert_eq!(table.evaluate(s, d, p, sp, dp, f), FlowAction::RateLimit(1_000_000.0));
+    }
+}

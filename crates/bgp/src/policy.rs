@@ -1,0 +1,131 @@
+//! Per-router BGP import policies.
+//!
+//! The paper's central operational finding (§4.2, §7.1) is that acceptance of
+//! blackhole routes hinges on prefix-length filters in receivers' BGP
+//! configurations:
+//!
+//! * `≤ /24` prefixes pass virtually every default filter → 93–99% of that
+//!   traffic is dropped;
+//! * `/25 … /31` prefixes are rejected almost everywhere (whitelisting these
+//!   lengths is rare even where /32 was whitelisted);
+//! * `/32` host routes — the canonical DDoS-mitigation blackhole — are only
+//!   accepted where the operator explicitly configured it: just 32 of the top
+//!   100 traffic sources drop >99%, 55 forward >99%, and 13 behave
+//!   *inconsistently* because different routers of the same AS are configured
+//!   differently.
+//!
+//! An [`ImportPolicy`] is attached to a *router*, not an AS, precisely to
+//! reproduce that inconsistent split behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::Prefix;
+
+/// What a router does with a received route, per prefix-length class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImportPolicy {
+    /// Accept blackhole routes with length ≤ /24 (standard).
+    pub accept_blackhole_le24: bool,
+    /// Accept blackhole routes with lengths /25–/31 (almost never enabled).
+    pub accept_blackhole_25_31: bool,
+    /// Accept /32 blackhole routes (requires explicit whitelisting).
+    pub accept_blackhole_32: bool,
+    /// Accept regular (non-blackhole) routes up to /24. Disabled only in
+    /// pathological configurations; kept for completeness.
+    pub accept_regular: bool,
+}
+
+impl ImportPolicy {
+    /// A fully RTBH-capable configuration: every blackhole length accepted.
+    pub const FULL: Self = Self {
+        accept_blackhole_le24: true,
+        accept_blackhole_25_31: true,
+        accept_blackhole_32: true,
+        accept_regular: true,
+    };
+
+    /// The common "did the extra work for /32 but not /25–/31" whitelist
+    /// configuration the paper infers for most RTBH-accepting operators.
+    pub const WHITELIST_32: Self = Self {
+        accept_blackhole_le24: true,
+        accept_blackhole_25_31: false,
+        accept_blackhole_32: true,
+        accept_regular: true,
+    };
+
+    /// The router-vendor default: nothing longer than /24 is accepted,
+    /// blackhole or not.
+    pub const DEFAULT_24: Self = Self {
+        accept_blackhole_le24: true,
+        accept_blackhole_25_31: false,
+        accept_blackhole_32: false,
+        accept_regular: true,
+    };
+
+    /// Whether this policy accepts a *blackhole* route for `prefix`.
+    pub fn accepts_blackhole(&self, prefix: Prefix) -> bool {
+        match prefix.len() {
+            0..=24 => self.accept_blackhole_le24,
+            25..=31 => self.accept_blackhole_25_31,
+            _ => self.accept_blackhole_32,
+        }
+    }
+
+    /// Whether this policy accepts a *regular* route for `prefix`
+    /// (default filters reject anything longer than /24).
+    pub fn accepts_regular(&self, prefix: Prefix) -> bool {
+        self.accept_regular && prefix.len() <= 24
+    }
+}
+
+impl Default for ImportPolicy {
+    /// The router-vendor default ([`ImportPolicy::DEFAULT_24`]).
+    fn default() -> Self {
+        Self::DEFAULT_24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn default_rejects_host_blackholes() {
+        let pol = ImportPolicy::default();
+        assert!(pol.accepts_blackhole(p("10.0.0.0/24")));
+        assert!(pol.accepts_blackhole(p("10.0.0.0/8")));
+        assert!(!pol.accepts_blackhole(p("10.0.0.0/25")));
+        assert!(!pol.accepts_blackhole(p("10.0.0.1/32")));
+    }
+
+    #[test]
+    fn whitelist_32_gap_between_25_and_31() {
+        let pol = ImportPolicy::WHITELIST_32;
+        assert!(pol.accepts_blackhole(p("10.0.0.1/32")));
+        assert!(!pol.accepts_blackhole(p("10.0.0.0/28")));
+        assert!(pol.accepts_blackhole(p("10.0.0.0/23")));
+    }
+
+    #[test]
+    fn full_accepts_everything() {
+        let pol = ImportPolicy::FULL;
+        for len in [0u8, 8, 24, 25, 31, 32] {
+            let pfx = Prefix::new("10.0.0.0".parse().unwrap(), len).unwrap();
+            assert!(pol.accepts_blackhole(pfx), "/{len}");
+        }
+    }
+
+    #[test]
+    fn regular_routes_capped_at_24() {
+        let pol = ImportPolicy::FULL;
+        assert!(pol.accepts_regular(p("10.0.0.0/24")));
+        assert!(!pol.accepts_regular(p("10.0.0.0/25")));
+        assert!(!pol.accepts_regular(p("10.0.0.1/32")));
+        let off = ImportPolicy { accept_regular: false, ..ImportPolicy::FULL };
+        assert!(!off.accepts_regular(p("10.0.0.0/16")));
+    }
+}

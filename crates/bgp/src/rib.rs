@@ -1,0 +1,288 @@
+//! Per-router routing information bases (RIBs).
+//!
+//! A RIB stores the routes a router accepted and answers the only question
+//! the data plane asks: *given a destination address, is the best route a
+//! blackhole?* Longest-prefix match means an accepted `/32` blackhole beats
+//! the covering regular route, which is the entire mechanism of RTBH
+//! (paper §2.1). Each prefix keeps its regular route and its blackhole route
+//! in separate slots: withdrawing a blackhole must never tear down the
+//! underlying reachability, even when both share the same prefix.
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::{Asn, Ipv4Addr, Prefix, PrefixTrie, Timestamp};
+
+use crate::policy::ImportPolicy;
+use crate::update::{BgpUpdate, UpdateKind};
+
+/// A route installed in a RIB slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// The origin AS of the route.
+    pub origin: Asn,
+    /// True if this is a blackhole route.
+    pub blackhole: bool,
+    /// When the route was (last) installed.
+    pub installed_at: Timestamp,
+}
+
+/// The two per-prefix slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct Slot {
+    regular: Option<RouteEntry>,
+    blackhole: Option<RouteEntry>,
+}
+
+impl Slot {
+    fn is_empty(&self) -> bool {
+        self.regular.is_none() && self.blackhole.is_none()
+    }
+}
+
+/// The forwarding decision for a destination address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Forwarding {
+    /// Best route is a blackhole: the packet is discarded at the IXP.
+    Blackholed,
+    /// Best route is a regular route towards `origin`.
+    Forward(Asn),
+    /// No route at all (packet would be dropped before the fabric; treated
+    /// as forward-to-nowhere by analyses, it never produces samples).
+    NoRoute,
+}
+
+/// A router's RIB with policy-filtered route installation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Rib {
+    routes: PrefixTrie<Slot>,
+    policy: ImportPolicy,
+}
+
+impl Rib {
+    /// An empty RIB using the given import policy.
+    pub fn new(policy: ImportPolicy) -> Self {
+        Self { routes: PrefixTrie::new(), policy }
+    }
+
+    /// The import policy.
+    pub fn policy(&self) -> &ImportPolicy {
+        &self.policy
+    }
+
+    /// Applies a received update. Returns `true` if the RIB changed.
+    ///
+    /// Announcements are subject to the import policy; withdrawals always
+    /// remove whatever was installed in the matching slot (a router does not
+    /// keep routes its neighbour retracted). Blackhole withdrawals only
+    /// clear the blackhole slot.
+    pub fn apply(&mut self, update: &BgpUpdate) -> bool {
+        let blackhole = update.is_blackhole();
+        match update.kind {
+            UpdateKind::Announce => {
+                let accepted = if blackhole {
+                    self.policy.accepts_blackhole(update.prefix)
+                } else {
+                    self.policy.accepts_regular(update.prefix)
+                };
+                if !accepted {
+                    return false;
+                }
+                let entry = RouteEntry {
+                    origin: update.origin,
+                    blackhole,
+                    installed_at: update.at,
+                };
+                let slot = match self.routes.get_mut(update.prefix) {
+                    Some(slot) => slot,
+                    None => {
+                        self.routes.insert(update.prefix, Slot::default());
+                        self.routes.get_mut(update.prefix).expect("just inserted")
+                    }
+                };
+                let target = if blackhole { &mut slot.blackhole } else { &mut slot.regular };
+                let changed = target.replace(entry) != Some(entry);
+                changed
+            }
+            UpdateKind::Withdraw => {
+                let Some(slot) = self.routes.get_mut(update.prefix) else {
+                    return false;
+                };
+                let removed = if blackhole {
+                    slot.blackhole.take().is_some()
+                } else {
+                    slot.regular.take().is_some()
+                };
+                if slot.is_empty() {
+                    self.routes.remove(update.prefix);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Installs a regular route directly (used to seed baseline reachability
+    /// without synthesising full BGP churn for every member prefix).
+    pub fn install_regular(&mut self, prefix: Prefix, origin: Asn, at: Timestamp) {
+        let entry = RouteEntry { origin, blackhole: false, installed_at: at };
+        match self.routes.get_mut(prefix) {
+            Some(slot) => slot.regular = Some(entry),
+            None => {
+                self.routes
+                    .insert(prefix, Slot { regular: Some(entry), blackhole: None });
+            }
+        }
+    }
+
+    /// The forwarding decision for `dst` by longest-prefix match. At the
+    /// most specific matching prefix, an installed blackhole wins over the
+    /// regular route (operators set blackhole routes up to be preferred).
+    pub fn decide(&self, dst: Ipv4Addr) -> Forwarding {
+        match self.routes.longest_match(dst) {
+            Some((_, slot)) if slot.blackhole.is_some() => Forwarding::Blackholed,
+            Some((_, slot)) => match slot.regular {
+                Some(entry) => Forwarding::Forward(entry.origin),
+                None => Forwarding::NoRoute,
+            },
+            None => Forwarding::NoRoute,
+        }
+    }
+
+    /// The installed blackhole entry for exactly `prefix`, if any.
+    pub fn get_blackhole(&self, prefix: Prefix) -> Option<&RouteEntry> {
+        self.routes.get(prefix).and_then(|s| s.blackhole.as_ref())
+    }
+
+    /// The installed regular entry for exactly `prefix`, if any.
+    pub fn get_regular(&self, prefix: Prefix) -> Option<&RouteEntry> {
+        self.routes.get(prefix).and_then(|s| s.regular.as_ref())
+    }
+
+    /// Number of prefixes with at least one installed route.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// All currently installed blackhole prefixes.
+    pub fn blackhole_prefixes(&self) -> Vec<Prefix> {
+        self.routes
+            .iter()
+            .filter(|(_, s)| s.blackhole.is_some())
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::testutil::{bh_announce, bh_withdraw};
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn seeded_rib(policy: ImportPolicy) -> Rib {
+        let mut rib = Rib::new(policy);
+        rib.install_regular("203.0.113.0/24".parse().unwrap(), Asn(64500), Timestamp::EPOCH);
+        rib
+    }
+
+    #[test]
+    fn accepted_blackhole_wins_by_longest_match() {
+        let mut rib = seeded_rib(ImportPolicy::WHITELIST_32);
+        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Forward(Asn(64500)));
+        assert!(rib.apply(&bh_announce(0, 64500, "203.0.113.7/32")));
+        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Blackholed);
+        // Neighbouring host unaffected.
+        assert_eq!(rib.decide(addr("203.0.113.8")), Forwarding::Forward(Asn(64500)));
+    }
+
+    #[test]
+    fn rejected_blackhole_keeps_forwarding() {
+        let mut rib = seeded_rib(ImportPolicy::DEFAULT_24);
+        assert!(!rib.apply(&bh_announce(0, 64500, "203.0.113.7/32")));
+        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Forward(Asn(64500)));
+    }
+
+    #[test]
+    fn le24_blackhole_accepted_by_default_policy() {
+        let mut rib = seeded_rib(ImportPolicy::DEFAULT_24);
+        assert!(rib.apply(&bh_announce(0, 64500, "203.0.113.0/24")));
+        assert_eq!(rib.decide(addr("203.0.113.250")), Forwarding::Blackholed);
+    }
+
+    #[test]
+    fn withdraw_restores_regular_route() {
+        let mut rib = seeded_rib(ImportPolicy::WHITELIST_32);
+        rib.apply(&bh_announce(0, 64500, "203.0.113.7/32"));
+        assert!(rib.apply(&bh_withdraw(5, 64500, "203.0.113.7/32")));
+        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Forward(Asn(64500)));
+        // A second withdraw is a no-op.
+        assert!(!rib.apply(&bh_withdraw(6, 64500, "203.0.113.7/32")));
+    }
+
+    #[test]
+    fn blackhole_on_seeded_prefix_coexists_with_regular_route() {
+        // Announcing and withdrawing a blackhole for EXACTLY a prefix with a
+        // regular route must leave the regular route untouched (the property
+        // test that motivated the two-slot design).
+        let mut rib = seeded_rib(ImportPolicy::FULL);
+        let before = rib.decide(addr("203.0.113.9"));
+        assert!(rib.apply(&bh_announce(0, 64500, "203.0.113.0/24")));
+        assert_eq!(rib.decide(addr("203.0.113.9")), Forwarding::Blackholed);
+        assert!(rib.apply(&bh_withdraw(5, 64500, "203.0.113.0/24")));
+        assert_eq!(rib.decide(addr("203.0.113.9")), before);
+        assert_eq!(rib.get_regular("203.0.113.0/24".parse().unwrap()).unwrap().origin, Asn(64500));
+    }
+
+    #[test]
+    fn no_route_without_any_installation() {
+        let rib = Rib::new(ImportPolicy::FULL);
+        assert_eq!(rib.decide(addr("8.8.8.8")), Forwarding::NoRoute);
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn blackhole_prefix_listing() {
+        let mut rib = seeded_rib(ImportPolicy::FULL);
+        rib.apply(&bh_announce(0, 64500, "203.0.113.7/32"));
+        rib.apply(&bh_announce(0, 64500, "203.0.113.9/32"));
+        let mut bhs = rib.blackhole_prefixes();
+        bhs.sort();
+        assert_eq!(bhs.len(), 2);
+        assert!(bhs.iter().all(|p| p.is_host()));
+        assert_eq!(rib.len(), 3);
+        assert!(rib.get_blackhole("203.0.113.7/32".parse().unwrap()).is_some());
+        assert!(rib.get_blackhole("203.0.113.8/32".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn regular_announcement_subject_to_regular_policy() {
+        let mut rib = Rib::new(ImportPolicy::DEFAULT_24);
+        let mut u = bh_announce(0, 64500, "198.51.100.0/24");
+        u.communities.clear();
+        assert!(rib.apply(&u));
+        let mut long = bh_announce(0, 64500, "198.51.100.128/25");
+        long.communities.clear();
+        assert!(!rib.apply(&long), "regular /25 rejected by default filter");
+    }
+
+    #[test]
+    fn regular_withdraw_clears_only_regular_slot() {
+        let mut rib = Rib::new(ImportPolicy::FULL);
+        let mut announce = bh_announce(0, 64500, "198.51.100.0/24");
+        announce.communities.clear();
+        rib.apply(&announce);
+        rib.apply(&bh_announce(1, 64500, "198.51.100.0/24")); // blackhole slot
+        let mut withdraw = bh_withdraw(2, 64500, "198.51.100.0/24");
+        withdraw.communities.clear();
+        assert!(rib.apply(&withdraw));
+        // Blackhole remains in force.
+        assert_eq!(rib.decide(addr("198.51.100.9")), Forwarding::Blackholed);
+    }
+}

@@ -1,0 +1,222 @@
+//! BGP update messages and the control-plane corpus.
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, Timestamp};
+
+/// Whether an update announces or withdraws a route.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum UpdateKind {
+    /// The route becomes available.
+    Announce,
+    /// The route is retracted.
+    Withdraw,
+}
+
+/// One BGP update as seen at the route server.
+///
+/// This is the paper's control-plane record (§3.1): it tells us *(i)* when
+/// blackholing starts/stops, *(ii)* which member triggered it (`peer`),
+/// *(iii)* which ASes should receive it (`communities`), and *(iv)* the
+/// origin AS of the prefix (`origin`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpUpdate {
+    /// Collector timestamp.
+    pub at: Timestamp,
+    /// The IXP member (peer AS) that sent the update to the route server.
+    pub peer: Asn,
+    /// The prefix being announced or withdrawn.
+    pub prefix: Prefix,
+    /// The origin AS of the prefix (end of the AS path).
+    pub origin: Asn,
+    /// Announce or withdraw.
+    pub kind: UpdateKind,
+    /// Attached communities. Withdrawals carry none on the wire; we keep the
+    /// field so synthetic corpora can round-trip exactly.
+    pub communities: Vec<Community>,
+    /// The announced next hop. For blackhole routes this is the IXP's
+    /// dedicated blackhole next-hop address.
+    pub next_hop: Ipv4Addr,
+}
+
+impl BgpUpdate {
+    /// True if the update carries the RFC 7999 BLACKHOLE community.
+    ///
+    /// Withdrawals for a prefix that was blackholed are matched by prefix,
+    /// not by community, so this is only meaningful for announcements;
+    /// synthetic withdrawals in our corpora also carry the community to make
+    /// filtering trivial, mirroring how the paper keys RTBH activity on the
+    /// prefix once it has been seen with the community.
+    pub fn is_blackhole(&self) -> bool {
+        self.communities.contains(&Community::BLACKHOLE)
+    }
+
+    /// True for announcements.
+    pub fn is_announce(&self) -> bool {
+        self.kind == UpdateKind::Announce
+    }
+}
+
+/// A time-ordered log of BGP updates — the control-plane corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateLog {
+    updates: Vec<BgpUpdate>,
+}
+
+impl UpdateLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a log from updates, sorting them by timestamp (stable, so
+    /// same-instant updates keep insertion order).
+    pub fn from_updates(mut updates: Vec<BgpUpdate>) -> Self {
+        updates.sort_by_key(|u| u.at);
+        Self { updates }
+    }
+
+    /// Appends an update; the caller must push in non-decreasing time order.
+    ///
+    /// # Panics
+    /// Panics (debug builds only) if time order is violated.
+    pub fn push(&mut self, update: BgpUpdate) {
+        debug_assert!(
+            self.updates.last().map_or(true, |last| last.at <= update.at),
+            "updates must be pushed in time order"
+        );
+        self.updates.push(update);
+    }
+
+    /// All updates in time order.
+    pub fn updates(&self) -> &[BgpUpdate] {
+        &self.updates
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if the log holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates over updates carrying the BLACKHOLE community.
+    pub fn blackholes(&self) -> impl Iterator<Item = &BgpUpdate> {
+        self.updates.iter().filter(|u| u.is_blackhole())
+    }
+
+    /// Iterates over all *blackhole-related* updates: announcements carrying
+    /// the BLACKHOLE community plus every withdrawal of a prefix that was
+    /// previously announced as a blackhole (wire withdrawals carry no
+    /// communities — RFC 4271 retracts by prefix alone).
+    pub fn blackhole_related(&self) -> impl Iterator<Item = &BgpUpdate> {
+        let mut seen: std::collections::BTreeSet<rtbh_net::Prefix> =
+            std::collections::BTreeSet::new();
+        self.updates.iter().filter(move |u| match u.kind {
+            UpdateKind::Announce => {
+                if u.is_blackhole() {
+                    seen.insert(u.prefix);
+                    true
+                } else {
+                    false
+                }
+            }
+            UpdateKind::Withdraw => u.is_blackhole() || seen.contains(&u.prefix),
+        })
+    }
+
+    /// Merges two logs into a new time-ordered log.
+    pub fn merge(mut self, other: UpdateLog) -> UpdateLog {
+        self.updates.extend(other.updates);
+        Self::from_updates(self.updates)
+    }
+}
+
+impl FromIterator<BgpUpdate> for UpdateLog {
+    fn from_iter<I: IntoIterator<Item = BgpUpdate>>(iter: I) -> Self {
+        Self::from_updates(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use rtbh_net::TimeDelta;
+
+    /// The blackhole next-hop used by tests.
+    pub const BH_NEXT_HOP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 66);
+
+    pub fn bh_announce(min: i64, peer: u32, prefix: &str) -> BgpUpdate {
+        BgpUpdate {
+            at: Timestamp::EPOCH + TimeDelta::minutes(min),
+            peer: Asn(peer),
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(peer),
+            kind: UpdateKind::Announce,
+            communities: vec![Community::BLACKHOLE],
+            next_hop: BH_NEXT_HOP,
+        }
+    }
+
+    pub fn bh_withdraw(min: i64, peer: u32, prefix: &str) -> BgpUpdate {
+        BgpUpdate { kind: UpdateKind::Withdraw, ..bh_announce(min, peer, prefix) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn blackhole_detection() {
+        let u = bh_announce(0, 64500, "203.0.113.7/32");
+        assert!(u.is_blackhole());
+        assert!(u.is_announce());
+        let mut plain = u.clone();
+        plain.communities.clear();
+        assert!(!plain.is_blackhole());
+    }
+
+    #[test]
+    fn from_updates_sorts_by_time() {
+        let log = UpdateLog::from_updates(vec![
+            bh_announce(10, 1, "10.0.0.1/32"),
+            bh_announce(0, 2, "10.0.0.2/32"),
+            bh_announce(5, 3, "10.0.0.3/32"),
+        ]);
+        let mins: Vec<i64> = log.updates().iter().map(|u| (u.at - Timestamp::EPOCH).as_minutes()).collect();
+        assert_eq!(mins, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn blackhole_filter_skips_regular_routes() {
+        let mut regular = bh_announce(0, 1, "10.0.0.0/24");
+        regular.communities.clear();
+        let log = UpdateLog::from_updates(vec![regular, bh_announce(1, 2, "10.0.0.7/32")]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.blackholes().count(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let a = UpdateLog::from_updates(vec![bh_announce(0, 1, "10.0.0.1/32")]);
+        let b = UpdateLog::from_updates(vec![bh_withdraw(1, 1, "10.0.0.1/32")]);
+        let merged = b.merge(a);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.updates()[0].is_announce());
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn push_enforces_time_order_in_debug() {
+        let mut log = UpdateLog::new();
+        log.push(bh_announce(5, 1, "10.0.0.1/32"));
+        log.push(bh_announce(1, 1, "10.0.0.1/32"));
+    }
+}

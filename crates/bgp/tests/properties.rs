@@ -1,0 +1,211 @@
+//! Property tests for the BGP substrate.
+
+use proptest::prelude::*;
+
+use rtbh_bgp::{
+    blackhole_intervals, BgpUpdate, ImportPolicy, Rib, RouteServer, UpdateKind, UpdateLog,
+};
+use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, TimeDelta, Timestamp};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 8u8..=32)
+        .prop_map(|(bits, len)| Prefix::new(Ipv4Addr::from_u32(bits), len).unwrap())
+}
+
+fn update(at_min: i64, prefix: Prefix, kind: UpdateKind) -> BgpUpdate {
+    BgpUpdate {
+        at: Timestamp::EPOCH + TimeDelta::minutes(at_min),
+        peer: Asn(1),
+        prefix,
+        origin: Asn(2),
+        kind,
+        communities: vec![Community::BLACKHOLE],
+        next_hop: Ipv4Addr::new(198, 51, 100, 66),
+    }
+}
+
+proptest! {
+    /// Distribution control: recipients + sender + hidden peers partition
+    /// the peer set.
+    #[test]
+    fn route_server_recipients_partition_peers(
+        peer_count in 2u32..40,
+        sender_idx in 0u32..40,
+        blocked in proptest::collection::vec(0u32..40, 0..8),
+        allow_mode in any::<bool>(),
+        allowed in proptest::collection::vec(0u32..40, 0..8),
+    ) {
+        let rs_asn = Asn(6695);
+        let peers: Vec<Asn> = (0..peer_count).map(|i| Asn(100 + i)).collect();
+        let server = RouteServer::new(rs_asn, peers.iter().copied());
+        let sender = peers[(sender_idx % peer_count) as usize];
+        let mut communities = vec![Community::BLACKHOLE];
+        if allow_mode {
+            communities.push(Community::block_all(rs_asn).unwrap());
+            for a in &allowed {
+                let peer = Asn(100 + (a % peer_count));
+                communities.push(Community::announce_peer(rs_asn, peer).unwrap());
+            }
+        } else {
+            for b in &blocked {
+                let peer = Asn(100 + (b % peer_count));
+                communities.push(Community::block_peer(peer).unwrap());
+            }
+        }
+        let u = BgpUpdate {
+            at: Timestamp::EPOCH,
+            peer: sender,
+            prefix: "10.0.0.1/32".parse().unwrap(),
+            origin: sender,
+            kind: UpdateKind::Announce,
+            communities,
+            next_hop: Ipv4Addr::new(198, 51, 100, 66),
+        };
+        let recipients = server.recipients(&u);
+        // Sender never receives its own route.
+        prop_assert!(!recipients.contains(&sender));
+        // recipients == {p != sender | is_visible_to(p)} exactly.
+        for p in &peers {
+            let visible = server.is_visible_to(&u, *p);
+            prop_assert_eq!(recipients.contains(p), visible, "{}", p);
+        }
+    }
+
+    /// Announce/withdraw sequences produce sorted, disjoint intervals whose
+    /// count never exceeds the number of announcements.
+    #[test]
+    fn interval_reconstruction_invariants(
+        prefix in arb_prefix(),
+        // Alternate announce/withdraw gaps in minutes.
+        gaps in proptest::collection::vec(1i64..200, 1..20),
+        trailing_announce in any::<bool>(),
+    ) {
+        let mut updates = Vec::new();
+        let mut t = 0i64;
+        let mut announces = 0usize;
+        for (i, g) in gaps.iter().enumerate() {
+            t += g;
+            let kind = if i % 2 == 0 { UpdateKind::Announce } else { UpdateKind::Withdraw };
+            if kind == UpdateKind::Announce { announces += 1; }
+            updates.push(update(t, prefix, kind));
+        }
+        if trailing_announce {
+            t += 5;
+            updates.push(update(t, prefix, UpdateKind::Announce));
+            announces += 1;
+        }
+        let corpus_end = Timestamp::EPOCH + TimeDelta::minutes(t + 100);
+        let log = UpdateLog::from_updates(updates);
+        let map = blackhole_intervals(log.blackholes(), corpus_end);
+        if let Some(ivs) = map.get(&prefix) {
+            prop_assert!(ivs.len() <= announces);
+            for w in ivs.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "intervals must be disjoint+sorted");
+            }
+            for iv in ivs {
+                prop_assert!(iv.start < iv.end);
+                prop_assert!(iv.end <= corpus_end);
+            }
+        }
+    }
+
+    /// A RIB that accepted a blackhole always reverts on withdraw, and a RIB
+    /// that rejected it is never affected.
+    #[test]
+    fn rib_announce_withdraw_symmetry(
+        prefix in arb_prefix(),
+        accept32 in any::<bool>(),
+        accept_2531 in any::<bool>(),
+    ) {
+        let policy = ImportPolicy {
+            accept_blackhole_le24: true,
+            accept_blackhole_25_31: accept_2531,
+            accept_blackhole_32: accept32,
+            accept_regular: true,
+        };
+        let mut rib = Rib::new(policy);
+        // Seed a covering regular route where possible.
+        let cover = Prefix::new(prefix.network(), prefix.len().min(24)).unwrap();
+        rib.install_regular(cover, Asn(9), Timestamp::EPOCH);
+        let before = rib.decide(prefix.network());
+
+        let accepted_expected = policy.accepts_blackhole(prefix);
+        let changed = rib.apply(&update(1, prefix, UpdateKind::Announce));
+        prop_assert_eq!(changed, accepted_expected);
+        rib.apply(&update(2, prefix, UpdateKind::Withdraw));
+        let after = rib.decide(prefix.network());
+        prop_assert_eq!(before, after, "withdraw must restore the pre-announce state");
+    }
+}
+
+// ---- wire codec round trips over randomized updates ----
+
+fn arb_communities() -> impl Strategy<Value = Vec<Community>> {
+    proptest::collection::vec(
+        (any::<u16>(), any::<u16>()).prop_map(|(a, v)| Community::new(a, v)),
+        0..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn wire_announce_round_trips(
+        prefix in arb_prefix(),
+        at_ms in 0i64..10_000_000_000,
+        peer in any::<u32>(),
+        origin in any::<u32>(),
+        next_hop in any::<u32>(),
+        communities in arb_communities(),
+    ) {
+        let u = BgpUpdate {
+            at: Timestamp::from_millis(at_ms),
+            peer: Asn(peer),
+            prefix,
+            origin: Asn(origin),
+            kind: UpdateKind::Announce,
+            communities,
+            next_hop: Ipv4Addr::from_u32(next_hop),
+        };
+        let bytes = rtbh_bgp::encode_update(&u);
+        let decoded = rtbh_bgp::decode_update(bytes, u.at, u.peer).unwrap();
+        prop_assert_eq!(decoded.len(), 1);
+        prop_assert_eq!(&decoded[0], &u);
+    }
+
+    #[test]
+    fn wire_log_round_trips(
+        schedule in proptest::collection::vec(
+            (arb_prefix(), 0i64..100_000, any::<bool>(), arb_communities()),
+            0..24,
+        ),
+    ) {
+        // Build a canonical log: wire withdrawals are bare retractions.
+        let mut updates: Vec<BgpUpdate> = schedule
+            .into_iter()
+            .map(|(prefix, at_ms, announce, communities)| BgpUpdate {
+                at: Timestamp::from_millis(at_ms),
+                peer: Asn(7),
+                prefix,
+                origin: if announce { Asn(9) } else { Asn::RESERVED },
+                kind: if announce { UpdateKind::Announce } else { UpdateKind::Withdraw },
+                communities: if announce { communities } else { Vec::new() },
+                next_hop: if announce {
+                    Ipv4Addr::new(198, 51, 100, 66)
+                } else {
+                    Ipv4Addr::UNSPECIFIED
+                },
+            })
+            .collect();
+        updates.sort_by_key(|u| u.at);
+        let log = UpdateLog::from_updates(updates);
+        let bytes = rtbh_bgp::encode_update_log(&log);
+        let decoded = rtbh_bgp::decode_update_log(bytes).unwrap();
+        prop_assert_eq!(decoded, log);
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_garbage(raw in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Fuzz the decoder: arbitrary bytes must produce Ok or Err, never panic.
+        let _ = rtbh_bgp::decode_update_log(bytes::Bytes::from(raw));
+    }
+}

@@ -1,0 +1,191 @@
+//! Control/data-plane clock alignment (paper §3.1, Fig. 2).
+//!
+//! Dropped-marked samples (destination MAC = blackhole MAC) must coincide
+//! with a control-plane interval in which a blackhole covering their
+//! destination was announced; scanning a grid of candidate offsets and
+//! maximising that coincidence recovers the inter-recorder clock skew (the
+//! paper: 99.36% overlap at −0.04 s).
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_bgp::{blackhole_intervals, UpdateLog};
+use rtbh_fabric::{FlowLog, FlowSample};
+use rtbh_net::{Interval, PrefixTrie, TimeDelta, Timestamp};
+use rtbh_stats::offset::{offset_scan, ExplainableSample, OffsetScan};
+
+/// The alignment estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// The full likelihood curve and its argmax.
+    pub scan: OffsetScan,
+    /// Number of dropped samples used.
+    pub dropped_samples: usize,
+}
+
+impl Alignment {
+    /// The estimated data-plane clock offset: subtracting it from sample
+    /// timestamps aligns the data plane to the control plane. (If samples
+    /// are stamped 40 ms early, the scan's best offset is +40 ms.)
+    pub fn estimated_offset(&self) -> TimeDelta {
+        self.scan.best.offset
+    }
+
+    /// The maximal explained-sample share.
+    pub fn best_overlap(&self) -> f64 {
+        self.scan.best.overlap
+    }
+}
+
+/// Estimates the clock offset between the flow log and the update log by
+/// scanning `[-half_range, +half_range]` in `step` increments.
+///
+/// Returns `None` when there are no dropped samples to align.
+pub fn estimate_offset(
+    updates: &UpdateLog,
+    flows: &FlowLog,
+    corpus_end: Timestamp,
+    half_range: TimeDelta,
+    step: TimeDelta,
+) -> Option<Alignment> {
+    let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
+    let mut trie: PrefixTrie<Vec<Interval>> = PrefixTrie::new();
+    for (prefix, ivs) in intervals {
+        trie.insert(prefix, ivs);
+    }
+    static EMPTY: &[Interval] = &[];
+    let samples: Vec<ExplainableSample<'_>> = flows
+        .dropped()
+        .map(|s: &FlowSample| {
+            let intervals = trie
+                .longest_match(s.dst_ip)
+                .map(|(_, ivs)| ivs.as_slice())
+                .unwrap_or(EMPTY);
+            ExplainableSample { at: s.at, intervals }
+        })
+        .collect();
+    let dropped_samples = samples.len();
+    let scan = offset_scan(&samples, half_range, step)?;
+    Some(Alignment { scan, dropped_samples })
+}
+
+/// Shifts every sample timestamp by `offset` (aligning the data plane onto
+/// the control-plane clock).
+pub fn shift_flows(flows: &FlowLog, offset: TimeDelta) -> FlowLog {
+    FlowLog::from_samples(
+        flows
+            .samples()
+            .iter()
+            .map(|s| FlowSample { at: s.at + offset, ..*s })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_bgp::{BgpUpdate, UpdateKind};
+    use rtbh_net::{Asn, Community, Ipv4Addr, MacAddr, Protocol};
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::EPOCH + TimeDelta::seconds(s)
+    }
+
+    fn update(sec: i64, kind: UpdateKind) -> BgpUpdate {
+        BgpUpdate {
+            at: ts(sec),
+            peer: Asn(1),
+            prefix: "10.0.0.7/32".parse().unwrap(),
+            origin: Asn(1),
+            kind,
+            communities: vec![Community::BLACKHOLE],
+            next_hop: Ipv4Addr::new(198, 51, 100, 66),
+        }
+    }
+
+    fn dropped_at(ms: i64) -> FlowSample {
+        FlowSample {
+            at: Timestamp::from_millis(ms),
+            src_mac: MacAddr::from_id(3),
+            dst_mac: MacAddr::BLACKHOLE,
+            src_ip: "8.8.8.8".parse().unwrap(),
+            dst_ip: "10.0.0.7".parse().unwrap(),
+            protocol: Protocol::Udp,
+            src_port: 389,
+            dst_port: 5555,
+            packet_len: 1400,
+            fragment: false,
+        }
+    }
+
+    #[test]
+    fn recovers_injected_skew() {
+        // Blackhole active [100 s, 200 s); drops truly occurred inside but
+        // were stamped 40 ms early by the data-plane clock.
+        let updates = UpdateLog::from_updates(vec![
+            update(100, UpdateKind::Announce),
+            update(200, UpdateKind::Withdraw),
+        ]);
+        let true_times: Vec<i64> = (0..200)
+            .map(|i| 100_000 + i * 500)
+            .chain([100_000, 199_999])
+            .collect();
+        let flows =
+            FlowLog::from_samples(true_times.iter().map(|t| dropped_at(t - 40)).collect());
+        let alignment = estimate_offset(
+            &updates,
+            &flows,
+            ts(100_000),
+            TimeDelta::millis(500),
+            TimeDelta::millis(10),
+        )
+        .unwrap();
+        assert_eq!(alignment.estimated_offset(), TimeDelta::millis(40));
+        assert!(alignment.best_overlap() > 0.99);
+        assert_eq!(alignment.dropped_samples, 202);
+    }
+
+    #[test]
+    fn no_dropped_samples_gives_none() {
+        let updates = UpdateLog::from_updates(vec![update(0, UpdateKind::Announce)]);
+        let mut s = dropped_at(10);
+        s.dst_mac = MacAddr::from_id(9); // forwarded, not dropped
+        let flows = FlowLog::from_samples(vec![s]);
+        assert!(estimate_offset(
+            &updates,
+            &flows,
+            ts(1000),
+            TimeDelta::millis(100),
+            TimeDelta::millis(10)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn shift_moves_all_timestamps() {
+        let flows = FlowLog::from_samples(vec![dropped_at(1000), dropped_at(2000)]);
+        let shifted = shift_flows(&flows, TimeDelta::millis(40));
+        let ats: Vec<i64> = shifted.samples().iter().map(|s| s.at.as_millis()).collect();
+        assert_eq!(ats, vec![1040, 2040]);
+    }
+
+    #[test]
+    fn unexplainable_drops_lower_overlap() {
+        let updates = UpdateLog::from_updates(vec![
+            update(100, UpdateKind::Announce),
+            update(200, UpdateKind::Withdraw),
+        ]);
+        // One drop inside, one on a prefix that never had a blackhole.
+        let mut stray = dropped_at(150_000);
+        stray.dst_ip = "99.0.0.1".parse().unwrap();
+        let flows = FlowLog::from_samples(vec![dropped_at(150_000), stray]);
+        let alignment = estimate_offset(
+            &updates,
+            &flows,
+            ts(100_000),
+            TimeDelta::ZERO,
+            TimeDelta::millis(1),
+        )
+        .unwrap();
+        assert!((alignment.best_overlap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Corpus cleaning: removing IXP-internal traffic.
+//!
+//! The paper's collection (§3.1) includes ~47k flows exchanged with internal
+//! IXP systems (0.01% of the total); these are removed before any analysis.
+//! The IXP knows the MAC addresses of its own devices, which the corpus
+//! carries in [`crate::Corpus::internal_macs`].
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_fabric::FlowLog;
+
+use crate::corpus::Corpus;
+
+/// What cleaning removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanReport {
+    /// Samples before cleaning.
+    pub total: usize,
+    /// Samples removed because either MAC belonged to an internal device.
+    pub internal_removed: usize,
+}
+
+impl CleanReport {
+    /// The removed share (0 when the log was empty).
+    pub fn removed_share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.internal_removed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Removes internal-device flows, returning the cleaned log and a report.
+pub fn clean_flows(corpus: &Corpus) -> (FlowLog, CleanReport) {
+    let internal: BTreeSet<_> = corpus.internal_macs.iter().copied().collect();
+    let total = corpus.flows.len();
+    let kept: Vec<_> = corpus
+        .flows
+        .samples()
+        .iter()
+        .filter(|f| !internal.contains(&f.src_mac) && !internal.contains(&f.dst_mac))
+        .copied()
+        .collect();
+    let report = CleanReport { total, internal_removed: total - kept.len() };
+    (FlowLog::from_samples(kept), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_bgp::UpdateLog;
+    use rtbh_fabric::FlowSample;
+    use rtbh_net::{Asn, Interval, Ipv4Addr, MacAddr, Protocol, Timestamp};
+    use rtbh_peeringdb::Registry;
+
+    fn sample(src_mac: MacAddr, dst_mac: MacAddr) -> FlowSample {
+        FlowSample {
+            at: Timestamp::EPOCH,
+            src_mac,
+            dst_mac,
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            protocol: Protocol::Udp,
+            src_port: 1,
+            dst_port: 2,
+            packet_len: 100,
+            fragment: false,
+        }
+    }
+
+    fn corpus_with(flows: Vec<FlowSample>, internal: Vec<MacAddr>) -> Corpus {
+        Corpus {
+            period: Interval::new(Timestamp::EPOCH, Timestamp::EPOCH),
+            sampling_rate: 10_000,
+            route_server_asn: Asn(6695),
+            updates: UpdateLog::new(),
+            flows: FlowLog::from_samples(flows),
+            members: Vec::new(),
+            registry: Registry::new(),
+            internal_macs: internal,
+            routes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn removes_flows_touching_internal_macs() {
+        let internal = MacAddr::from_id(0xF000);
+        let corpus = corpus_with(
+            vec![
+                sample(MacAddr::from_id(1), MacAddr::from_id(2)),
+                sample(internal, MacAddr::from_id(2)),
+                sample(MacAddr::from_id(1), internal),
+            ],
+            vec![internal],
+        );
+        let (clean, report) = clean_flows(&corpus);
+        assert_eq!(clean.len(), 1);
+        assert_eq!(report.total, 3);
+        assert_eq!(report.internal_removed, 2);
+        assert!((report.removed_share() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_internal_macs_is_identity() {
+        let corpus = corpus_with(
+            vec![sample(MacAddr::from_id(1), MacAddr::from_id(2))],
+            Vec::new(),
+        );
+        let (clean, report) = clean_flows(&corpus);
+        assert_eq!(clean.len(), 1);
+        assert_eq!(report.internal_removed, 0);
+        assert_eq!(report.removed_share(), 0.0);
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let corpus = corpus_with(Vec::new(), vec![MacAddr::from_id(5)]);
+        let (clean, report) = clean_flows(&corpus);
+        assert!(clean.is_empty());
+        assert_eq!(report.removed_share(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The measurement corpus — everything the paper's vantage point records.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_bgp::UpdateLog;
+use rtbh_fabric::FlowLog;
+use rtbh_net::{Asn, Interval, MacAddr};
+use rtbh_peeringdb::Registry;
+
+/// The MAC addresses of one member's router ports, as known to the IXP
+/// (the paper maps sampled MACs to member ASes this way, §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberInfo {
+    /// The member's AS number.
+    pub asn: Asn,
+    /// The member's router-port MACs on the peering LAN.
+    pub macs: Vec<MacAddr>,
+}
+
+/// A complete recorded measurement period.
+///
+/// The analysis pipeline in `rtbh-core` consumes **only** this structure —
+/// it never sees the simulator's ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The measurement period `[start, end)`.
+    pub period: Interval,
+    /// 1-in-N sampling rate of the flow collection.
+    pub sampling_rate: u32,
+    /// The route server's AS (needed to decode distribution communities).
+    pub route_server_asn: Asn,
+    /// Control plane: the BGP update log collected at the route server.
+    pub updates: UpdateLog,
+    /// Data plane: the sampled flow log (data-plane clock, possibly skewed).
+    pub flows: FlowLog,
+    /// Member directory: ASN ↔ router MACs.
+    pub members: Vec<MemberInfo>,
+    /// The PeeringDB-style registry snapshot.
+    pub registry: Registry,
+    /// MACs of IXP-internal devices whose flows must be cleaned out
+    /// (the paper removes 47k internal flows before analysis).
+    pub internal_macs: Vec<MacAddr>,
+    /// A route-server table snapshot: advertised `(prefix, origin AS)`
+    /// pairs. The paper uses routing data to attribute source IPs (e.g.
+    /// amplifiers) to their origin ASes (§5.5).
+    pub routes: Vec<(rtbh_net::Prefix, Asn)>,
+}
+
+impl Corpus {
+    /// MAC → member-ASN lookup table.
+    pub fn mac_to_member(&self) -> BTreeMap<MacAddr, Asn> {
+        let mut map = BTreeMap::new();
+        for m in &self.members {
+            for mac in &m.macs {
+                map.insert(*mac, m.asn);
+            }
+        }
+        map
+    }
+
+    /// All member ASNs.
+    pub fn member_asns(&self) -> Vec<Asn> {
+        self.members.iter().map(|m| m.asn).collect()
+    }
+
+    /// A stable FNV-1a digest over the corpus's essential content, for
+    /// determinism tests ("same seed ⇒ identical corpus").
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.updates.len() as u64);
+        for u in self.updates.updates() {
+            mix(u.at.as_millis() as u64);
+            mix(u.peer.value() as u64);
+            mix(u.prefix.network().to_u32() as u64 | ((u.prefix.len() as u64) << 32));
+            mix(u.communities.len() as u64);
+            mix(matches!(u.kind, rtbh_bgp::UpdateKind::Announce) as u64);
+        }
+        mix(self.flows.len() as u64);
+        for f in self.flows.samples() {
+            mix(f.at.as_millis() as u64);
+            mix(f.src_ip.to_u32() as u64 | ((f.dst_ip.to_u32() as u64) << 32));
+            mix(f.src_port as u64 | ((f.dst_port as u64) << 16) | ((f.packet_len as u64) << 32));
+            mix(f.is_dropped() as u64);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_net::Timestamp;
+
+    fn empty_corpus() -> Corpus {
+        Corpus {
+            period: Interval::new(Timestamp::EPOCH, Timestamp::EPOCH),
+            sampling_rate: 10_000,
+            route_server_asn: Asn(6695),
+            updates: UpdateLog::new(),
+            flows: FlowLog::new(),
+            members: vec![
+                MemberInfo { asn: Asn(1), macs: vec![MacAddr::from_id(1), MacAddr::from_id(2)] },
+                MemberInfo { asn: Asn(2), macs: vec![MacAddr::from_id(3)] },
+            ],
+            registry: Registry::new(),
+            internal_macs: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mac_lookup_covers_all_routers() {
+        let corpus = empty_corpus();
+        let map = corpus.mac_to_member();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[&MacAddr::from_id(2)], Asn(1));
+        assert_eq!(map[&MacAddr::from_id(3)], Asn(2));
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let corpus = empty_corpus();
+        assert_eq!(corpus.digest(), corpus.digest());
+        let mut other = corpus.clone();
+        other.updates = UpdateLog::from_updates(vec![rtbh_bgp::BgpUpdate {
+            at: Timestamp::EPOCH,
+            peer: Asn(1),
+            prefix: "10.0.0.1/32".parse().unwrap(),
+            origin: Asn(1),
+            kind: rtbh_bgp::UpdateKind::Announce,
+            communities: vec![rtbh_net::Community::BLACKHOLE],
+            next_hop: "198.51.100.66".parse().unwrap(),
+        }]);
+        assert_ne!(corpus.digest(), other.digest());
+    }
+}

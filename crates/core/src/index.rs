@@ -1,0 +1,231 @@
+//! Shared indices: matching sampled packets to blackholed prefixes.
+//!
+//! Several analyses ask, for every sample, "which blackholed prefix covers
+//! this destination (or source)?". This module builds the lookup structures
+//! once: a longest-prefix trie over all prefixes that ever appeared in a
+//! blackhole announcement, per-prefix time-sorted sample lists, and a
+//! prefix→origin table from the route-server snapshot.
+
+use std::collections::BTreeMap;
+
+use rtbh_bgp::UpdateLog;
+use rtbh_fabric::{FlowLog, FlowSample};
+use rtbh_net::{Asn, Ipv4Addr, Prefix, PrefixTrie};
+
+/// Index over a flow log keyed by the blackholed prefixes of a corpus.
+pub struct SampleIndex {
+    /// Trie over every prefix that ever carried a blackhole announcement;
+    /// the payload is the dense prefix id.
+    trie: PrefixTrie<usize>,
+    /// Dense id → prefix.
+    prefixes: Vec<Prefix>,
+    /// Per prefix id: indices (into the flow log) of samples *towards* the
+    /// prefix (matched by longest prefix), time-sorted.
+    towards: Vec<Vec<u32>>,
+    /// Per prefix id: indices of samples *from* addresses inside the prefix.
+    from: Vec<Vec<u32>>,
+}
+
+impl SampleIndex {
+    /// Builds the index from the update log's blackholed prefixes and a
+    /// cleaned flow log.
+    pub fn build(updates: &UpdateLog, flows: &FlowLog) -> Self {
+        let mut trie = PrefixTrie::new();
+        let mut prefixes = Vec::new();
+        for u in updates.blackholes() {
+            if trie.get(u.prefix).is_none() {
+                trie.insert(u.prefix, prefixes.len());
+                prefixes.push(u.prefix);
+            }
+        }
+        let mut towards = vec![Vec::new(); prefixes.len()];
+        let mut from = vec![Vec::new(); prefixes.len()];
+        for (i, s) in flows.samples().iter().enumerate() {
+            if let Some((_, &id)) = trie.longest_match(s.dst_ip) {
+                towards[id].push(i as u32);
+            }
+            if let Some((_, &id)) = trie.longest_match(s.src_ip) {
+                from[id].push(i as u32);
+            }
+        }
+        Self { trie, prefixes, towards, from }
+    }
+
+    /// All blackholed prefixes, in first-announcement order.
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+
+    /// The dense id of a prefix, if it ever carried a blackhole.
+    pub fn prefix_id(&self, prefix: Prefix) -> Option<usize> {
+        self.trie.get(prefix).copied()
+    }
+
+    /// The most specific blackholed prefix covering an address.
+    pub fn covering(&self, addr: Ipv4Addr) -> Option<(Prefix, usize)> {
+        self.trie.longest_match(addr).map(|(p, &id)| (p, id))
+    }
+
+    /// Sample indices towards a prefix (longest-prefix matched), time-sorted.
+    pub fn towards(&self, id: usize) -> &[u32] {
+        &self.towards[id]
+    }
+
+    /// Sample indices originating inside a prefix, time-sorted.
+    pub fn from(&self, id: usize) -> &[u32] {
+        &self.from[id]
+    }
+
+    /// Resolves sample indices to samples.
+    pub fn resolve<'a>(
+        &self,
+        flows: &'a FlowLog,
+        ids: &'a [u32],
+    ) -> impl Iterator<Item = &'a FlowSample> + 'a {
+        let samples = flows.samples();
+        ids.iter().map(move |&i| &samples[i as usize])
+    }
+}
+
+/// A longest-prefix origin-AS table built from the corpus's route snapshot,
+/// used to map (unspoofed) source addresses to their origin ASes (§5.5).
+pub struct OriginTable {
+    trie: PrefixTrie<Asn>,
+}
+
+impl OriginTable {
+    /// Builds the table from `(prefix, origin)` pairs.
+    pub fn build(routes: &[(Prefix, Asn)]) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, asn) in routes {
+            trie.insert(*p, *asn);
+        }
+        Self { trie }
+    }
+
+    /// The origin AS of an address, by longest prefix match.
+    pub fn origin_of(&self, addr: Ipv4Addr) -> Option<Asn> {
+        self.trie.longest_match(addr).map(|(_, &asn)| asn)
+    }
+
+    /// Number of routes in the table.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// True when no routes are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Number of distinct origin ASes advertised.
+    pub fn distinct_origins(&self) -> usize {
+        let mut origins: Vec<Asn> = self.trie.iter().map(|(_, &asn)| asn).collect();
+        origins.sort();
+        origins.dedup();
+        origins.len()
+    }
+}
+
+/// MAC → member-AS resolver with the blackhole MAC special-cased.
+pub struct MacResolver {
+    map: BTreeMap<rtbh_net::MacAddr, Asn>,
+}
+
+impl MacResolver {
+    /// Builds from a corpus member directory.
+    pub fn build(corpus: &crate::Corpus) -> Self {
+        Self { map: corpus.mac_to_member() }
+    }
+
+    /// The member AS that handed a sample into the fabric.
+    pub fn handover(&self, sample: &FlowSample) -> Option<Asn> {
+        self.map.get(&sample.src_mac).copied()
+    }
+
+    /// The member AS a sample was delivered to (None for dropped samples).
+    pub fn egress(&self, sample: &FlowSample) -> Option<Asn> {
+        if sample.dst_mac.is_blackhole() {
+            None
+        } else {
+            self.map.get(&sample.dst_mac).copied()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_bgp::{BgpUpdate, UpdateKind};
+    use rtbh_fabric::FlowSample;
+    use rtbh_net::{Community, MacAddr, Protocol, Timestamp};
+
+    fn bh(prefix: &str) -> BgpUpdate {
+        BgpUpdate {
+            at: Timestamp::EPOCH,
+            peer: Asn(1),
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(1),
+            kind: UpdateKind::Announce,
+            communities: vec![Community::BLACKHOLE],
+            next_hop: Ipv4Addr::new(198, 51, 100, 66),
+        }
+    }
+
+    fn flow(src: &str, dst: &str) -> FlowSample {
+        FlowSample {
+            at: Timestamp::EPOCH,
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: src.parse().unwrap(),
+            dst_ip: dst.parse().unwrap(),
+            protocol: Protocol::Udp,
+            src_port: 53,
+            dst_port: 4444,
+            packet_len: 1400,
+            fragment: false,
+        }
+    }
+
+    #[test]
+    fn index_assigns_by_longest_prefix() {
+        let updates =
+            UpdateLog::from_updates(vec![bh("10.0.0.0/24"), bh("10.0.0.7/32")]);
+        let flows = FlowLog::from_samples(vec![
+            flow("8.8.8.8", "10.0.0.7"),   // /32 wins
+            flow("8.8.8.8", "10.0.0.9"),   // /24
+            flow("10.0.0.7", "8.8.8.8"),   // from /32
+            flow("8.8.8.8", "11.0.0.1"),   // unmatched
+        ]);
+        let idx = SampleIndex::build(&updates, &flows);
+        assert_eq!(idx.prefixes().len(), 2);
+        let id24 = idx.prefix_id("10.0.0.0/24".parse().unwrap()).unwrap();
+        let id32 = idx.prefix_id("10.0.0.7/32".parse().unwrap()).unwrap();
+        assert_eq!(idx.towards(id32).len(), 1);
+        assert_eq!(idx.towards(id24).len(), 1);
+        assert_eq!(idx.from(id32).len(), 1);
+        assert_eq!(idx.from(id24).len(), 0);
+        let (covering, _) = idx.covering("10.0.0.7".parse().unwrap()).unwrap();
+        assert_eq!(covering, "10.0.0.7/32".parse().unwrap());
+    }
+
+    #[test]
+    fn duplicate_announcements_index_once() {
+        let updates = UpdateLog::from_updates(vec![bh("10.0.0.7/32"), bh("10.0.0.7/32")]);
+        let idx = SampleIndex::build(&updates, &FlowLog::new());
+        assert_eq!(idx.prefixes().len(), 1);
+    }
+
+    #[test]
+    fn origin_table_longest_match() {
+        let table = OriginTable::build(&[
+            ("20.0.0.0/8".parse().unwrap(), Asn(100)),
+            ("20.1.0.0/24".parse().unwrap(), Asn(200)),
+        ]);
+        assert_eq!(table.origin_of("20.1.0.5".parse().unwrap()), Some(Asn(200)));
+        assert_eq!(table.origin_of("20.2.0.5".parse().unwrap()), Some(Asn(100)));
+        assert_eq!(table.origin_of("21.0.0.1".parse().unwrap()), None);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.distinct_origins(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! RTBH signaling load (paper §3.2, Fig. 3) and drop provenance (§3.1).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_bgp::{active_count_series, blackhole_intervals, UpdateLog};
+use rtbh_fabric::FlowLog;
+use rtbh_net::{Interval, PrefixTrie, TimeDelta, Timestamp};
+
+/// The control-plane load analysis (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadAnalysis {
+    /// `(minute, active parallel RTBH prefixes)` series.
+    pub active_series: Vec<(Timestamp, usize)>,
+    /// `(minute, blackhole BGP messages)` series.
+    pub message_series: Vec<(Timestamp, usize)>,
+    /// Mean simultaneously active blackholes.
+    pub mean_active: f64,
+    /// Peak simultaneously active blackholes.
+    pub peak_active: usize,
+    /// Peak messages in one minute.
+    pub peak_messages_per_minute: usize,
+    /// Total blackhole-related messages.
+    pub total_messages: usize,
+    /// Distinct peers that announced blackholes.
+    pub announcing_peers: usize,
+    /// Distinct origin ASes blackholed.
+    pub origin_asns: usize,
+}
+
+/// Computes the signaling-load series on a fixed grid (the paper uses one
+/// minute).
+pub fn analyze_load(updates: &UpdateLog, period: Interval, step: TimeDelta) -> LoadAnalysis {
+    let intervals = blackhole_intervals(updates.updates().iter(), period.end);
+    let active_series = active_count_series(&intervals, period.start, period.end, step);
+    let mean_active = if active_series.is_empty() {
+        0.0
+    } else {
+        active_series.iter().map(|(_, c)| *c as f64).sum::<f64>() / active_series.len() as f64
+    };
+    let peak_active = active_series.iter().map(|(_, c)| *c).max().unwrap_or(0);
+
+    // Message counts per grid slot.
+    let mut message_series: Vec<(Timestamp, usize)> = Vec::new();
+    let mut t = period.start;
+    let blackholes: Vec<Timestamp> = updates.blackhole_related().map(|u| u.at).collect();
+    let mut cursor = 0usize;
+    while t < period.end {
+        let next = t + step;
+        let start_idx = cursor;
+        while cursor < blackholes.len() && blackholes[cursor] < next {
+            cursor += 1;
+        }
+        message_series.push((t, cursor - start_idx));
+        t = next;
+    }
+    let peak_messages_per_minute =
+        message_series.iter().map(|(_, c)| *c).max().unwrap_or(0);
+
+    let announcing_peers: BTreeSet<_> =
+        updates.blackholes().filter(|u| u.is_announce()).map(|u| u.peer).collect();
+    let origin_asns: BTreeSet<_> =
+        updates.blackholes().filter(|u| u.is_announce()).map(|u| u.origin).collect();
+
+    LoadAnalysis {
+        active_series,
+        message_series,
+        mean_active,
+        peak_active,
+        peak_messages_per_minute,
+        total_messages: updates.blackhole_related().count(),
+        announcing_peers: announcing_peers.len(),
+        origin_asns: origin_asns.len(),
+    }
+}
+
+/// Drop provenance (§3.1): how much dropped traffic is explained by
+/// route-server-signaled blackholes (the paper: 95% of dropped bytes; the
+/// rest stems from bilateral RTBH invisible to the route server).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DropProvenance {
+    /// All dropped samples.
+    pub dropped_packets: u64,
+    /// All dropped bytes.
+    pub dropped_bytes: u64,
+    /// Dropped samples inside a route-server blackhole interval.
+    pub explained_packets: u64,
+    /// Dropped bytes inside a route-server blackhole interval.
+    pub explained_bytes: u64,
+}
+
+impl DropProvenance {
+    /// Byte share explained by the route server.
+    pub fn byte_share(&self) -> f64 {
+        if self.dropped_bytes == 0 {
+            0.0
+        } else {
+            self.explained_bytes as f64 / self.dropped_bytes as f64
+        }
+    }
+
+    /// Packet share explained by the route server.
+    pub fn packet_share(&self) -> f64 {
+        if self.dropped_packets == 0 {
+            0.0
+        } else {
+            self.explained_packets as f64 / self.dropped_packets as f64
+        }
+    }
+}
+
+/// Attributes each dropped sample to route-server blackholes (or not).
+pub fn drop_provenance(
+    updates: &UpdateLog,
+    flows: &FlowLog,
+    corpus_end: Timestamp,
+) -> DropProvenance {
+    let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
+    let mut trie: PrefixTrie<Vec<Interval>> = PrefixTrie::new();
+    for (p, ivs) in intervals {
+        trie.insert(p, ivs);
+    }
+    let mut out = DropProvenance {
+        dropped_packets: 0,
+        dropped_bytes: 0,
+        explained_packets: 0,
+        explained_bytes: 0,
+    };
+    for s in flows.dropped() {
+        out.dropped_packets += 1;
+        out.dropped_bytes += s.packet_len as u64;
+        let explained = trie.longest_match(s.dst_ip).is_some_and(|(_, ivs)| {
+            let idx = ivs.partition_point(|iv| iv.start <= s.at);
+            idx > 0 && ivs[idx - 1].contains(s.at)
+        });
+        if explained {
+            out.explained_packets += 1;
+            out.explained_bytes += s.packet_len as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_bgp::{BgpUpdate, UpdateKind};
+    use rtbh_fabric::FlowSample;
+    use rtbh_net::{Asn, Community, Ipv4Addr, MacAddr, Protocol};
+
+    fn ts(min: i64) -> Timestamp {
+        Timestamp::EPOCH + TimeDelta::minutes(min)
+    }
+
+    fn update(min: i64, peer: u32, prefix: &str, kind: UpdateKind) -> BgpUpdate {
+        BgpUpdate {
+            at: ts(min),
+            peer: Asn(peer),
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(peer + 1000),
+            kind,
+            communities: vec![Community::BLACKHOLE],
+            next_hop: Ipv4Addr::new(198, 51, 100, 66),
+        }
+    }
+
+    #[test]
+    fn load_series_counts_active_and_messages() {
+        let log = UpdateLog::from_updates(vec![
+            update(0, 1, "10.0.0.1/32", UpdateKind::Announce),
+            update(2, 2, "10.0.0.2/32", UpdateKind::Announce),
+            update(3, 1, "10.0.0.1/32", UpdateKind::Withdraw),
+            update(5, 2, "10.0.0.2/32", UpdateKind::Withdraw),
+        ]);
+        let period = Interval::new(ts(0), ts(6));
+        let load = analyze_load(&log, period, TimeDelta::minutes(1));
+        let actives: Vec<usize> = load.active_series.iter().map(|(_, c)| *c).collect();
+        assert_eq!(actives, vec![1, 1, 2, 1, 1, 0]);
+        assert_eq!(load.peak_active, 2);
+        assert_eq!(load.total_messages, 4);
+        assert_eq!(load.announcing_peers, 2);
+        assert_eq!(load.origin_asns, 2);
+        let msgs: usize = load.message_series.iter().map(|(_, c)| *c).sum();
+        assert_eq!(msgs, 4);
+        assert_eq!(load.peak_messages_per_minute, 1);
+    }
+
+    fn dropped(min: i64, dst: &str, len: u16) -> FlowSample {
+        FlowSample {
+            at: ts(min),
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::BLACKHOLE,
+            src_ip: "8.8.8.8".parse().unwrap(),
+            dst_ip: dst.parse().unwrap(),
+            protocol: Protocol::Udp,
+            src_port: 53,
+            dst_port: 7777,
+            packet_len: len,
+            fragment: false,
+        }
+    }
+
+    #[test]
+    fn provenance_splits_explained_and_not() {
+        let log = UpdateLog::from_updates(vec![
+            update(0, 1, "10.0.0.1/32", UpdateKind::Announce),
+            update(10, 1, "10.0.0.1/32", UpdateKind::Withdraw),
+        ]);
+        let flows = FlowLog::from_samples(vec![
+            dropped(5, "10.0.0.1", 1000),  // explained
+            dropped(15, "10.0.0.1", 500),  // after withdraw → bilateral
+            dropped(5, "99.0.0.1", 500),   // never announced → bilateral
+        ]);
+        let prov = drop_provenance(&log, &flows, ts(100));
+        assert_eq!(prov.dropped_packets, 3);
+        assert_eq!(prov.explained_packets, 1);
+        assert_eq!(prov.dropped_bytes, 2000);
+        assert_eq!(prov.explained_bytes, 1000);
+        assert!((prov.byte_share() - 0.5).abs() < 1e-12);
+        assert!((prov.packet_share() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let load = analyze_load(
+            &UpdateLog::new(),
+            Interval::new(ts(0), ts(3)),
+            TimeDelta::minutes(1),
+        );
+        assert_eq!(load.peak_active, 0);
+        assert_eq!(load.mean_active, 0.0);
+        let prov = drop_provenance(&UpdateLog::new(), &FlowLog::new(), ts(10));
+        assert_eq!(prov.byte_share(), 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The end-to-end analysis facade.
+//!
+//! [`Analyzer`] prepares a corpus once (cleaning, clock alignment, event
+//! inference, sample indexing) and exposes each of the paper's analyses;
+//! [`Analyzer::full`] runs them all and returns a [`FullReport`] with the
+//! headline numbers of the paper's abstract.
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_fabric::FlowLog;
+use rtbh_net::{Asn, TimeDelta};
+
+use crate::acceptance::{analyze_acceptance, AcceptanceAnalysis};
+use crate::align::{estimate_offset, shift_flows, Alignment};
+use crate::classify::{classify_events, Classification, ClassifyConfig, UseCase};
+use crate::clean::{clean_flows, CleanReport};
+use crate::collateral::{analyze_collateral, CollateralAnalysis};
+use crate::corpus::Corpus;
+use crate::events::{infer_events, RtbhEvent};
+use crate::filtering::{analyze_filtering, FilteringAnalysis};
+use crate::hosts::{analyze_hosts, HostAnalysis, HostConfig};
+use crate::index::{MacResolver, OriginTable, SampleIndex};
+use crate::load::{analyze_load, drop_provenance, DropProvenance, LoadAnalysis};
+use crate::preevent::{analyze_preevents, PreEventAnalysis, PreEventConfig};
+use crate::protocols::{analyze_event_traffic, ProtocolAnalysis};
+use crate::visibility::{visibility_series, VisibilityPoint};
+
+/// All tunables of the pipeline, defaulting to the paper's choices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// Δ for merging announcements into events (paper: 10 minutes).
+    pub merge_delta: TimeDelta,
+    /// Pre-event analysis configuration.
+    pub preevent: PreEventConfig,
+    /// Host classification configuration.
+    pub host: HostConfig,
+    /// Final-classification thresholds.
+    pub classify: ClassifyConfig,
+    /// Clock-offset scan half-range.
+    pub offset_half_range: TimeDelta,
+    /// Clock-offset scan step.
+    pub offset_step: TimeDelta,
+    /// Grid step of the visibility series (Fig. 4).
+    pub visibility_step: TimeDelta,
+    /// Grid step of the load series (Fig. 3; paper: 1 minute).
+    pub load_step: TimeDelta,
+}
+
+impl AnalyzerConfig {
+    /// The paper's configuration.
+    pub const PAPER: Self = Self {
+        merge_delta: TimeDelta::minutes(10),
+        preevent: PreEventConfig::PAPER,
+        host: HostConfig::PAPER,
+        classify: ClassifyConfig::PAPER,
+        offset_half_range: TimeDelta::seconds(2),
+        offset_step: TimeDelta::millis(10),
+        visibility_step: TimeDelta::minutes(10),
+        load_step: TimeDelta::minutes(1),
+    };
+
+    /// Adapts day-scale thresholds (host min-days, classification durations)
+    /// to short corpora so tests and demos behave sensibly.
+    pub fn for_corpus(corpus: &Corpus) -> Self {
+        let period = corpus.period.duration();
+        let days = period.as_millis() / TimeDelta::days(1).as_millis();
+        let mut config = Self::PAPER;
+        config.classify = ClassifyConfig::for_period(period);
+        if days < 60 {
+            config.host.min_days = ((days / 3).max(2)) as usize;
+        }
+        config
+    }
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// The prepared pipeline.
+pub struct Analyzer {
+    corpus: Corpus,
+    config: AnalyzerConfig,
+    clean_report: CleanReport,
+    alignment: Option<Alignment>,
+    /// Cleaned, offset-corrected flows.
+    flows: FlowLog,
+    events: Vec<RtbhEvent>,
+    index: SampleIndex,
+    resolver: MacResolver,
+    origins: OriginTable,
+}
+
+impl Analyzer {
+    /// Prepares a corpus: cleans, aligns clocks, infers events, indexes.
+    pub fn new(corpus: Corpus, config: AnalyzerConfig) -> Self {
+        let (cleaned, clean_report) = clean_flows(&corpus);
+        let alignment = estimate_offset(
+            &corpus.updates,
+            &cleaned,
+            corpus.period.end,
+            config.offset_half_range,
+            config.offset_step,
+        );
+        let flows = match &alignment {
+            Some(a) => shift_flows(&cleaned, a.estimated_offset()),
+            None => cleaned,
+        };
+        let events = infer_events(&corpus.updates, config.merge_delta, corpus.period.end);
+        let index = SampleIndex::build(&corpus.updates, &flows);
+        let resolver = MacResolver::build(&corpus);
+        let origins = OriginTable::build(&corpus.routes);
+        Self {
+            corpus,
+            config,
+            clean_report,
+            alignment,
+            flows,
+            events,
+            index,
+            resolver,
+            origins,
+        }
+    }
+
+    /// Prepares with thresholds adapted to the corpus length.
+    pub fn with_defaults(corpus: Corpus) -> Self {
+        let config = AnalyzerConfig::for_corpus(&corpus);
+        Self::new(corpus, config)
+    }
+
+    /// The corpus under analysis.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// The cleaning report (§3.1).
+    pub fn clean_report(&self) -> CleanReport {
+        self.clean_report
+    }
+
+    /// The clock alignment (Fig. 2), if dropped samples existed.
+    pub fn alignment(&self) -> Option<&Alignment> {
+        self.alignment.as_ref()
+    }
+
+    /// The cleaned, aligned flow log.
+    pub fn flows(&self) -> &FlowLog {
+        &self.flows
+    }
+
+    /// The inferred RTBH events (§5.1).
+    pub fn events(&self) -> &[RtbhEvent] {
+        &self.events
+    }
+
+    /// The shared sample index.
+    pub fn index(&self) -> &SampleIndex {
+        &self.index
+    }
+
+    /// The MAC→member resolver.
+    pub fn resolver(&self) -> &MacResolver {
+        &self.resolver
+    }
+
+    /// The IP→origin table.
+    pub fn origins(&self) -> &OriginTable {
+        &self.origins
+    }
+
+    /// Fig. 3 (+§3.2): signaling load.
+    pub fn load(&self) -> LoadAnalysis {
+        analyze_load(&self.corpus.updates, self.corpus.period, self.config.load_step)
+    }
+
+    /// §3.1: drop provenance (route-server vs bilateral).
+    pub fn provenance(&self) -> DropProvenance {
+        drop_provenance(&self.corpus.updates, &self.flows, self.corpus.period.end)
+    }
+
+    /// Fig. 4: targeted-blackholing visibility percentiles.
+    pub fn visibility(&self) -> Vec<VisibilityPoint> {
+        let peers: Vec<Asn> = self.corpus.member_asns();
+        visibility_series(
+            &self.corpus.updates,
+            &peers,
+            self.corpus.route_server_asn,
+            self.corpus.period,
+            self.config.visibility_step,
+        )
+    }
+
+    /// Figs. 5–8: acceptance analysis.
+    pub fn acceptance(&self) -> AcceptanceAnalysis {
+        analyze_acceptance(
+            &self.corpus.updates,
+            &self.flows,
+            &self.resolver,
+            self.corpus.period.end,
+        )
+    }
+
+    /// Figs. 11–13 + Table 2: pre-event analysis.
+    pub fn preevents(&self) -> PreEventAnalysis {
+        analyze_preevents(&self.events, &self.index, &self.flows, &self.config.preevent)
+    }
+
+    /// §5.4 + Table 3: during-event traffic.
+    pub fn protocols(&self, preevents: &PreEventAnalysis) -> ProtocolAnalysis {
+        analyze_event_traffic(&self.events, &self.index, &self.flows, preevents)
+    }
+
+    /// Figs. 14–15: fine-grained filtering and AS participation.
+    pub fn filtering(&self, preevents: &PreEventAnalysis) -> FilteringAnalysis {
+        analyze_filtering(
+            &self.events,
+            &self.index,
+            &self.flows,
+            preevents,
+            &self.resolver,
+            &self.origins,
+        )
+    }
+
+    /// Figs. 16–17 + Table 4: host classification.
+    pub fn hosts(&self) -> HostAnalysis {
+        analyze_hosts(&self.events, &self.index, &self.flows, &self.config.host)
+    }
+
+    /// Fig. 18: collateral damage.
+    pub fn collateral(&self, hosts: &HostAnalysis) -> CollateralAnalysis {
+        analyze_collateral(&self.events, &self.index, &self.flows, hosts)
+    }
+
+    /// Fig. 19: final classification.
+    pub fn classification(
+        &self,
+        preevents: &PreEventAnalysis,
+        protocols: &ProtocolAnalysis,
+    ) -> Classification {
+        classify_events(&self.events, preevents, protocols, &self.config.classify)
+    }
+
+    /// Runs the whole pipeline.
+    pub fn full(&self) -> FullReport {
+        let load = self.load();
+        let provenance = self.provenance();
+        let visibility = self.visibility();
+        let acceptance = self.acceptance();
+        let preevents = self.preevents();
+        let protocols = self.protocols(&preevents);
+        let filtering = self.filtering(&preevents);
+        let hosts = self.hosts();
+        let collateral = self.collateral(&hosts);
+        let classification = self.classification(&preevents, &protocols);
+        FullReport {
+            clean: self.clean_report,
+            alignment: self.alignment.clone(),
+            load,
+            provenance,
+            visibility,
+            acceptance,
+            preevents,
+            protocols,
+            filtering,
+            hosts,
+            collateral,
+            classification,
+        }
+    }
+}
+
+/// Every analysis result in one bundle.
+#[derive(Debug, Clone)]
+pub struct FullReport {
+    /// Cleaning report (§3.1).
+    pub clean: CleanReport,
+    /// Clock alignment (Fig. 2).
+    pub alignment: Option<Alignment>,
+    /// Signaling load (Fig. 3).
+    pub load: LoadAnalysis,
+    /// Drop provenance (§3.1).
+    pub provenance: DropProvenance,
+    /// Visibility percentiles (Fig. 4).
+    pub visibility: Vec<VisibilityPoint>,
+    /// Acceptance analysis (Figs. 5–8).
+    pub acceptance: AcceptanceAnalysis,
+    /// Pre-event analysis (Figs. 11–13, Table 2).
+    pub preevents: PreEventAnalysis,
+    /// During-event traffic (§5.4, Table 3).
+    pub protocols: ProtocolAnalysis,
+    /// Filtering potential (Figs. 14–15).
+    pub filtering: FilteringAnalysis,
+    /// Host classification (Figs. 16–17, Table 4).
+    pub hosts: HostAnalysis,
+    /// Collateral damage (Fig. 18).
+    pub collateral: CollateralAnalysis,
+    /// Final classification (Fig. 19).
+    pub classification: Classification,
+}
+
+/// The abstract's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// Total inferred RTBH events.
+    pub total_events: usize,
+    /// Share of events with a DDoS-like pre-anomaly (paper: ~1/3 within 1 h,
+    /// 27% within 10 min).
+    pub anomaly_share: f64,
+    /// Average packet drop rate of /32 blackholes (paper: ~50%).
+    pub drop_rate_32_packets: f64,
+    /// Average byte drop rate of /32 blackholes (paper: ~44%).
+    pub drop_rate_32_bytes: f64,
+    /// Detected client victims (paper: >2000 in DSL networks alone).
+    pub client_victims: usize,
+    /// Detected server victims.
+    pub server_victims: usize,
+    /// Share of anomaly events fully coverable by port filtering
+    /// (paper: 90%).
+    pub fully_filterable_share: f64,
+}
+
+impl FullReport {
+    /// Extracts the headline numbers.
+    pub fn headline(&self) -> Headline {
+        let (clients, servers) = self.hosts.client_server_counts();
+        let (d32p, d32b) = self
+            .acceptance
+            .drop_rate_for_length(32)
+            .unwrap_or((0.0, 0.0));
+        Headline {
+            total_events: self.classification.per_event.len(),
+            anomaly_share: self
+                .preevents
+                .anomaly_share_within(self.preevents.config.anomaly_horizon),
+            drop_rate_32_packets: d32p,
+            drop_rate_32_bytes: d32b,
+            client_victims: clients,
+            server_victims: servers,
+            fully_filterable_share: self.filtering.fully_filterable_share(0.98),
+        }
+    }
+
+    /// Convenience: the share of events classified as a use case.
+    pub fn use_case_share(&self, use_case: UseCase) -> f64 {
+        self.classification.shares().get(&use_case).copied().unwrap_or(0.0)
+    }
+}

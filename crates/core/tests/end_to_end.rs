@@ -1,0 +1,282 @@
+//! End-to-end: the analysis pipeline against a simulated corpus, scored on
+//! the simulator's ground truth (which the pipeline never sees).
+
+use rtbh_core::classify::UseCase;
+use rtbh_core::preevent::PreClass;
+use rtbh_core::Analyzer;
+use rtbh_net::TimeDelta;
+use rtbh_sim::{EventKind, ScenarioConfig};
+
+fn tiny() -> (rtbh_sim::SimOutput, Analyzer) {
+    let out = rtbh_sim::run(&ScenarioConfig::tiny());
+    let corpus = out.corpus.clone();
+    (out, Analyzer::with_defaults(corpus))
+}
+
+#[test]
+fn pipeline_runs_and_infers_planted_events() {
+    let (out, analyzer) = tiny();
+    let planted = out.truth.events.len();
+    let inferred = analyzer.events().len();
+    // Re-announcement merging must land near the planted event count: every
+    // on-off pattern collapses, separate events on the same prefix stay
+    // separate. Allow slack for coincidental same-prefix adjacency.
+    assert!(
+        (inferred as i64 - planted as i64).unsigned_abs() as usize <= planted / 5 + 2,
+        "planted {planted}, inferred {inferred}"
+    );
+}
+
+#[test]
+fn clock_offset_is_recovered() {
+    let (out, analyzer) = tiny();
+    let alignment = analyzer.alignment().expect("tiny corpus has dropped samples");
+    // Data plane stamped clock_offset_ms (negative = early); the scan finds
+    // the shift that re-aligns, i.e. the negation. A tiny corpus has few
+    // interval-edge samples, so the likelihood plateau is wide; the estimate
+    // must land on the true side within a modest tolerance (paper-scale
+    // corpora pin it to ±10 ms — see EXPERIMENTS.md).
+    let expected = -out.truth.clock_offset_ms;
+    let err = (alignment.estimated_offset() - TimeDelta::millis(expected)).abs();
+    assert!(
+        err <= TimeDelta::millis(250),
+        "estimated {:?}, expected {expected} ms",
+        alignment.scan.best
+    );
+    // Tiny corpora have few route-server drops relative to bilateral ones,
+    // so the explained share is noisy; the paper-scale run reaches ~0.98
+    // (see EXPERIMENTS.md).
+    assert!(alignment.best_overlap() > 0.7, "overlap {}", alignment.best_overlap());
+}
+
+#[test]
+fn internal_flows_are_cleaned() {
+    let (out, analyzer) = tiny();
+    let report = analyzer.clean_report();
+    assert_eq!(report.internal_removed as u32, ScenarioConfig::tiny().internal_samples);
+    assert!(report.total >= out.corpus.flows.len());
+}
+
+#[test]
+fn visible_attacks_are_detected_as_anomalies() {
+    let (out, analyzer) = tiny();
+    let preevents = analyzer.preevents();
+    // Match inferred events to planted ones by prefix + start proximity.
+    let mut detected = 0;
+    let mut missed = 0;
+    for planted in &out.truth.events {
+        if !matches!(planted.kind, EventKind::AttackVisible { .. }) {
+            continue;
+        }
+        let matched = analyzer.events().iter().find(|e| {
+            e.prefix == planted.prefix
+                && (e.start() - planted.first_announce()).abs() < TimeDelta::minutes(1)
+        });
+        let result = matched.map(|e| &preevents.per_event[e.id]);
+        let flagged_10min = result.is_some_and(|r| r.class == PreClass::DataAnomaly);
+        let flagged_1h =
+            result.is_some_and(|r| r.anomaly_within(TimeDelta::hours(1)));
+        if flagged_10min || flagged_1h {
+            detected += 1;
+        } else {
+            missed += 1;
+        }
+    }
+    // Fizzled attacks flag only within the hour (by design, §5.3's 33%-vs-27%
+    // gap), and the smallest floods sit below the sampling-noise floor, so
+    // require a solid majority rather than near-perfect recall.
+    assert!(
+        detected * 3 >= (detected + missed) * 2,
+        "at least 2/3 of visible attacks must be detected within 1h: {detected} vs {missed}"
+    );
+}
+
+#[test]
+fn invisible_and_zombie_events_show_no_anomaly() {
+    let (out, analyzer) = tiny();
+    let preevents = analyzer.preevents();
+    for planted in &out.truth.events {
+        if !matches!(planted.kind, EventKind::AttackInvisible | EventKind::Zombie) {
+            continue;
+        }
+        for e in analyzer.events().iter().filter(|e| e.prefix == planted.prefix) {
+            assert_ne!(
+                preevents.per_event[e.id].class,
+                PreClass::DataAnomaly,
+                "planted {:?} on {} flagged as anomaly",
+                planted.kind,
+                planted.prefix
+            );
+        }
+    }
+}
+
+#[test]
+fn zombies_are_classified() {
+    let (out, analyzer) = tiny();
+    let preevents = analyzer.preevents();
+    let protocols = analyzer.protocols(&preevents);
+    let classification = analyzer.classification(&preevents, &protocols);
+    let mut found = 0;
+    for planted in &out.truth.events {
+        if !matches!(planted.kind, EventKind::Zombie) {
+            continue;
+        }
+        let classified = analyzer.events().iter().any(|e| {
+            e.prefix == planted.prefix
+                && classification.per_event[e.id].use_case == UseCase::Zombie
+        });
+        if classified {
+            found += 1;
+        }
+    }
+    let planted_zombies = out.truth.zombie_count();
+    assert!(
+        found * 3 >= planted_zombies * 2,
+        "zombies classified {found} of {planted_zombies}"
+    );
+}
+
+#[test]
+fn squatting_prefixes_are_classified() {
+    let (out, analyzer) = tiny();
+    let preevents = analyzer.preevents();
+    let protocols = analyzer.protocols(&preevents);
+    let classification = analyzer.classification(&preevents, &protocols);
+    for planted in &out.truth.events {
+        if !matches!(planted.kind, EventKind::Squatting) {
+            continue;
+        }
+        let verdicts: Vec<UseCase> = analyzer
+            .events()
+            .iter()
+            .filter(|e| e.prefix == planted.prefix)
+            .map(|e| classification.per_event[e.id].use_case)
+            .collect();
+        assert!(
+            verdicts.contains(&UseCase::SquattingProtection),
+            "squatting prefix {} classified as {verdicts:?}",
+            planted.prefix
+        );
+    }
+}
+
+#[test]
+fn acceptance_shows_partial_drop_rates_for_32() {
+    let (_, analyzer) = tiny();
+    let acceptance = analyzer.acceptance();
+    let (packets, _bytes) = acceptance.drop_rate_for_length(32).expect("/32 traffic exists");
+    // Policy mix: some accept, some reject → strictly partial drops.
+    assert!(packets > 0.15 && packets < 0.9, "drop rate {packets}");
+}
+
+#[test]
+fn provenance_attributes_most_drops_to_route_server() {
+    let (_, analyzer) = tiny();
+    let prov = analyzer.provenance();
+    assert!(prov.dropped_packets > 0);
+    let share = prov.byte_share();
+    assert!(share > 0.7, "explained byte share {share}");
+    assert!(share < 1.0, "bilateral drops must exist");
+}
+
+#[test]
+fn full_report_headline_is_sane() {
+    let (_, analyzer) = tiny();
+    let report = analyzer.full();
+    let headline = report.headline();
+    assert!(headline.total_events > 0);
+    assert!(headline.anomaly_share > 0.0 && headline.anomaly_share < 1.0);
+    assert!(headline.fully_filterable_share > 0.0);
+    let (no_data, no_anomaly, anomaly) = report.preevents.class_shares();
+    assert!((no_data + no_anomaly + anomaly - 1.0).abs() < 1e-9);
+    assert!(no_data > 0.0 && anomaly > 0.0);
+}
+
+#[test]
+fn targeted_phase_shows_up_in_visibility_series() {
+    let (_, analyzer) = tiny();
+    let series = analyzer.visibility();
+    let phase = rtbh_sim::ScenarioConfig::tiny().targeted_phase.unwrap();
+    let in_phase: Vec<_> = series
+        .iter()
+        .filter(|p| (p.at.day() as u32) >= phase.0 && (p.at.day() as u32) <= phase.1)
+        .collect();
+    let post: Vec<_> =
+        series.iter().filter(|p| (p.at.day() as u32) > phase.1 + 1).collect();
+    let peak_in_phase = in_phase.iter().map(|p| p.max).fold(0.0f64, f64::max);
+    let peak_post = post.iter().map(|p| p.median).fold(0.0f64, f64::max);
+    assert!(
+        peak_in_phase > 0.0,
+        "some peer must miss blackholes during the targeted phase"
+    );
+    assert_eq!(peak_post, 0.0, "median peer sees everything after the phase");
+}
+
+#[test]
+fn host_analysis_finds_more_clients_than_servers() {
+    let (_, analyzer) = tiny();
+    let hosts = analyzer.hosts();
+    let (clients, servers) = hosts.client_server_counts();
+    assert!(clients > servers, "paper Table 4: clients dominate ({clients} vs {servers})");
+    // Table 4 join: most clients sit in eyeball networks.
+    let (client_types, _) = hosts.org_type_table(&analyzer.corpus().registry);
+    let cable = client_types
+        .get(&rtbh_peeringdb::OrgType::CableDslIsp)
+        .copied()
+        .unwrap_or(0);
+    assert!(cable * 2 >= clients, "Cable/DSL/ISP must dominate client victims");
+}
+
+#[test]
+fn collateral_damage_exists_for_detected_servers() {
+    let (_, analyzer) = tiny();
+    let hosts = analyzer.hosts();
+    let collateral = analyzer.collateral(&hosts);
+    // Tiny corpora have few servers; the analysis must at least run clean
+    // and never report dropped > total.
+    for r in &collateral.records {
+        assert!(r.dropped_top_ports <= r.to_top_ports);
+    }
+}
+
+#[test]
+fn merge_sweep_knees_at_the_probe_gap_ceiling() {
+    let (_, analyzer) = tiny();
+    let deltas: Vec<rtbh_net::TimeDelta> =
+        (0..=4).map(|m| rtbh_net::TimeDelta::minutes(m * 5)).collect();
+    let (curve, lower_bound) = rtbh_core::events::merge_sweep(
+        &analyzer.corpus().updates,
+        &deltas,
+        analyzer.corpus().period.end,
+    );
+    // Δ=10 min merges every probe gap (planner draws 1–9 min), so the curve
+    // is flat from there on.
+    let at10 = curve.iter().find(|p| p.delta == rtbh_net::TimeDelta::minutes(10)).unwrap();
+    let at20 = curve.iter().find(|p| p.delta == rtbh_net::TimeDelta::minutes(20)).unwrap();
+    assert_eq!(at10.events, at20.events, "no gaps between 10 and 20 minutes");
+    assert!(curve[0].events > at10.events, "Δ=0 must overcount events");
+    assert!(at10.event_fraction >= lower_bound);
+}
+
+#[test]
+fn rendered_report_contains_every_section() {
+    let (_, analyzer) = tiny();
+    let full = analyzer.full();
+    let text = rtbh_core::report::render_report(&full, analyzer.corpus());
+    for needle in [
+        "== corpus ==",
+        "== headline",
+        "Table 2",
+        "Fig. 3",
+        "Fig. 19",
+        "Fig. 7",
+        "RTBH events inferred",
+        "Infrastructure Protection",
+        "RTBH Zombie",
+        "collateral damage",
+    ] {
+        assert!(text.contains(needle), "missing section {needle:?}");
+    }
+    assert!(!text.contains("NaN"));
+}

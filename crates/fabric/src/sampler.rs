@@ -1,0 +1,161 @@
+//! 1-in-N packet sampling.
+//!
+//! The paper's IXP samples 1 out of 10,000 packets at every member-facing
+//! port (§3.1, ~70k sampled packets per second). Two interfaces are offered:
+//!
+//! * [`Sampler::keep`] — the per-packet coin flip, for packet-level runs;
+//! * [`Sampler::sampled_count`] — the Poisson-thinned count of samples drawn
+//!   from a flow of known raw size, for the sampled-domain fast path the
+//!   simulator uses (the number of successes of `n` Bernoulli(1/N) trials is
+//!   Binomial(n, 1/N), which for the tiny sampling probabilities involved is
+//!   indistinguishable from Poisson(n/N)).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic 1-in-`rate` packet sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sampler {
+    rate: u32,
+}
+
+impl Sampler {
+    /// The paper's sampling rate, 1:10,000.
+    pub const PAPER: Self = Self { rate: 10_000 };
+
+    /// Creates a 1-in-`rate` sampler.
+    ///
+    /// # Panics
+    /// Panics if `rate == 0`.
+    pub fn new(rate: u32) -> Self {
+        assert!(rate > 0, "sampling rate must be positive");
+        Self { rate }
+    }
+
+    /// The `N` of 1-in-N.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Per-packet decision: true with probability `1/rate`.
+    pub fn keep<R: Rng>(&self, rng: &mut R) -> bool {
+        self.rate == 1 || rng.gen_ratio(1, self.rate)
+    }
+
+    /// Number of sampled packets from a flow of `raw_packets` expected raw
+    /// packets: a Poisson draw with mean `raw_packets / rate`.
+    pub fn sampled_count<R: Rng>(&self, raw_packets: f64, rng: &mut R) -> u64 {
+        let lambda = raw_packets.max(0.0) / self.rate as f64;
+        poisson(lambda, rng)
+    }
+}
+
+/// Draws from Poisson(λ): Knuth's product method for small λ, a rounded
+/// normal approximation for large λ (relative error far below the noise
+/// floor of any analysis here).
+pub fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(λ, λ) via Box-Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn rate_one_keeps_everything() {
+        let s = Sampler::new(1);
+        let mut r = rng();
+        assert!((0..100).all(|_| s.keep(&mut r)));
+    }
+
+    #[test]
+    fn keep_frequency_matches_rate() {
+        let s = Sampler::new(100);
+        let mut r = rng();
+        let n = 200_000;
+        let kept = (0..n).filter(|_| s.keep(&mut r)).count();
+        let expect = n as f64 / 100.0;
+        assert!(
+            (kept as f64 - expect).abs() < 4.0 * expect.sqrt(),
+            "kept {kept}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng();
+        assert_eq!(poisson(0.0, &mut r), 0);
+        assert_eq!(poisson(-5.0, &mut r), 0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_variance() {
+        let mut r = rng();
+        let lambda = 3.0;
+        let n = 50_000;
+        let draws: Vec<u64> = (0..n).map(|_| poisson(lambda, &mut r)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / n as f64;
+        let var = draws.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.06, "mean {mean}");
+        assert!((var - lambda).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let mut r = rng();
+        let lambda = 10_000.0;
+        let n = 2_000;
+        let mean = (0..n).map(|_| poisson(lambda, &mut r)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 3.0 * (lambda / n as f64).sqrt() + 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn sampled_count_thins_by_rate() {
+        let s = Sampler::PAPER;
+        let mut r = rng();
+        // 10M raw packets at 1:10k → ~1000 samples.
+        let n = 200;
+        let total: u64 = (0..n).map(|_| s.sampled_count(10_000_000.0, &mut r)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn tiny_flows_usually_invisible() {
+        // A 100-packet flow at 1:10k sampling is seen with p ≈ 1%.
+        let s = Sampler::PAPER;
+        let mut r = rng();
+        let seen = (0..10_000).filter(|_| s.sampled_count(100.0, &mut r) > 0).count();
+        assert!(seen > 30 && seen < 300, "seen {seen}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = Sampler::new(0);
+    }
+}

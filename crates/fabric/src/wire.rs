@@ -1,0 +1,210 @@
+//! A compact binary codec for sampled flow records ("IPFIX-lite").
+//!
+//! Real IPFIX is template-driven; the paper's collection exports one fixed
+//! record shape (§3.1: packet size, MACs, addresses, transport ports), so
+//! this codec uses a single fixed 34-byte layout with a small stream header:
+//!
+//! ```text
+//! stream  := magic "RTBHFLOW" | version u16 | count u64 | record*
+//! record  := at i64 | src_mac [6] | dst_mac [6] | src_ip u32 | dst_ip u32
+//!          | proto u8 | src_port u16 | dst_port u16 | len u16 | flags u8
+//! flags   := bit0 = fragment
+//! ```
+//!
+//! All integers are big-endian. Decoding is strict: trailing bytes, bad
+//! magic or record-count mismatches are errors.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use rtbh_net::{Ipv4Addr, MacAddr, Protocol, Timestamp};
+
+use crate::flow::{FlowLog, FlowSample};
+
+const MAGIC: &[u8; 8] = b"RTBHFLOW";
+const VERSION: u16 = 1;
+const RECORD_LEN: usize = 8 + 6 + 6 + 4 + 4 + 1 + 2 + 2 + 2 + 1;
+
+/// A decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowWireError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported stream version.
+    BadVersion(u16),
+    /// The buffer ended before the declared records did.
+    Truncated,
+    /// Bytes remained after the declared records.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for FlowWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowWireError::BadMagic => write!(f, "bad magic"),
+            FlowWireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FlowWireError::Truncated => write!(f, "truncated flow stream"),
+            FlowWireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for FlowWireError {}
+
+/// Encodes a flow log into the IPFIX-lite stream format.
+pub fn encode_flow_log(log: &FlowLog) -> Bytes {
+    let mut buf = BytesMut::with_capacity(18 + log.len() * RECORD_LEN);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(log.len() as u64);
+    for s in log.samples() {
+        buf.put_i64(s.at.as_millis());
+        buf.put_slice(&s.src_mac.octets());
+        buf.put_slice(&s.dst_mac.octets());
+        buf.put_u32(s.src_ip.to_u32());
+        buf.put_u32(s.dst_ip.to_u32());
+        buf.put_u8(s.protocol.number());
+        buf.put_u16(s.src_port);
+        buf.put_u16(s.dst_port);
+        buf.put_u16(s.packet_len);
+        buf.put_u8(s.fragment as u8);
+    }
+    buf.freeze()
+}
+
+/// Decodes an IPFIX-lite stream.
+pub fn decode_flow_log(mut buf: Bytes) -> Result<FlowLog, FlowWireError> {
+    if buf.remaining() < 18 {
+        return Err(FlowWireError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(FlowWireError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(FlowWireError::BadVersion(version));
+    }
+    let count = buf.get_u64() as usize;
+    if buf.remaining() < count * RECORD_LEN {
+        return Err(FlowWireError::Truncated);
+    }
+    let mut samples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at = Timestamp::from_millis(buf.get_i64());
+        let mut src_mac = [0u8; 6];
+        buf.copy_to_slice(&mut src_mac);
+        let mut dst_mac = [0u8; 6];
+        buf.copy_to_slice(&mut dst_mac);
+        let src_ip = Ipv4Addr::from_u32(buf.get_u32());
+        let dst_ip = Ipv4Addr::from_u32(buf.get_u32());
+        let protocol = Protocol::from_number(buf.get_u8());
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let packet_len = buf.get_u16();
+        let fragment = buf.get_u8() != 0;
+        samples.push(FlowSample {
+            at,
+            src_mac: MacAddr::new(src_mac),
+            dst_mac: MacAddr::new(dst_mac),
+            src_ip,
+            dst_ip,
+            protocol,
+            src_port,
+            dst_port,
+            packet_len,
+            fragment,
+        });
+    }
+    if buf.has_remaining() {
+        return Err(FlowWireError::TrailingBytes(buf.remaining()));
+    }
+    Ok(FlowLog::from_samples(samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ms: i64, dropped: bool) -> FlowSample {
+        FlowSample {
+            at: Timestamp::from_millis(ms),
+            src_mac: MacAddr::from_id(7),
+            dst_mac: if dropped { MacAddr::BLACKHOLE } else { MacAddr::from_id(9) },
+            src_ip: "20.0.0.5".parse().unwrap(),
+            dst_ip: "203.0.113.7".parse().unwrap(),
+            protocol: Protocol::Udp,
+            src_port: 389,
+            dst_port: 49152,
+            packet_len: 1500,
+            fragment: ms % 2 == 0,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let log = FlowLog::from_samples((0..100).map(|i| sample(i * 7, i % 3 == 0)).collect());
+        let bytes = encode_flow_log(&log);
+        assert_eq!(bytes.len(), 18 + 100 * RECORD_LEN);
+        let decoded = decode_flow_log(bytes).unwrap();
+        assert_eq!(decoded, log);
+        assert_eq!(decoded.dropped().count(), log.dropped().count());
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let bytes = encode_flow_log(&FlowLog::new());
+        assert_eq!(decode_flow_log(bytes).unwrap(), FlowLog::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
+        raw[0] = b'X';
+        assert_eq!(decode_flow_log(Bytes::from(raw)), Err(FlowWireError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
+        raw[9] = 99;
+        assert!(matches!(
+            decode_flow_log(Bytes::from(raw)),
+            Err(FlowWireError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_boundary() {
+        let log = FlowLog::from_samples(vec![sample(1, true), sample(2, false)]);
+        let raw = encode_flow_log(&log);
+        for cut in [0usize, 10, 17, 18, 18 + RECORD_LEN - 1, raw.len() - 1] {
+            assert_eq!(
+                decode_flow_log(raw.slice(..cut)),
+                Err(FlowWireError::Truncated),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
+        raw.push(0);
+        assert_eq!(
+            decode_flow_log(Bytes::from(raw)),
+            Err(FlowWireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn protocols_survive_the_u8_funnel() {
+        for proto in [Protocol::Tcp, Protocol::Udp, Protocol::Icmp, Protocol::Other(47)] {
+            let mut s = sample(1, false);
+            s.protocol = proto;
+            let log = FlowLog::from_samples(vec![s]);
+            let decoded = decode_flow_log(encode_flow_log(&log)).unwrap();
+            assert_eq!(decoded.samples()[0].protocol, proto);
+        }
+    }
+}

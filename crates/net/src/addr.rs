@@ -1,0 +1,197 @@
+//! IPv4 addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A 32-bit IPv4 address.
+///
+/// A thin newtype over the host-order `u32` representation, so prefix
+/// arithmetic (masking, offsets, trie keys) stays branch-free. Converts
+/// to/from [`std::net::Ipv4Addr`] losslessly.
+///
+/// ```
+/// use rtbh_net::Ipv4Addr;
+///
+/// let a: Ipv4Addr = "192.0.2.1".parse().unwrap();
+/// assert_eq!(a.octets(), [192, 0, 2, 1]);
+/// assert_eq!(a.to_string(), "192.0.2.1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4Addr(u32);
+
+impl Ipv4Addr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Self = Self(0);
+    /// The limited-broadcast address `255.255.255.255`.
+    pub const BROADCAST: Self = Self(u32::MAX);
+
+    /// Creates an address from its host-order `u32` representation.
+    pub const fn from_u32(bits: u32) -> Self {
+        Self(bits)
+    }
+
+    /// Creates an address from four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Self(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The host-order `u32` representation.
+    pub const fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The four dotted-quad octets.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The address `self + offset` with wrapping arithmetic.
+    ///
+    /// Used to enumerate hosts inside a prefix.
+    pub const fn wrapping_add(self, offset: u32) -> Self {
+        Self(self.0.wrapping_add(offset))
+    }
+
+    /// True if the address lies inside one of the RFC 1918 private ranges.
+    pub fn is_private(self) -> bool {
+        let [a, b, ..] = self.octets();
+        a == 10 || (a == 172 && (16..=31).contains(&b)) || (a == 192 && b == 168)
+    }
+}
+
+impl From<u32> for Ipv4Addr {
+    fn from(bits: u32) -> Self {
+        Self(bits)
+    }
+}
+
+impl From<Ipv4Addr> for u32 {
+    fn from(a: Ipv4Addr) -> Self {
+        a.0
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Ipv4Addr {
+    fn from(a: std::net::Ipv4Addr) -> Self {
+        Self(u32::from(a))
+    }
+}
+
+impl From<Ipv4Addr> for std::net::Ipv4Addr {
+    fn from(a: Ipv4Addr) -> Self {
+        std::net::Ipv4Addr::from(a.0)
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl FromStr for Ipv4Addr {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseError::new(ParseErrorKind::Ipv4Addr, s);
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(err)?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(err());
+            }
+            *slot = part.parse().map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        let [a, b, c, d] = octets;
+        Ok(Self::new(a, b, c, d))
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        if s.is_human_readable() {
+            s.collect_str(self)
+        } else {
+            s.serialize_u32(self.0)
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        if d.is_human_readable() {
+            let text = String::deserialize(d)?;
+            text.parse().map_err(serde::de::Error::custom)
+        } else {
+            u32::deserialize(d).map(Self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_octets() {
+        let a = Ipv4Addr::new(203, 0, 113, 7);
+        assert_eq!(a.octets(), [203, 0, 113, 7]);
+        assert_eq!(Ipv4Addr::from_u32(a.to_u32()), a);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for text in ["0.0.0.0", "255.255.255.255", "192.0.2.1", "10.0.0.1"] {
+            let a: Ipv4Addr = text.parse().unwrap();
+            assert_eq!(a.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "1.2.3.04x"] {
+            assert!(text.parse::<Ipv4Addr>().is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn std_conversion_round_trips() {
+        let ours = Ipv4Addr::new(198, 51, 100, 42);
+        let std: std::net::Ipv4Addr = ours.into();
+        assert_eq!(std.octets(), [198, 51, 100, 42]);
+        assert_eq!(Ipv4Addr::from(std), ours);
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!("10.1.2.3".parse::<Ipv4Addr>().unwrap().is_private());
+        assert!("172.16.0.1".parse::<Ipv4Addr>().unwrap().is_private());
+        assert!("172.31.255.255".parse::<Ipv4Addr>().unwrap().is_private());
+        assert!("192.168.5.5".parse::<Ipv4Addr>().unwrap().is_private());
+        assert!(!"172.32.0.1".parse::<Ipv4Addr>().unwrap().is_private());
+        assert!(!"11.0.0.1".parse::<Ipv4Addr>().unwrap().is_private());
+        assert!(!"8.8.8.8".parse::<Ipv4Addr>().unwrap().is_private());
+    }
+
+    #[test]
+    fn wrapping_add_wraps() {
+        assert_eq!(Ipv4Addr::BROADCAST.wrapping_add(1), Ipv4Addr::UNSPECIFIED);
+        assert_eq!(Ipv4Addr::new(10, 0, 0, 255).wrapping_add(1), Ipv4Addr::new(10, 0, 1, 0));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let lo = Ipv4Addr::new(10, 0, 0, 1);
+        let hi = Ipv4Addr::new(10, 0, 1, 0);
+        assert!(lo < hi);
+    }
+}

@@ -1,0 +1,85 @@
+//! Autonomous system numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// An autonomous system number (32-bit, RFC 6793).
+///
+/// The paper distinguishes three AS roles that recur throughout the analysis:
+///
+/// * the **triggering peer** — the IXP member that announces an RTBH;
+/// * the **origin AS** — the AS that owns the blackholed prefix (often, but
+///   not always, the triggering peer);
+/// * the **handover AS** — the member whose router hands attack traffic into
+///   the IXP fabric (derived from source MACs, hence spoofing-proof), versus
+///   the **traffic origin AS** hosting amplifiers (derived from source IPs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved AS 0 (RFC 7607) — used as a "none" marker in communities.
+    pub const RESERVED: Self = Self(0);
+
+    /// The numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True if the ASN fits in 16 bits (classic communities can carry it).
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseError::new(ParseErrorKind::Asn, s);
+        let digits = s.strip_prefix("AS").unwrap_or(s);
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err());
+        }
+        digits.parse::<u32>().map(Self).map_err(|_| err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Asn(64500).to_string(), "AS64500");
+        assert_eq!("AS64500".parse::<Asn>().unwrap(), Asn(64500));
+        assert_eq!("64500".parse::<Asn>().unwrap(), Asn(64500));
+        assert!("AS".parse::<Asn>().is_err());
+        assert!("AS-1".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn bit_width() {
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+    }
+}

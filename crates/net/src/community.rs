@@ -1,0 +1,131 @@
+//! BGP communities and the route-server conventions built on them.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A classic 32-bit BGP community (`asn:value`, RFC 1997).
+///
+/// Two conventions matter for this system:
+///
+/// * **RFC 7999 BLACKHOLE** (`65535:666`, [`Community::BLACKHOLE`]): attached
+///   to an announcement to request that receivers discard traffic to the
+///   prefix. An update carrying it is an RTBH trigger (paper §3.1).
+/// * **Route-server distribution control** (paper §4.1): at the studied IXP a
+///   member can steer to whom the route server re-announces its route —
+///   `0:PEER` means *do not announce to PEER*, `RS:PEER` means *announce to
+///   PEER*, and `0:RS` means *announce to nobody except those explicitly
+///   listed*. See [`Community::block_peer`], [`Community::announce_peer`] and
+///   [`Community::block_all`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Community {
+    /// The high 16 bits, conventionally an AS number.
+    pub asn: u16,
+    /// The low 16 bits, the community value.
+    pub value: u16,
+}
+
+impl Community {
+    /// The RFC 7999 BLACKHOLE community `65535:666`.
+    pub const BLACKHOLE: Self = Self { asn: 65535, value: 666 };
+    /// The well-known NO_EXPORT community `65535:65281`.
+    pub const NO_EXPORT: Self = Self { asn: 65535, value: 65281 };
+    /// The well-known NO_ADVERTISE community `65535:65282`.
+    pub const NO_ADVERTISE: Self = Self { asn: 65535, value: 65282 };
+
+    /// Creates a community from its two halves.
+    pub const fn new(asn: u16, value: u16) -> Self {
+        Self { asn, value }
+    }
+
+    /// Distribution control: "do not announce this route to `peer`".
+    ///
+    /// Returns `None` if the peer ASN does not fit 16 bits (real route
+    /// servers use extended/large communities there; our simulation assigns
+    /// 16-bit member ASNs so the classic encoding always suffices).
+    pub fn block_peer(peer: Asn) -> Option<Self> {
+        peer.is_16bit().then(|| Self::new(0, peer.value() as u16))
+    }
+
+    /// Distribution control: "announce this route to `peer`" (used together
+    /// with [`Community::block_all`] for an allow-list).
+    pub fn announce_peer(route_server: Asn, peer: Asn) -> Option<Self> {
+        (route_server.is_16bit() && peer.is_16bit())
+            .then(|| Self::new(route_server.value() as u16, peer.value() as u16))
+    }
+
+    /// Distribution control: "announce to nobody unless explicitly listed".
+    pub fn block_all(route_server: Asn) -> Option<Self> {
+        route_server.is_16bit().then(|| Self::new(0, route_server.value() as u16))
+    }
+
+    /// The packed 32-bit wire value.
+    pub const fn to_u32(self) -> u32 {
+        ((self.asn as u32) << 16) | self.value as u32
+    }
+
+    /// Unpacks a 32-bit wire value.
+    pub const fn from_u32(raw: u32) -> Self {
+        Self { asn: (raw >> 16) as u16, value: raw as u16 }
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseError::new(ParseErrorKind::Community, s);
+        let (a, v) = s.split_once(':').ok_or_else(err)?;
+        let asn: u16 = a.parse().map_err(|_| err())?;
+        let value: u16 = v.parse().map_err(|_| err())?;
+        Ok(Self { asn, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackhole_is_rfc7999() {
+        assert_eq!(Community::BLACKHOLE.to_string(), "65535:666");
+        assert_eq!("65535:666".parse::<Community>().unwrap(), Community::BLACKHOLE);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let c = Community::new(64500, 123);
+        assert_eq!(Community::from_u32(c.to_u32()), c);
+        assert_eq!(Community::from_u32(0xFFFF_029A), Community::BLACKHOLE);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "65535", ":", "65536:1", "1:65536", "a:b"] {
+            assert!(text.parse::<Community>().is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn distribution_helpers() {
+        let rs = Asn(6695);
+        let peer = Asn(64500);
+        assert_eq!(Community::block_peer(peer), Some(Community::new(0, 64500)));
+        assert_eq!(Community::announce_peer(rs, peer), Some(Community::new(6695, 64500)));
+        assert_eq!(Community::block_all(rs), Some(Community::new(0, 6695)));
+        assert_eq!(Community::block_peer(Asn(70_000)), None);
+        assert_eq!(Community::announce_peer(rs, Asn(70_000)), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for parsing network primitives from text.
+
+use std::fmt;
+
+/// An error produced while parsing one of the textual forms accepted by this
+/// crate (`"192.0.2.1"`, `"192.0.2.0/24"`, `"de:ad:be:ef:00:01"`,
+/// `"65535:666"`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    input: String,
+}
+
+/// What specifically went wrong while parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// An IPv4 address was malformed (wrong number of octets, octet > 255, …).
+    Ipv4Addr,
+    /// A CIDR prefix was malformed (bad address, missing `/`, length > 32, …).
+    Prefix,
+    /// A MAC address was malformed.
+    MacAddr,
+    /// A BGP community was malformed.
+    Community,
+    /// An AS number was malformed.
+    Asn,
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ParseErrorKind, input: &str) -> Self {
+        Self { kind, input: input.to_owned() }
+    }
+
+    /// The category of primitive that failed to parse.
+    pub fn kind(&self) -> ParseErrorKind {
+        self.kind
+    }
+
+    /// The offending input text.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ParseErrorKind::Ipv4Addr => "IPv4 address",
+            ParseErrorKind::Prefix => "IPv4 prefix",
+            ParseErrorKind::MacAddr => "MAC address",
+            ParseErrorKind::Community => "BGP community",
+            ParseErrorKind::Asn => "AS number",
+        };
+        write!(f, "invalid {what}: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_and_input() {
+        let err = ParseError::new(ParseErrorKind::Prefix, "10.0.0.0/64");
+        let text = err.to_string();
+        assert!(text.contains("prefix"), "{text}");
+        assert!(text.contains("10.0.0.0/64"), "{text}");
+        assert_eq!(err.kind(), ParseErrorKind::Prefix);
+        assert_eq!(err.input(), "10.0.0.0/64");
+    }
+}

@@ -1,0 +1,145 @@
+//! Ethernet MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A 48-bit Ethernet MAC address.
+///
+/// At the studied IXP, member routers are identified on the switching fabric
+/// by the MAC addresses of their interfaces, and blackholed traffic is
+/// recognised by a special **blackhole MAC** that no port forwards (paper
+/// §3.1): the route server announces a next-hop IP that resolves to this MAC,
+/// so any sampled packet destined to it is known to be dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The IXP blackhole MAC: traffic addressed here is discarded.
+    ///
+    /// The concrete value is arbitrary (locally administered); what matters
+    /// is that the fabric never forwards frames to it.
+    pub const BLACKHOLE: Self = Self([0x06, 0x66, 0x06, 0x66, 0x06, 0x66]);
+
+    /// Creates a MAC address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        Self(octets)
+    }
+
+    /// The six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True if this is the blackhole MAC.
+    pub const fn is_blackhole(self) -> bool {
+        matches!(self, Self::BLACKHOLE)
+    }
+
+    /// A deterministic, locally-administered unicast MAC derived from an id.
+    ///
+    /// The simulator hands every member-router interface a unique `id`; the
+    /// resulting MACs never collide with [`MacAddr::BLACKHOLE`] because the
+    /// first octet is `0x02`.
+    pub const fn from_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        Self([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Recovers the id from a MAC built by [`MacAddr::from_id`], if any.
+    pub const fn to_id(self) -> Option<u32> {
+        let o = self.0;
+        if o[0] == 0x02 && o[1] == 0x00 {
+            Some(u32::from_be_bytes([o[2], o[3], o[4], o[5]]))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseError::new(ParseErrorKind::MacAddr, s);
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(err)?;
+            if part.len() != 2 {
+                return Err(err());
+            }
+            *slot = u8::from_str_radix(part, 16).map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(Self(octets))
+    }
+}
+
+impl Serialize for MacAddr {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        if s.is_human_readable() {
+            s.collect_str(self)
+        } else {
+            self.0.serialize(s)
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for MacAddr {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        if d.is_human_readable() {
+            let text = String::deserialize(d)?;
+            text.parse().map_err(serde::de::Error::custom)
+        } else {
+            <[u8; 6]>::deserialize(d).map(Self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let mac = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(mac.to_string(), "de:ad:be:ef:00:01");
+        assert_eq!("de:ad:be:ef:00:01".parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "de:ad:be:ef:00", "de:ad:be:ef:00:01:02", "gg:00:00:00:00:00", "deadbeef0001"]
+        {
+            assert!(text.parse::<MacAddr>().is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn id_round_trip_and_no_blackhole_collision() {
+        for id in [0u32, 1, 830, u32::MAX] {
+            let mac = MacAddr::from_id(id);
+            assert_eq!(mac.to_id(), Some(id));
+            assert!(!mac.is_blackhole());
+        }
+        assert!(MacAddr::BLACKHOLE.is_blackhole());
+        assert_eq!(MacAddr::BLACKHOLE.to_id(), None);
+    }
+}

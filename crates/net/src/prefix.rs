@@ -1,0 +1,274 @@
+//! CIDR prefixes and their containment algebra.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Ipv4Addr;
+use crate::error::{ParseError, ParseErrorKind};
+
+/// A canonical IPv4 CIDR prefix.
+///
+/// Invariant: all host bits below the prefix length are zero, so two equal
+/// networks always compare equal regardless of how they were written.
+///
+/// ```
+/// use rtbh_net::Prefix;
+///
+/// let p: Prefix = "192.0.2.128/25".parse().unwrap();
+/// assert!(p.contains_addr("192.0.2.200".parse().unwrap()));
+/// assert!(!p.contains_addr("192.0.2.1".parse().unwrap()));
+/// assert_eq!(p.len(), 25);
+/// ```
+///
+/// Prefix lengths are central to the paper: `/32` blackholes are the common
+/// DDoS-mitigation form but are rejected by many peers' default BGP policies,
+/// while `≤ /24` blackholes enjoy 93–99% acceptance (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Self = Self { bits: 0, len: 0 };
+
+    /// Creates a prefix, zeroing any host bits (canonicalisation).
+    ///
+    /// Returns `None` if `len > 32`.
+    pub const fn new(addr: Ipv4Addr, len: u8) -> Option<Self> {
+        if len > 32 {
+            return None;
+        }
+        Some(Self { bits: addr.to_u32() & mask(len), len })
+    }
+
+    /// Creates a host prefix (`/32`) for one address.
+    pub const fn host(addr: Ipv4Addr) -> Self {
+        Self { bits: addr.to_u32(), len: 32 }
+    }
+
+    /// The network address.
+    pub const fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from_u32(self.bits)
+    }
+
+    /// The prefix length in bits (0..=32).
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route.
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// True if this is a host route (`/32`).
+    pub const fn is_host(self) -> bool {
+        self.len == 32
+    }
+
+    /// The network mask as an address (`/24` → `255.255.255.0`).
+    pub const fn netmask(self) -> Ipv4Addr {
+        Ipv4Addr::from_u32(mask(self.len))
+    }
+
+    /// The number of addresses covered, as `u64` (a `/0` covers 2^32).
+    pub const fn addr_count(self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// The last address covered by the prefix.
+    pub const fn last_addr(self) -> Ipv4Addr {
+        Ipv4Addr::from_u32(self.bits | !mask(self.len))
+    }
+
+    /// True if `addr` lies inside the prefix.
+    pub const fn contains_addr(self, addr: Ipv4Addr) -> bool {
+        addr.to_u32() & mask(self.len) == self.bits
+    }
+
+    /// True if `other` is fully covered by `self` (equal counts as covered).
+    pub const fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && (other.bits & mask(self.len)) == self.bits
+    }
+
+    /// True if the two prefixes share any address.
+    ///
+    /// For prefixes this is equivalent to one covering the other.
+    pub const fn overlaps(self, other: Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// The immediate parent (one bit shorter), or `None` for `/0`.
+    pub const fn supernet(self) -> Option<Prefix> {
+        match self.len {
+            0 => None,
+            len => Some(Self { bits: self.bits & mask(len - 1), len: len - 1 }),
+        }
+    }
+
+    /// The two immediate children (one bit longer), or `None` for `/32`.
+    pub const fn subnets(self) -> Option<(Prefix, Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let left = Self { bits: self.bits, len };
+        let right = Self { bits: self.bits | (1u32 << (32 - len as u32)), len };
+        Some((left, right))
+    }
+
+    /// The `index`-th address inside the prefix (wrapping beyond the size).
+    ///
+    /// Convenient for deterministically picking hosts out of an assignment.
+    pub const fn addr_at(self, index: u64) -> Ipv4Addr {
+        let span = self.addr_count();
+        Ipv4Addr::from_u32(self.bits.wrapping_add((index % span) as u32))
+    }
+
+    /// The bit at position `pos` (0 = most significant) of the network bits.
+    ///
+    /// Only positions below [`Self::len`] are meaningful; used by the trie.
+    pub(crate) const fn bit(self, pos: u8) -> bool {
+        (self.bits >> (31 - pos as u32)) & 1 == 1
+    }
+}
+
+/// The network mask with `len` leading one-bits.
+const fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseError::new(ParseErrorKind::Prefix, s);
+        let (addr_text, len_text) = s.split_once('/').ok_or_else(err)?;
+        let addr: Ipv4Addr = addr_text.parse().map_err(|_| err())?;
+        if len_text.is_empty() || len_text.len() > 2 || !len_text.bytes().all(|b| b.is_ascii_digit())
+        {
+            return Err(err());
+        }
+        let len: u8 = len_text.parse().map_err(|_| err())?;
+        Self::new(addr, len).ok_or_else(err)
+    }
+}
+
+impl Serialize for Prefix {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        if s.is_human_readable() {
+            s.collect_str(self)
+        } else {
+            (self.bits, self.len).serialize(s)
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Prefix {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        if d.is_human_readable() {
+            let text = String::deserialize(d)?;
+            text.parse().map_err(serde::de::Error::custom)
+        } else {
+            let (bits, len) = <(u32, u8)>::deserialize(d)?;
+            Prefix::new(Ipv4Addr::from_u32(bits), len)
+                .ok_or_else(|| serde::de::Error::custom("prefix length > 32"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalises_host_bits() {
+        let a = Prefix::new("192.0.2.77".parse().unwrap(), 24).unwrap();
+        assert_eq!(a, p("192.0.2.0/24"));
+        assert_eq!(a.to_string(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/", "10.0.0.0/2x", "300.0.0.0/8"] {
+            assert!(text.parse::<Prefix>().is_err(), "{text:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let net = p("10.20.0.0/16");
+        assert!(net.contains_addr("10.20.255.1".parse().unwrap()));
+        assert!(!net.contains_addr("10.21.0.0".parse().unwrap()));
+        assert!(net.covers(p("10.20.30.0/24")));
+        assert!(net.covers(net));
+        assert!(!p("10.20.30.0/24").covers(net));
+        assert!(Prefix::DEFAULT.covers(net));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_cover() {
+        let a = p("10.0.0.0/8");
+        let b = p("10.1.0.0/16");
+        let c = p("11.0.0.0/8");
+        assert!(a.overlaps(b) && b.overlaps(a));
+        assert!(!a.overlaps(c) && !c.overlaps(a));
+    }
+
+    #[test]
+    fn supernet_and_subnets_invert() {
+        let net = p("192.0.2.128/25");
+        assert_eq!(net.supernet(), Some(p("192.0.2.0/24")));
+        let (l, r) = p("192.0.2.0/24").subnets().unwrap();
+        assert_eq!(l, p("192.0.2.0/25"));
+        assert_eq!(r, net);
+        assert!(Prefix::DEFAULT.supernet().is_none());
+        assert!(Prefix::host(Ipv4Addr::new(1, 2, 3, 4)).subnets().is_none());
+    }
+
+    #[test]
+    fn sizes_and_edges() {
+        assert_eq!(Prefix::DEFAULT.addr_count(), 1u64 << 32);
+        assert_eq!(p("10.0.0.0/30").addr_count(), 4);
+        assert_eq!(p("10.0.0.0/30").last_addr(), Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(p("10.0.0.0/24").netmask(), Ipv4Addr::new(255, 255, 255, 0));
+        assert!(Prefix::host(Ipv4Addr::new(9, 9, 9, 9)).is_host());
+        assert!(Prefix::DEFAULT.is_empty());
+    }
+
+    #[test]
+    fn addr_at_wraps_inside_prefix() {
+        let net = p("198.51.100.0/30");
+        assert_eq!(net.addr_at(0), Ipv4Addr::new(198, 51, 100, 0));
+        assert_eq!(net.addr_at(3), Ipv4Addr::new(198, 51, 100, 3));
+        assert_eq!(net.addr_at(4), Ipv4Addr::new(198, 51, 100, 0));
+        assert!(net.contains_addr(net.addr_at(12345)));
+    }
+
+    #[test]
+    fn bit_indexing_is_msb_first() {
+        let net = p("128.0.0.0/1");
+        assert!(net.bit(0));
+        let net = p("64.0.0.0/2");
+        assert!(!net.bit(0));
+        assert!(net.bit(1));
+    }
+}

@@ -1,0 +1,346 @@
+//! A synthetic PeeringDB-style AS registry.
+//!
+//! The paper joins its per-AS results against [PeeringDB](https://peeringdb.com)
+//! twice: Fig. 8 groups the top-100 traffic sources to `/32` blackholes by
+//! organisation type, and Table 4 types the origin networks of detected
+//! client/server victims (60% of client victims sit in Cable/DSL/ISP
+//! networks; 34% of servers in Content networks). PeeringDB itself is a
+//! user-maintained public database we cannot ship, so this crate synthesises
+//! a registry with the same schema and calibrated type shares; the analysis
+//! code consumes only the [`Registry`] lookup interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::Asn;
+
+/// PeeringDB-style organisation type of a network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum OrgType {
+    /// Content delivery / hosting / cloud ("Content").
+    Content,
+    /// Eyeball access networks ("Cable/DSL/ISP").
+    CableDslIsp,
+    /// Network service providers / transit carriers ("NSP").
+    Nsp,
+    /// Enterprise networks.
+    Enterprise,
+    /// Educational or research networks.
+    EduResearch,
+    /// Non-profit organisations.
+    NonProfit,
+    /// No PeeringDB record or no type filled in.
+    Unknown,
+}
+
+impl OrgType {
+    /// Every variant, in display order (the order of the paper's Table 4
+    /// rows, with the extra flavour types at the end).
+    pub const ALL: [OrgType; 7] = [
+        OrgType::Content,
+        OrgType::CableDslIsp,
+        OrgType::Nsp,
+        OrgType::Enterprise,
+        OrgType::EduResearch,
+        OrgType::NonProfit,
+        OrgType::Unknown,
+    ];
+}
+
+impl fmt::Display for OrgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OrgType::Content => "Content",
+            OrgType::CableDslIsp => "Cable/DSL/ISP",
+            OrgType::Nsp => "NSP",
+            OrgType::Enterprise => "Enterprise",
+            OrgType::EduResearch => "Educational/Research",
+            OrgType::NonProfit => "Non-Profit",
+            OrgType::Unknown => "Unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// PeeringDB-style geographic scope of a network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Scope {
+    /// Single metro / country region.
+    Regional,
+    /// One continent (e.g. "Europe").
+    Continental,
+    /// Worldwide footprint.
+    Global,
+    /// Not filled in.
+    Unknown,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scope::Regional => "Regional",
+            Scope::Continental => "Continental",
+            Scope::Global => "Global",
+            Scope::Unknown => "Unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One registry row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsRecord {
+    /// The network's AS number.
+    pub asn: Asn,
+    /// Synthetic organisation name.
+    pub name: String,
+    /// Organisation type.
+    pub org_type: OrgType,
+    /// Geographic scope.
+    pub scope: Scope,
+}
+
+/// Relative weights for drawing organisation types.
+///
+/// The defaults approximate the PeeringDB population visible at a large
+/// European IXP (eyeball-heavy membership, sizeable NSP share, and a large
+/// "Unknown" tail of networks without a PeeringDB record).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TypeMix {
+    /// Weight for [`OrgType::Content`].
+    pub content: f64,
+    /// Weight for [`OrgType::CableDslIsp`].
+    pub cable_dsl_isp: f64,
+    /// Weight for [`OrgType::Nsp`].
+    pub nsp: f64,
+    /// Weight for [`OrgType::Enterprise`].
+    pub enterprise: f64,
+    /// Weight for [`OrgType::EduResearch`].
+    pub edu_research: f64,
+    /// Weight for [`OrgType::NonProfit`].
+    pub non_profit: f64,
+    /// Weight for [`OrgType::Unknown`].
+    pub unknown: f64,
+}
+
+impl TypeMix {
+    /// A mix resembling IXP membership at large (used for member ASes).
+    pub const MEMBERS: Self = Self {
+        content: 0.22,
+        cable_dsl_isp: 0.28,
+        nsp: 0.25,
+        enterprise: 0.05,
+        edu_research: 0.04,
+        non_profit: 0.02,
+        unknown: 0.14,
+    };
+
+    /// A mix resembling the whole routed Internet (used for non-member,
+    /// "advertised" ASes reachable through members).
+    pub const GLOBAL: Self = Self {
+        content: 0.12,
+        cable_dsl_isp: 0.32,
+        nsp: 0.18,
+        enterprise: 0.08,
+        edu_research: 0.05,
+        non_profit: 0.02,
+        unknown: 0.23,
+    };
+
+    fn weights(&self) -> [f64; 7] {
+        [
+            self.content,
+            self.cable_dsl_isp,
+            self.nsp,
+            self.enterprise,
+            self.edu_research,
+            self.non_profit,
+            self.unknown,
+        ]
+    }
+}
+
+/// The registry: an `Asn`-keyed table of [`AsRecord`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    records: BTreeMap<Asn, AsRecord>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a record; returns the previous one if any.
+    pub fn insert(&mut self, record: AsRecord) -> Option<AsRecord> {
+        self.records.insert(record.asn, record)
+    }
+
+    /// Inserts a synthetic record for `asn` with a drawn type and scope.
+    ///
+    /// Existing records are left untouched (first write wins), mirroring how
+    /// a real registry has one row per AS no matter how often it is seen.
+    pub fn ensure<R: Rng>(&mut self, asn: Asn, mix: &TypeMix, rng: &mut R) -> &AsRecord {
+        self.records.entry(asn).or_insert_with(|| {
+            let dist = WeightedIndex::new(mix.weights()).expect("weights are positive");
+            let org_type = OrgType::ALL[dist.sample(rng)];
+            // Global scope is likelier for NSPs/Content, regional for eyeballs.
+            let scope = match org_type {
+                OrgType::Nsp | OrgType::Content => {
+                    if rng.gen_bool(0.45) {
+                        Scope::Global
+                    } else {
+                        Scope::Continental
+                    }
+                }
+                OrgType::CableDslIsp | OrgType::Enterprise => {
+                    if rng.gen_bool(0.8) {
+                        Scope::Regional
+                    } else {
+                        Scope::Continental
+                    }
+                }
+                OrgType::Unknown => Scope::Unknown,
+                _ => Scope::Regional,
+            };
+            AsRecord { asn, name: format!("Org-{}", asn.value()), org_type, scope }
+        })
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, asn: Asn) -> Option<&AsRecord> {
+        self.records.get(&asn)
+    }
+
+    /// The organisation type, [`OrgType::Unknown`] for absent records —
+    /// matching how the paper treats ASes without a PeeringDB entry.
+    pub fn org_type(&self, asn: Asn) -> OrgType {
+        self.get(asn).map_or(OrgType::Unknown, |r| r.org_type)
+    }
+
+    /// The geographic scope, [`Scope::Unknown`] for absent records.
+    pub fn scope(&self, asn: Asn) -> Scope {
+        self.get(asn).map_or(Scope::Unknown, |r| r.scope)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = &AsRecord> {
+        self.records.values()
+    }
+
+    /// Counts records per organisation type among the given ASes (absent
+    /// ASes count as Unknown) — the aggregation behind Fig. 8 and Table 4.
+    pub fn type_histogram<'a>(
+        &self,
+        asns: impl IntoIterator<Item = &'a Asn>,
+    ) -> BTreeMap<OrgType, usize> {
+        let mut hist = BTreeMap::new();
+        for asn in asns {
+            *hist.entry(self.org_type(*asn)).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut reg = Registry::new();
+        let mut r = rng();
+        let first = reg.ensure(Asn(64500), &TypeMix::MEMBERS, &mut r).clone();
+        let second = reg.ensure(Asn(64500), &TypeMix::MEMBERS, &mut r).clone();
+        assert_eq!(first, second);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn absent_asn_is_unknown() {
+        let reg = Registry::new();
+        assert_eq!(reg.org_type(Asn(1)), OrgType::Unknown);
+        assert_eq!(reg.scope(Asn(1)), Scope::Unknown);
+        assert!(reg.get(Asn(1)).is_none());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let build = || {
+            let mut reg = Registry::new();
+            let mut r = rng();
+            for i in 0..500u32 {
+                reg.ensure(Asn(64000 + i), &TypeMix::GLOBAL, &mut r);
+            }
+            reg
+        };
+        let a = build();
+        let b = build();
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn type_mix_shares_are_roughly_respected() {
+        let mut reg = Registry::new();
+        let mut r = rng();
+        let n = 5000u32;
+        for i in 0..n {
+            reg.ensure(Asn(i + 1), &TypeMix::GLOBAL, &mut r);
+        }
+        let asns: Vec<Asn> = reg.iter().map(|rec| rec.asn).collect();
+        let hist = reg.type_histogram(asns.iter());
+        let share = |t: OrgType| *hist.get(&t).unwrap_or(&0) as f64 / n as f64;
+        assert!((share(OrgType::CableDslIsp) - 0.32).abs() < 0.04);
+        assert!((share(OrgType::Content) - 0.12).abs() < 0.03);
+        assert!((share(OrgType::Unknown) - 0.23).abs() < 0.04);
+    }
+
+    #[test]
+    fn type_histogram_counts_duplicates() {
+        let mut reg = Registry::new();
+        let mut r = rng();
+        reg.ensure(Asn(10), &TypeMix::MEMBERS, &mut r);
+        let asns = [Asn(10), Asn(10), Asn(99)];
+        let hist = reg.type_histogram(asns.iter());
+        let total: usize = hist.values().sum();
+        assert_eq!(total, 3);
+        assert!(*hist.get(&OrgType::Unknown).unwrap_or(&0) >= 1);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(OrgType::CableDslIsp.to_string(), "Cable/DSL/ISP");
+        assert_eq!(OrgType::Nsp.to_string(), "NSP");
+        assert_eq!(OrgType::Content.to_string(), "Content");
+    }
+}

@@ -1,0 +1,266 @@
+//! Scoring the analysis pipeline against planted ground truth.
+//!
+//! The original study could not validate its inferences — nobody knows which
+//! of the 34k real RTBH events "really" were DDoS reactions. The digital
+//! twin can: every event is planted with a known kind, so the pipeline's
+//! event inference, anomaly correlation and use-case classification can be
+//! scored with precision/recall. This module does the matching and the
+//! bookkeeping; `EXPERIMENTS.md` and the integration tests consume it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_core::classify::{Classification, UseCase};
+use rtbh_core::preevent::{PreClass, PreEventAnalysis};
+use rtbh_core::RtbhEvent;
+use rtbh_net::TimeDelta;
+
+use crate::truth::{EventKind, GroundTruth, PlannedEvent};
+
+/// The coarse truth label of a planted event, aligned with the pipeline's
+/// inference targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TruthLabel {
+    /// A visible attack (should be detected as an anomaly / infrastructure
+    /// protection).
+    VisibleAttack,
+    /// An invisible attack or otherwise silent mitigation event.
+    Invisible,
+    /// A victim with steady traffic but no attack at this vantage point.
+    Constant,
+    /// A forgotten zombie blackhole.
+    Zombie,
+    /// Squatting protection.
+    Squatting,
+}
+
+impl TruthLabel {
+    /// Derives the label from an event kind.
+    pub fn of(kind: &EventKind) -> Self {
+        match kind {
+            EventKind::AttackVisible { .. } => TruthLabel::VisibleAttack,
+            EventKind::AttackInvisible => TruthLabel::Invisible,
+            EventKind::ConstantTraffic => TruthLabel::Constant,
+            EventKind::Zombie => TruthLabel::Zombie,
+            EventKind::Squatting => TruthLabel::Squatting,
+        }
+    }
+}
+
+/// A planted event matched to an inferred one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchedEvent {
+    /// Index into [`GroundTruth::events`].
+    pub truth_idx: usize,
+    /// The inferred event's id, if the pipeline found it.
+    pub inferred_id: Option<usize>,
+}
+
+/// Matches planted events to inferred ones by prefix and first-announcement
+/// proximity (within `slack`).
+pub fn match_events(
+    truth: &GroundTruth,
+    inferred: &[RtbhEvent],
+    slack: TimeDelta,
+) -> Vec<MatchedEvent> {
+    truth
+        .events
+        .iter()
+        .enumerate()
+        .map(|(truth_idx, planted)| {
+            let inferred_id = inferred
+                .iter()
+                .filter(|e| e.prefix == planted.prefix)
+                .min_by_key(|e| (e.start() - planted.first_announce()).abs().as_millis())
+                .filter(|e| (e.start() - planted.first_announce()).abs() <= slack)
+                .map(|e| e.id);
+            MatchedEvent { truth_idx, inferred_id }
+        })
+        .collect()
+}
+
+/// Binary detection quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionScore {
+    /// Planted positives correctly flagged.
+    pub true_positives: usize,
+    /// Non-positives incorrectly flagged.
+    pub false_positives: usize,
+    /// Planted positives missed.
+    pub false_negatives: usize,
+}
+
+impl DetectionScore {
+    /// TP / (TP + FP); 1.0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / flagged as f64
+        }
+    }
+
+    /// TP / (TP + FN); 1.0 when nothing was planted.
+    pub fn recall(&self) -> f64 {
+        let planted = self.true_positives + self.false_negatives;
+        if planted == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / planted as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// The full scorecard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scorecard {
+    /// Share of planted events matched to an inferred event.
+    pub event_recall: f64,
+    /// Inferred events per planted event (>1 ⇒ over-splitting).
+    pub event_inflation: f64,
+    /// Anomaly detection (visible attacks vs the DataAnomaly class, with a
+    /// 1-hour grace for fizzled attacks).
+    pub anomaly: DetectionScore,
+    /// Zombie classification quality.
+    pub zombie: DetectionScore,
+    /// Squatting classification quality.
+    pub squatting: DetectionScore,
+    /// Truth-label × assigned-use-case confusion counts.
+    pub confusion: BTreeMap<(TruthLabel, UseCase), usize>,
+}
+
+/// Scores the pipeline outputs against the planted truth.
+pub fn score(
+    truth: &GroundTruth,
+    inferred: &[RtbhEvent],
+    preevents: &PreEventAnalysis,
+    classification: &Classification,
+) -> Scorecard {
+    let matches = match_events(truth, inferred, TimeDelta::minutes(2));
+    let matched = matches.iter().filter(|m| m.inferred_id.is_some()).count();
+    let event_recall = matched as f64 / truth.events.len().max(1) as f64;
+    let event_inflation = inferred.len() as f64 / truth.events.len().max(1) as f64;
+
+    let mut anomaly = DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
+    let mut zombie = DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
+    let mut squatting =
+        DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
+    let mut confusion: BTreeMap<(TruthLabel, UseCase), usize> = BTreeMap::new();
+
+    for m in &matches {
+        let planted: &PlannedEvent = &truth.events[m.truth_idx];
+        let label = TruthLabel::of(&planted.kind);
+        let Some(id) = m.inferred_id else {
+            if label == TruthLabel::VisibleAttack {
+                anomaly.false_negatives += 1;
+            }
+            if label == TruthLabel::Zombie {
+                zombie.false_negatives += 1;
+            }
+            if label == TruthLabel::Squatting {
+                squatting.false_negatives += 1;
+            }
+            continue;
+        };
+        let pre = &preevents.per_event[id];
+        let flagged = pre.class == PreClass::DataAnomaly
+            || pre.anomaly_within(TimeDelta::hours(1));
+        match (label, flagged) {
+            (TruthLabel::VisibleAttack, true) => anomaly.true_positives += 1,
+            (TruthLabel::VisibleAttack, false) => anomaly.false_negatives += 1,
+            (_, true) => anomaly.false_positives += 1,
+            (_, false) => {}
+        }
+        let verdict = classification.per_event[id].use_case;
+        *confusion.entry((label, verdict)).or_insert(0) += 1;
+        match (label == TruthLabel::Zombie, verdict == UseCase::Zombie) {
+            (true, true) => zombie.true_positives += 1,
+            (true, false) => zombie.false_negatives += 1,
+            (false, true) => zombie.false_positives += 1,
+            (false, false) => {}
+        }
+        match (label == TruthLabel::Squatting, verdict == UseCase::SquattingProtection) {
+            (true, true) => squatting.true_positives += 1,
+            (true, false) => squatting.false_negatives += 1,
+            (false, true) => squatting.false_positives += 1,
+            (false, false) => {}
+        }
+    }
+
+    Scorecard { event_recall, event_inflation, anomaly, zombie, squatting, confusion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioConfig;
+    use rtbh_core::Analyzer;
+
+    fn scorecard() -> Scorecard {
+        let out = crate::run(&ScenarioConfig::tiny());
+        let analyzer = Analyzer::with_defaults(out.corpus);
+        let preevents = analyzer.preevents();
+        let protocols = analyzer.protocols(&preevents);
+        let classification = analyzer.classification(&preevents, &protocols);
+        score(&out.truth, analyzer.events(), &preevents, &classification)
+    }
+
+    #[test]
+    fn detection_score_arithmetic() {
+        let s = DetectionScore { true_positives: 8, false_positives: 2, false_negatives: 2 };
+        assert!((s.precision() - 0.8).abs() < 1e-12);
+        assert!((s.recall() - 0.8).abs() < 1e-12);
+        assert!((s.f1() - 0.8).abs() < 1e-12);
+        let empty = DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+    }
+
+    #[test]
+    fn tiny_scenario_scores_well() {
+        let card = scorecard();
+        assert!(card.event_recall > 0.95, "event recall {}", card.event_recall);
+        assert!(
+            (card.event_inflation - 1.0).abs() < 0.25,
+            "inflation {}",
+            card.event_inflation
+        );
+        assert!(card.anomaly.recall() > 0.6, "anomaly recall {}", card.anomaly.recall());
+        assert!(card.anomaly.precision() > 0.7, "anomaly precision {}", card.anomaly.precision());
+        assert!(card.zombie.recall() > 0.6, "zombie recall {}", card.zombie.recall());
+        assert!(card.squatting.recall() > 0.6, "squatting recall {}", card.squatting.recall());
+    }
+
+    #[test]
+    fn confusion_matrix_covers_matched_events() {
+        let card = scorecard();
+        let total: usize = card.confusion.values().sum();
+        assert!(total > 0);
+        // Visible attacks mostly classified as infrastructure protection.
+        let vi = card
+            .confusion
+            .get(&(TruthLabel::VisibleAttack, UseCase::InfrastructureProtection))
+            .copied()
+            .unwrap_or(0);
+        let v_total: usize = card
+            .confusion
+            .iter()
+            .filter(|((l, _), _)| *l == TruthLabel::VisibleAttack)
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(vi * 2 > v_total, "infra-protection must dominate visible attacks");
+    }
+}

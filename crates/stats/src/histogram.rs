@@ -1,0 +1,199 @@
+//! Fixed-bin and logarithmic histograms.
+//!
+//! The paper's Fig. 18 plots collateral-damage packet counts on a log axis
+//! spanning 1…10⁶; a log-binned histogram is the natural summary for such
+//! heavy-tailed count data.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid bounds");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64)
+                as usize;
+            let last = self.counts.len() - 1;
+            self.counts[idx.min(last)] += 1;
+        }
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin_lo, bin_hi, count)` triples.
+    pub fn bins(&self) -> Vec<(f64, f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .collect()
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// A histogram with logarithmically spaced bins over `[lo, hi)`, `lo > 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    log_lo: f64,
+    log_hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo` (including non-positives).
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log histogram with `bins` bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo <= 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo > 0.0 && lo < hi && hi.is_finite(), "invalid bounds");
+        Self {
+            log_lo: lo.ln(),
+            log_hi: hi.ln(),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation (non-positive values count as underflow).
+    pub fn push(&mut self, x: f64) {
+        if x <= 0.0 || x.ln() < self.log_lo {
+            self.underflow += 1;
+        } else if x.ln() >= self.log_hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x.ln() - self.log_lo) / (self.log_hi - self.log_lo)
+                * self.counts.len() as f64) as usize;
+            let last = self.counts.len() - 1;
+            self.counts[idx.min(last)] += 1;
+        }
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(bin_lo, bin_hi, count)` triples in linear units.
+    pub fn bins(&self) -> Vec<(f64, f64, u64)> {
+        let width = (self.log_hi - self.log_lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    (self.log_lo + i as f64 * width).exp(),
+                    (self.log_lo + (i + 1) as f64 * width).exp(),
+                    c,
+                )
+            })
+            .collect()
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999, -1.0, 10.0, 42.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 8);
+        let bins = h.bins();
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins[0].0, 0.0);
+        assert_eq!(bins[4].1, 10.0);
+    }
+
+    #[test]
+    fn log_binning_covers_decades() {
+        let mut h = LogHistogram::new(1.0, 1_000_000.0, 6);
+        // One observation per decade midpoint.
+        for x in [3.0, 30.0, 300.0, 3_000.0, 30_000.0, 300_000.0] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 1, 1], "one bin per decade");
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+    }
+
+    #[test]
+    fn log_underflow_catches_non_positive() {
+        let mut h = LogHistogram::new(1.0, 100.0, 2);
+        h.push(0.0);
+        h.push(-5.0);
+        h.push(0.5);
+        assert_eq!(h.underflow, 3);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_edges_multiply_in_log_space() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        let bins = h.bins();
+        for (lo, hi, _) in &bins {
+            assert!((hi / lo - 10.0).abs() < 1e-9, "each bin spans one decade");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn log_rejects_non_positive_lo() {
+        let _ = LogHistogram::new(0.0, 10.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Streaming moment accumulators (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming accumulator for count, mean, variance, min and max.
+///
+/// Numerically stable (Welford) and mergeable, so per-day partial results
+/// computed on worker threads can be combined.
+///
+/// ```
+/// use rtbh_stats::Moments;
+/// let mut m = Moments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.mean(), 5.0);
+/// assert_eq!(m.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (Chan et al. parallel combination).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.m2 / self.count as f64 }
+    }
+
+    /// Sample variance (divides by `n − 1`; 0 when fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 { 0.0 } else { self.m2 / (self.count - 1) as f64 }
+    }
+
+    /// Population standard deviation.
+    pub fn population_sd(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Self::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_neutral() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let m: Moments = [3.5].into_iter().collect();
+        assert_eq!(m.mean(), 3.5);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.min(), Some(3.5));
+        assert_eq!(m.max(), Some(3.5));
+    }
+
+    #[test]
+    fn textbook_variance() {
+        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.population_sd() - 2.0).abs() < 1e-12);
+        assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((m.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let whole: Moments = xs.iter().copied().collect();
+        let mut left: Moments = xs[..37].iter().copied().collect();
+        let right: Moments = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: Moments = [1.0, 2.0].into_iter().collect();
+        let before = m;
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

@@ -1,0 +1,165 @@
+//! Maximum-likelihood estimation of the control/data-plane clock offset
+//! (paper §3.1, Fig. 2).
+//!
+//! Both measurement pipelines at the IXP synchronise with NTP, but residual
+//! skew between the BGP collector and the IPFIX exporters would smear any
+//! time-series correlation. The paper estimates the offset by shifting the
+//! data plane against the control plane and maximising the share of
+//! *dropped-marked* packet samples that fall inside an interval in which a
+//! blackhole covering their destination was actually announced. The maximum
+//! overlap found was 99.36% at −0.04 s.
+//!
+//! This module provides the generic scan: the caller supplies, per sample,
+//! the set of announcement intervals that would explain it (already filtered
+//! to the right prefix), and the scan shifts sample timestamps over a grid.
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::{Interval, TimeDelta, Timestamp};
+
+/// One scanned candidate offset and its explained-sample share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffsetPoint {
+    /// Candidate offset added to sample timestamps.
+    pub offset: TimeDelta,
+    /// Fraction of samples whose shifted timestamp falls inside one of its
+    /// explaining intervals.
+    pub overlap: f64,
+}
+
+/// The result of an offset scan: the full likelihood curve plus its argmax.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OffsetScan {
+    /// One point per scanned offset, in scan order.
+    pub curve: Vec<OffsetPoint>,
+    /// The point with maximal overlap (ties: first encountered).
+    pub best: OffsetPoint,
+}
+
+/// A dropped-marked sample to be explained: its capture timestamp and the
+/// control-plane intervals during which a blackhole covering its destination
+/// was active. Intervals must be sorted by start and non-overlapping (the
+/// per-prefix activity intervals produced by RIB reconstruction are).
+#[derive(Debug, Clone)]
+pub struct ExplainableSample<'a> {
+    /// Data-plane capture time.
+    pub at: Timestamp,
+    /// Sorted, disjoint control-plane intervals explaining the drop.
+    pub intervals: &'a [Interval],
+}
+
+impl ExplainableSample<'_> {
+    fn explained_with(&self, offset: TimeDelta) -> bool {
+        let t = self.at + offset;
+        // Binary search for the last interval starting at or before t.
+        let idx = self.intervals.partition_point(|iv| iv.start <= t);
+        idx > 0 && self.intervals[idx - 1].contains(t)
+    }
+}
+
+/// Scans a symmetric grid of candidate offsets and returns the likelihood
+/// curve and its maximum.
+///
+/// * `samples` — the dropped-marked samples with their explaining intervals;
+/// * `half_range` — the scan covers `[-half_range, +half_range]`;
+/// * `step` — grid step (must be positive).
+///
+/// Returns `None` when there are no samples or the grid is empty.
+pub fn offset_scan(
+    samples: &[ExplainableSample<'_>],
+    half_range: TimeDelta,
+    step: TimeDelta,
+) -> Option<OffsetScan> {
+    if samples.is_empty() || step.as_millis() <= 0 || half_range.as_millis() < 0 {
+        return None;
+    }
+    let mut curve = Vec::new();
+    let mut offset = TimeDelta::millis(-half_range.as_millis());
+    while offset.as_millis() <= half_range.as_millis() {
+        let explained = samples.iter().filter(|s| s.explained_with(offset)).count();
+        curve.push(OffsetPoint { offset, overlap: explained as f64 / samples.len() as f64 });
+        offset += step;
+    }
+    // Ties break towards the smallest |offset|: recorders are NTP-synced,
+    // so near-zero skew is the sensible prior on a flat plateau.
+    let best = *curve.iter().max_by(|a, b| {
+        a.overlap
+            .partial_cmp(&b.overlap)
+            .expect("overlap is finite")
+            .then(b.offset.abs().as_millis().cmp(&a.offset.abs().as_millis()))
+    })?;
+    Some(OffsetScan { curve, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start_ms: i64, end_ms: i64) -> Interval {
+        Interval::new(Timestamp::from_millis(start_ms), Timestamp::from_millis(end_ms))
+    }
+
+    #[test]
+    fn empty_inputs_give_none() {
+        assert!(offset_scan(&[], TimeDelta::seconds(1), TimeDelta::millis(10)).is_none());
+        let intervals = [iv(0, 100)];
+        let samples = [ExplainableSample { at: Timestamp::from_millis(50), intervals: &intervals }];
+        assert!(offset_scan(&samples, TimeDelta::seconds(1), TimeDelta::ZERO).is_none());
+    }
+
+    #[test]
+    fn recovers_injected_offset() {
+        // Ground truth: blackhole active [1000, 2000) and [5000, 9000).
+        // Data plane clock runs 40 ms fast (samples stamped 40 ms early), so
+        // shifting samples by +40 ms must maximise the overlap.
+        let intervals = [iv(1000, 2000), iv(5000, 9000)];
+        let true_offset = -40i64;
+        let sample_times: Vec<i64> = (0..50)
+            .map(|i| 1000 + i * 20) // true capture in [1000, 2000)
+            .chain((0..200).map(|i| 5000 + i * 20)) // true capture in [5000, 9000)
+            .chain([1999, 8999]) // edge samples pin the offset uniquely
+            .collect();
+        let stamped: Vec<Timestamp> =
+            sample_times.iter().map(|t| Timestamp::from_millis(t + true_offset)).collect();
+        let samples: Vec<ExplainableSample<'_>> = stamped
+            .iter()
+            .map(|&at| ExplainableSample { at, intervals: &intervals })
+            .collect();
+        let scan =
+            offset_scan(&samples, TimeDelta::millis(200), TimeDelta::millis(10)).unwrap();
+        assert_eq!(scan.best.offset, TimeDelta::millis(40));
+        assert!(scan.best.overlap > 0.99);
+    }
+
+    #[test]
+    fn curve_covers_symmetric_grid() {
+        let intervals = [iv(0, 1000)];
+        let samples = [ExplainableSample { at: Timestamp::from_millis(500), intervals: &intervals }];
+        let scan = offset_scan(&samples, TimeDelta::millis(30), TimeDelta::millis(10)).unwrap();
+        let offsets: Vec<i64> = scan.curve.iter().map(|p| p.offset.as_millis()).collect();
+        assert_eq!(offsets, vec![-30, -20, -10, 0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn unexplainable_samples_cap_overlap() {
+        let intervals = [iv(0, 100)];
+        let no_intervals: [Interval; 0] = [];
+        let samples = [
+            ExplainableSample { at: Timestamp::from_millis(50), intervals: &intervals },
+            ExplainableSample { at: Timestamp::from_millis(50), intervals: &no_intervals },
+        ];
+        let scan = offset_scan(&samples, TimeDelta::ZERO, TimeDelta::millis(1)).unwrap();
+        assert_eq!(scan.best.overlap, 0.5);
+    }
+
+    #[test]
+    fn binary_search_respects_half_open_bounds() {
+        let intervals = [iv(100, 200)];
+        let mk = |ms| ExplainableSample { at: Timestamp::from_millis(ms), intervals: &intervals };
+        for (t, inside) in [(99, false), (100, true), (199, true), (200, false)] {
+            let s = [mk(t)];
+            let scan = offset_scan(&s, TimeDelta::ZERO, TimeDelta::millis(1)).unwrap();
+            assert_eq!(scan.best.overlap > 0.5, inside, "t={t}");
+        }
+    }
+}

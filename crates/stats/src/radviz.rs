@@ -1,0 +1,149 @@
+//! RadViz: projection of multivariate points onto the unit disc
+//! (Hoffman et al., cited by paper §6.1).
+//!
+//! RadViz places one *anchor* per feature equally spaced on the unit circle
+//! and attaches every data point to all anchors with springs whose stiffness
+//! is the (normalised) feature value. The equilibrium is the weighted average
+//! of anchor positions. Points dominated by one feature land near that
+//! feature's anchor — which is how Fig. 16 separates client-like hosts (high
+//! destination-port diversity in incoming traffic) from server-like hosts
+//! (high source-port diversity in incoming traffic).
+
+use serde::{Deserialize, Serialize};
+
+/// A point projected onto the RadViz disc.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadvizPoint {
+    /// X coordinate in the unit disc.
+    pub x: f64,
+    /// Y coordinate in the unit disc.
+    pub y: f64,
+}
+
+impl RadvizPoint {
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &RadvizPoint) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Distance from the disc centre.
+    pub fn radius(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Angle from the positive x-axis, in radians `(-π, π]`.
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+/// The anchor positions for `n` features: equally spaced on the unit circle,
+/// feature 0 at angle 0 (the positive x-axis), proceeding counter-clockwise.
+pub fn anchors(n: usize) -> Vec<RadvizPoint> {
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            RadvizPoint { x: theta.cos(), y: theta.sin() }
+        })
+        .collect()
+}
+
+/// Projects one observation onto the RadViz disc.
+///
+/// `normalised` holds the feature values already scaled to `[0, 1]` (the
+/// paper normalises port-diversity counts by the maximum port number 65535).
+/// Returns the disc centre for an all-zero observation (no spring pulls).
+///
+/// # Panics
+/// Panics if any value is negative, above 1, or NaN.
+pub fn radviz_project(normalised: &[f64]) -> RadvizPoint {
+    let anchors = anchors(normalised.len());
+    let mut sum = 0.0;
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for (value, anchor) in normalised.iter().zip(&anchors) {
+        assert!(
+            (0.0..=1.0).contains(value),
+            "RadViz feature values must be normalised to [0,1], got {value}"
+        );
+        sum += value;
+        x += value * anchor.x;
+        y += value * anchor.y;
+    }
+    if sum == 0.0 {
+        RadvizPoint { x: 0.0, y: 0.0 }
+    } else {
+        RadvizPoint { x: x / sum, y: y / sum }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn anchors_lie_on_unit_circle() {
+        for n in 1..8 {
+            for a in anchors(n) {
+                assert!((a.radius() - 1.0).abs() < EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn four_anchors_are_the_cardinal_points() {
+        let a = anchors(4);
+        assert!((a[0].x - 1.0).abs() < EPS && a[0].y.abs() < EPS);
+        assert!(a[1].x.abs() < EPS && (a[1].y - 1.0).abs() < EPS);
+        assert!((a[2].x + 1.0).abs() < EPS && a[2].y.abs() < EPS);
+        assert!(a[3].x.abs() < EPS && (a[3].y + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn single_dominant_feature_pulls_to_its_anchor() {
+        let p = radviz_project(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((p.x - 1.0).abs() < EPS && p.y.abs() < EPS);
+        let p = radviz_project(&[0.0, 0.0, 0.5, 0.0]);
+        assert!((p.x + 1.0).abs() < EPS && p.y.abs() < EPS);
+    }
+
+    #[test]
+    fn equal_features_land_at_centre() {
+        let p = radviz_project(&[0.7, 0.7, 0.7, 0.7]);
+        assert!(p.radius() < EPS);
+    }
+
+    #[test]
+    fn zero_vector_lands_at_centre() {
+        let p = radviz_project(&[0.0, 0.0, 0.0]);
+        assert_eq!((p.x, p.y), (0.0, 0.0));
+    }
+
+    #[test]
+    fn projection_is_inside_disc() {
+        let combos = [
+            vec![0.1, 0.9, 0.3],
+            vec![1.0, 1.0, 0.0, 0.0],
+            vec![0.2, 0.2, 0.2, 0.9, 0.9],
+        ];
+        for c in combos {
+            assert!(radviz_project(&c).radius() <= 1.0 + EPS);
+        }
+    }
+
+    #[test]
+    fn mixture_interpolates_between_anchors() {
+        // Equal pull from anchors 0 (east) and 1 (north) → 45° diagonal.
+        let p = radviz_project(&[0.5, 0.5, 0.0, 0.0]);
+        assert!((p.x - p.y).abs() < EPS);
+        assert!(p.x > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalised")]
+    fn rejects_unnormalised_values() {
+        let _ = radviz_project(&[2.0, 0.0]);
+    }
+}

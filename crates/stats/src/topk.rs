@@ -1,0 +1,69 @@
+//! Weight-ranked top-k selection.
+
+/// Returns the `k` items with the largest weight, heaviest first.
+///
+/// The sort is stable: ties keep their input order, so results are
+/// deterministic for a deterministic input sequence — important because
+/// "top 100 source ASes by traffic share" (Figs. 7/8/15) must be reproducible.
+///
+/// # Panics
+/// Panics if a weight is NaN.
+///
+/// ```
+/// use rtbh_stats::top_k_by;
+/// let xs = [("a", 3.0), ("b", 9.0), ("c", 9.0), ("d", 1.0)];
+/// let top = top_k_by(xs.iter().copied(), 2, |&(_, w)| w);
+/// assert_eq!(top, vec![("b", 9.0), ("c", 9.0)]);
+/// ```
+pub fn top_k_by<T, F>(items: impl IntoIterator<Item = T>, k: usize, weight: F) -> Vec<T>
+where
+    F: Fn(&T) -> f64,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut all: Vec<T> = items.into_iter().collect();
+    all.sort_by(|a, b| weight(b).partial_cmp(&weight(a)).expect("weights must not be NaN"));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_heaviest_first() {
+        let items = [(1u32, 5.0f64), (2, 1.0), (3, 8.0), (4, 3.0)];
+        let top = top_k_by(items.iter().copied(), 2, |&(_, w)| w);
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![3, 1]);
+    }
+
+    #[test]
+    fn ties_keep_input_order() {
+        let items = vec![(9u32, 10.0f64), (1, 10.0), (5, 10.0)];
+        let top = top_k_by(items, 2, |&(_, w)| w);
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![9, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_everything() {
+        let items = vec![(1u32, 1.0f64), (2, 2.0)];
+        let top = top_k_by(items, 10, |&(_, w)| w);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 2);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let items = vec![(1u32, 1.0f64)];
+        assert!(top_k_by(items, 0, |&(_, w)| w).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_weight_panics() {
+        let items = vec![1.0f64, f64::NAN];
+        let _ = top_k_by(items, 1, |&w| w);
+    }
+}

@@ -1,0 +1,439 @@
+//! DDoS attack workloads.
+//!
+//! Calibration targets from the paper:
+//!
+//! * during anomaly-backed RTBH events the protocol mix is 99.5% UDP (§5.4);
+//! * most events involve 1–2 known UDP amplification protocols, cLDAP/NTP/DNS
+//!   leading (Table 3);
+//! * ~90% of events could be fully filtered on the known amplification ports
+//!   (Fig. 14) — the remaining 10% are random-port, rising-port and
+//!   multi-protocol floods (§5.5);
+//! * an average attack reflects off ~1,086 amplifiers (§5.5).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rtbh_fabric::Sampler;
+use rtbh_net::{AmplificationProtocol, Interval, Ipv4Addr, Port, Protocol};
+
+use crate::descriptor::{ephemeral_port, uniform_time, PacketDescriptor, Workload};
+use crate::pool::{Amplifier, SourcePool};
+
+/// The rate envelope of an attack: a linear ramp-up to a flat plateau that
+/// holds until the attack ends (volumetric floods switch on abruptly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackEnvelope {
+    /// Plateau rate in raw packets per second.
+    pub peak_pps: f64,
+    /// Ramp-up length in milliseconds from attack start.
+    pub ramp_ms: i64,
+}
+
+impl AttackEnvelope {
+    /// A flat envelope with no ramp.
+    pub fn flat(peak_pps: f64) -> Self {
+        Self { peak_pps, ramp_ms: 0 }
+    }
+
+    /// The instantaneous rate `ms_into_attack` after the attack begins.
+    pub fn pps_at(&self, ms_into_attack: i64) -> f64 {
+        if ms_into_attack < 0 {
+            0.0
+        } else if ms_into_attack < self.ramp_ms {
+            self.peak_pps * ms_into_attack as f64 / self.ramp_ms as f64
+        } else {
+            self.peak_pps
+        }
+    }
+
+    /// Expected raw packets within `window`, where the attack starts at
+    /// `attack_start` (only the part of the window inside the attack counts;
+    /// the caller intersects with the attack interval first).
+    fn expected_packets(&self, window: Interval, attack_start_ms: i64) -> f64 {
+        let a = window.start.as_millis() - attack_start_ms;
+        let b = window.end.as_millis() - attack_start_ms;
+        if b <= a {
+            return 0.0;
+        }
+        // Piecewise integral: ramp part + plateau part.
+        let ramp_lo = a.clamp(0, self.ramp_ms);
+        let ramp_hi = b.clamp(0, self.ramp_ms);
+        let ramp_packets = if self.ramp_ms > 0 && ramp_hi > ramp_lo {
+            // ∫ peak · t/ramp dt over [lo, hi]
+            self.peak_pps * (ramp_hi.pow(2) - ramp_lo.pow(2)) as f64
+                / (2.0 * self.ramp_ms as f64)
+                / 1000.0
+        } else {
+            0.0
+        };
+        let plateau_lo = a.max(self.ramp_ms);
+        let plateau_hi = b.max(self.ramp_ms);
+        let plateau_packets =
+            self.peak_pps * (plateau_hi - plateau_lo).max(0) as f64 / 1000.0;
+        ramp_packets + plateau_packets
+    }
+}
+
+/// Typical reflected-response packet length (amplifiers emit large packets,
+/// frequently at the MTU).
+fn amplified_len<R: Rng>(rng: &mut R) -> u16 {
+    if rng.gen_bool(0.6) {
+        1500
+    } else {
+        rng.gen_range(900..1500)
+    }
+}
+
+/// A UDP reflection-amplification flood.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmplificationAttack {
+    /// The attacked address.
+    pub victim: Ipv4Addr,
+    /// The misused amplification protocols (usually 1–2, Table 3).
+    pub vectors: Vec<AmplificationProtocol>,
+    /// The reflector set carrying this attack.
+    pub amplifiers: Vec<Amplifier>,
+    /// When the attack runs.
+    pub attack_window: Interval,
+    /// Rate envelope.
+    pub envelope: AttackEnvelope,
+    /// Share of packets arriving as non-initial IP fragments (large
+    /// amplification responses fragment).
+    pub fragment_share: f64,
+}
+
+impl Workload for AmplificationAttack {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        assert!(!self.vectors.is_empty(), "attack needs at least one vector");
+        assert!(!self.amplifiers.is_empty(), "attack needs amplifiers");
+        let Some(active) = window.intersection(self.attack_window) else {
+            return Vec::new();
+        };
+        let expected =
+            self.envelope.expected_packets(active, self.attack_window.start.as_millis());
+        (0..sampler.sampled_count(expected, rng))
+            .map(|_| {
+                let amp = &self.amplifiers[rng.gen_range(0..self.amplifiers.len())];
+                let fragment = rng.gen_bool(self.fragment_share.clamp(0.0, 1.0));
+                let vector = self.vectors[rng.gen_range(0..self.vectors.len())];
+                PacketDescriptor {
+                    at: uniform_time(active, rng),
+                    handover: amp.handover,
+                    src_ip: amp.ip,
+                    dst_ip: self.victim,
+                    protocol: Protocol::Udp,
+                    src_port: if fragment { 0 } else { vector.source_port() },
+                    dst_port: if fragment { 0 } else { ephemeral_port(rng) },
+                    packet_len: amplified_len(rng),
+                    fragment,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A TCP SYN flood from spoofed sources — a state-exhaustion attack
+/// (paper §2.2: attacks target "either state (e.g. TCP Syn attack) or
+/// capacity (UDP-Amplification)").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynFlood {
+    /// The attacked address.
+    pub victim: Ipv4Addr,
+    /// The attacked service port (e.g. 80/443).
+    pub dst_port: Port,
+    /// Spoofed source space and the handover members carrying the flood.
+    pub spoofed: SourcePool,
+    /// When the attack runs.
+    pub attack_window: Interval,
+    /// Rate envelope.
+    pub envelope: AttackEnvelope,
+}
+
+impl Workload for SynFlood {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        let Some(active) = window.intersection(self.attack_window) else {
+            return Vec::new();
+        };
+        let expected =
+            self.envelope.expected_packets(active, self.attack_window.start.as_millis());
+        (0..sampler.sampled_count(expected, rng))
+            .map(|_| {
+                let (handover, src) = self.spoofed.draw(rng);
+                PacketDescriptor {
+                    at: uniform_time(active, rng),
+                    handover,
+                    src_ip: src,
+                    dst_ip: self.victim,
+                    protocol: Protocol::Tcp,
+                    src_port: ephemeral_port(rng),
+                    dst_port: self.dst_port,
+                    packet_len: 60,
+                    fragment: false,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The hard-to-filter 10%: floods on random or rising ports, optionally
+/// mixing transport protocols (§5.5 "attacks on random ports, increasing
+/// port numbers, and the use of multiple transport layer protocols").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomPortFlood {
+    /// The attacked address.
+    pub victim: Ipv4Addr,
+    /// Spoofed source space and the handover members carrying the flood.
+    pub spoofed: SourcePool,
+    /// Transport protocols in the mix (drawn uniformly).
+    pub protocols: Vec<Protocol>,
+    /// When the attack runs.
+    pub attack_window: Interval,
+    /// Rate envelope.
+    pub envelope: AttackEnvelope,
+    /// If true, destination ports rise monotonically with time instead of
+    /// being uniform.
+    pub rising_ports: bool,
+}
+
+impl Workload for RandomPortFlood {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        assert!(!self.protocols.is_empty(), "flood needs at least one protocol");
+        let Some(active) = window.intersection(self.attack_window) else {
+            return Vec::new();
+        };
+        let expected =
+            self.envelope.expected_packets(active, self.attack_window.start.as_millis());
+        let attack_span = self.attack_window.duration().as_millis().max(1);
+        (0..sampler.sampled_count(expected, rng))
+            .map(|_| {
+                let at = uniform_time(active, rng);
+                let (handover, src) = self.spoofed.draw(rng);
+                let protocol = self.protocols[rng.gen_range(0..self.protocols.len())];
+                let dst_port = if !protocol.has_ports() {
+                    0
+                } else if self.rising_ports {
+                    let progress = (at.as_millis() - self.attack_window.start.as_millis())
+                        as f64
+                        / attack_span as f64;
+                    1024 + (progress * 60_000.0) as u16
+                } else {
+                    rng.gen_range(1..=65535)
+                };
+                PacketDescriptor {
+                    at,
+                    handover,
+                    src_ip: src,
+                    dst_ip: self.victim,
+                    protocol,
+                    src_port: if protocol.has_ports() { rng.gen_range(1024..=65535) } else { 0 },
+                    dst_port,
+                    packet_len: rng.gen_range(60..=1200),
+                    fragment: false,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SourceSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rtbh_net::{Asn, Timestamp, TimeDelta};
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(11)
+    }
+
+    fn iv(min_a: i64, min_b: i64) -> Interval {
+        Interval::new(
+            Timestamp::EPOCH + TimeDelta::minutes(min_a),
+            Timestamp::EPOCH + TimeDelta::minutes(min_b),
+        )
+    }
+
+    fn amplifiers(n: u32) -> Vec<Amplifier> {
+        (0..n)
+            .map(|i| Amplifier {
+                ip: Ipv4Addr::new(20, 0, (i / 250) as u8, (i % 250) as u8 + 1),
+                origin: Asn(50_000 + i / 10),
+                handover: Asn(100 + (i % 5)),
+            })
+            .collect()
+    }
+
+    fn victim() -> Ipv4Addr {
+        "203.0.113.7".parse().unwrap()
+    }
+
+    #[test]
+    fn envelope_integral() {
+        let e = AttackEnvelope { peak_pps: 1000.0, ramp_ms: 10_000 };
+        // Whole ramp: 1000 * 10s / 2 = 5000 packets.
+        let w = iv(0, 60);
+        let full = e.expected_packets(
+            Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::seconds(10)),
+            0,
+        );
+        assert!((full - 5000.0).abs() < 1.0, "{full}");
+        // Ramp + 50s plateau.
+        let total = e.expected_packets(
+            Interval::new(Timestamp::EPOCH, w.end),
+            0,
+        );
+        assert!((total - (5000.0 + 1000.0 * (60.0 * 60.0 - 10.0))).abs() < 1.0, "{total}");
+    }
+
+    #[test]
+    fn envelope_flat() {
+        let e = AttackEnvelope::flat(100.0);
+        assert_eq!(e.pps_at(-5), 0.0);
+        assert_eq!(e.pps_at(0), 100.0);
+        let w = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::seconds(30));
+        assert!((e.expected_packets(w, 0) - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplification_attack_signature() {
+        let atk = AmplificationAttack {
+            victim: victim(),
+            vectors: vec![AmplificationProtocol::Cldap, AmplificationProtocol::Ntp],
+            amplifiers: amplifiers(500),
+            attack_window: iv(10, 70),
+            envelope: AttackEnvelope::flat(100_000.0),
+            fragment_share: 0.05,
+        };
+        let mut r = rng();
+        let pkts = atk.generate(iv(0, 120), &Sampler::new(10_000), &mut r);
+        assert!(pkts.len() > 20, "got {}", pkts.len());
+        for p in &pkts {
+            assert_eq!(p.dst_ip, victim());
+            assert_eq!(p.protocol, Protocol::Udp);
+            assert!(atk.attack_window.contains(p.at));
+            if p.fragment {
+                assert_eq!(p.src_port, 0);
+            } else {
+                assert!(p.src_port == 389 || p.src_port == 123);
+            }
+            assert!(p.packet_len >= 900);
+        }
+        // Unspoofed reflectors: source addresses come from the amplifier set.
+        let amp_ips: std::collections::BTreeSet<Ipv4Addr> =
+            atk.amplifiers.iter().map(|a| a.ip).collect();
+        assert!(pkts.iter().all(|p| amp_ips.contains(&p.src_ip)));
+    }
+
+    #[test]
+    fn attack_respects_window_intersection() {
+        let atk = AmplificationAttack {
+            victim: victim(),
+            vectors: vec![AmplificationProtocol::Dns],
+            amplifiers: amplifiers(10),
+            attack_window: iv(10, 20),
+            envelope: AttackEnvelope::flat(50_000.0),
+            fragment_share: 0.0,
+        };
+        let mut r = rng();
+        assert!(atk.generate(iv(30, 60), &Sampler::new(1000), &mut r).is_empty());
+        let pkts = atk.generate(iv(15, 60), &Sampler::new(1000), &mut r);
+        assert!(pkts.iter().all(|p| iv(15, 20).contains(p.at)));
+    }
+
+    #[test]
+    fn syn_flood_signature() {
+        let flood = SynFlood {
+            victim: victim(),
+            dst_port: 443,
+            spoofed: SourcePool::new(vec![SourceSpec {
+                handover: Asn(9),
+                prefix: "0.0.0.0/0".parse().unwrap(),
+                weight: 1.0,
+            }]),
+            attack_window: iv(0, 30),
+            envelope: AttackEnvelope::flat(80_000.0),
+        };
+        let mut r = rng();
+        let pkts = flood.generate(iv(0, 30), &Sampler::new(10_000), &mut r);
+        assert!(!pkts.is_empty());
+        for p in &pkts {
+            assert_eq!(p.protocol, Protocol::Tcp);
+            assert_eq!(p.dst_port, 443);
+            assert_eq!(p.packet_len, 60);
+        }
+        // Spoofed sources are all over the address space.
+        let uniq: std::collections::BTreeSet<Ipv4Addr> = pkts.iter().map(|p| p.src_ip).collect();
+        assert!(uniq.len() > pkts.len() * 9 / 10);
+    }
+
+    #[test]
+    fn random_port_flood_is_hard_to_filter() {
+        let flood = RandomPortFlood {
+            victim: victim(),
+            spoofed: SourcePool::new(vec![SourceSpec {
+                handover: Asn(9),
+                prefix: "0.0.0.0/0".parse().unwrap(),
+                weight: 1.0,
+            }]),
+            protocols: vec![Protocol::Udp, Protocol::Tcp, Protocol::Icmp],
+            attack_window: iv(0, 30),
+            envelope: AttackEnvelope::flat(80_000.0),
+            rising_ports: false,
+        };
+        let mut r = rng();
+        let pkts = flood.generate(iv(0, 30), &Sampler::new(10_000), &mut r);
+        assert!(!pkts.is_empty());
+        let amplification_matched = pkts
+            .iter()
+            .filter(|p| {
+                AmplificationProtocol::classify(p.protocol, p.src_port, p.fragment).is_some()
+            })
+            .count();
+        // Random source ports rarely collide with the 17 amplification ports.
+        assert!(amplification_matched * 50 < pkts.len(), "{amplification_matched}/{}", pkts.len());
+        assert!(pkts.iter().any(|p| p.protocol == Protocol::Icmp && p.dst_port == 0));
+    }
+
+    #[test]
+    fn rising_ports_rise() {
+        let flood = RandomPortFlood {
+            victim: victim(),
+            spoofed: SourcePool::new(vec![SourceSpec {
+                handover: Asn(9),
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                weight: 1.0,
+            }]),
+            protocols: vec![Protocol::Udp],
+            attack_window: iv(0, 60),
+            envelope: AttackEnvelope::flat(50_000.0),
+            rising_ports: true,
+        };
+        let mut r = rng();
+        let mut pkts = flood.generate(iv(0, 60), &Sampler::new(10_000), &mut r);
+        pkts.sort_by_key(|p| p.at);
+        let first_quarter_max =
+            pkts[..pkts.len() / 4].iter().map(|p| p.dst_port).max().unwrap();
+        let last_quarter_min =
+            pkts[3 * pkts.len() / 4..].iter().map(|p| p.dst_port).min().unwrap();
+        assert!(
+            last_quarter_min > first_quarter_max,
+            "ports must rise: early max {first_quarter_max}, late min {last_quarter_min}"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! A closed sum of all workload kinds, so schedulers can hold heterogeneous
+//! job lists without boxing.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rtbh_fabric::Sampler;
+use rtbh_net::Interval;
+
+use crate::attack::{AmplificationAttack, RandomPortFlood, SynFlood};
+use crate::descriptor::{PacketDescriptor, Workload};
+use crate::legit::{ClientWorkload, ScanNoise, ServerWorkload};
+
+/// Any of the concrete workloads of this crate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyWorkload {
+    /// Legitimate server baseline.
+    Server(ServerWorkload),
+    /// Legitimate client baseline.
+    Client(ClientWorkload),
+    /// Background scanning noise.
+    Scan(ScanNoise),
+    /// UDP reflection-amplification flood.
+    Amplification(AmplificationAttack),
+    /// TCP SYN flood.
+    Syn(SynFlood),
+    /// Random/rising-port flood.
+    RandomPort(RandomPortFlood),
+}
+
+impl Workload for AnyWorkload {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        match self {
+            AnyWorkload::Server(w) => w.generate(window, sampler, rng),
+            AnyWorkload::Client(w) => w.generate(window, sampler, rng),
+            AnyWorkload::Scan(w) => w.generate(window, sampler, rng),
+            AnyWorkload::Amplification(w) => w.generate(window, sampler, rng),
+            AnyWorkload::Syn(w) => w.generate(window, sampler, rng),
+            AnyWorkload::RandomPort(w) => w.generate(window, sampler, rng),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for AnyWorkload {
+            fn from(w: $ty) -> Self {
+                AnyWorkload::$variant(w)
+            }
+        }
+    };
+}
+
+impl_from!(Server, ServerWorkload);
+impl_from!(Client, ClientWorkload);
+impl_from!(Scan, ScanNoise);
+impl_from!(Amplification, AmplificationAttack);
+impl_from!(Syn, SynFlood);
+impl_from!(RandomPort, RandomPortFlood);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalRate;
+    use crate::pool::{SourcePool, SourceSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rtbh_net::{Asn, Service, Timestamp, TimeDelta};
+
+    #[test]
+    fn dispatch_matches_direct_call() {
+        let server = ServerWorkload {
+            server: "203.0.113.10".parse().unwrap(),
+            handover: Asn(42),
+            services: vec![Service::tcp(443)],
+            request_rate: DiurnalRate::flat(500.0),
+            response_factor: 1.0,
+            clients: SourcePool::new(vec![SourceSpec {
+                handover: Asn(7),
+                prefix: "100.64.0.0/16".parse().unwrap(),
+                weight: 1.0,
+            }]),
+        };
+        let window = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(2));
+        let direct =
+            server.generate(window, &Sampler::new(1000), &mut ChaCha20Rng::seed_from_u64(3));
+        let any: AnyWorkload = server.into();
+        let via_enum =
+            any.generate(window, &Sampler::new(1000), &mut ChaCha20Rng::seed_from_u64(3));
+        assert_eq!(direct, via_enum);
+        assert!(!direct.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Sampled packet descriptors, the interface between workloads and the
+//! fabric.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rtbh_fabric::Sampler;
+use rtbh_net::{Asn, Interval, Ipv4Addr, Port, Protocol, Timestamp};
+
+/// One sampled packet as produced by a workload, before the fabric decides
+/// its fate. The **handover AS** is the member whose port the packet enters
+/// through; the fabric turns it into a source MAC and decides the destination
+/// MAC (egress router or blackhole).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketDescriptor {
+    /// Capture timestamp.
+    pub at: Timestamp,
+    /// The IXP member handing the packet into the fabric.
+    pub handover: Asn,
+    /// Source IP (spoofable).
+    pub src_ip: Ipv4Addr,
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Source port (0 if none).
+    pub src_port: Port,
+    /// Destination port (0 if none).
+    pub dst_port: Port,
+    /// Layer-3 length in bytes.
+    pub packet_len: u16,
+    /// True for non-initial IP fragments.
+    pub fragment: bool,
+}
+
+/// A traffic workload: a deterministic generator of sampled packets for a
+/// time window.
+pub trait Workload {
+    /// Generates the sampled packets captured during `window`.
+    ///
+    /// Implementations draw the sample count by Poisson thinning through
+    /// `sampler` and place timestamps uniformly (or per their envelope)
+    /// inside the window. Output order is unspecified; corpora are sorted
+    /// when assembled into a [`rtbh_fabric::FlowLog`].
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor>;
+}
+
+/// Draws a uniform timestamp inside a window.
+pub(crate) fn uniform_time<R: Rng>(window: Interval, rng: &mut R) -> Timestamp {
+    let span = window.duration().as_millis().max(1);
+    Timestamp::from_millis(window.start.as_millis() + rng.gen_range(0..span))
+}
+
+/// Draws an ephemeral source port (32768..=65535).
+pub(crate) fn ephemeral_port<R: Rng>(rng: &mut R) -> Port {
+    rng.gen_range(32768..=65535)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rtbh_net::TimeDelta;
+
+    #[test]
+    fn uniform_time_stays_in_window() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let w = Interval::new(
+            Timestamp::from_millis(1000),
+            Timestamp::from_millis(1000) + TimeDelta::minutes(5),
+        );
+        for _ in 0..1000 {
+            let t = uniform_time(w, &mut rng);
+            assert!(w.contains(t));
+        }
+    }
+
+    #[test]
+    fn uniform_time_handles_degenerate_window() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let w = Interval::new(Timestamp::from_millis(5), Timestamp::from_millis(5));
+        assert_eq!(uniform_time(w, &mut rng), Timestamp::from_millis(5));
+    }
+
+    #[test]
+    fn ephemeral_ports_in_range() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let p = ephemeral_port(&mut rng);
+            assert!(rtbh_net::ports::is_ephemeral(p));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Diurnal rate envelopes.
+//!
+//! IXP traffic follows a strong day/night pattern. Legitimate workloads
+//! modulate their base rate with a sinusoid so that the EWMA baseline in the
+//! analysis sees realistic slow variation (and does not flag the daily peak
+//! as an anomaly — a 2.5·SD threshold over a 24 h window absorbs it).
+
+use serde::{Deserialize, Serialize};
+
+use rtbh_net::{Interval, Timestamp};
+
+/// A sinusoidally modulated packet rate:
+/// `pps(t) = base_pps · (1 + amplitude · sin(2π · (day_fraction(t) − peak)))`
+/// clamped at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalRate {
+    /// Mean rate in raw packets per second.
+    pub base_pps: f64,
+    /// Relative swing, `0.0` (flat) to `1.0` (full swing down to zero).
+    pub amplitude: f64,
+    /// Fraction of the day where the peak sits (0.58 ≈ 14:00 local).
+    pub peak_fraction: f64,
+}
+
+impl DiurnalRate {
+    /// A flat (non-diurnal) rate.
+    pub fn flat(base_pps: f64) -> Self {
+        Self { base_pps, amplitude: 0.0, peak_fraction: 0.0 }
+    }
+
+    /// A typical eyeball-traffic shape: ±40% swing peaking at 20:00.
+    pub fn eyeball(base_pps: f64) -> Self {
+        Self { base_pps, amplitude: 0.4, peak_fraction: 20.0 / 24.0 }
+    }
+
+    /// The instantaneous rate at `t`, in raw packets per second.
+    pub fn pps_at(&self, t: Timestamp) -> f64 {
+        let phase =
+            2.0 * std::f64::consts::PI * (t.day_fraction() - self.peak_fraction + 0.25);
+        (self.base_pps * (1.0 + self.amplitude * phase.sin())).max(0.0)
+    }
+
+    /// Expected raw packets in a window, integrated by 5-minute quadrature
+    /// (the diurnal curve is smooth at that scale).
+    pub fn expected_packets(&self, window: Interval) -> f64 {
+        if self.amplitude == 0.0 {
+            return self.base_pps * window.duration().as_millis() as f64 / 1000.0;
+        }
+        let step_ms: i64 = 300_000; // 5 minutes
+        let mut total = 0.0;
+        let mut t = window.start;
+        while t < window.end {
+            let end_ms = (t.as_millis() + step_ms).min(window.end.as_millis());
+            let mid = Timestamp::from_millis((t.as_millis() + end_ms) / 2);
+            total += self.pps_at(mid) * (end_ms - t.as_millis()) as f64 / 1000.0;
+            t = Timestamp::from_millis(end_ms);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_net::TimeDelta;
+
+    #[test]
+    fn flat_rate_is_constant() {
+        let r = DiurnalRate::flat(100.0);
+        for h in 0..24 {
+            let t = Timestamp::EPOCH + TimeDelta::hours(h);
+            assert_eq!(r.pps_at(t), 100.0);
+        }
+    }
+
+    #[test]
+    fn peak_sits_at_peak_fraction() {
+        let r = DiurnalRate { base_pps: 100.0, amplitude: 0.5, peak_fraction: 0.5 };
+        let peak = r.pps_at(Timestamp::EPOCH + TimeDelta::hours(12));
+        let trough = r.pps_at(Timestamp::EPOCH + TimeDelta::hours(0));
+        assert!((peak - 150.0).abs() < 1.0, "peak {peak}");
+        assert!((trough - 50.0).abs() < 1.0, "trough {trough}");
+    }
+
+    #[test]
+    fn rate_never_negative() {
+        let r = DiurnalRate { base_pps: 10.0, amplitude: 1.0, peak_fraction: 0.3 };
+        for m in (0..1440).step_by(10) {
+            let t = Timestamp::EPOCH + TimeDelta::minutes(m);
+            assert!(r.pps_at(t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn expected_packets_flat_is_exact() {
+        let r = DiurnalRate::flat(10.0);
+        let w = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::minutes(10));
+        assert!((r.expected_packets(w) - 6000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_packets_over_full_day_equals_base_mean() {
+        let r = DiurnalRate { base_pps: 100.0, amplitude: 0.6, peak_fraction: 0.7 };
+        let w = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::days(1));
+        let expect = 100.0 * 86_400.0;
+        let got = r.expected_packets(w);
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "integral over a full period ≈ base · T, got {got} want {expect}"
+        );
+    }
+
+    #[test]
+    fn expected_packets_partial_window() {
+        let r = DiurnalRate { base_pps: 100.0, amplitude: 0.5, peak_fraction: 0.5 };
+        // Window around the peak must exceed base × duration.
+        let w = Interval::new(
+            Timestamp::EPOCH + TimeDelta::hours(11),
+            Timestamp::EPOCH + TimeDelta::hours(13),
+        );
+        assert!(r.expected_packets(w) > 100.0 * 7200.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! Legitimate baseline workloads: servers, clients, and background scans.
+//!
+//! The host-classification analyses (paper §6) rest on two behavioural
+//! signatures these workloads reproduce:
+//!
+//! * a **server** listens on a small, stable set of services, so the *top
+//!   (destination) port* of its incoming traffic barely changes from day to
+//!   day (port variation ≈ 0), while the *source* ports it receives are the
+//!   clients' ephemeral ports — highly diverse;
+//! * a **client** initiates from fresh ephemeral ports, so incoming response
+//!   traffic hits a different dominant destination port almost every day
+//!   (port variation ≈ 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rtbh_fabric::Sampler;
+use rtbh_net::{Asn, Interval, Ipv4Addr, Protocol, Service};
+
+use crate::descriptor::{ephemeral_port, uniform_time, PacketDescriptor, Workload};
+use crate::diurnal::DiurnalRate;
+use crate::pool::SourcePool;
+
+/// Draws one of `services` with geometrically decaying weight (the first
+/// entry is the dominant service).
+fn pick_service<R: Rng>(services: &[Service], rng: &mut R) -> Service {
+    debug_assert!(!services.is_empty());
+    for &s in services {
+        if rng.gen_bool(0.7) {
+            return s;
+        }
+    }
+    services[services.len() - 1]
+}
+
+/// Typical request/response packet lengths.
+fn request_len<R: Rng>(rng: &mut R) -> u16 {
+    rng.gen_range(60..=140)
+}
+
+fn response_len<R: Rng>(rng: &mut R) -> u16 {
+    rng.gen_range(120..=1400)
+}
+
+/// A server host with stable listening services.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerWorkload {
+    /// The server's address.
+    pub server: Ipv4Addr,
+    /// The IXP member carrying the server's outbound traffic into the fabric.
+    pub handover: Asn,
+    /// Listening services; index 0 dominates (the "top port").
+    pub services: Vec<Service>,
+    /// Incoming request rate (raw pps crossing the IXP towards the server).
+    pub request_rate: DiurnalRate,
+    /// Outgoing responses per incoming request crossing the IXP.
+    pub response_factor: f64,
+    /// Where the clients live.
+    pub clients: SourcePool,
+}
+
+impl Workload for ServerWorkload {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        assert!(!self.services.is_empty(), "server needs at least one service");
+        let mut out = Vec::new();
+        let expected_in = self.request_rate.expected_packets(window);
+        for _ in 0..sampler.sampled_count(expected_in, rng) {
+            let service = pick_service(&self.services, rng);
+            let (handover, client) = self.clients.draw(rng);
+            out.push(PacketDescriptor {
+                at: uniform_time(window, rng),
+                handover,
+                src_ip: client,
+                dst_ip: self.server,
+                protocol: service.protocol,
+                src_port: ephemeral_port(rng),
+                dst_port: service.port,
+                packet_len: request_len(rng),
+                fragment: false,
+            });
+        }
+        for _ in 0..sampler.sampled_count(expected_in * self.response_factor, rng) {
+            let service = pick_service(&self.services, rng);
+            let (_, client) = self.clients.draw(rng);
+            out.push(PacketDescriptor {
+                at: uniform_time(window, rng),
+                handover: self.handover,
+                src_ip: self.server,
+                dst_ip: client,
+                protocol: service.protocol,
+                src_port: service.port,
+                dst_port: ephemeral_port(rng),
+                packet_len: response_len(rng),
+                fragment: false,
+            });
+        }
+        out
+    }
+}
+
+/// A client host (e.g. a DSL subscriber or a gamer's console).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientWorkload {
+    /// The client's address.
+    pub client: Ipv4Addr,
+    /// The IXP member carrying the client's outbound traffic.
+    pub handover: Asn,
+    /// Remote servers the client talks to.
+    pub remotes: SourcePool,
+    /// Services the client may use; the dominant one rotates daily.
+    pub service_menu: Vec<Service>,
+    /// Outgoing request rate (raw pps crossing the IXP).
+    pub rate: DiurnalRate,
+    /// Incoming responses per outgoing request.
+    pub response_factor: f64,
+    /// Seed decorrelating this client's daily service rotation from others.
+    pub day_seed: u64,
+}
+
+impl ClientWorkload {
+    /// The dominant remote service on a given virtual day.
+    pub fn dominant_service(&self, day: i64) -> Service {
+        assert!(!self.service_menu.is_empty(), "client needs a service menu");
+        // Small deterministic mix of seed and day.
+        let h = self
+            .day_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(day as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        self.service_menu[(h >> 33) as usize % self.service_menu.len()]
+    }
+}
+
+impl Workload for ClientWorkload {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        let mut out = Vec::new();
+        let expected_out = self.rate.expected_packets(window);
+        // Requests: client → remote.
+        for _ in 0..sampler.sampled_count(expected_out, rng) {
+            let at = uniform_time(window, rng);
+            let service = if rng.gen_bool(0.85) {
+                self.dominant_service(at.day())
+            } else {
+                self.service_menu[rng.gen_range(0..self.service_menu.len())]
+            };
+            let (_, remote) = self.remotes.draw(rng);
+            out.push(PacketDescriptor {
+                at,
+                handover: self.handover,
+                src_ip: self.client,
+                dst_ip: remote,
+                protocol: service.protocol,
+                src_port: ephemeral_port(rng),
+                dst_port: service.port,
+                packet_len: request_len(rng),
+                fragment: false,
+            });
+        }
+        // Responses: remote → client; destination port is whatever ephemeral
+        // port the client used, so the client's daily incoming "top port"
+        // never repeats.
+        for _ in 0..sampler.sampled_count(expected_out * self.response_factor, rng) {
+            let at = uniform_time(window, rng);
+            let service = if rng.gen_bool(0.85) {
+                self.dominant_service(at.day())
+            } else {
+                self.service_menu[rng.gen_range(0..self.service_menu.len())]
+            };
+            let (remote_handover, remote) = self.remotes.draw(rng);
+            out.push(PacketDescriptor {
+                at,
+                handover: remote_handover,
+                src_ip: remote,
+                dst_ip: self.client,
+                protocol: service.protocol,
+                src_port: service.port,
+                dst_port: ephemeral_port(rng),
+                packet_len: response_len(rng),
+                fragment: false,
+            });
+        }
+        out
+    }
+}
+
+/// Internet background radiation / scanning towards an address block —
+/// the faint traffic squatting-protection blackholes attract (§2.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanNoise {
+    /// The scanned destination block.
+    pub target: rtbh_net::Prefix,
+    /// Scanner populations.
+    pub scanners: SourcePool,
+    /// Flat raw scan rate in pps.
+    pub pps: f64,
+}
+
+/// Ports scanners probe most.
+const SCAN_PORTS: [u16; 8] = [22, 23, 80, 443, 445, 3389, 8080, 5900];
+
+impl Workload for ScanNoise {
+    fn generate<R: Rng>(
+        &self,
+        window: Interval,
+        sampler: &Sampler,
+        rng: &mut R,
+    ) -> Vec<PacketDescriptor> {
+        let expected = self.pps * window.duration().as_millis() as f64 / 1000.0;
+        (0..sampler.sampled_count(expected, rng))
+            .map(|_| {
+                let (handover, scanner) = self.scanners.draw(rng);
+                PacketDescriptor {
+                    at: uniform_time(window, rng),
+                    handover,
+                    src_ip: scanner,
+                    dst_ip: self.target.addr_at(rng.gen::<u64>()),
+                    protocol: Protocol::Tcp,
+                    src_port: ephemeral_port(rng),
+                    dst_port: SCAN_PORTS[rng.gen_range(0..SCAN_PORTS.len())],
+                    packet_len: 60,
+                    fragment: false,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::SourceSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+    use rtbh_net::{Timestamp, TimeDelta};
+
+    fn rng() -> ChaCha20Rng {
+        ChaCha20Rng::seed_from_u64(5)
+    }
+
+    fn clients() -> SourcePool {
+        SourcePool::new(vec![SourceSpec {
+            handover: Asn(7),
+            prefix: "100.64.0.0/16".parse().unwrap(),
+            weight: 1.0,
+        }])
+    }
+
+    fn day_window(day: i64) -> Interval {
+        Interval::new(
+            Timestamp::EPOCH + TimeDelta::days(day),
+            Timestamp::EPOCH + TimeDelta::days(day + 1),
+        )
+    }
+
+    fn server() -> ServerWorkload {
+        ServerWorkload {
+            server: "203.0.113.10".parse().unwrap(),
+            handover: Asn(42),
+            services: vec![Service::tcp(443), Service::tcp(80)],
+            request_rate: DiurnalRate::flat(200.0),
+            response_factor: 1.0,
+            clients: clients(),
+        }
+    }
+
+    #[test]
+    fn server_incoming_hits_service_ports() {
+        let s = server();
+        let mut r = rng();
+        let pkts = s.generate(day_window(0), &Sampler::new(1000), &mut r);
+        assert!(pkts.len() > 50, "got {}", pkts.len());
+        for p in pkts.iter().filter(|p| p.dst_ip == s.server) {
+            assert!(p.dst_port == 443 || p.dst_port == 80);
+            assert!(rtbh_net::ports::is_ephemeral(p.src_port));
+            assert_eq!(p.handover, Asn(7), "requests enter via the client member");
+        }
+        for p in pkts.iter().filter(|p| p.src_ip == s.server) {
+            assert!(p.src_port == 443 || p.src_port == 80);
+            assert!(rtbh_net::ports::is_ephemeral(p.dst_port));
+            assert_eq!(p.handover, Asn(42), "responses enter via the server member");
+        }
+    }
+
+    #[test]
+    fn server_top_port_is_stable_across_days() {
+        let s = server();
+        let mut r = rng();
+        for day in 0..5 {
+            let pkts = s.generate(day_window(day), &Sampler::new(1000), &mut r);
+            let mut counts = std::collections::BTreeMap::new();
+            for p in pkts.iter().filter(|p| p.dst_ip == s.server) {
+                *counts.entry(p.dst_port).or_insert(0usize) += 1;
+            }
+            let top = counts.iter().max_by_key(|(_, c)| **c).unwrap();
+            assert_eq!(*top.0, 443, "dominant service wins every day");
+        }
+    }
+
+    fn client() -> ClientWorkload {
+        ClientWorkload {
+            client: "100.64.9.9".parse().unwrap(),
+            handover: Asn(7),
+            remotes: SourcePool::new(vec![SourceSpec {
+                handover: Asn(8),
+                prefix: "203.0.113.0/24".parse().unwrap(),
+                weight: 1.0,
+            }]),
+            service_menu: vec![
+                Service::tcp(443),
+                Service::udp(443),
+                Service::tcp(80),
+                Service::udp(3478),
+                Service::tcp(8080),
+            ],
+            rate: DiurnalRate::flat(200.0),
+            response_factor: 2.0,
+            day_seed: 77,
+        }
+    }
+
+    #[test]
+    fn client_incoming_top_port_varies_daily() {
+        let c = client();
+        let mut r = rng();
+        let mut daily_top = Vec::new();
+        for day in 0..8 {
+            let pkts = c.generate(day_window(day), &Sampler::new(1000), &mut r);
+            let mut counts = std::collections::BTreeMap::new();
+            for p in pkts.iter().filter(|p| p.dst_ip == c.client) {
+                *counts.entry(p.dst_port).or_insert(0usize) += 1;
+            }
+            if let Some((port, _)) = counts.iter().max_by_key(|(_, c)| **c) {
+                daily_top.push(*port);
+            }
+        }
+        let unique: std::collections::BTreeSet<u16> = daily_top.iter().copied().collect();
+        assert!(
+            unique.len() >= daily_top.len() - 1,
+            "ephemeral destination ports must make daily top ports unique: {daily_top:?}"
+        );
+    }
+
+    #[test]
+    fn client_dominant_service_rotates() {
+        let c = client();
+        let services: std::collections::BTreeSet<Service> =
+            (0..30).map(|d| c.dominant_service(d)).collect();
+        assert!(services.len() >= 3, "rotation must visit several services");
+        // Deterministic per (seed, day).
+        assert_eq!(c.dominant_service(3), c.dominant_service(3));
+    }
+
+    #[test]
+    fn scan_noise_targets_prefix_with_scan_ports() {
+        let noise = ScanNoise {
+            target: "198.18.0.0/16".parse().unwrap(),
+            scanners: clients(),
+            pps: 100.0,
+        };
+        let mut r = rng();
+        let pkts = noise.generate(day_window(0), &Sampler::new(100), &mut r);
+        assert!(!pkts.is_empty());
+        for p in &pkts {
+            assert!(noise.target.contains_addr(p.dst_ip));
+            assert!(SCAN_PORTS.contains(&p.dst_port));
+            assert_eq!(p.protocol, Protocol::Tcp);
+        }
+    }
+
+    #[test]
+    fn sampled_volume_scales_with_rate() {
+        let s = server();
+        let mut r = rng();
+        let hour = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(1));
+        let coarse = s.generate(hour, &Sampler::new(10_000), &mut r).len();
+        let fine = s.generate(hour, &Sampler::new(100), &mut r).len();
+        assert!(fine > coarse.max(1) * 20, "fine {fine} vs coarse {coarse}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Traffic and attack workload generation.
+//!
+//! All workloads generate **directly in the sampled domain**: a workload is a
+//! rate process; the number of captured packets in a window is a Poisson draw
+//! with mean `raw_rate × window / sampling_rate` (see
+//! [`rtbh_fabric::Sampler`]), and each captured packet gets concrete header
+//! fields. This reproduces what a 1:10,000 IPFIX collector would record
+//! without simulating 104 days × 70 kpps packet by packet.
+//!
+//! Workload catalogue (calibrated against the paper):
+//!
+//! * [`legit`] — client/server baseline traffic with diurnal shape: servers
+//!   have a small stable set of listening services ("top ports"), clients
+//!   talk to a different dominant service almost every day (§6.2, Fig. 17);
+//! * [`attack`] — UDP reflection-amplification floods built from the Table 3
+//!   protocol catalogue, TCP SYN floods, and the hard-to-filter 10%:
+//!   random-port and multi-protocol floods (§5.4–5.5);
+//! * [`pool`] — amplifier/reflector pools with heavy-hitter skew (Fig. 15:
+//!   one origin AS participates in ~60% of attacks) and spoofed-source pools;
+//! * [`diurnal`] — the rate envelope primitives.
+//!
+//! Every generator takes an explicit RNG and is fully deterministic per seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod combined;
+pub mod descriptor;
+pub mod diurnal;
+pub mod legit;
+pub mod pool;
+
+pub use attack::{AmplificationAttack, AttackEnvelope, RandomPortFlood, SynFlood};
+pub use combined::AnyWorkload;
+pub use descriptor::{PacketDescriptor, Workload};
+pub use diurnal::DiurnalRate;
+pub use legit::{ClientWorkload, ScanNoise, ServerWorkload};
+pub use pool::{Amplifier, AmplifierPool, SourcePool, SourceSpec};

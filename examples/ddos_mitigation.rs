@@ -1,0 +1,177 @@
+//! A DDoS mitigation walkthrough on the raw substrate APIs: a victim under a
+//! cLDAP+NTP reflection flood triggers an RTBH at the route server; we watch
+//! which peers accept it, measure the realised drop rate, and compare the
+//! collateral damage of RTBH against fine-grained port filtering (§5.5).
+//!
+//! ```text
+//! cargo run --release --example ddos_mitigation
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use rtbh::bgp::{BgpUpdate, ImportPolicy, RouteServer, UpdateKind};
+use rtbh::fabric::{Fabric, Member, MemberId, RouterPort, Sampler};
+use rtbh::net::{
+    AmplificationProtocol, Asn, Community, Interval, Ipv4Addr, MacAddr, Prefix, Service,
+    TimeDelta, Timestamp,
+};
+use rtbh::traffic::{
+    AmplificationAttack, AttackEnvelope, DiurnalRate, ServerWorkload, SourcePool, SourceSpec,
+    Workload,
+};
+use rtbh::traffic::pool::Amplifier;
+
+const RS: Asn = Asn(6695);
+
+fn main() {
+    // --- build a 6-member IXP with mixed import policies -----------------
+    let policies = [
+        ("accepts /32", ImportPolicy::WHITELIST_32),
+        ("accepts /32", ImportPolicy::WHITELIST_32),
+        ("vendor default", ImportPolicy::DEFAULT_24),
+        ("vendor default", ImportPolicy::DEFAULT_24),
+        ("vendor default", ImportPolicy::DEFAULT_24),
+        ("fully open", ImportPolicy::FULL),
+    ];
+    let members: Vec<Member> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, (_, policy))| {
+            Member::new(
+                MemberId(i as u32),
+                Asn(100 + i as u32),
+                vec![RouterPort::new(MacAddr::from_id(i as u32 + 1), *policy)],
+            )
+        })
+        .collect();
+    let route_server = RouteServer::new(RS, members.iter().map(|m| m.asn));
+    let mut fabric = Fabric::new(members);
+
+    // The victim: a web server in AS100's /24.
+    let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+    let victim_net: Prefix = "203.0.113.0/24".parse().unwrap();
+    fabric.seed_regular_route(victim_net, Asn(100), MemberId(0), Timestamp::EPOCH);
+    // Eyeball space for legitimate clients, reachable via member AS105.
+    fabric.seed_regular_route("100.64.0.0/16".parse().unwrap(), Asn(105), MemberId(5), Timestamp::EPOCH);
+
+    // --- the attack -------------------------------------------------------
+    let window = Interval::new(
+        Timestamp::EPOCH + TimeDelta::minutes(10),
+        Timestamp::EPOCH + TimeDelta::minutes(130),
+    );
+    let amplifiers: Vec<Amplifier> = (0..600)
+        .map(|i| Amplifier {
+            ip: Ipv4Addr::new(20, (i / 250) as u8, (i % 250) as u8, 7),
+            origin: Asn(50_000 + i / 40),
+            handover: Asn(100 + 1 + (i % 5)), // enters via members 1..=5
+        })
+        .collect();
+    let attack = AmplificationAttack {
+        victim,
+        vectors: vec![AmplificationProtocol::Cldap, AmplificationProtocol::Ntp],
+        amplifiers,
+        attack_window: window,
+        envelope: AttackEnvelope { peak_pps: 400_000.0, ramp_ms: 30_000 },
+        fragment_share: 0.04,
+    };
+    // Legitimate baseline towards the victim's HTTPS service.
+    let legit = ServerWorkload {
+        server: victim,
+        handover: Asn(100),
+        services: vec![Service::tcp(443)],
+        request_rate: DiurnalRate::flat(2_000.0),
+        response_factor: 0.0, // we only look at traffic *towards* the victim
+        clients: SourcePool::new(vec![SourceSpec {
+            handover: Asn(105),
+            prefix: "100.64.0.0/16".parse().unwrap(),
+            weight: 1.0,
+        }]),
+    };
+
+    let sampler = Sampler::new(1_000); // 1:1000 for a crisp demo
+    let mut rng = ChaCha20Rng::seed_from_u64(42);
+    let horizon = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::minutes(140));
+    let mut packets = attack.generate(horizon, &sampler, &mut rng);
+    packets.extend(legit.generate(horizon, &sampler, &mut rng));
+    packets.sort_by_key(|p| p.at);
+    println!("sampled {} packets towards {victim} (attack + legit)", packets.len());
+
+    // --- the victim triggers an RTBH 4 minutes into the attack ------------
+    let rtbh = BgpUpdate {
+        at: window.start + TimeDelta::minutes(4),
+        peer: Asn(100),
+        prefix: Prefix::host(victim),
+        origin: Asn(100),
+        kind: UpdateKind::Announce,
+        communities: vec![Community::BLACKHOLE],
+        next_hop: "198.51.100.66".parse().unwrap(),
+    };
+    let recipients = route_server.recipients(&rtbh);
+    println!("\nRTBH for {} announced to {} peers:", rtbh.prefix, recipients.len());
+
+    // --- replay chronologically through the fabric ------------------------
+    let mut applied = false;
+    let mut dropped = 0u64;
+    let mut delivered = 0u64;
+    let mut legit_dropped = 0u64;
+    let mut legit_total = 0u64;
+    let mut filterable = 0u64;
+    let mut attack_total = 0u64;
+    for pkt in &packets {
+        if !applied && pkt.at >= rtbh.at {
+            fabric.distribute(&rtbh, &recipients);
+            applied = true;
+        }
+        let Some(member) = fabric.member_by_asn(pkt.handover) else { continue };
+        let mac = member.primary_router().mac;
+        let outcome = fabric.forward(member.id, mac, pkt.dst_ip);
+        let is_legit = pkt.protocol == rtbh::net::Protocol::Tcp && pkt.dst_port == 443;
+        if is_legit {
+            legit_total += 1;
+        } else {
+            attack_total += 1;
+            if AmplificationProtocol::classify(pkt.protocol, pkt.src_port, pkt.fragment)
+                .is_some()
+            {
+                filterable += 1;
+            }
+        }
+        match outcome {
+            rtbh::fabric::ForwardOutcome::Blackholed => {
+                dropped += 1;
+                if is_legit {
+                    legit_dropped += 1;
+                }
+            }
+            rtbh::fabric::ForwardOutcome::Delivered { .. } => delivered += 1,
+            rtbh::fabric::ForwardOutcome::Unroutable => {}
+        }
+    }
+
+    for (i, (label, policy)) in policies.iter().enumerate() {
+        let accepts = policy.accepts_blackhole(rtbh.prefix);
+        println!(
+            "  AS{:<4} ({label:<15}) → {}",
+            100 + i,
+            if accepts { "accepts: traffic to victim DROPPED" } else { "rejects: still forwarding" }
+        );
+    }
+
+    println!("\n== RTBH outcome ==");
+    let total = dropped + delivered;
+    println!(
+        "dropped {dropped} of {total} sampled packets ({:.0}%) — the paper's median /32 RTBH drops just 53%",
+        dropped as f64 * 100.0 / total.max(1) as f64
+    );
+    println!(
+        "collateral damage: {legit_dropped} of {legit_total} legitimate HTTPS packets blackholed"
+    );
+
+    println!("\n== fine-grained alternative (§5.5) ==");
+    println!(
+        "a port ACL on the 18 known amplification services would have matched {filterable} of {attack_total} attack packets ({:.1}%)",
+        filterable as f64 * 100.0 / attack_total.max(1) as f64
+    );
+    println!("…with zero collateral damage on TCP/443.");
+}

@@ -1,0 +1,159 @@
+//! Emulates the §5.5 fine-grained filtering study on a synthetic attack mix:
+//! how much of each attack could a port ACL on the 18 known UDP-amplification
+//! services remove, instead of blackholing the victim entirely?
+//!
+//! Includes the paper's hard 10%: random-port floods, rising-port floods and
+//! multi-protocol floods, which defeat port-based filtering.
+//!
+//! ```text
+//! cargo run --release --example fine_grained_filtering
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use rtbh::fabric::Sampler;
+use rtbh::net::{
+    AmplificationProtocol, Asn, Interval, Ipv4Addr, Protocol, TimeDelta, Timestamp,
+};
+use rtbh::traffic::pool::Amplifier;
+use rtbh::traffic::{
+    AmplificationAttack, AttackEnvelope, RandomPortFlood, SourcePool, SynFlood, Workload,
+};
+use rtbh::traffic::pool::SourceSpec;
+
+fn amplifiers() -> Vec<Amplifier> {
+    (0..400)
+        .map(|i| Amplifier {
+            ip: Ipv4Addr::new(20, (i / 200) as u8, (i % 200) as u8, 9),
+            origin: Asn(50_000 + i / 25),
+            handover: Asn(100 + (i % 8)),
+        })
+        .collect()
+}
+
+fn spoofed() -> SourcePool {
+    SourcePool::new(vec![SourceSpec {
+        handover: Asn(108),
+        prefix: "0.0.0.0/0".parse().unwrap(),
+        weight: 1.0,
+    }])
+}
+
+fn main() {
+    let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+    let window = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(1));
+    let envelope = AttackEnvelope::flat(200_000.0);
+    let sampler = Sampler::new(1_000);
+    let mut rng = ChaCha20Rng::seed_from_u64(7);
+
+    use AmplificationProtocol::*;
+    let attacks: Vec<(&str, Vec<rtbh::traffic::PacketDescriptor>)> = vec![
+        (
+            "cLDAP reflection",
+            AmplificationAttack {
+                victim,
+                vectors: vec![Cldap],
+                amplifiers: amplifiers(),
+                attack_window: window,
+                envelope,
+                fragment_share: 0.0,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+        (
+            "NTP+DNS multi-vector w/ fragments",
+            AmplificationAttack {
+                victim,
+                vectors: vec![Ntp, Dns],
+                amplifiers: amplifiers(),
+                attack_window: window,
+                envelope,
+                fragment_share: 0.08,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+        (
+            "memcached burst",
+            AmplificationAttack {
+                victim,
+                vectors: vec![Memcached],
+                amplifiers: amplifiers(),
+                attack_window: window,
+                envelope,
+                fragment_share: 0.15,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+        (
+            "random-port UDP flood (hard)",
+            RandomPortFlood {
+                victim,
+                spoofed: spoofed(),
+                protocols: vec![Protocol::Udp],
+                attack_window: window,
+                envelope,
+                rising_ports: false,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+        (
+            "rising-port UDP flood (hard)",
+            RandomPortFlood {
+                victim,
+                spoofed: spoofed(),
+                protocols: vec![Protocol::Udp],
+                attack_window: window,
+                envelope,
+                rising_ports: true,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+        (
+            "multi-protocol flood (hard)",
+            RandomPortFlood {
+                victim,
+                spoofed: spoofed(),
+                protocols: vec![Protocol::Udp, Protocol::Tcp, Protocol::Icmp],
+                attack_window: window,
+                envelope,
+                rising_ports: false,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+        (
+            "TCP SYN flood (hard)",
+            SynFlood {
+                victim,
+                dst_port: 443,
+                spoofed: spoofed(),
+                attack_window: window,
+                envelope,
+            }
+            .generate(window, &sampler, &mut rng),
+        ),
+    ];
+
+    println!("port-ACL coverage on the 18-entry amplification catalogue (Table 3):\n");
+    println!("{:<38} {:>9} {:>10} {:>9}", "attack", "samples", "filterable", "coverage");
+    for (name, packets) in &attacks {
+        let filterable = packets
+            .iter()
+            .filter(|p| {
+                AmplificationProtocol::classify(p.protocol, p.src_port, p.fragment).is_some()
+            })
+            .count();
+        println!(
+            "{:<38} {:>9} {:>10} {:>8.1}%",
+            name,
+            packets.len(),
+            filterable,
+            filterable as f64 * 100.0 / packets.len().max(1) as f64
+        );
+    }
+    println!(
+        "\nAmplification attacks are ~fully removable by the ACL (the paper's 90% of\n\
+         events); the hard cases are exactly why §5.5 concludes the remaining 10%\n\
+         'require further investigation and are more difficult to mitigate'."
+    );
+}

@@ -1,0 +1,159 @@
+//! RTBH vs BGP FlowSpec on the same attack (paper §5.5 / §7.2).
+//!
+//! The paper's closing argument: port-based filtering of the known UDP
+//! amplification services would have fully served 90% of the anomaly-backed
+//! RTBH events — with none of RTBH's collateral damage. This example runs
+//! one attack + legitimate-traffic mix through both mitigations and prints
+//! the scoreboard.
+//!
+//! ```text
+//! cargo run --release --example flowspec_mitigation
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use rtbh::bgp::{amplification_mitigation, FlowAction, FlowSpecRule, FlowSpecTable};
+use rtbh::fabric::Sampler;
+use rtbh::net::{
+    AmplificationProtocol, Asn, Interval, Ipv4Addr, Prefix, Protocol, Service, TimeDelta,
+    Timestamp,
+};
+use rtbh::traffic::pool::{Amplifier, SourceSpec};
+use rtbh::traffic::{
+    AmplificationAttack, AttackEnvelope, DiurnalRate, RandomPortFlood, ServerWorkload,
+    SourcePool, Workload,
+};
+
+struct Scoreboard {
+    attack_dropped: u64,
+    attack_total: u64,
+    legit_dropped: u64,
+    legit_total: u64,
+}
+
+fn score(
+    table: &FlowSpecTable,
+    packets: &[rtbh::traffic::PacketDescriptor],
+    is_attack: impl Fn(&rtbh::traffic::PacketDescriptor) -> bool,
+) -> Scoreboard {
+    let mut sb =
+        Scoreboard { attack_dropped: 0, attack_total: 0, legit_dropped: 0, legit_total: 0 };
+    for p in packets {
+        let dropped = table.evaluate(
+            p.src_ip, p.dst_ip, p.protocol, p.src_port, p.dst_port, p.fragment,
+        ) == FlowAction::Discard;
+        if is_attack(p) {
+            sb.attack_total += 1;
+            if dropped {
+                sb.attack_dropped += 1;
+            }
+        } else {
+            sb.legit_total += 1;
+            if dropped {
+                sb.legit_dropped += 1;
+            }
+        }
+    }
+    sb
+}
+
+fn print_row(name: &str, sb: &Scoreboard) {
+    println!(
+        "{name:<28} attack removed {:>6.1}%   collateral {:>6.1}% ({} of {} legit pkts)",
+        sb.attack_dropped as f64 * 100.0 / sb.attack_total.max(1) as f64,
+        sb.legit_dropped as f64 * 100.0 / sb.legit_total.max(1) as f64,
+        sb.legit_dropped,
+        sb.legit_total
+    );
+}
+
+fn main() {
+    let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+    let victim_prefix = Prefix::host(victim);
+    let window = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(1));
+    let sampler = Sampler::new(1_000);
+    let mut rng = ChaCha20Rng::seed_from_u64(99);
+
+    let amplifiers: Vec<Amplifier> = (0..500)
+        .map(|i| Amplifier {
+            ip: Ipv4Addr::new(20, (i / 250) as u8, (i % 250) as u8, 3),
+            origin: Asn(50_000 + i / 25),
+            handover: Asn(101 + (i % 7)),
+        })
+        .collect();
+
+    // The attack mix: cLDAP+NTP amplification with fragments.
+    let amplification = AmplificationAttack {
+        victim,
+        vectors: vec![AmplificationProtocol::Cldap, AmplificationProtocol::Ntp],
+        amplifiers,
+        attack_window: window,
+        envelope: AttackEnvelope::flat(300_000.0),
+        fragment_share: 0.06,
+    };
+    // Legitimate HTTPS towards the victim.
+    let legit = ServerWorkload {
+        server: victim,
+        handover: Asn(100),
+        services: vec![Service::tcp(443), Service::udp(443)],
+        request_rate: DiurnalRate::flat(3_000.0),
+        response_factor: 0.0,
+        clients: SourcePool::new(vec![SourceSpec {
+            handover: Asn(108),
+            prefix: "100.64.0.0/16".parse().unwrap(),
+            weight: 1.0,
+        }]),
+    };
+
+    let mut packets = amplification.generate(window, &sampler, &mut rng);
+    let attack_count = packets.len();
+    packets.extend(legit.generate(window, &sampler, &mut rng));
+    println!(
+        "mix: {} attack + {} legitimate sampled packets towards {victim}\n",
+        attack_count,
+        packets.len() - attack_count
+    );
+    let is_attack = |p: &rtbh::traffic::PacketDescriptor| {
+        AmplificationProtocol::classify(p.protocol, p.src_port, p.fragment).is_some()
+    };
+
+    // Strategy 1: RTBH — a discard-all FlowSpec rule is semantically what an
+    // accepted blackhole does.
+    let mut rtbh_table = FlowSpecTable::new();
+    rtbh_table.push(FlowSpecRule::discard_all(victim_prefix));
+    print_row("RTBH (drop-all)", &score(&rtbh_table, &packets, is_attack));
+
+    // Strategy 2: the §5.5 amplification-port FlowSpec table.
+    let fs_table = amplification_mitigation(victim_prefix);
+    print_row(
+        &format!("FlowSpec ({} rules)", fs_table.len()),
+        &score(&fs_table, &packets, is_attack),
+    );
+
+    // Strategy 3: the hard case — a random-port flood defeats port filters.
+    let hard = RandomPortFlood {
+        victim,
+        spoofed: SourcePool::new(vec![SourceSpec {
+            handover: Asn(109),
+            prefix: "0.0.0.0/0".parse().unwrap(),
+            weight: 1.0,
+        }]),
+        protocols: vec![Protocol::Udp],
+        attack_window: window,
+        envelope: AttackEnvelope::flat(300_000.0),
+        rising_ports: false,
+    };
+    let mut hard_packets = hard.generate(window, &sampler, &mut rng);
+    hard_packets.extend(legit.generate(window, &sampler, &mut rng));
+    println!();
+    print_row(
+        "FlowSpec vs random-port",
+        &score(&fs_table, &hard_packets, |p| p.dst_ip == victim && p.dst_port != 443),
+    );
+    println!(
+        "\nAmplification floods: the port table removes ~everything with zero collateral.\n\
+         Random-port floods are the paper's hard 10% — port filters barely touch them,\n\
+         which is why RTBH persists despite destroying victim reachability."
+    );
+}

@@ -1,0 +1,81 @@
+//! Operator tooling: hunt forgotten "RTBH zombies" and long-lived
+//! squatting-protection blackholes in a recorded corpus (paper §7.3).
+//!
+//! Zombies are /32 blackholes that were once triggered against an attack and
+//! never withdrawn; their owners lose ~50% reachability at the IXP without
+//! noticing. This example prints the operator report the paper's authors
+//! would have loved to email around.
+//!
+//! ```text
+//! cargo run --release --example zombie_hunt
+//! ```
+
+use rtbh::core::classify::UseCase;
+use rtbh::core::Analyzer;
+use rtbh::sim::ScenarioConfig;
+
+fn main() {
+    let mut config = ScenarioConfig::tiny();
+    config.days = 21; // three weeks so zombies age visibly
+    config.zombie_events = 10;
+    println!("recording {} days of route-server and flow data...", config.days);
+    let out = rtbh::sim::run(&config);
+    let analyzer = Analyzer::with_defaults(out.corpus);
+
+    let preevents = analyzer.preevents();
+    let protocols = analyzer.protocols(&preevents);
+    let classification = analyzer.classification(&preevents, &protocols);
+    let acceptance = analyzer.acceptance();
+
+    println!("\n==== RTBH hygiene report ====");
+    let mut zombies = 0;
+    for verdict in &classification.per_event {
+        if verdict.use_case != UseCase::Zombie {
+            continue;
+        }
+        zombies += 1;
+        let event = &analyzer.events()[verdict.event_id];
+        let during = &protocols.per_event[verdict.event_id];
+        let drop_rate = acceptance
+            .by_prefix
+            .get(&event.prefix)
+            .map(|t| t.packet_drop_rate())
+            .unwrap_or(0.0);
+        println!(
+            "ZOMBIE  {:<18} announced by {} on {}, active {:>9} — {} pkts seen, {:.0}% of them dropped",
+            event.prefix.to_string(),
+            event.trigger_peer,
+            event.start(),
+            verdict.duration.to_string(),
+            during.packets,
+            drop_rate * 100.0
+        );
+    }
+    println!("→ {zombies} forgotten blackholes; their owners are partially unreachable.");
+
+    println!();
+    for verdict in &classification.per_event {
+        if verdict.use_case != UseCase::SquattingProtection {
+            continue;
+        }
+        let event = &analyzer.events()[verdict.event_id];
+        println!(
+            "SQUAT-GUARD {:<18} by {} — {} of scanning noise only; deliberate, keep",
+            event.prefix.to_string(),
+            event.origin,
+            verdict.duration.to_string()
+        );
+    }
+
+    // Score against ground truth (only possible because this corpus is
+    // simulated — the whole point of the digital twin).
+    let card = rtbh::sim::score(&out.truth, analyzer.events(), &preevents, &classification);
+    println!("\n[scoring] planted zombies: {}, reported: {zombies}", out.truth.zombie_count());
+    println!(
+        "[scoring] zombie precision {:.2} / recall {:.2}; squatting recall {:.2}; event recall {:.2}",
+        card.zombie.precision(),
+        card.zombie.recall(),
+        card.squatting.recall(),
+        card.event_recall
+    );
+}

@@ -1,0 +1,138 @@
+//! The `rtbh` command-line tool: generate, inspect and analyze corpora.
+//!
+//! ```text
+//! rtbh simulate [--tiny | --paper | --scale F] [--seed N] <out.rtbh>
+//! rtbh info    <corpus.rtbh>
+//! rtbh analyze <corpus.rtbh> [--json <out.json>]
+//! ```
+//!
+//! `simulate` writes the corpus in the binary container format (JSON
+//! metadata + MRT update log + IPFIX-lite flows) and the ground truth as
+//! JSON next to it; `analyze` runs the full paper pipeline on a corpus file
+//! and prints the headline findings.
+
+use std::path::PathBuf;
+
+use rtbh::core::Analyzer;
+use rtbh::sim::ScenarioConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  rtbh simulate [--tiny|--paper|--scale F] [--seed N] <out.rtbh>\n  \
+         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("simulate") => simulate(args.collect()),
+        Some("info") => info(args.collect()),
+        Some("analyze") => analyze(args.collect()),
+        _ => usage(),
+    }
+}
+
+fn simulate(args: Vec<String>) {
+    let mut config = ScenarioConfig::tiny();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tiny" => config = ScenarioConfig::tiny(),
+            "--paper" => config = ScenarioConfig::paper(),
+            "--scale" => {
+                let f: f64 =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                config = ScenarioConfig::scaled(f);
+            }
+            "--seed" => {
+                config.seed =
+                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            path if !path.starts_with('-') => out = Some(PathBuf::from(path)),
+            _ => usage(),
+        }
+    }
+    let out = out.unwrap_or_else(|| usage());
+    eprintln!(
+        "simulating {} days, {} members, {} events (seed {:#x})...",
+        config.days,
+        config.members,
+        config.total_events(),
+        config.seed
+    );
+    let result = rtbh::sim::run(&config);
+    rtbh::corpus_io::save(&result.corpus, &out).expect("write corpus");
+    let truth_path = out.with_extension("truth.json");
+    std::fs::write(
+        &truth_path,
+        serde_json::to_vec_pretty(&result.truth).expect("serialize truth"),
+    )
+    .expect("write truth");
+    eprintln!(
+        "wrote {} ({} updates, {} samples) and {}",
+        out.display(),
+        result.corpus.updates.len(),
+        result.corpus.flows.len(),
+        truth_path.display()
+    );
+}
+
+fn load(path: &str) -> rtbh::core::Corpus {
+    rtbh::corpus_io::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("failed to load {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn info(args: Vec<String>) {
+    let Some(path) = args.first() else { usage() };
+    let corpus = load(path);
+    println!("period:         {}", corpus.period);
+    println!("sampling:       1:{}", corpus.sampling_rate);
+    println!("route server:   {}", corpus.route_server_asn);
+    println!("members:        {}", corpus.members.len());
+    println!("BGP updates:    {} ({} blackhole announcements)",
+        corpus.updates.len(),
+        corpus.updates.blackholes().filter(|u| u.is_announce()).count());
+    println!("flow samples:   {} ({} dropped)",
+        corpus.flows.len(),
+        corpus.flows.dropped().count());
+    println!("route table:    {} prefixes", corpus.routes.len());
+    println!("digest:         {:#018x}", corpus.digest());
+}
+
+fn analyze(args: Vec<String>) {
+    let mut path: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_out = Some(it.next().unwrap_or_else(|| usage())),
+            p if !p.starts_with('-') => path = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let corpus = load(&path);
+    let analyzer = Analyzer::with_defaults(corpus);
+    let report = analyzer.full();
+    let headline = report.headline();
+    print!("{}", rtbh::core::report::render_report(&report, analyzer.corpus()));
+    if let Some(out) = json_out {
+        #[derive(serde::Serialize)]
+        struct JsonOut {
+            headline: rtbh::core::pipeline::Headline,
+            class_shares: (f64, f64, f64),
+        }
+        let payload = JsonOut {
+            headline,
+            class_shares: report.preevents.class_shares(),
+        };
+        std::fs::write(&out, serde_json::to_vec_pretty(&payload).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {out}");
+    }
+}

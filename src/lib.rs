@@ -1,0 +1,42 @@
+//! `rtbh` — a full Rust reproduction of *"Down the Black Hole: Dismantling
+//! Operational Practices of BGP Blackholing at IXPs"* (IMC 2019).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`net`] — network primitives (prefixes, MACs, ASNs, communities, tries);
+//! * [`stats`] — EWMA anomaly detection, quantiles, offset MLE, RadViz;
+//! * [`peeringdb`] — the synthetic AS registry;
+//! * [`bgp`] — blackhole signaling: updates, route server, policies, RIBs;
+//! * [`fabric`] — the IXP switching fabric and IPFIX-style sampling;
+//! * [`traffic`] — DDoS and baseline workload generation;
+//! * [`sim`] — the scenario engine (corpus + ground truth);
+//! * [`core`] — the paper's analysis pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtbh::sim::ScenarioConfig;
+//! use rtbh::core::Analyzer;
+//!
+//! let out = rtbh::sim::run(&ScenarioConfig::tiny());
+//! let analyzer = Analyzer::with_defaults(out.corpus);
+//! let report = analyzer.full();
+//! let headline = report.headline();
+//! assert!(headline.total_events > 0);
+//! // Only a minority of blackholes correlate with DDoS-like anomalies:
+//! assert!(headline.anomaly_share < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus_io;
+
+pub use rtbh_bgp as bgp;
+pub use rtbh_core as core;
+pub use rtbh_fabric as fabric;
+pub use rtbh_net as net;
+pub use rtbh_peeringdb as peeringdb;
+pub use rtbh_sim as sim;
+pub use rtbh_stats as stats;
+pub use rtbh_traffic as traffic;
