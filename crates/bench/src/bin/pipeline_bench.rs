@@ -1,0 +1,89 @@
+//! Emits `BENCH_pipeline.json`: sequential vs parallel `Analyzer::full`
+//! stage timings on one simulated corpus.
+//!
+//! ```text
+//! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] [--out PATH]
+//! ```
+//!
+//! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json`. Prints both
+//! stage tables and the speedup to stdout; the JSON file carries the full
+//! machine-readable record (see `rtbh_bench::pipeline`).
+
+use std::io::Write;
+
+use rtbh_bench::bench_pipeline;
+use rtbh_sim::ScenarioConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ScenarioConfig::scaled(0.25);
+    let mut reps: usize = 3;
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tiny" => config = ScenarioConfig::tiny(),
+            "--paper" => config = ScenarioConfig::paper(),
+            "--scale" => {
+                let f: f64 =
+                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                config = ScenarioConfig::scaled(f);
+            }
+            "--seed" => {
+                config.seed =
+                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            "--reps" => {
+                reps = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "simulating {} days, {} members (seed {:#x}), then timing {} rep(s) per mode ...",
+        config.days, config.members, config.seed, reps
+    );
+    let bench = bench_pipeline(config, reps);
+
+    let mut stdout = std::io::stdout().lock();
+    writeln!(
+        stdout,
+        "corpus: {} updates, {} samples, {} events\n",
+        bench.updates, bench.samples, bench.events
+    )
+    .expect("write stdout");
+    writeln!(stdout, "sequential (best of {}):\n{}", bench.reps, bench.sequential.render())
+        .expect("write stdout");
+    writeln!(stdout, "parallel (best of {}):\n{}", bench.reps, bench.parallel.render())
+        .expect("write stdout");
+    writeln!(
+        stdout,
+        "speedup: {:.2}x   reports identical: {}",
+        bench.speedup, bench.reports_identical
+    )
+    .expect("write stdout");
+
+    std::fs::write(
+        &out_path,
+        serde_json::to_vec_pretty(&bench).expect("serialize bench result"),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+
+    if !bench.reports_identical {
+        eprintln!("ERROR: sequential and parallel reports diverged");
+        std::process::exit(1);
+    }
+}

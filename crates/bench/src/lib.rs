@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod pipeline;
 pub mod render;
 
 use rtbh_core::pipeline::{Analyzer, FullReport};
 use rtbh_sim::{GroundTruth, ScenarioConfig, SimOutput};
 
 pub use figures::all_figures;
+pub use pipeline::{bench_pipeline, PipelineBench};
 pub use render::FigureReport;
 
 /// A fully prepared experiment context: simulated corpus + analysis results

@@ -1,0 +1,109 @@
+//! The pipeline timing bench behind `BENCH_pipeline.json`.
+//!
+//! Simulates one corpus, then times [`Analyzer::full_sequential_with_profile`]
+//! against the parallel [`Analyzer::full_with_profile`] for a configurable
+//! number of repetitions, keeping the best (lowest-wall) profile per mode.
+//! The result carries the corpus dimensions, both stage profiles, the
+//! end-to-end speedup and a byte-identity check of the two reports' JSON —
+//! the same invariant the `determinism` integration test enforces, here
+//! re-verified on every bench run so a regression cannot hide behind a
+//! fast-but-wrong schedule.
+//!
+//! Regenerate with `scripts/bench_pipeline.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p rtbh-bench --bin pipeline_bench -- --scale 0.25 --reps 3
+//! ```
+
+use serde::Serialize;
+
+use rtbh_core::pipeline::{Analyzer, FullReport};
+use rtbh_core::profile::PipelineProfile;
+use rtbh_sim::ScenarioConfig;
+
+/// The machine-readable result of one pipeline timing run
+/// (the content of `BENCH_pipeline.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineBench {
+    /// The scenario that generated the corpus.
+    pub scenario: ScenarioConfig,
+    /// BGP updates in the corpus.
+    pub updates: usize,
+    /// Flow samples in the corpus.
+    pub samples: usize,
+    /// Inferred RTBH events.
+    pub events: usize,
+    /// Timing repetitions per mode (the best run is reported).
+    pub reps: usize,
+    /// Best sequential stage profile.
+    pub sequential: PipelineProfile,
+    /// Best parallel stage profile.
+    pub parallel: PipelineProfile,
+    /// End-to-end speedup: sequential wall / parallel wall.
+    pub speedup: f64,
+    /// Whether both modes serialized to byte-identical report JSON.
+    pub reports_identical: bool,
+}
+
+/// Keeps the run with the lowest end-to-end wall time.
+fn keep_best(
+    best: &mut Option<(FullReport, PipelineProfile)>,
+    run: (FullReport, PipelineProfile),
+) {
+    let better = match best {
+        Some((_, p)) => run.1.total_wall_ns < p.total_wall_ns,
+        None => true,
+    };
+    if better {
+        *best = Some(run);
+    }
+}
+
+/// Simulates `config`, prepares the analyzer once, and times the full
+/// pipeline `reps` times in each execution mode.
+pub fn bench_pipeline(config: ScenarioConfig, reps: usize) -> PipelineBench {
+    let reps = reps.max(1);
+    let out = rtbh_sim::run(&config);
+    let analyzer = Analyzer::with_defaults(out.corpus);
+
+    let mut seq_best: Option<(FullReport, PipelineProfile)> = None;
+    let mut par_best: Option<(FullReport, PipelineProfile)> = None;
+    for _ in 0..reps {
+        keep_best(&mut seq_best, analyzer.full_sequential_with_profile());
+        keep_best(&mut par_best, analyzer.full_with_profile());
+    }
+    let (seq_report, sequential) = seq_best.expect("reps >= 1");
+    let (par_report, parallel) = par_best.expect("reps >= 1");
+
+    let reports_identical = serde_json::to_string(&seq_report).ok()
+        == serde_json::to_string(&par_report).ok();
+    let speedup = sequential.total_wall_ns as f64 / parallel.total_wall_ns.max(1) as f64;
+
+    PipelineBench {
+        updates: analyzer.corpus().updates.len(),
+        samples: analyzer.corpus().flows.len(),
+        events: analyzer.events().len(),
+        scenario: config,
+        reps,
+        sequential,
+        parallel,
+        speedup,
+        reports_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_pipeline_reports_identical_modes_on_tiny_corpus() {
+        let bench = bench_pipeline(ScenarioConfig::tiny(), 1);
+        assert!(bench.reports_identical);
+        assert_eq!(bench.sequential.stages.len(), bench.parallel.stages.len());
+        assert!(bench.speedup > 0.0);
+        // The result must serialize (it is written verbatim to
+        // BENCH_pipeline.json).
+        serde_json::to_string(&bench).expect("serialize bench result");
+    }
+}

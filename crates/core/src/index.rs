@@ -76,6 +76,19 @@ impl SampleIndex {
         &self.from[id]
     }
 
+    /// Total number of indexed sample references (towards + from) for the
+    /// prefixes of the given events — the input footprint the event-scoped
+    /// analyses traverse, reported by the pipeline's stage profile.
+    pub fn event_sample_footprint(&self, events: &[crate::events::RtbhEvent]) -> u64 {
+        events
+            .iter()
+            .map(|e| match self.prefix_id(e.prefix) {
+                Some(id) => (self.towards[id].len() + self.from[id].len()) as u64,
+                None => 0,
+            })
+            .sum()
+    }
+
     /// Resolves sample indices to samples.
     pub fn resolve<'a>(
         &self,

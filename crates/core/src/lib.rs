@@ -22,7 +22,10 @@
 //! | [`classify`] | §7.3, Fig. 19, Table 1 | final use-case classification |
 //!
 //! [`index`] builds the shared sample↔prefix indices; [`pipeline`] wires
-//! everything into a single [`pipeline::Analyzer`] facade.
+//! everything into a single [`pipeline::Analyzer`] facade, running the
+//! independent analyses on scoped worker threads; [`profile`] records
+//! per-stage wall times and input footprints (`rtbh analyze --timings`,
+//! `BENCH_pipeline.json`).
 //!
 //! The pipeline never sees simulator ground truth — only what the paper's
 //! vantage point could record.
@@ -43,6 +46,7 @@ pub mod index;
 pub mod load;
 pub mod pipeline;
 pub mod preevent;
+pub mod profile;
 pub mod protocols;
 pub mod report;
 pub mod visibility;
@@ -50,3 +54,4 @@ pub mod visibility;
 pub use corpus::{Corpus, MemberInfo};
 pub use events::RtbhEvent;
 pub use pipeline::Analyzer;
+pub use profile::PipelineProfile;

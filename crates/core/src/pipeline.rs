@@ -4,6 +4,30 @@
 //! inference, sample indexing) and exposes each of the paper's analyses;
 //! [`Analyzer::full`] runs them all and returns a [`FullReport`] with the
 //! headline numbers of the paper's abstract.
+//!
+//! # Concurrency
+//!
+//! The per-analysis functions are pure over shared immutable state
+//! (`&SampleIndex`, `&FlowLog`, `&[RtbhEvent]`), so [`Analyzer::full`]
+//! executes the stage dependency DAG on scoped worker threads
+//! ([`std::thread::scope`] — no extra dependency, no `'static` bounds):
+//!
+//! ```text
+//! prepare (Analyzer::new: clean → align → infer events → index)
+//!   ├─ load ─ provenance          (signal-load chain)
+//!   ├─ visibility
+//!   ├─ acceptance
+//!   ├─ preevents ─┬─ protocols    (inner scope, parallel pair)
+//!   │             └─ filtering
+//!   └─ hosts ─ collateral
+//! join ─ classification(preevents, protocols)
+//! ```
+//!
+//! [`Analyzer::full_sequential`] runs the same stages on the calling
+//! thread; both paths produce byte-identical reports (asserted by the
+//! `determinism` integration test). [`Analyzer::full_with_profile`]
+//! additionally returns a [`PipelineProfile`] with per-stage wall times
+//! and input footprints.
 
 use serde::{Deserialize, Serialize};
 
@@ -22,8 +46,13 @@ use crate::hosts::{analyze_hosts, HostAnalysis, HostConfig};
 use crate::index::{MacResolver, OriginTable, SampleIndex};
 use crate::load::{analyze_load, drop_provenance, DropProvenance, LoadAnalysis};
 use crate::preevent::{analyze_preevents, PreEventAnalysis, PreEventConfig};
+use crate::profile::{self, ExecutionMode, Footprint, PipelineProfile};
 use crate::protocols::{analyze_event_traffic, ProtocolAnalysis};
 use crate::visibility::{visibility_series, VisibilityPoint};
+
+/// Scoped worker threads [`Analyzer::full`] spawns: five independent stage
+/// chains plus the protocols/filtering pair forked after pre-events.
+const PARALLEL_WORKERS: usize = 7;
 
 /// All tunables of the pipeline, defaulting to the paper's choices.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +77,19 @@ pub struct AnalyzerConfig {
 
 impl AnalyzerConfig {
     /// The paper's configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtbh_core::pipeline::AnalyzerConfig;
+    /// use rtbh_net::TimeDelta;
+    ///
+    /// let config = AnalyzerConfig::PAPER;
+    /// // Δ-merge of 10 minutes — the knee of the paper's Fig. 10 sweep.
+    /// assert_eq!(config.merge_delta, TimeDelta::minutes(10));
+    /// // PAPER is the default configuration.
+    /// assert_eq!(config, AnalyzerConfig::default());
+    /// ```
     pub const PAPER: Self = Self {
         merge_delta: TimeDelta::minutes(10),
         preevent: PreEventConfig::PAPER,
@@ -249,19 +291,133 @@ impl Analyzer {
         classify_events(&self.events, preevents, protocols, &self.config.classify)
     }
 
-    /// Runs the whole pipeline.
+    /// Input footprint of the stages that scan the update log only.
+    fn footprint_updates(&self) -> Footprint {
+        Footprint { updates: self.corpus.updates.len() as u64, samples: 0, events: 0 }
+    }
+
+    /// Input footprint of the stages that scan updates and the full flow log.
+    fn footprint_updates_flows(&self) -> Footprint {
+        Footprint {
+            updates: self.corpus.updates.len() as u64,
+            samples: self.flows.len() as u64,
+            events: 0,
+        }
+    }
+
+    /// Input footprint of the event-scoped stages: every inferred event plus
+    /// the indexed samples covering the event prefixes.
+    fn footprint_events(&self) -> Footprint {
+        Footprint {
+            updates: 0,
+            samples: self.index.event_sample_footprint(&self.events),
+            events: self.events.len() as u64,
+        }
+    }
+
+    /// Runs the whole pipeline with independent stages on scoped worker
+    /// threads (see the [module docs](crate::pipeline) for the stage DAG).
+    ///
+    /// Produces a report byte-identical (under JSON serialization) to
+    /// [`Analyzer::full_sequential`]: every stage is a pure function of
+    /// shared immutable inputs, so the execution schedule cannot change
+    /// the result.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rtbh_core::Analyzer;
+    ///
+    /// let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+    /// let analyzer = Analyzer::with_defaults(out.corpus);
+    /// let report = analyzer.full();
+    /// assert!(report.headline().total_events > 0);
+    /// ```
     pub fn full(&self) -> FullReport {
-        let load = self.load();
-        let provenance = self.provenance();
-        let visibility = self.visibility();
-        let acceptance = self.acceptance();
-        let preevents = self.preevents();
-        let protocols = self.protocols(&preevents);
-        let filtering = self.filtering(&preevents);
-        let hosts = self.hosts();
-        let collateral = self.collateral(&hosts);
-        let classification = self.classification(&preevents, &protocols);
-        FullReport {
+        self.full_with_profile().0
+    }
+
+    /// [`Analyzer::full`] plus the stage profile of the run (per-stage wall
+    /// time and input footprint, serializable to JSON).
+    pub fn full_with_profile(&self) -> (FullReport, PipelineProfile) {
+        let t0 = std::time::Instant::now();
+        let updates = self.footprint_updates();
+        let updates_flows = self.footprint_updates_flows();
+        let per_event = self.footprint_events();
+
+        let (
+            (load, st_load, provenance, st_prov),
+            (visibility, st_vis),
+            (acceptance, st_acc),
+            (preevents, st_pre, protocols, st_proto, filtering, st_filt),
+            (hosts, st_hosts, collateral, st_coll),
+        ) = std::thread::scope(|s| {
+            let signal = s.spawn(move || {
+                let (load, st_load) = profile::time_stage("load", updates, || self.load());
+                let (provenance, st_prov) =
+                    profile::time_stage("provenance", updates_flows, || self.provenance());
+                (load, st_load, provenance, st_prov)
+            });
+            let vis = s.spawn(move || {
+                profile::time_stage("visibility", updates, || self.visibility())
+            });
+            let acc = s.spawn(move || {
+                profile::time_stage("acceptance", updates_flows, || self.acceptance())
+            });
+            let pre = s.spawn(move || {
+                let (preevents, st_pre) =
+                    profile::time_stage("preevents", per_event, || self.preevents());
+                let ((protocols, st_proto), (filtering, st_filt)) =
+                    std::thread::scope(|s2| {
+                        let p = s2.spawn(|| {
+                            profile::time_stage("protocols", per_event, || {
+                                self.protocols(&preevents)
+                            })
+                        });
+                        let f = s2.spawn(|| {
+                            profile::time_stage("filtering", per_event, || {
+                                self.filtering(&preevents)
+                            })
+                        });
+                        (
+                            p.join().expect("protocols stage panicked"),
+                            f.join().expect("filtering stage panicked"),
+                        )
+                    });
+                (preevents, st_pre, protocols, st_proto, filtering, st_filt)
+            });
+            let host = s.spawn(move || {
+                let (hosts, st_hosts) =
+                    profile::time_stage("hosts", per_event, || self.hosts());
+                let (collateral, st_coll) =
+                    profile::time_stage("collateral", per_event, || self.collateral(&hosts));
+                (hosts, st_hosts, collateral, st_coll)
+            });
+            (
+                signal.join().expect("signal-load stage panicked"),
+                vis.join().expect("visibility stage panicked"),
+                acc.join().expect("acceptance stage panicked"),
+                pre.join().expect("pre-event stage panicked"),
+                host.join().expect("host stage panicked"),
+            )
+        });
+
+        let (classification, st_class) = profile::time_stage(
+            "classification",
+            Footprint { updates: 0, samples: 0, events: self.events.len() as u64 },
+            || self.classification(&preevents, &protocols),
+        );
+
+        let profile = PipelineProfile {
+            mode: ExecutionMode::Parallel,
+            worker_threads: PARALLEL_WORKERS,
+            total_wall_ns: t0.elapsed().as_nanos() as u64,
+            stages: vec![
+                st_load, st_prov, st_vis, st_acc, st_pre, st_proto, st_filt, st_hosts,
+                st_coll, st_class,
+            ],
+        };
+        let report = FullReport {
             clean: self.clean_report,
             alignment: self.alignment.clone(),
             load,
@@ -274,12 +430,81 @@ impl Analyzer {
             hosts,
             collateral,
             classification,
-        }
+        };
+        (report, profile)
+    }
+
+    /// Runs the whole pipeline on the calling thread, in DAG order.
+    ///
+    /// The reference path for the parallel schedule: the `determinism`
+    /// integration test asserts its report serializes byte-identically to
+    /// [`Analyzer::full`]'s.
+    pub fn full_sequential(&self) -> FullReport {
+        self.full_sequential_with_profile().0
+    }
+
+    /// [`Analyzer::full_sequential`] plus the stage profile of the run.
+    pub fn full_sequential_with_profile(&self) -> (FullReport, PipelineProfile) {
+        let t0 = std::time::Instant::now();
+        let updates = self.footprint_updates();
+        let updates_flows = self.footprint_updates_flows();
+        let per_event = self.footprint_events();
+
+        let (load, st_load) = profile::time_stage("load", updates, || self.load());
+        let (provenance, st_prov) =
+            profile::time_stage("provenance", updates_flows, || self.provenance());
+        let (visibility, st_vis) =
+            profile::time_stage("visibility", updates, || self.visibility());
+        let (acceptance, st_acc) =
+            profile::time_stage("acceptance", updates_flows, || self.acceptance());
+        let (preevents, st_pre) =
+            profile::time_stage("preevents", per_event, || self.preevents());
+        let (protocols, st_proto) =
+            profile::time_stage("protocols", per_event, || self.protocols(&preevents));
+        let (filtering, st_filt) =
+            profile::time_stage("filtering", per_event, || self.filtering(&preevents));
+        let (hosts, st_hosts) = profile::time_stage("hosts", per_event, || self.hosts());
+        let (collateral, st_coll) =
+            profile::time_stage("collateral", per_event, || self.collateral(&hosts));
+        let (classification, st_class) = profile::time_stage(
+            "classification",
+            Footprint { updates: 0, samples: 0, events: self.events.len() as u64 },
+            || self.classification(&preevents, &protocols),
+        );
+
+        let profile = PipelineProfile {
+            mode: ExecutionMode::Sequential,
+            worker_threads: 0,
+            total_wall_ns: t0.elapsed().as_nanos() as u64,
+            stages: vec![
+                st_load, st_prov, st_vis, st_acc, st_pre, st_proto, st_filt, st_hosts,
+                st_coll, st_class,
+            ],
+        };
+        let report = FullReport {
+            clean: self.clean_report,
+            alignment: self.alignment.clone(),
+            load,
+            provenance,
+            visibility,
+            acceptance,
+            preevents,
+            protocols,
+            filtering,
+            hosts,
+            collateral,
+            classification,
+        };
+        (report, profile)
     }
 }
 
 /// Every analysis result in one bundle.
-#[derive(Debug, Clone)]
+///
+/// Serializes to JSON deterministically: every contained map is a
+/// `BTreeMap`, so two runs over the same corpus — sequential or parallel —
+/// produce byte-identical output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FullReport {
     /// Cleaning report (§3.1).
     pub clean: CleanReport,

@@ -1,0 +1,246 @@
+//! Lightweight stage profiling for the analysis pipeline.
+//!
+//! [`pipeline::Analyzer::full_with_profile`](crate::pipeline::Analyzer::full_with_profile)
+//! wraps every analysis stage in [`time_stage`] and returns a
+//! [`PipelineProfile`]: per-stage wall time plus the input footprint the
+//! stage scanned (BGP updates, flow samples, RTBH events). The profile is
+//! `serde`-serializable, so it can be emitted as JSON (`rtbh analyze
+//! --timings`, the `pipeline_bench` binary in `rtbh-bench`) and diffed
+//! across machines and commits.
+//!
+//! The footprint counters are *input* sizes, not output sizes: they answer
+//! "how much data did this stage have to look at", which is the quantity
+//! that predicts wall time and guides further sharding. Event-scoped stages
+//! (pre-events, protocols, filtering, hosts, collateral) report the number
+//! of indexed samples covering the event prefixes rather than the whole
+//! flow log, because that is what they actually traverse via
+//! [`SampleIndex`](crate::index::SampleIndex).
+//!
+//! # Example
+//!
+//! ```
+//! use rtbh_core::Analyzer;
+//!
+//! let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+//! let analyzer = Analyzer::with_defaults(out.corpus);
+//! let (_report, profile) = analyzer.full_with_profile();
+//! assert_eq!(profile.stages.len(), 10);
+//! println!("{}", profile.render());
+//! ```
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// How a pipeline run executed its stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// All stages on the calling thread, in DAG order.
+    Sequential,
+    /// Independent stages on scoped worker threads.
+    Parallel,
+}
+
+impl ExecutionMode {
+    /// Lower-case name for human-readable output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Sequential => "sequential",
+            Self::Parallel => "parallel",
+        }
+    }
+}
+
+/// The input footprint of one stage: how much of the corpus it scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// BGP updates scanned.
+    pub updates: u64,
+    /// Flow samples scanned (for event-scoped stages: indexed samples
+    /// covering the event prefixes, not the whole flow log).
+    pub samples: u64,
+    /// RTBH events touched.
+    pub events: u64,
+}
+
+/// Wall time and input footprint of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stable stage identifier (e.g. `"acceptance"`).
+    pub stage: String,
+    /// Wall-clock time of the stage, in nanoseconds.
+    pub wall_ns: u64,
+    /// BGP updates scanned by the stage.
+    pub updates_scanned: u64,
+    /// Flow samples scanned by the stage.
+    pub samples_scanned: u64,
+    /// RTBH events touched by the stage.
+    pub events_touched: u64,
+}
+
+impl StageStats {
+    /// Wall time in (fractional) milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+}
+
+/// Runs a closure and records its wall time together with the declared
+/// input footprint. The building block of the pipeline's profiling layer.
+pub fn time_stage<T>(stage: &str, footprint: Footprint, f: impl FnOnce() -> T) -> (T, StageStats) {
+    let t0 = Instant::now();
+    let out = f();
+    let stats = StageStats {
+        stage: stage.to_string(),
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        updates_scanned: footprint.updates,
+        samples_scanned: footprint.samples,
+        events_touched: footprint.events,
+    };
+    (out, stats)
+}
+
+/// The profile of one full pipeline run: execution mode, end-to-end wall
+/// time and per-stage statistics in canonical stage order (independent of
+/// completion order, so sequential and parallel profiles line up).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineProfile {
+    /// How the stages were executed.
+    pub mode: ExecutionMode,
+    /// Scoped worker threads spawned by the run (0 when sequential).
+    pub worker_threads: usize,
+    /// End-to-end wall time including thread joins, in nanoseconds.
+    pub total_wall_ns: u64,
+    /// Per-stage statistics, in canonical stage order.
+    pub stages: Vec<StageStats>,
+}
+
+impl PipelineProfile {
+    /// The stats of a stage by name, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Sum of per-stage wall times — the work the run performed, which a
+    /// parallel run packs into less end-to-end time.
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Achieved concurrency: stage-sum divided by end-to-end wall time
+    /// (1.0× for a perfectly sequential run, >1.0× when stages overlap).
+    pub fn concurrency_factor(&self) -> f64 {
+        self.stage_sum_ns() as f64 / self.total_wall_ns.max(1) as f64
+    }
+
+    /// Renders the profile as a fixed-width text table (what
+    /// `rtbh analyze --timings` prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
+            "stage", "wall", "updates", "samples", "events"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
+                s.stage,
+                format_ns(s.wall_ns),
+                s.updates_scanned,
+                s.samples_scanned,
+                s.events_touched
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16} {:>12}   ({}, {} worker threads, stage-sum {}, concurrency {:.2}x)\n",
+            "total",
+            format_ns(self.total_wall_ns),
+            self.mode.as_str(),
+            self.worker_threads,
+            format_ns(self.stage_sum_ns()),
+            self.concurrency_factor()
+        ));
+        out
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> PipelineProfile {
+        let (_, a) = time_stage(
+            "alpha",
+            Footprint { updates: 10, samples: 20, events: 3 },
+            || (0..1000u64).sum::<u64>(),
+        );
+        let (_, b) = time_stage("beta", Footprint::default(), || ());
+        PipelineProfile {
+            mode: ExecutionMode::Sequential,
+            worker_threads: 0,
+            total_wall_ns: a.wall_ns + b.wall_ns,
+            stages: vec![a, b],
+        }
+    }
+
+    #[test]
+    fn time_stage_records_footprint_and_returns_output() {
+        let (out, stats) =
+            time_stage("demo", Footprint { updates: 7, samples: 9, events: 2 }, || 42);
+        assert_eq!(out, 42);
+        assert_eq!(stats.stage, "demo");
+        assert_eq!(stats.updates_scanned, 7);
+        assert_eq!(stats.samples_scanned, 9);
+        assert_eq!(stats.events_touched, 2);
+    }
+
+    #[test]
+    fn render_lists_every_stage_and_the_total() {
+        let profile = sample_profile();
+        let text = profile.render();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("total"));
+        assert!(text.contains("sequential"));
+    }
+
+    #[test]
+    fn stage_lookup_and_sums() {
+        let profile = sample_profile();
+        assert!(profile.stage("alpha").is_some());
+        assert!(profile.stage("gamma").is_none());
+        assert_eq!(
+            profile.stage_sum_ns(),
+            profile.stages.iter().map(|s| s.wall_ns).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn profile_serializes_to_json_and_back() {
+        let profile = sample_profile();
+        let json = serde_json::to_string(&profile).expect("serialize profile");
+        let back: PipelineProfile = serde_json::from_str(&json).expect("deserialize profile");
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(5), "5 ns");
+        assert_eq!(format_ns(5_000), "5.0 us");
+        assert_eq!(format_ns(5_000_000), "5.00 ms");
+        assert_eq!(format_ns(5_000_000_000), "5.00 s");
+    }
+}

@@ -1,0 +1,75 @@
+//! Concurrency regression gate: the parallel pipeline schedule must be
+//! observationally identical to the sequential reference path.
+//!
+//! Every analysis stage is a pure function of shared immutable inputs
+//! (`&SampleIndex`, `&FlowLog`, `&[RtbhEvent]`), and every map in the
+//! report types is a `BTreeMap`, so the two execution modes must serialize
+//! to byte-identical JSON. Any divergence means a stage grew hidden
+//! mutable state or nondeterministic iteration — exactly the class of bug
+//! this test exists to catch before it ships.
+
+use rtbh_core::Analyzer;
+use rtbh_sim::ScenarioConfig;
+
+const STAGES: [&str; 10] = [
+    "load",
+    "provenance",
+    "visibility",
+    "acceptance",
+    "preevents",
+    "protocols",
+    "filtering",
+    "hosts",
+    "collateral",
+    "classification",
+];
+
+#[test]
+fn parallel_report_serializes_identically_to_sequential() {
+    let mut config = ScenarioConfig::tiny();
+    config.seed = 0xD15E_A5E5;
+    let out = rtbh_sim::run(&config);
+    let analyzer = Analyzer::with_defaults(out.corpus);
+
+    let sequential = serde_json::to_string(&analyzer.full_sequential())
+        .expect("serialize sequential report");
+    let parallel =
+        serde_json::to_string(&analyzer.full()).expect("serialize parallel report");
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn both_modes_profile_every_stage_in_canonical_order() {
+    let out = rtbh_sim::run(&ScenarioConfig::tiny());
+    let analyzer = Analyzer::with_defaults(out.corpus);
+
+    let (_, par) = analyzer.full_with_profile();
+    let (_, seq) = analyzer.full_sequential_with_profile();
+
+    let par_names: Vec<&str> = par.stages.iter().map(|s| s.stage.as_str()).collect();
+    let seq_names: Vec<&str> = seq.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert_eq!(par_names, STAGES);
+    assert_eq!(seq_names, STAGES);
+
+    // The two modes profile identical input footprints — only timings and
+    // thread counts may differ.
+    for (p, s) in par.stages.iter().zip(&seq.stages) {
+        assert_eq!(p.updates_scanned, s.updates_scanned, "stage {}", p.stage);
+        assert_eq!(p.samples_scanned, s.samples_scanned, "stage {}", p.stage);
+        assert_eq!(p.events_touched, s.events_touched, "stage {}", p.stage);
+    }
+    assert!(par.worker_threads > 0);
+    assert_eq!(seq.worker_threads, 0);
+    assert!(par.total_wall_ns > 0);
+    assert!(seq.total_wall_ns > 0);
+}
+
+#[test]
+fn profile_serializes_to_json() {
+    let out = rtbh_sim::run(&ScenarioConfig::tiny());
+    let analyzer = Analyzer::with_defaults(out.corpus);
+    let (_, profile) = analyzer.full_with_profile();
+    let json = serde_json::to_value(&profile).expect("serialize profile");
+    assert_eq!(json["stages"].as_array().map(|s| s.len()), Some(STAGES.len()));
+    assert!(json["total_wall_ns"].as_u64().is_some());
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_pipeline.json: builds release, simulates a corpus and
+# times the sequential vs parallel analysis pipeline (best-of-N per mode).
+#
+# usage: scripts/bench_pipeline.sh [scale] [reps]
+#   scale  scenario scale factor (default 0.25; 1.0 = full 104-day corpus)
+#   reps   timing repetitions per mode (default 3)
+#
+# See the README's "Performance" section for how to read the output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-0.25}"
+reps="${2:-3}"
+
+cargo build --release -p rtbh-bench --bin pipeline_bench
+./target/release/pipeline_bench --scale "$scale" --reps "$reps" --out BENCH_pipeline.json

@@ -3,13 +3,16 @@
 //! ```text
 //! rtbh simulate [--tiny | --paper | --scale F] [--seed N] <out.rtbh>
 //! rtbh info    <corpus.rtbh>
-//! rtbh analyze <corpus.rtbh> [--json <out.json>]
+//! rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings]
 //! ```
 //!
 //! `simulate` writes the corpus in the binary container format (JSON
 //! metadata + MRT update log + IPFIX-lite flows) and the ground truth as
 //! JSON next to it; `analyze` runs the full paper pipeline on a corpus file
-//! and prints the headline findings.
+//! and prints the headline findings. With `--timings` it additionally
+//! prints the per-stage wall-time table of the parallel pipeline and writes
+//! the profile as machine-readable JSON to `BENCH_pipeline.json` in the
+//! working directory (see the README's "Performance" section).
 
 use std::path::PathBuf;
 
@@ -19,7 +22,7 @@ use rtbh::sim::ScenarioConfig;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rtbh simulate [--tiny|--paper|--scale F] [--seed N] <out.rtbh>\n  \
-         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>]"
+         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings]"
     );
     std::process::exit(2);
 }
@@ -107,10 +110,12 @@ fn info(args: Vec<String>) {
 fn analyze(args: Vec<String>) {
     let mut path: Option<String> = None;
     let mut json_out: Option<String> = None;
+    let mut timings = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--timings" => timings = true,
             p if !p.starts_with('-') => path = Some(p.to_string()),
             _ => usage(),
         }
@@ -118,9 +123,26 @@ fn analyze(args: Vec<String>) {
     let Some(path) = path else { usage() };
     let corpus = load(&path);
     let analyzer = Analyzer::with_defaults(corpus);
-    let report = analyzer.full();
+    let (report, profile) = analyzer.full_with_profile();
     let headline = report.headline();
     print!("{}", rtbh::core::report::render_report(&report, analyzer.corpus()));
+    if timings {
+        println!();
+        print!("{}", profile.render());
+        let payload = serde_json::json!({
+            "corpus": path,
+            "updates": analyzer.corpus().updates.len(),
+            "samples": analyzer.corpus().flows.len(),
+            "events": analyzer.events().len(),
+            "profile": profile,
+        });
+        std::fs::write(
+            "BENCH_pipeline.json",
+            serde_json::to_vec_pretty(&payload).expect("serialize profile"),
+        )
+        .expect("write BENCH_pipeline.json");
+        eprintln!("wrote BENCH_pipeline.json");
+    }
     if let Some(out) = json_out {
         #[derive(serde::Serialize)]
         struct JsonOut {
