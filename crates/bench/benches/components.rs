@@ -24,8 +24,9 @@ fn bench_trie(c: &mut Criterion) {
         let len = 16 + (i % 17) as u8;
         trie.insert(Prefix::new(addr, len).unwrap(), i);
     }
-    let probes: Vec<Ipv4Addr> =
-        (0..1024).map(|_| Ipv4Addr::from_u32(rand::Rng::gen(&mut rng))).collect();
+    let probes: Vec<Ipv4Addr> = (0..1024)
+        .map(|_| Ipv4Addr::from_u32(rand::Rng::gen(&mut rng)))
+        .collect();
     c.bench_function("trie_longest_match_10k_routes", |b| {
         b.iter(|| {
             let mut hits = 0usize;
@@ -81,8 +82,11 @@ fn bench_sample_index(c: &mut Criterion) {
 
 fn bench_preevents(c: &mut Criterion) {
     let out = corpus();
-    let events =
-        infer_events(&out.corpus.updates, TimeDelta::minutes(10), out.corpus.period.end);
+    let events = infer_events(
+        &out.corpus.updates,
+        TimeDelta::minutes(10),
+        out.corpus.period.end,
+    );
     let index = SampleIndex::build(&out.corpus.updates, &out.corpus.flows);
     c.bench_function("preevent_ewma_analysis_tiny_corpus", |b| {
         b.iter(|| {

@@ -65,10 +65,16 @@ fn ablate_threshold(config: &ScenarioConfig) {
     println!("\n== ablation: EWMA anomaly threshold ==");
     let out = rtbh_sim::run(config);
     let analyzer = Analyzer::with_defaults(out.corpus);
-    println!("{:>9} {:>10} {:>14} {:>10}", "k·SD", "no-data", "data-no-anom", "anomaly");
+    println!(
+        "{:>9} {:>10} {:>14} {:>10}",
+        "k·SD", "no-data", "data-no-anom", "anomaly"
+    );
     for k in [1.5, 2.5, 5.0, 10.0] {
         let mut pre_config = PreEventConfig::PAPER;
-        pre_config.ewma = EwmaConfig { span: 288, threshold_sd: k };
+        pre_config.ewma = EwmaConfig {
+            span: 288,
+            threshold_sd: k,
+        };
         let pre = rtbh_core::preevent::analyze_preevents(
             analyzer.events(),
             analyzer.index(),
@@ -85,12 +91,20 @@ fn ablate_threshold(config: &ScenarioConfig) {
 fn ablate_delta(config: &ScenarioConfig) {
     println!("\n== ablation: event merge threshold Δ ==");
     let out = rtbh_sim::run(config);
-    println!("{:>8} {:>8} {:>10} {:>10}", "Δ (min)", "events", "fraction", "anomaly%");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10}",
+        "Δ (min)", "events", "fraction", "anomaly%"
+    );
     for minutes in [1i64, 5, 10, 30] {
         let mut cfg = rtbh_core::pipeline::AnalyzerConfig::for_corpus(&out.corpus);
         cfg.merge_delta = TimeDelta::minutes(minutes);
         let analyzer = Analyzer::new(out.corpus.clone(), cfg);
-        let announcements = out.corpus.updates.blackholes().filter(|u| u.is_announce()).count();
+        let announcements = out
+            .corpus
+            .updates
+            .blackholes()
+            .filter(|u| u.is_announce())
+            .count();
         let pre = analyzer.preevents();
         let (_, _, anomaly) = pre.class_shares();
         println!(
@@ -106,7 +120,10 @@ fn ablate_delta(config: &ScenarioConfig) {
 /// §6.3: sampling-rate sensitivity of the "no pre-event data" share.
 fn ablate_sampling(config: &ScenarioConfig) {
     println!("\n== ablation: sampling rate vs pre-event visibility ==");
-    println!("{:>10} {:>10} {:>10} {:>12}", "rate 1:N", "samples", "no-data%", "anomaly%");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12}",
+        "rate 1:N", "samples", "no-data%", "anomaly%"
+    );
     for rate in [1_000u32, 10_000, 100_000] {
         let mut c = config.clone();
         c.sampling_rate = rate;
@@ -132,8 +149,11 @@ fn ablate_strategy(config: &ScenarioConfig) {
     // during-event traffic: (1) RTBH drops everything; (2) a port ACL drops
     // amplification-signature packets; (3) a source blacklist of the top-10
     // origin ASes drops their packets.
-    let top_origins: std::collections::BTreeSet<_> =
-        filtering.top_participants(true, 10).into_iter().map(|(a, _)| a).collect();
+    let top_origins: std::collections::BTreeSet<_> = filtering
+        .top_participants(true, 10)
+        .into_iter()
+        .map(|(a, _)| a)
+        .collect();
     let mut rtbh_realized = 0u64;
     let mut acl_attack = 0u64;
     let mut blacklist_attack = 0u64;

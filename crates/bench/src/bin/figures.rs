@@ -31,11 +31,19 @@ fn main() {
             "--tiny" => config = ScenarioConfig::tiny(),
             "--paper" => config = ScenarioConfig::paper(),
             "--scale" => {
-                let f: f64 = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                let f: f64 = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 config = ScenarioConfig::scaled(f);
             }
             "--seed" => {
-                config.seed = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                config.seed = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
             }
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),

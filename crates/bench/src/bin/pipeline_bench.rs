@@ -1,22 +1,27 @@
-//! Emits `BENCH_pipeline.json`: sequential vs parallel `Analyzer::full`
-//! stage timings on one simulated corpus.
+//! Emits `BENCH_pipeline.json` (sequential vs parallel `Analyzer::full`
+//! stage timings) and `BENCH_index.json` (trie vs frozen-LPM lookups,
+//! 1-vs-N-worker index builds) on one simulated corpus.
 //!
 //! ```text
-//! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] [--out PATH]
+//! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N]
+//!                [--out PATH] [--index-out PATH] [--no-index]
 //! ```
 //!
-//! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json`. Prints both
-//! stage tables and the speedup to stdout; the JSON file carries the full
-//! machine-readable record (see `rtbh_bench::pipeline`).
+//! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json --index-out
+//! BENCH_index.json`. Prints the stage tables, speedups and the index
+//! micro-bench summary to stdout; the JSON files carry the full
+//! machine-readable records (see `rtbh_bench::pipeline` and
+//! `rtbh_bench::lpm`).
 
 use std::io::Write;
 
-use rtbh_bench::bench_pipeline;
+use rtbh_bench::{bench_index, bench_pipeline};
 use rtbh_sim::ScenarioConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] [--out PATH]"
+        "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] \
+         [--out PATH] [--index-out PATH] [--no-index]"
     );
     std::process::exit(2);
 }
@@ -25,24 +30,37 @@ fn main() {
     let mut config = ScenarioConfig::scaled(0.25);
     let mut reps: usize = 3;
     let mut out_path = String::from("BENCH_pipeline.json");
+    let mut index_out_path = Some(String::from("BENCH_index.json"));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tiny" => config = ScenarioConfig::tiny(),
             "--paper" => config = ScenarioConfig::paper(),
             "--scale" => {
-                let f: f64 =
-                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                let f: f64 = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 config = ScenarioConfig::scaled(f);
             }
             "--seed" => {
-                config.seed =
-                    args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                config.seed = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
             }
             "--reps" => {
-                reps = args.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                reps = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
             }
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--index-out" => index_out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-index" => index_out_path = None,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -52,7 +70,7 @@ fn main() {
         "simulating {} days, {} members (seed {:#x}), then timing {} rep(s) per mode ...",
         config.days, config.members, config.seed, reps
     );
-    let bench = bench_pipeline(config, reps);
+    let bench = bench_pipeline(config.clone(), reps);
 
     let mut stdout = std::io::stdout().lock();
     writeln!(
@@ -61,10 +79,20 @@ fn main() {
         bench.updates, bench.samples, bench.events
     )
     .expect("write stdout");
-    writeln!(stdout, "sequential (best of {}):\n{}", bench.reps, bench.sequential.render())
-        .expect("write stdout");
-    writeln!(stdout, "parallel (best of {}):\n{}", bench.reps, bench.parallel.render())
-        .expect("write stdout");
+    writeln!(
+        stdout,
+        "sequential (best of {}):\n{}",
+        bench.reps,
+        bench.sequential.render()
+    )
+    .expect("write stdout");
+    writeln!(
+        stdout,
+        "parallel (best of {}):\n{}",
+        bench.reps,
+        bench.parallel.render()
+    )
+    .expect("write stdout");
     writeln!(
         stdout,
         "speedup: {:.2}x   reports identical: {}",
@@ -82,8 +110,63 @@ fn main() {
     });
     eprintln!("wrote {out_path}");
 
+    let index_ok = match &index_out_path {
+        None => true,
+        Some(path) => {
+            eprintln!("\nindex micro-bench ({reps} rep(s) per structure) ...");
+            let idx = bench_index(config, reps);
+            writeln!(
+                stdout,
+                "\nLPM lookups over {} samples ({} prefixes, {} stride-8 tables):",
+                idx.samples, idx.prefixes, idx.frozen_tables
+            )
+            .expect("write stdout");
+            for t in [&idx.trie, &idx.frozen] {
+                writeln!(
+                    stdout,
+                    "  {:<8} {:>10.1} ns/lookup  ({} lookups)",
+                    t.structure, t.ns_per_lookup, t.lookups
+                )
+                .expect("write stdout");
+            }
+            writeln!(
+                stdout,
+                "  frozen speedup: {:.2}x   answers identical: {}",
+                idx.lookup_speedup, idx.lookups_identical
+            )
+            .expect("write stdout");
+            writeln!(stdout, "index build (SampleIndex::build_with_workers):")
+                .expect("write stdout");
+            for b in &idx.builds {
+                writeln!(
+                    stdout,
+                    "  {:>3} worker(s): {:>8.2} ms  {:>12.0} samples/s  {:.2}x",
+                    b.workers,
+                    b.best_wall_ns as f64 / 1e6,
+                    b.samples_per_sec,
+                    b.speedup_vs_one
+                )
+                .expect("write stdout");
+            }
+            std::fs::write(
+                path,
+                serde_json::to_vec_pretty(&idx).expect("serialize index bench"),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+            idx.lookups_identical
+        }
+    };
+
     if !bench.reports_identical {
         eprintln!("ERROR: sequential and parallel reports diverged");
+        std::process::exit(1);
+    }
+    if !index_ok {
+        eprintln!("ERROR: trie and frozen LPM answers diverged");
         std::process::exit(1);
     }
 }

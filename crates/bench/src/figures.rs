@@ -15,7 +15,10 @@ use crate::Context;
 /// completeness).
 pub fn t1(_ctx: &Context) -> FigureReport {
     let mut r = FigureReport::new("t1", "Expected characteristics of RTBHs by use case");
-    for uc in [UseCase::InfrastructureProtection, UseCase::SquattingProtection] {
+    for uc in [
+        UseCase::InfrastructureProtection,
+        UseCase::SquattingProtection,
+    ] {
         let p = expected_profile(uc);
         r.line(format!(
             "{uc}: trigger={} len={} latency={} duration={} traffic={} target={}",
@@ -31,7 +34,11 @@ pub fn f2(ctx: &Context) -> FigureReport {
     match &ctx.report.alignment {
         Some(a) => {
             let overlaps: Vec<f64> = a.scan.curve.iter().map(|p| p.overlap).collect();
-            r.line(format!("likelihood curve ({} offsets): {}", overlaps.len(), sparkline(&overlaps)));
+            r.line(format!(
+                "likelihood curve ({} offsets): {}",
+                overlaps.len(),
+                sparkline(&overlaps)
+            ));
             r.line(format!(
                 "best offset {} at overlap {:.4} over {} dropped samples (injected skew: {} ms)",
                 a.estimated_offset(),
@@ -74,14 +81,17 @@ pub fn f3(ctx: &Context) -> FigureReport {
         Some(1400.0 / 1107.0),
         load.peak_active as f64 / load.mean_active.max(1e-9),
     );
-    r.check("announcing peers (paper 78, scaled)", None, load.announcing_peers as f64);
+    r.check(
+        "announcing peers (paper 78, scaled)",
+        None,
+        load.announcing_peers as f64,
+    );
     r
 }
 
 /// Fig. 4: share of blackholes filtered per peer-visibility percentile.
 pub fn f4(ctx: &Context) -> FigureReport {
-    let mut r =
-        FigureReport::new("f4", "Blackholes filtered from 100/99/50-percentile peers");
+    let mut r = FigureReport::new("f4", "Blackholes filtered from 100/99/50-percentile peers");
     let series = &ctx.report.visibility;
     let median: Vec<f64> = series.iter().map(|p| p.median).collect();
     let p99: Vec<f64> = series.iter().map(|p| p.p99).collect();
@@ -99,15 +109,30 @@ pub fn f4(ctx: &Context) -> FigureReport {
         .map(|p| p.median)
         .collect();
     let post_median_peak = post.iter().copied().fold(0.0f64, f64::max);
-    r.check("peak median missed share (paper 0.062)", Some(0.062), peak_median);
-    r.check("peak single-peer missed share (paper 0.108)", Some(0.108), peak_max);
-    r.check("post-phase median peak (paper ≤0.002)", Some(0.002), post_median_peak);
+    r.check(
+        "peak median missed share (paper 0.062)",
+        Some(0.062),
+        peak_median,
+    );
+    r.check(
+        "peak single-peer missed share (paper 0.108)",
+        Some(0.108),
+        peak_max,
+    );
+    r.check(
+        "post-phase median peak (paper ≤0.002)",
+        Some(0.002),
+        post_median_peak,
+    );
     r
 }
 
 /// Fig. 5: dropped-traffic shares by prefix length.
 pub fn f5(ctx: &Context) -> FigureReport {
-    let mut r = FigureReport::new("f5", "Observed shares of dropped traffic by RTBH prefix length");
+    let mut r = FigureReport::new(
+        "f5",
+        "Observed shares of dropped traffic by RTBH prefix length",
+    );
     let acc = &ctx.report.acceptance;
     let shares = acc.traffic_share_by_length();
     for (len, tally) in &acc.by_length {
@@ -136,7 +161,10 @@ pub fn f5(ctx: &Context) -> FigureReport {
 
 /// Fig. 6: drop-rate CDFs for /24 and /32.
 pub fn f6(ctx: &Context) -> FigureReport {
-    let mut r = FigureReport::new("f6", "Distribution of dropped RTBH traffic shares, /24 vs /32");
+    let mut r = FigureReport::new(
+        "f6",
+        "Distribution of dropped RTBH traffic shares, /24 vs /32",
+    );
     let acc = &ctx.report.acceptance;
     let cdf24 = acc.drop_rate_cdf(24);
     let cdf32 = acc.drop_rate_cdf(32);
@@ -146,9 +174,21 @@ pub fn f6(ctx: &Context) -> FigureReport {
         r.check("/24 median drop rate (paper 0.97)", Some(0.97), m);
     }
     if !cdf32.is_empty() {
-        r.check("/32 q25 drop rate (paper 0.30)", Some(0.30), cdf32.quantile(0.25).unwrap());
-        r.check("/32 median drop rate (paper 0.53)", Some(0.53), cdf32.median().unwrap());
-        r.check("/32 q75 drop rate (paper 0.88)", Some(0.88), cdf32.quantile(0.75).unwrap());
+        r.check(
+            "/32 q25 drop rate (paper 0.30)",
+            Some(0.30),
+            cdf32.quantile(0.25).unwrap(),
+        );
+        r.check(
+            "/32 median drop rate (paper 0.53)",
+            Some(0.53),
+            cdf32.median().unwrap(),
+        );
+        r.check(
+            "/32 q75 drop rate (paper 0.88)",
+            Some(0.88),
+            cdf32.quantile(0.75).unwrap(),
+        );
     }
     r
 }
@@ -160,15 +200,30 @@ pub fn f7(ctx: &Context) -> FigureReport {
     let top = acc.top_sources_32(100);
     let (dropping, forwarding, inconsistent) = acc.source_reaction_buckets(100);
     let rates: Vec<f64> = top.iter().map(|(_, t)| t.packet_drop_rate()).collect();
-    r.line(format!("per-AS drop rates (rank order): {}", sparkline(&rates)));
+    r.line(format!(
+        "per-AS drop rates (rank order): {}",
+        sparkline(&rates)
+    ));
     r.line(format!(
         "top {} ASes: {dropping} dropping ≥99%, {forwarding} forwarding ≥99%, {inconsistent} inconsistent",
         top.len()
     ));
     let n = top.len().max(1) as f64;
-    r.check("dropping share of top-100 (paper 0.32)", Some(0.32), dropping as f64 / n);
-    r.check("forwarding share of top-100 (paper 0.55)", Some(0.55), forwarding as f64 / n);
-    r.check("inconsistent share of top-100 (paper 0.13)", Some(0.13), inconsistent as f64 / n);
+    r.check(
+        "dropping share of top-100 (paper 0.32)",
+        Some(0.32),
+        dropping as f64 / n,
+    );
+    r.check(
+        "forwarding share of top-100 (paper 0.55)",
+        Some(0.55),
+        forwarding as f64 / n,
+    );
+    r.check(
+        "inconsistent share of top-100 (paper 0.13)",
+        Some(0.13),
+        inconsistent as f64 / n,
+    );
     r
 }
 
@@ -181,12 +236,22 @@ pub fn f8(ctx: &Context) -> FigureReport {
         .top_source_org_types(100, &ctx.analyzer.corpus().registry);
     let total: usize = hist.values().sum();
     for (t, c) in &hist {
-        r.line(format!("{t:<22} {c:>4} ({:.0}%)", *c as f64 * 100.0 / total.max(1) as f64));
+        r.line(format!(
+            "{t:<22} {c:>4} ({:.0}%)",
+            *c as f64 * 100.0 / total.max(1) as f64
+        ));
     }
     let nsp = hist.get(&OrgType::Nsp).copied().unwrap_or(0) as f64 / total.max(1) as f64;
-    let max_share = hist.values().map(|&c| c as f64 / total.max(1) as f64).fold(0.0, f64::max);
+    let max_share = hist
+        .values()
+        .map(|&c| c as f64 / total.max(1) as f64)
+        .fold(0.0, f64::max);
     r.check("NSP share of top-100 (paper: largest group)", None, nsp);
-    r.check("NSP is the modal type (1=yes)", Some(1.0), f64::from(nsp >= max_share - 1e-12));
+    r.check(
+        "NSP is the modal type (1=yes)",
+        Some(1.0),
+        f64::from(nsp >= max_share - 1e-12),
+    );
     r
 }
 
@@ -203,18 +268,33 @@ pub fn f9(ctx: &Context) -> FigureReport {
         r.line("no visible attack events in scenario");
         return r;
     };
-    if let EventKind::AttackVisible { attack_window, peak_pps, vectors, .. } = &example.kind {
+    if let EventKind::AttackVisible {
+        attack_window,
+        peak_pps,
+        vectors,
+        ..
+    } = &example.kind
+    {
         r.line(format!(
             "attack on {} ({} @ {:.0} pps): {} → {}",
             example.victim,
-            vectors.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("+"),
+            vectors
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
             peak_pps,
             attack_window.start,
             attack_window.end
         ));
     }
     for (i, span) in example.announcement_spans.iter().enumerate() {
-        r.line(format!("  RTBH run {}: announce {} … withdraw {}", i + 1, span.start, span.end));
+        r.line(format!(
+            "  RTBH run {}: announce {} … withdraw {}",
+            i + 1,
+            span.start,
+            span.end
+        ));
     }
     let inferred = ctx
         .analyzer
@@ -247,12 +327,29 @@ pub fn f10(ctx: &Context) -> FigureReport {
     let fractions: Vec<f64> = curve.iter().map(|p| p.event_fraction).collect();
     r.line(format!("event fraction over Δ: {}", sparkline(&fractions)));
     for p in &curve {
-        r.line(format!("Δ={:>4} → {:>6} events ({:.3})", p.delta.to_string(), p.events, p.event_fraction));
+        r.line(format!(
+            "Δ={:>4} → {:>6} events ({:.3})",
+            p.delta.to_string(),
+            p.events,
+            p.event_fraction
+        ));
     }
-    r.line(format!("Δ=∞ lower bound (unique prefixes / announcements): {lower_bound:.3}"));
-    let at10 = curve.iter().find(|p| p.delta == TimeDelta::minutes(10)).expect("Δ=10 scanned");
-    let at15 = curve.iter().find(|p| p.delta == TimeDelta::minutes(15)).expect("Δ=15 scanned");
-    r.check("event fraction at Δ=10min (paper 0.085)", Some(0.085), at10.event_fraction);
+    r.line(format!(
+        "Δ=∞ lower bound (unique prefixes / announcements): {lower_bound:.3}"
+    ));
+    let at10 = curve
+        .iter()
+        .find(|p| p.delta == TimeDelta::minutes(10))
+        .expect("Δ=10 scanned");
+    let at15 = curve
+        .iter()
+        .find(|p| p.delta == TimeDelta::minutes(15))
+        .expect("Δ=15 scanned");
+    r.check(
+        "event fraction at Δ=10min (paper 0.085)",
+        Some(0.085),
+        at10.event_fraction,
+    );
     r.check(
         "knee: relative change 10→15 min (paper: small)",
         None,
@@ -267,17 +364,30 @@ pub fn f11(ctx: &Context) -> FigureReport {
     let pre = &ctx.report.preevents;
     let curve = pre.slot_coverage_curve();
     let ys: Vec<f64> = curve.iter().map(|(_, c)| *c as f64).collect();
-    r.line(format!("cumulative events over slot count: {}", sparkline(&ys)));
+    r.line(format!(
+        "cumulative events over slot count: {}",
+        sparkline(&ys)
+    ));
     let total = pre.per_event.len();
-    let zero = pre.per_event.iter().filter(|e| e.slots_with_data == 0).count();
+    let zero = pre
+        .per_event
+        .iter()
+        .filter(|e| e.slots_with_data == 0)
+        .count();
     let sparse = pre
         .per_event
         .iter()
         .filter(|e| e.slots_with_data > 0 && e.slots_with_data <= 24)
         .count();
     let with_data = total - zero;
-    r.line(format!("{total} events: {zero} without any pre-window sample, {sparse} with ≤24 slots"));
-    r.check("no-pre-data share (paper 0.46)", Some(0.46), zero as f64 / total.max(1) as f64);
+    r.line(format!(
+        "{total} events: {zero} without any pre-window sample, {sparse} with ≤24 slots"
+    ));
+    r.check(
+        "no-pre-data share (paper 0.46)",
+        Some(0.46),
+        zero as f64 / total.max(1) as f64,
+    );
     r.check(
         "≤24-slot share among with-data (paper 13k/18k≈0.72)",
         Some(0.72),
@@ -297,12 +407,17 @@ pub fn f12(ctx: &Context) -> FigureReport {
         *by_level.entry(*level).or_insert(0) += count;
     }
     let total: usize = hist.values().sum();
-    let within_10: usize =
-        by_offset.iter().filter(|(m, _)| **m <= 10).map(|(_, c)| *c).sum();
+    let within_10: usize = by_offset
+        .iter()
+        .filter(|(m, _)| **m <= 10)
+        .map(|(_, c)| *c)
+        .sum();
     for (level, count) in &by_level {
         r.line(format!("level {level}: {count} anomalies"));
     }
-    r.line(format!("{total} anomalous slots; {within_10} within 10 min of the announcement"));
+    r.line(format!(
+        "{total} anomalous slots; {within_10} within 10 min of the announcement"
+    ));
     r.check(
         "share of anomalies ≤10 min before RTBH (paper: most)",
         None,
@@ -310,7 +425,11 @@ pub fn f12(ctx: &Context) -> FigureReport {
     );
     let level5 = by_level.get(&5).copied().unwrap_or(0);
     let modal = by_level.values().copied().max().unwrap_or(0);
-    r.check("level 5 is modal (paper: usually all five)", Some(1.0), f64::from(level5 == modal));
+    r.check(
+        "level 5 is modal (paper: usually all five)",
+        Some(1.0),
+        f64::from(level5 == modal),
+    );
     r
 }
 
@@ -320,8 +439,16 @@ pub fn f13(ctx: &Context) -> FigureReport {
     let (factors, max_share) = ctx.report.preevents.amplification_factors();
     let cdf: rtbh_stats::Ecdf = factors.iter().copied().collect();
     r.line(cdf_row("amplification factors", &cdf));
-    r.check("max factor (paper: up to ~800)", None, cdf.max().unwrap_or(0.0));
-    r.check("share of events where last slot is max (paper 0.15)", Some(0.15), max_share);
+    r.check(
+        "max factor (paper: up to ~800)",
+        None,
+        cdf.max().unwrap_or(0.0),
+    );
+    r.check(
+        "share of events where last slot is max (paper 0.15)",
+        Some(0.15),
+        max_share,
+    );
     r
 }
 
@@ -329,13 +456,24 @@ pub fn f13(ctx: &Context) -> FigureReport {
 pub fn t2(ctx: &Context) -> FigureReport {
     let mut r = FigureReport::new("t2", "Class distribution of pre-RTBH events");
     let (no_data, no_anomaly, anomaly) = ctx.report.preevents.class_shares();
-    r.line(format!("no data: {:.1}%  data w/o anomaly: {:.1}%  data+anomaly(≤10min): {:.1}%",
-        no_data * 100.0, no_anomaly * 100.0, anomaly * 100.0));
+    r.line(format!(
+        "no data: {:.1}%  data w/o anomaly: {:.1}%  data+anomaly(≤10min): {:.1}%",
+        no_data * 100.0,
+        no_anomaly * 100.0,
+        anomaly * 100.0
+    ));
     r.check("no-data share (paper 0.46)", Some(0.46), no_data);
     r.check("data-no-anomaly share (paper 0.27)", Some(0.27), no_anomaly);
     r.check("anomaly share (paper 0.27)", Some(0.27), anomaly);
-    let within_hour = ctx.report.preevents.anomaly_share_within(TimeDelta::hours(1));
-    r.check("anomaly within 1h share (paper 0.33)", Some(0.33), within_hour);
+    let within_hour = ctx
+        .report
+        .preevents
+        .anomaly_share_within(TimeDelta::hours(1));
+    r.check(
+        "anomaly within 1h share (paper 0.33)",
+        Some(0.33),
+        within_hour,
+    );
     r
 }
 
@@ -345,22 +483,32 @@ pub fn t3(ctx: &Context) -> FigureReport {
     let table = ctx.report.protocols.amplification_protocol_table();
     r.line(format!(
         "protocols 0..=5: {}",
-        table.iter().map(|s| format!("{:.1}%", s * 100.0)).collect::<Vec<_>>().join("  ")
+        table
+            .iter()
+            .map(|s| format!("{:.1}%", s * 100.0))
+            .collect::<Vec<_>>()
+            .join("  ")
     ));
     let paper = [0.06, 0.40, 0.45, 0.083, 0.006, 0.001];
     for (k, (p, m)) in paper.iter().zip(table.iter()).enumerate() {
         r.check(format!("share with {k} protocols"), Some(*p), *m);
     }
     let top = ctx.report.protocols.top_amplification_protocols();
-    let names: Vec<String> =
-        top.iter().take(5).map(|(p, c)| format!("{p} ({c} events)")).collect();
+    let names: Vec<String> = top
+        .iter()
+        .take(5)
+        .map(|(p, c)| format!("{p} ({c} events)"))
+        .collect();
     r.line(format!("most common: {}", names.join(", ")));
     r
 }
 
 /// Fig. 14: share of event traffic removable by known amplification ports.
 pub fn f14(ctx: &Context) -> FigureReport {
-    let mut r = FigureReport::new("f14", "Dropped packets per event if filtered by known UDP amplification");
+    let mut r = FigureReport::new(
+        "f14",
+        "Dropped packets per event if filtered by known UDP amplification",
+    );
     let cdf = ctx.report.filtering.filterable_share_cdf();
     r.line(cdf_row("filterable shares", &cdf));
     // "Complete" coverage allows for a stray sampled baseline packet: at
@@ -385,8 +533,13 @@ pub fn f15(ctx: &Context) -> FigureReport {
     let top_h = f.top_participants(false, 10);
     let top_o = f.top_participants(true, 10);
     if let (Some(h), Some(o)) = (top_h.first(), top_o.first()) {
-        r.line(format!("top handover {} in {:.0}% of events; top origin {} in {:.0}%",
-            h.0, h.1 * 100.0, o.0, o.1 * 100.0));
+        r.line(format!(
+            "top handover {} in {:.0}% of events; top origin {} in {:.0}%",
+            h.0,
+            h.1 * 100.0,
+            o.0,
+            o.1 * 100.0
+        ));
         r.check("top origin participation (paper 0.60)", Some(0.60), o.1);
         r.check("top handover participation (paper 0.62)", Some(0.62), h.1);
         r.check(
@@ -471,45 +624,74 @@ pub fn f17(ctx: &Context) -> FigureReport {
         "{} hosts with incoming data; variation ≥0.66: {high}, ≤0.34: {low}",
         scatter.len()
     ));
-    r.line(format!("classified (≥{} active days): {clients} clients, {servers} servers",
-        hosts.config.min_days));
+    r.line(format!(
+        "classified (≥{} active days): {clients} clients, {servers} servers",
+        hosts.config.min_days
+    ));
     r.check(
         "client:server ratio (paper 4057/1036≈3.9)",
         Some(4057.0 / 1036.0),
         clients as f64 / servers.max(1) as f64,
     );
-    r.check("eligible host share (paper 0.30)", Some(0.30), hosts.eligible_share());
+    r.check(
+        "eligible host share (paper 0.30)",
+        Some(0.30),
+        hosts.eligible_share(),
+    );
     r
 }
 
 /// Table 4: AS types of detected clients and servers.
 pub fn t4(ctx: &Context) -> FigureReport {
     let mut r = FigureReport::new("t4", "ASN types for detected client/server victims");
-    let (clients, servers) =
-        ctx.report.hosts.org_type_table(&ctx.analyzer.corpus().registry);
+    let (clients, servers) = ctx
+        .report
+        .hosts
+        .org_type_table(&ctx.analyzer.corpus().registry);
     let ctotal: usize = clients.values().sum();
     let stotal: usize = servers.values().sum();
     r.line(format!("{ctotal} clients / {stotal} servers"));
     for t in OrgType::ALL {
         let c = clients.get(&t).copied().unwrap_or(0) as f64 / ctotal.max(1) as f64;
         let s = servers.get(&t).copied().unwrap_or(0) as f64 / stotal.max(1) as f64;
-        r.line(format!("{t:<22} clients {:>5.1}%  servers {:>5.1}%", c * 100.0, s * 100.0));
+        r.line(format!(
+            "{t:<22} clients {:>5.1}%  servers {:>5.1}%",
+            c * 100.0,
+            s * 100.0
+        ));
     }
     let share = |map: &BTreeMap<OrgType, usize>, t: OrgType, total: usize| {
         map.get(&t).copied().unwrap_or(0) as f64 / total.max(1) as f64
     };
-    r.check("clients in Cable/DSL/ISP (paper 0.60)", Some(0.60),
-        share(&clients, OrgType::CableDslIsp, ctotal));
-    r.check("servers in Content (paper 0.34)", Some(0.34), share(&servers, OrgType::Content, stotal));
-    r.check("clients in Content (paper 0.02)", Some(0.02), share(&clients, OrgType::Content, ctotal));
-    r.check("servers in Cable/DSL/ISP (paper 0.14)", Some(0.14),
-        share(&servers, OrgType::CableDslIsp, stotal));
+    r.check(
+        "clients in Cable/DSL/ISP (paper 0.60)",
+        Some(0.60),
+        share(&clients, OrgType::CableDslIsp, ctotal),
+    );
+    r.check(
+        "servers in Content (paper 0.34)",
+        Some(0.34),
+        share(&servers, OrgType::Content, stotal),
+    );
+    r.check(
+        "clients in Content (paper 0.02)",
+        Some(0.02),
+        share(&clients, OrgType::Content, ctotal),
+    );
+    r.check(
+        "servers in Cable/DSL/ISP (paper 0.14)",
+        Some(0.14),
+        share(&servers, OrgType::CableDslIsp, stotal),
+    );
     r
 }
 
 /// Fig. 18: collateral damage for detected servers during RTBH events.
 pub fn f18(ctx: &Context) -> FigureReport {
-    let mut r = FigureReport::new("f18", "Collateral damage during RTBH events (server top ports)");
+    let mut r = FigureReport::new(
+        "f18",
+        "Collateral damage during RTBH events (server top ports)",
+    );
     let c = &ctx.report.collateral;
     let (all, dropped) = c.packet_cdfs();
     r.line(cdf_row("packets to top ports (all)", &all));
@@ -520,7 +702,11 @@ pub fn f18(ctx: &Context) -> FigureReport {
         c.events_with_collateral(),
         c.servers_considered
     ));
-    r.check("events with collateral (paper ~300, scaled)", None, c.events_with_collateral() as f64);
+    r.check(
+        "events with collateral (paper ~300, scaled)",
+        None,
+        c.events_with_collateral() as f64,
+    );
     r.check(
         "dropped collateral exists (1=yes)",
         Some(1.0),
@@ -557,7 +743,10 @@ pub fn f19(ctx: &Context) -> FigureReport {
     r.check(
         "infrastructure-protection share (paper ≈0.27)",
         Some(0.27),
-        shares.get(&UseCase::InfrastructureProtection).copied().unwrap_or(0.0),
+        shares
+            .get(&UseCase::InfrastructureProtection)
+            .copied()
+            .unwrap_or(0.0),
     );
     r.check(
         "zombie share (paper ≈0.13)",
@@ -573,14 +762,20 @@ pub fn f19(ctx: &Context) -> FigureReport {
     r.check(
         "squatting prefixes (planted, paper 21 scaled)",
         Some(planted_squat as f64),
-        counts.get(&UseCase::SquattingProtection).copied().unwrap_or(0) as f64,
+        counts
+            .get(&UseCase::SquattingProtection)
+            .copied()
+            .unwrap_or(0) as f64,
     );
     r
 }
 
 /// §3.1: drop provenance and corpus hygiene.
 pub fn s31(ctx: &Context) -> FigureReport {
-    let mut r = FigureReport::new("s31", "Drop provenance and internal-traffic cleaning (§3.1)");
+    let mut r = FigureReport::new(
+        "s31",
+        "Drop provenance and internal-traffic cleaning (§3.1)",
+    );
     let prov = &ctx.report.provenance;
     r.line(format!(
         "{} dropped samples ({} bytes); route server explains {:.1}% of bytes",
@@ -588,7 +783,11 @@ pub fn s31(ctx: &Context) -> FigureReport {
         prov.dropped_bytes,
         prov.byte_share() * 100.0
     ));
-    r.check("route-server byte share (paper 0.95)", Some(0.95), prov.byte_share());
+    r.check(
+        "route-server byte share (paper 0.95)",
+        Some(0.95),
+        prov.byte_share(),
+    );
     let clean = ctx.report.clean;
     r.line(format!(
         "cleaning removed {} internal samples of {} ({:.4}%)",
@@ -596,7 +795,11 @@ pub fn s31(ctx: &Context) -> FigureReport {
         clean.total,
         clean.removed_share() * 100.0
     ));
-    r.check("internal share (paper 0.0001)", Some(0.0001), clean.removed_share());
+    r.check(
+        "internal share (paper 0.0001)",
+        Some(0.0001),
+        clean.removed_share(),
+    );
     r
 }
 
@@ -607,16 +810,31 @@ pub fn s54(ctx: &Context) -> FigureReport {
     let mix = p.anomaly_protocol_mix();
     r.line(format!(
         "protocol mix in anomaly events: UDP {:.2}% TCP {:.2}% ICMP {:.2}% other {:.2}%",
-        mix[0] * 100.0, mix[1] * 100.0, mix[2] * 100.0, mix[3] * 100.0
+        mix[0] * 100.0,
+        mix[1] * 100.0,
+        mix[2] * 100.0,
+        mix[3] * 100.0
     ));
-    r.check("events with during-data share (paper 0.29)", Some(0.29), p.events_with_data_share());
-    r.check("data + preceding-anomaly share (paper 0.18)", Some(0.18), p.data_and_anomaly_share());
+    r.check(
+        "events with during-data share (paper 0.29)",
+        Some(0.29),
+        p.events_with_data_share(),
+    );
+    r.check(
+        "data + preceding-anomaly share (paper 0.18)",
+        Some(0.18),
+        p.data_and_anomaly_share(),
+    );
     r.check(
         "anomaly-but-no-during-data share (paper ~0.33)",
         Some(0.33),
         p.anomaly_but_no_data_share(),
     );
-    r.check("UDP share in anomaly events (paper 0.995)", Some(0.995), mix[0]);
+    r.check(
+        "UDP share in anomaly events (paper 0.995)",
+        Some(0.995),
+        mix[0],
+    );
     r
 }
 

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod lpm;
 pub mod pipeline;
 pub mod render;
 
@@ -16,6 +17,7 @@ use rtbh_core::pipeline::{Analyzer, FullReport};
 use rtbh_sim::{GroundTruth, ScenarioConfig, SimOutput};
 
 pub use figures::all_figures;
+pub use lpm::{bench_index, IndexBench};
 pub use pipeline::{bench_pipeline, PipelineBench};
 pub use render::FigureReport;
 
@@ -38,6 +40,11 @@ impl Context {
         let SimOutput { corpus, truth } = rtbh_sim::run(&config);
         let analyzer = Analyzer::with_defaults(corpus);
         let report = analyzer.full();
-        Self { config, analyzer, report, truth }
+        Self {
+            config,
+            analyzer,
+            report,
+            truth,
+        }
     }
 }

@@ -46,10 +46,7 @@ pub struct PipelineBench {
 }
 
 /// Keeps the run with the lowest end-to-end wall time.
-fn keep_best(
-    best: &mut Option<(FullReport, PipelineProfile)>,
-    run: (FullReport, PipelineProfile),
-) {
+fn keep_best(best: &mut Option<(FullReport, PipelineProfile)>, run: (FullReport, PipelineProfile)) {
     let better = match best {
         Some((_, p)) => run.1.total_wall_ns < p.total_wall_ns,
         None => true,
@@ -75,8 +72,8 @@ pub fn bench_pipeline(config: ScenarioConfig, reps: usize) -> PipelineBench {
     let (seq_report, sequential) = seq_best.expect("reps >= 1");
     let (par_report, parallel) = par_best.expect("reps >= 1");
 
-    let reports_identical = serde_json::to_string(&seq_report).ok()
-        == serde_json::to_string(&par_report).ok();
+    let reports_identical =
+        serde_json::to_string(&seq_report).ok() == serde_json::to_string(&par_report).ok();
     let speedup = sequential.total_wall_ns as f64 / parallel.total_wall_ns.max(1) as f64;
 
     PipelineBench {

@@ -29,7 +29,12 @@ pub struct Check {
 impl FigureReport {
     /// Creates an empty report.
     pub fn new(id: &'static str, title: &'static str) -> Self {
-        Self { id, title, lines: Vec::new(), checks: Vec::new() }
+        Self {
+            id,
+            title,
+            lines: Vec::new(),
+            checks: Vec::new(),
+        }
     }
 
     /// Appends a rendered line.
@@ -39,7 +44,11 @@ impl FigureReport {
 
     /// Records a paper-vs-measured check.
     pub fn check(&mut self, name: impl Into<String>, paper: Option<f64>, measured: f64) {
-        self.checks.push(Check { name: name.into(), paper, measured });
+        self.checks.push(Check {
+            name: name.into(),
+            paper,
+            measured,
+        });
     }
 
     /// Renders the whole report as text.

@@ -14,9 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use rtbh_net::{
-    AmplificationProtocol, Ipv4Addr, Port, Prefix, Protocol, AMPLIFICATION_PROTOCOLS,
-};
+use rtbh_net::{AmplificationProtocol, Ipv4Addr, Port, Prefix, Protocol, AMPLIFICATION_PROTOCOLS};
 
 /// An inclusive transport-port range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -265,7 +263,10 @@ mod tests {
         assert!(rule.matches(s, d, p, 53, dp, f));
         assert!(rule.matches(s, d, p, 123, dp, f));
         assert!(!rule.matches(s, d, p, 131, dp, f));
-        assert!(!rule.matches(s, d, Protocol::Tcp, 53, dp, f), "protocol AND port");
+        assert!(
+            !rule.matches(s, d, Protocol::Tcp, 53, dp, f),
+            "protocol AND port"
+        );
     }
 
     #[test]
@@ -280,8 +281,14 @@ mod tests {
             action: FlowAction::Discard,
         };
         let (s, d, _, _, _, _) = amp(0);
-        assert!(!rule.matches(s, d, Protocol::Udp, 0, 0, true), "fragments have no ports");
-        assert!(!rule.matches(s, d, Protocol::Icmp, 0, 0, false), "ICMP has no ports");
+        assert!(
+            !rule.matches(s, d, Protocol::Udp, 0, 0, true),
+            "fragments have no ports"
+        );
+        assert!(
+            !rule.matches(s, d, Protocol::Icmp, 0, 0, false),
+            "ICMP has no ports"
+        );
     }
 
     #[test]
@@ -301,7 +308,10 @@ mod tests {
     #[test]
     fn empty_table_accepts() {
         let (s, d, p, sp, dp, f) = amp(389);
-        assert_eq!(FlowSpecTable::new().evaluate(s, d, p, sp, dp, f), FlowAction::Accept);
+        assert_eq!(
+            FlowSpecTable::new().evaluate(s, d, p, sp, dp, f),
+            FlowAction::Accept
+        );
     }
 
     #[test]
@@ -352,6 +362,9 @@ mod tests {
         let mut table = FlowSpecTable::new();
         table.push(rule);
         let (s, d, p, sp, dp, f) = amp(389);
-        assert_eq!(table.evaluate(s, d, p, sp, dp, f), FlowAction::RateLimit(1_000_000.0));
+        assert_eq!(
+            table.evaluate(s, d, p, sp, dp, f),
+            FlowAction::RateLimit(1_000_000.0)
+        );
     }
 }

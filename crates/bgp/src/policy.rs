@@ -125,7 +125,10 @@ mod tests {
         assert!(pol.accepts_regular(p("10.0.0.0/24")));
         assert!(!pol.accepts_regular(p("10.0.0.0/25")));
         assert!(!pol.accepts_regular(p("10.0.0.1/32")));
-        let off = ImportPolicy { accept_regular: false, ..ImportPolicy::FULL };
+        let off = ImportPolicy {
+            accept_regular: false,
+            ..ImportPolicy::FULL
+        };
         assert!(!off.accepts_regular(p("10.0.0.0/16")));
     }
 }

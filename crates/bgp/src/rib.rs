@@ -61,7 +61,10 @@ pub struct Rib {
 impl Rib {
     /// An empty RIB using the given import policy.
     pub fn new(policy: ImportPolicy) -> Self {
-        Self { routes: PrefixTrie::new(), policy }
+        Self {
+            routes: PrefixTrie::new(),
+            policy,
+        }
     }
 
     /// The import policy.
@@ -99,7 +102,11 @@ impl Rib {
                         self.routes.get_mut(update.prefix).expect("just inserted")
                     }
                 };
-                let target = if blackhole { &mut slot.blackhole } else { &mut slot.regular };
+                let target = if blackhole {
+                    &mut slot.blackhole
+                } else {
+                    &mut slot.regular
+                };
                 let changed = target.replace(entry) != Some(entry);
                 changed
             }
@@ -123,12 +130,21 @@ impl Rib {
     /// Installs a regular route directly (used to seed baseline reachability
     /// without synthesising full BGP churn for every member prefix).
     pub fn install_regular(&mut self, prefix: Prefix, origin: Asn, at: Timestamp) {
-        let entry = RouteEntry { origin, blackhole: false, installed_at: at };
+        let entry = RouteEntry {
+            origin,
+            blackhole: false,
+            installed_at: at,
+        };
         match self.routes.get_mut(prefix) {
             Some(slot) => slot.regular = Some(entry),
             None => {
-                self.routes
-                    .insert(prefix, Slot { regular: Some(entry), blackhole: None });
+                self.routes.insert(
+                    prefix,
+                    Slot {
+                        regular: Some(entry),
+                        blackhole: None,
+                    },
+                );
             }
         }
     }
@@ -188,25 +204,38 @@ mod tests {
 
     fn seeded_rib(policy: ImportPolicy) -> Rib {
         let mut rib = Rib::new(policy);
-        rib.install_regular("203.0.113.0/24".parse().unwrap(), Asn(64500), Timestamp::EPOCH);
+        rib.install_regular(
+            "203.0.113.0/24".parse().unwrap(),
+            Asn(64500),
+            Timestamp::EPOCH,
+        );
         rib
     }
 
     #[test]
     fn accepted_blackhole_wins_by_longest_match() {
         let mut rib = seeded_rib(ImportPolicy::WHITELIST_32);
-        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Forward(Asn(64500)));
+        assert_eq!(
+            rib.decide(addr("203.0.113.7")),
+            Forwarding::Forward(Asn(64500))
+        );
         assert!(rib.apply(&bh_announce(0, 64500, "203.0.113.7/32")));
         assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Blackholed);
         // Neighbouring host unaffected.
-        assert_eq!(rib.decide(addr("203.0.113.8")), Forwarding::Forward(Asn(64500)));
+        assert_eq!(
+            rib.decide(addr("203.0.113.8")),
+            Forwarding::Forward(Asn(64500))
+        );
     }
 
     #[test]
     fn rejected_blackhole_keeps_forwarding() {
         let mut rib = seeded_rib(ImportPolicy::DEFAULT_24);
         assert!(!rib.apply(&bh_announce(0, 64500, "203.0.113.7/32")));
-        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Forward(Asn(64500)));
+        assert_eq!(
+            rib.decide(addr("203.0.113.7")),
+            Forwarding::Forward(Asn(64500))
+        );
     }
 
     #[test]
@@ -221,7 +250,10 @@ mod tests {
         let mut rib = seeded_rib(ImportPolicy::WHITELIST_32);
         rib.apply(&bh_announce(0, 64500, "203.0.113.7/32"));
         assert!(rib.apply(&bh_withdraw(5, 64500, "203.0.113.7/32")));
-        assert_eq!(rib.decide(addr("203.0.113.7")), Forwarding::Forward(Asn(64500)));
+        assert_eq!(
+            rib.decide(addr("203.0.113.7")),
+            Forwarding::Forward(Asn(64500))
+        );
         // A second withdraw is a no-op.
         assert!(!rib.apply(&bh_withdraw(6, 64500, "203.0.113.7/32")));
     }
@@ -237,7 +269,12 @@ mod tests {
         assert_eq!(rib.decide(addr("203.0.113.9")), Forwarding::Blackholed);
         assert!(rib.apply(&bh_withdraw(5, 64500, "203.0.113.0/24")));
         assert_eq!(rib.decide(addr("203.0.113.9")), before);
-        assert_eq!(rib.get_regular("203.0.113.0/24".parse().unwrap()).unwrap().origin, Asn(64500));
+        assert_eq!(
+            rib.get_regular("203.0.113.0/24".parse().unwrap())
+                .unwrap()
+                .origin,
+            Asn(64500)
+        );
     }
 
     #[test]
@@ -257,8 +294,12 @@ mod tests {
         assert_eq!(bhs.len(), 2);
         assert!(bhs.iter().all(|p| p.is_host()));
         assert_eq!(rib.len(), 3);
-        assert!(rib.get_blackhole("203.0.113.7/32".parse().unwrap()).is_some());
-        assert!(rib.get_blackhole("203.0.113.8/32".parse().unwrap()).is_none());
+        assert!(rib
+            .get_blackhole("203.0.113.7/32".parse().unwrap())
+            .is_some());
+        assert!(rib
+            .get_blackhole("203.0.113.8/32".parse().unwrap())
+            .is_none());
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct RouteServer {
 impl RouteServer {
     /// Creates a route server with the given ASN and member peers.
     pub fn new(asn: Asn, peers: impl IntoIterator<Item = Asn>) -> Self {
-        Self { asn, peers: peers.into_iter().collect() }
+        Self {
+            asn,
+            peers: peers.into_iter().collect(),
+        }
     }
 
     /// The route server's AS number.
@@ -60,8 +63,7 @@ impl RouteServer {
     /// receives its own route back.
     pub fn recipients(&self, update: &BgpUpdate) -> Vec<Asn> {
         let block_all = Community::block_all(self.asn);
-        let deny_by_default =
-            block_all.is_some_and(|c| update.communities.contains(&c));
+        let deny_by_default = block_all.is_some_and(|c| update.communities.contains(&c));
         self.peers
             .iter()
             .copied()
@@ -71,8 +73,7 @@ impl RouteServer {
                     Community::announce_peer(self.asn, peer)
                         .is_some_and(|c| update.communities.contains(&c))
                 } else {
-                    !Community::block_peer(peer)
-                        .is_some_and(|c| update.communities.contains(&c))
+                    !Community::block_peer(peer).is_some_and(|c| update.communities.contains(&c))
                 }
             })
             .collect()
@@ -83,8 +84,8 @@ impl RouteServer {
         if peer == update.peer || !self.peers.contains(&peer) {
             return false;
         }
-        let deny_by_default = Community::block_all(self.asn)
-            .is_some_and(|c| update.communities.contains(&c));
+        let deny_by_default =
+            Community::block_all(self.asn).is_some_and(|c| update.communities.contains(&c));
         if deny_by_default {
             Community::announce_peer(self.asn, peer)
                 .is_some_and(|c| update.communities.contains(&c))
@@ -155,7 +156,10 @@ mod tests {
     #[test]
     fn block_all_without_allows_reaches_nobody() {
         let rs = server();
-        let u = update(1, vec![Community::BLACKHOLE, Community::block_all(RS).unwrap()]);
+        let u = update(
+            1,
+            vec![Community::BLACKHOLE, Community::block_all(RS).unwrap()],
+        );
         assert!(rs.recipients(&u).is_empty());
     }
 
@@ -181,14 +185,15 @@ mod tests {
         let rs = server();
         let u = update(
             2,
-            vec![
-                Community::BLACKHOLE,
-                Community::block_peer(Asn(4)).unwrap(),
-            ],
+            vec![Community::BLACKHOLE, Community::block_peer(Asn(4)).unwrap()],
         );
         let recipients = rs.recipients(&u);
         for peer in rs.peers() {
-            assert_eq!(recipients.contains(&peer), rs.is_visible_to(&u, peer), "{peer}");
+            assert_eq!(
+                recipients.contains(&peer),
+                rs.is_visible_to(&u, peer),
+                "{peer}"
+            );
         }
     }
 }

@@ -50,7 +50,10 @@ pub fn blackhole_intervals<'a>(
             UpdateKind::Withdraw => {
                 if let Some(start) = open.remove(&u.prefix) {
                     if u.at > start {
-                        closed.entry(u.prefix).or_default().push(Interval::new(start, u.at));
+                        closed
+                            .entry(u.prefix)
+                            .or_default()
+                            .push(Interval::new(start, u.at));
                     }
                 }
             }
@@ -58,7 +61,10 @@ pub fn blackhole_intervals<'a>(
     }
     for (prefix, start) in open {
         if corpus_end > start {
-            closed.entry(prefix).or_default().push(Interval::new(start, corpus_end));
+            closed
+                .entry(prefix)
+                .or_default()
+                .push(Interval::new(start, corpus_end));
         }
     }
     closed
@@ -127,7 +133,11 @@ pub fn duration_stats(intervals: &[Interval]) -> DurationStats {
             longest = d;
         }
     }
-    DurationStats { count: intervals.len(), total, longest }
+    DurationStats {
+        count: intervals.len(),
+        total,
+        longest,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +182,10 @@ mod tests {
             bh_withdraw(10, 1, "10.0.0.1/32"),
         ]);
         let ivs = blackhole_intervals(log.updates(), ts(60));
-        assert_eq!(ivs[&"10.0.0.1/32".parse().unwrap()], vec![Interval::new(ts(0), ts(10))]);
+        assert_eq!(
+            ivs[&"10.0.0.1/32".parse().unwrap()],
+            vec![Interval::new(ts(0), ts(10))]
+        );
     }
 
     #[test]
@@ -196,7 +209,10 @@ mod tests {
         bare.communities.clear();
         let log = UpdateLog::from_updates(vec![bh_announce(0, 1, "10.0.0.1/32"), bare]);
         let ivs = blackhole_intervals(log.updates(), ts(60));
-        assert_eq!(ivs[&"10.0.0.1/32".parse().unwrap()], vec![Interval::new(ts(0), ts(10))]);
+        assert_eq!(
+            ivs[&"10.0.0.1/32".parse().unwrap()],
+            vec![Interval::new(ts(0), ts(10))]
+        );
     }
 
     #[test]

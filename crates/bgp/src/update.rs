@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, Timestamp};
 
 /// Whether an update announces or withdraws a route.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum UpdateKind {
     /// The route becomes available.
     Announce,
@@ -84,7 +82,9 @@ impl UpdateLog {
     /// Panics (debug builds only) if time order is violated.
     pub fn push(&mut self, update: BgpUpdate) {
         debug_assert!(
-            self.updates.last().map_or(true, |last| last.at <= update.at),
+            self.updates
+                .last()
+                .map_or(true, |last| last.at <= update.at),
             "updates must be pushed in time order"
         );
         self.updates.push(update);
@@ -164,7 +164,10 @@ pub(crate) mod testutil {
     }
 
     pub fn bh_withdraw(min: i64, peer: u32, prefix: &str) -> BgpUpdate {
-        BgpUpdate { kind: UpdateKind::Withdraw, ..bh_announce(min, peer, prefix) }
+        BgpUpdate {
+            kind: UpdateKind::Withdraw,
+            ..bh_announce(min, peer, prefix)
+        }
     }
 }
 
@@ -190,7 +193,11 @@ mod tests {
             bh_announce(0, 2, "10.0.0.2/32"),
             bh_announce(5, 3, "10.0.0.3/32"),
         ]);
-        let mins: Vec<i64> = log.updates().iter().map(|u| (u.at - Timestamp::EPOCH).as_minutes()).collect();
+        let mins: Vec<i64> = log
+            .updates()
+            .iter()
+            .map(|u| (u.at - Timestamp::EPOCH).as_minutes())
+            .collect();
         assert_eq!(mins, vec![0, 5, 10]);
     }
 

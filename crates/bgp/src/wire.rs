@@ -69,8 +69,11 @@ fn get_nlri(buf: &mut Bytes) -> Result<Prefix, WireError> {
     }
     let mut octets = [0u8; 4];
     buf.copy_to_slice(&mut octets[..nbytes]);
-    Prefix::new(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]), len)
-        .ok_or(WireError::Invalid("NLRI prefix"))
+    Prefix::new(
+        Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]),
+        len,
+    )
+    .ok_or(WireError::Invalid("NLRI prefix"))
 }
 
 /// Encodes one [`BgpUpdate`] as a complete BGP UPDATE message
@@ -141,8 +144,11 @@ struct DecodedAttrs {
 }
 
 fn decode_attrs(mut attrs: Bytes) -> Result<DecodedAttrs, WireError> {
-    let mut out =
-        DecodedAttrs { origin_as: None, next_hop: None, communities: Vec::new() };
+    let mut out = DecodedAttrs {
+        origin_as: None,
+        next_hop: None,
+        communities: Vec::new(),
+    };
     while attrs.has_remaining() {
         if attrs.remaining() < 3 {
             return Err(WireError::Truncated("attribute header"));
@@ -264,10 +270,14 @@ pub fn decode_update(
             at,
             peer,
             prefix,
-            origin: attrs.origin_as.ok_or(WireError::Invalid("missing AS_PATH"))?,
+            origin: attrs
+                .origin_as
+                .ok_or(WireError::Invalid("missing AS_PATH"))?,
             kind: UpdateKind::Announce,
             communities: attrs.communities.clone(),
-            next_hop: attrs.next_hop.ok_or(WireError::Invalid("missing NEXT_HOP"))?,
+            next_hop: attrs
+                .next_hop
+                .ok_or(WireError::Invalid("missing NEXT_HOP"))?,
         });
     }
     Ok(out)
@@ -323,10 +333,7 @@ mod tests {
             prefix: "203.0.113.7/32".parse().unwrap(),
             origin: Asn(2001),
             kind: UpdateKind::Announce,
-            communities: vec![
-                Community::BLACKHOLE,
-                Community::new(0, 1234),
-            ],
+            communities: vec![Community::BLACKHOLE, Community::new(0, 1234)],
             next_hop: "198.51.100.66".parse().unwrap(),
         }
     }
@@ -349,7 +356,10 @@ mod tests {
         assert_eq!(decoded.len(), 1);
         assert_eq!(decoded[0].prefix, u.prefix);
         assert_eq!(decoded[0].kind, UpdateKind::Withdraw);
-        assert!(decoded[0].communities.is_empty(), "wire withdrawals carry no communities");
+        assert!(
+            decoded[0].communities.is_empty(),
+            "wire withdrawals carry no communities"
+        );
     }
 
     #[test]

@@ -123,21 +123,37 @@ pub fn analyze_acceptance(
             continue;
         }
         samples_during_blackhole += 1;
-        by_length.entry(prefix.len()).or_default().add(s.is_dropped(), s.packet_len);
-        by_prefix.entry(prefix).or_default().add(s.is_dropped(), s.packet_len);
+        by_length
+            .entry(prefix.len())
+            .or_default()
+            .add(s.is_dropped(), s.packet_len);
+        by_prefix
+            .entry(prefix)
+            .or_default()
+            .add(s.is_dropped(), s.packet_len);
         if prefix.is_host() {
             if let Some(source) = resolver.handover(s) {
-                by_source_as_32.entry(source).or_default().add(s.is_dropped(), s.packet_len);
+                by_source_as_32
+                    .entry(source)
+                    .or_default()
+                    .add(s.is_dropped(), s.packet_len);
             }
         }
     }
-    AcceptanceAnalysis { by_length, by_prefix, by_source_as_32, samples_during_blackhole }
+    AcceptanceAnalysis {
+        by_length,
+        by_prefix,
+        by_source_as_32,
+        samples_during_blackhole,
+    }
 }
 
 impl AcceptanceAnalysis {
     /// Average packet drop rate for one prefix length (Fig. 5's dashed line).
     pub fn drop_rate_for_length(&self, len: u8) -> Option<(f64, f64)> {
-        self.by_length.get(&len).map(|t| (t.packet_drop_rate(), t.byte_drop_rate()))
+        self.by_length
+            .get(&len)
+            .map(|t| (t.packet_drop_rate(), t.byte_drop_rate()))
     }
 
     /// The traffic share (packets) of each prefix length among all
@@ -147,7 +163,14 @@ impl AcceptanceAnalysis {
         self.by_length
             .iter()
             .map(|(len, t)| {
-                (*len, if total == 0 { 0.0 } else { t.packets() as f64 / total as f64 })
+                (
+                    *len,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        t.packets() as f64 / total as f64
+                    },
+                )
             })
             .collect()
     }
@@ -226,7 +249,11 @@ mod tests {
         FlowSample {
             at: ts(min),
             src_mac: MacAddr::from_id(src_mac),
-            dst_mac: if dropped { MacAddr::BLACKHOLE } else { MacAddr::from_id(99) },
+            dst_mac: if dropped {
+                MacAddr::BLACKHOLE
+            } else {
+                MacAddr::from_id(99)
+            },
             src_ip: "8.8.8.8".parse().unwrap(),
             dst_ip: dst.parse().unwrap(),
             protocol: Protocol::Udp,
@@ -245,9 +272,18 @@ mod tests {
             updates: rtbh_bgp::UpdateLog::new(),
             flows: FlowLog::new(),
             members: vec![
-                MemberInfo { asn: Asn(201), macs: vec![MacAddr::from_id(1)] },
-                MemberInfo { asn: Asn(202), macs: vec![MacAddr::from_id(2)] },
-                MemberInfo { asn: Asn(203), macs: vec![MacAddr::from_id(99)] },
+                MemberInfo {
+                    asn: Asn(201),
+                    macs: vec![MacAddr::from_id(1)],
+                },
+                MemberInfo {
+                    asn: Asn(202),
+                    macs: vec![MacAddr::from_id(2)],
+                },
+                MemberInfo {
+                    asn: Asn(203),
+                    macs: vec![MacAddr::from_id(99)],
+                },
             ],
             registry: Registry::new(),
             internal_macs: Vec::new(),
@@ -286,8 +322,8 @@ mod tests {
             bh(0, "10.0.0.7/32", UpdateKind::Announce),
         ]);
         let flows = FlowLog::from_samples(vec![
-            sample(10, 1, "10.0.0.7", true),  // /32
-            sample(10, 1, "10.0.0.9", true),  // /24
+            sample(10, 1, "10.0.0.7", true), // /32
+            sample(10, 1, "10.0.0.9", true), // /24
         ]);
         let a = analyze_acceptance(&updates, &flows, &resolver(), ts(1000));
         assert_eq!(a.by_length[&32].packets(), 1);
@@ -303,8 +339,9 @@ mod tests {
             bh(0, "10.0.1.7/32", UpdateKind::Announce),
         ]);
         // 10.0.0.7 gets 6 samples (enters CDF), 10.0.1.7 only 2 (excluded).
-        let mut samples: Vec<FlowSample> =
-            (0..6).map(|i| sample(10 + i, 1, "10.0.0.7", i % 2 == 0)).collect();
+        let mut samples: Vec<FlowSample> = (0..6)
+            .map(|i| sample(10 + i, 1, "10.0.0.7", i % 2 == 0))
+            .collect();
         samples.extend((0..2).map(|i| sample(10 + i, 1, "10.0.1.7", true)));
         let flows = FlowLog::from_samples(samples);
         let a = analyze_acceptance(&updates, &flows, &resolver(), ts(1000));
@@ -315,11 +352,8 @@ mod tests {
 
     #[test]
     fn reaction_buckets() {
-        let updates = rtbh_bgp::UpdateLog::from_updates(vec![bh(
-            0,
-            "10.0.0.7/32",
-            UpdateKind::Announce,
-        )]);
+        let updates =
+            rtbh_bgp::UpdateLog::from_updates(vec![bh(0, "10.0.0.7/32", UpdateKind::Announce)]);
         let mut samples = Vec::new();
         for i in 0..20 {
             samples.push(sample(1 + i, 1, "10.0.0.7", true)); // AS201 drops

@@ -10,8 +10,10 @@ use serde::{Deserialize, Serialize};
 
 use rtbh_bgp::{blackhole_intervals, UpdateLog};
 use rtbh_fabric::{FlowLog, FlowSample};
-use rtbh_net::{Interval, PrefixTrie, TimeDelta, Timestamp};
-use rtbh_stats::offset::{offset_scan, ExplainableSample, OffsetScan};
+use rtbh_net::{FrozenLpm, Interval, TimeDelta, Timestamp};
+use rtbh_stats::offset::{offset_scan_with_workers, ExplainableSample, OffsetScan};
+
+use crate::shard;
 
 /// The alignment estimate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,37 +49,85 @@ pub fn estimate_offset(
     half_range: TimeDelta,
     step: TimeDelta,
 ) -> Option<Alignment> {
+    estimate_offset_with_workers(updates, flows, corpus_end, half_range, step, 1)
+}
+
+/// [`estimate_offset`] with the likelihood grid scanned on `workers` scoped
+/// threads (`0` = one per available core).
+///
+/// The per-sample interval lookup goes through a [`FrozenLpm`] compiled
+/// from the blackhole activity intervals, and the offset grid is evaluated
+/// chunk-parallel with a deterministic ordered merge
+/// ([`rtbh_stats::offset::offset_scan_with_workers`]) — the resulting curve
+/// and argmax are identical for every worker count.
+pub fn estimate_offset_with_workers(
+    updates: &UpdateLog,
+    flows: &FlowLog,
+    corpus_end: Timestamp,
+    half_range: TimeDelta,
+    step: TimeDelta,
+    workers: usize,
+) -> Option<Alignment> {
     let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
-    let mut trie: PrefixTrie<Vec<Interval>> = PrefixTrie::new();
-    for (prefix, ivs) in intervals {
-        trie.insert(prefix, ivs);
-    }
+    let lpm: FrozenLpm<Vec<Interval>> = FrozenLpm::from_entries(intervals);
     static EMPTY: &[Interval] = &[];
     let samples: Vec<ExplainableSample<'_>> = flows
         .dropped()
         .map(|s: &FlowSample| {
-            let intervals = trie
+            let intervals = lpm
                 .longest_match(s.dst_ip)
                 .map(|(_, ivs)| ivs.as_slice())
                 .unwrap_or(EMPTY);
-            ExplainableSample { at: s.at, intervals }
+            ExplainableSample {
+                at: s.at,
+                intervals,
+            }
         })
         .collect();
     let dropped_samples = samples.len();
-    let scan = offset_scan(&samples, half_range, step)?;
-    Some(Alignment { scan, dropped_samples })
+    let scan =
+        offset_scan_with_workers(&samples, half_range, step, shard::resolve_workers(workers))?;
+    Some(Alignment {
+        scan,
+        dropped_samples,
+    })
 }
 
 /// Shifts every sample timestamp by `offset` (aligning the data plane onto
-/// the control-plane clock).
+/// the control-plane clock), on the calling thread.
 pub fn shift_flows(flows: &FlowLog, offset: TimeDelta) -> FlowLog {
-    FlowLog::from_samples(
-        flows
-            .samples()
-            .iter()
-            .map(|s| FlowSample { at: s.at + offset, ..*s })
-            .collect(),
-    )
+    shift_flows_with_workers(flows, offset, 1)
+}
+
+/// [`shift_flows`] sharded over `workers` scoped threads (`0` = one per
+/// available core).
+///
+/// A zero offset returns a plain clone of the input — no per-sample work,
+/// no re-sort. Otherwise each chunk of the time-sorted log is shifted
+/// independently and the chunks are re-concatenated in order (a constant
+/// shift preserves the time order, so the result is already sorted).
+pub fn shift_flows_with_workers(flows: &FlowLog, offset: TimeDelta, workers: usize) -> FlowLog {
+    if offset == TimeDelta::ZERO {
+        return flows.clone();
+    }
+    let chunks = shard::map_chunks(
+        flows.samples(),
+        shard::resolve_workers(workers),
+        |_, chunk| {
+            chunk
+                .iter()
+                .map(|s| FlowSample {
+                    at: s.at + offset,
+                    ..*s
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    let mut samples = Vec::with_capacity(flows.len());
+    for mut chunk in chunks {
+        samples.append(&mut chunk);
+    }
+    FlowLog::from_samples(samples)
 }
 
 #[cfg(test)]
@@ -129,8 +179,7 @@ mod tests {
             .map(|i| 100_000 + i * 500)
             .chain([100_000, 199_999])
             .collect();
-        let flows =
-            FlowLog::from_samples(true_times.iter().map(|t| dropped_at(t - 40)).collect());
+        let flows = FlowLog::from_samples(true_times.iter().map(|t| dropped_at(t - 40)).collect());
         let alignment = estimate_offset(
             &updates,
             &flows,
@@ -166,6 +215,50 @@ mod tests {
         let shifted = shift_flows(&flows, TimeDelta::millis(40));
         let ats: Vec<i64> = shifted.samples().iter().map(|s| s.at.as_millis()).collect();
         assert_eq!(ats, vec![1040, 2040]);
+    }
+
+    #[test]
+    fn zero_offset_shift_returns_the_input_unchanged() {
+        let flows = FlowLog::from_samples(vec![dropped_at(1000), dropped_at(2000)]);
+        assert_eq!(shift_flows(&flows, TimeDelta::ZERO), flows);
+        assert_eq!(shift_flows_with_workers(&flows, TimeDelta::ZERO, 8), flows);
+    }
+
+    #[test]
+    fn worker_count_invariance_of_alignment_and_shift() {
+        let updates = UpdateLog::from_updates(vec![
+            update(100, UpdateKind::Announce),
+            update(200, UpdateKind::Withdraw),
+        ]);
+        let flows = FlowLog::from_samples(
+            (0..300)
+                .map(|i| dropped_at(100_000 + i * 331 - 40))
+                .collect(),
+        );
+        let reference = estimate_offset(
+            &updates,
+            &flows,
+            ts(100_000),
+            TimeDelta::millis(500),
+            TimeDelta::millis(10),
+        )
+        .unwrap();
+        for workers in [2, 5, 16] {
+            let sharded = estimate_offset_with_workers(
+                &updates,
+                &flows,
+                ts(100_000),
+                TimeDelta::millis(500),
+                TimeDelta::millis(10),
+                workers,
+            )
+            .unwrap();
+            assert_eq!(sharded, reference, "{workers} workers diverged");
+            assert_eq!(
+                shift_flows_with_workers(&flows, TimeDelta::millis(40), workers),
+                shift_flows(&flows, TimeDelta::millis(40)),
+            );
+        }
     }
 
     #[test]

@@ -276,8 +276,10 @@ mod tests {
         pres: Vec<PreEventResult>,
         durs: Vec<EventTraffic>,
     ) -> Classification {
-        let preevents =
-            PreEventAnalysis { per_event: pres, config: PreEventConfig::PAPER };
+        let preevents = PreEventAnalysis {
+            per_event: pres,
+            config: PreEventConfig::PAPER,
+        };
         let traffic = ProtocolAnalysis { per_event: durs };
         classify_events(&events, &preevents, &traffic, &ClassifyConfig::PAPER)
     }
@@ -339,7 +341,10 @@ mod tests {
                 event(0, "10.0.0.7/32", 100, 103, false),
                 event(1, "10.0.1.0/24", 0, 24 * 40, true),
             ],
-            vec![pre(0, PreClass::DataAnomaly, 100), pre(1, PreClass::NoData, 0)],
+            vec![
+                pre(0, PreClass::DataAnomaly, 100),
+                pre(1, PreClass::NoData, 0),
+            ],
             vec![during(0, 10), during(1, 0)],
         );
         let total: f64 = c.shares().values().sum();

@@ -44,7 +44,10 @@ pub fn clean_flows(corpus: &Corpus) -> (FlowLog, CleanReport) {
         .filter(|f| !internal.contains(&f.src_mac) && !internal.contains(&f.dst_mac))
         .copied()
         .collect();
-    let report = CleanReport { total, internal_removed: total - kept.len() };
+    let report = CleanReport {
+        total,
+        internal_removed: total - kept.len(),
+    };
     (FlowLog::from_samples(kept), report)
 }
 

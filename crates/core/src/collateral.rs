@@ -94,7 +94,10 @@ pub fn analyze_collateral(
             continue;
         };
         let cover = event.coverage();
-        let ids = index.prefix_id(event.prefix).map(|id| index.towards(id)).unwrap_or(&[]);
+        let ids = index
+            .prefix_id(event.prefix)
+            .map(|id| index.towards(id))
+            .unwrap_or(&[]);
         let lo = ids.partition_point(|&i| samples[i as usize].at < cover.start);
         let hi = ids.partition_point(|&i| samples[i as usize].at < cover.end);
         for (server, top) in servers {
@@ -122,7 +125,10 @@ pub fn analyze_collateral(
             }
         }
     }
-    CollateralAnalysis { records, servers_considered }
+    CollateralAnalysis {
+        records,
+        servers_considered,
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +159,10 @@ mod tests {
 
     #[test]
     fn empty_analysis_is_safe() {
-        let analysis = CollateralAnalysis { records: vec![], servers_considered: 0 };
+        let analysis = CollateralAnalysis {
+            records: vec![],
+            servers_considered: 0,
+        };
         assert_eq!(analysis.events_with_collateral(), 0);
         assert!(analysis.worst().is_none());
     }

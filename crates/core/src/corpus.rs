@@ -109,8 +109,14 @@ mod tests {
             updates: UpdateLog::new(),
             flows: FlowLog::new(),
             members: vec![
-                MemberInfo { asn: Asn(1), macs: vec![MacAddr::from_id(1), MacAddr::from_id(2)] },
-                MemberInfo { asn: Asn(2), macs: vec![MacAddr::from_id(3)] },
+                MemberInfo {
+                    asn: Asn(1),
+                    macs: vec![MacAddr::from_id(1), MacAddr::from_id(2)],
+                },
+                MemberInfo {
+                    asn: Asn(2),
+                    macs: vec![MacAddr::from_id(3)],
+                },
             ],
             registry: Registry::new(),
             internal_macs: Vec::new(),

@@ -81,8 +81,9 @@ pub fn infer_events(
         let (trigger_peer, origin) = meta[&prefix];
         let mut current: Vec<Interval> = Vec::new();
         for span in spans {
-            let belongs =
-                current.last().is_some_and(|last| span.start - last.end <= delta);
+            let belongs = current
+                .last()
+                .is_some_and(|last| span.start - last.end <= delta);
             if !belongs && !current.is_empty() {
                 let open_ended = current.last().unwrap().end >= corpus_end;
                 events.push(RtbhEvent {
@@ -184,7 +185,10 @@ mod tests {
         pairs
             .iter()
             .flat_map(|&(a, w)| {
-                vec![update(a, prefix, UpdateKind::Announce), update(w, prefix, UpdateKind::Withdraw)]
+                vec![
+                    update(a, prefix, UpdateKind::Announce),
+                    update(w, prefix, UpdateKind::Withdraw),
+                ]
             })
             .collect()
     }
@@ -224,8 +228,7 @@ mod tests {
 
     #[test]
     fn dangling_event_is_open_ended() {
-        let log =
-            UpdateLog::from_updates(vec![update(5, "10.0.0.1/32", UpdateKind::Announce)]);
+        let log = UpdateLog::from_updates(vec![update(5, "10.0.0.1/32", UpdateKind::Announce)]);
         let events = infer_events(&log, TimeDelta::minutes(10), ts(END));
         assert_eq!(events.len(), 1);
         assert!(events[0].open_ended);
@@ -251,7 +254,10 @@ mod tests {
         let deltas: Vec<TimeDelta> = (0..=12).map(TimeDelta::minutes).collect();
         let (curve, lower_bound) = merge_sweep(&log, &deltas, ts(END));
         for pair in curve.windows(2) {
-            assert!(pair[0].events >= pair[1].events, "event count must fall with Δ");
+            assert!(
+                pair[0].events >= pair[1].events,
+                "event count must fall with Δ"
+            );
         }
         // Lower bound: 2 unique prefixes / 5 announcements.
         assert!((lower_bound - 2.0 / 5.0).abs() < 1e-12);

@@ -63,31 +63,43 @@ pub struct FilteringAnalysis {
 impl FilteringAnalysis {
     /// Fig. 14: ECDF of per-event filterable shares.
     pub fn filterable_share_cdf(&self) -> Ecdf {
-        self.per_event.iter().map(|e| e.filterable_share()).collect()
+        self.per_event
+            .iter()
+            .map(|e| e.filterable_share())
+            .collect()
     }
 
     /// Share of events fully (≥ `threshold`) covered by port filtering
     /// (the paper: 90% at complete coverage).
     pub fn fully_filterable_share(&self, threshold: f64) -> f64 {
         let n = self.per_event.len().max(1) as f64;
-        self.per_event.iter().filter(|e| e.filterable_share() >= threshold).count() as f64 / n
+        self.per_event
+            .iter()
+            .filter(|e| e.filterable_share() >= threshold)
+            .count() as f64
+            / n
     }
 
     /// Fig. 15: ECDF of participation shares for handover or origin ASes.
     pub fn participation_cdf(&self, origin: bool) -> Ecdf {
         let events = self.per_event.len().max(1) as f64;
-        let map =
-            if origin { &self.origin_participation } else { &self.handover_participation };
+        let map = if origin {
+            &self.origin_participation
+        } else {
+            &self.handover_participation
+        };
         map.values().map(|&c| c as f64 / events).collect()
     }
 
     /// The top `k` participants, `(asn, share of events)`, heaviest first.
     pub fn top_participants(&self, origin: bool, k: usize) -> Vec<(Asn, f64)> {
         let events = self.per_event.len().max(1) as f64;
-        let map =
-            if origin { &self.origin_participation } else { &self.handover_participation };
-        let mut all: Vec<(Asn, f64)> =
-            map.iter().map(|(a, c)| (*a, *c as f64 / events)).collect();
+        let map = if origin {
+            &self.origin_participation
+        } else {
+            &self.handover_participation
+        };
+        let mut all: Vec<(Asn, f64)> = map.iter().map(|(a, c)| (*a, *c as f64 / events)).collect();
         all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
@@ -127,7 +139,10 @@ pub fn analyze_filtering(
             continue;
         }
         let cover = event.coverage();
-        let ids = index.prefix_id(event.prefix).map(|id| index.towards(id)).unwrap_or(&[]);
+        let ids = index
+            .prefix_id(event.prefix)
+            .map(|id| index.towards(id))
+            .unwrap_or(&[]);
         let lo = ids.partition_point(|&i| samples[i as usize].at < cover.start);
         let hi = ids.partition_point(|&i| samples[i as usize].at < cover.end);
         if hi - lo < 5 {
@@ -175,7 +190,11 @@ pub fn analyze_filtering(
         }
         per_event.push(emu);
     }
-    FilteringAnalysis { per_event, handover_participation, origin_participation }
+    FilteringAnalysis {
+        per_event,
+        handover_participation,
+        origin_participation,
+    }
 }
 
 #[cfg(test)]

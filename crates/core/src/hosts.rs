@@ -121,7 +121,10 @@ impl HostAnalysis {
         if self.hosts.is_empty() {
             return 0.0;
         }
-        self.hosts.iter().filter(|h| h.class != HostClass::InsufficientData).count() as f64
+        self.hosts
+            .iter()
+            .filter(|h| h.class != HostClass::InsufficientData)
+            .count() as f64
             / self.hosts.len() as f64
     }
 
@@ -132,7 +135,10 @@ impl HostAnalysis {
     ) -> (BTreeMap<OrgType, usize>, BTreeMap<OrgType, usize>) {
         let clients: Vec<Asn> = self.of_class(HostClass::Client).map(|h| h.origin).collect();
         let servers: Vec<Asn> = self.of_class(HostClass::Server).map(|h| h.origin).collect();
-        (registry.type_histogram(clients.iter()), registry.type_histogram(servers.iter()))
+        (
+            registry.type_histogram(clients.iter()),
+            registry.type_histogram(servers.iter()),
+        )
     }
 
     /// Fig. 17 scatter material: `(days_in, port_variation, class)` for all
@@ -160,10 +166,7 @@ struct HostAccum {
 
 /// Builds per-prefix exclusion windows: every event's coverage with the
 /// reaction time prepended.
-fn exclusion_windows(
-    events: &[RtbhEvent],
-    reaction: TimeDelta,
-) -> BTreeMap<Prefix, Vec<Interval>> {
+fn exclusion_windows(events: &[RtbhEvent], reaction: TimeDelta) -> BTreeMap<Prefix, Vec<Interval>> {
     let mut map: BTreeMap<Prefix, Vec<Interval>> = BTreeMap::new();
     for e in events {
         map.entry(e.prefix)
@@ -190,23 +193,25 @@ pub fn analyze_hosts(
 ) -> HostAnalysis {
     let exclusions = exclusion_windows(events, config.reaction);
     // Origin per prefix from the events.
-    let origin_of: BTreeMap<Prefix, Asn> =
-        events.iter().map(|e| (e.prefix, e.origin)).collect();
+    let origin_of: BTreeMap<Prefix, Asn> = events.iter().map(|e| (e.prefix, e.origin)).collect();
 
     let mut accums: BTreeMap<Ipv4Addr, (Prefix, HostAccum)> = BTreeMap::new();
     let samples = flows.samples();
     static NO_WINDOWS: &[Interval] = &[];
 
     for (pid, prefix) in index.prefixes().iter().enumerate() {
-        let windows =
-            exclusions.get(prefix).map(|w| w.as_slice()).unwrap_or(NO_WINDOWS);
+        let windows = exclusions
+            .get(prefix)
+            .map(|w| w.as_slice())
+            .unwrap_or(NO_WINDOWS);
         for &i in index.towards(pid) {
             let s: &FlowSample = &samples[i as usize];
             if in_windows(windows, s.at) {
                 continue;
             }
-            let (_, acc) =
-                accums.entry(s.dst_ip).or_insert_with(|| (*prefix, HostAccum::default()));
+            let (_, acc) = accums
+                .entry(s.dst_ip)
+                .or_insert_with(|| (*prefix, HostAccum::default()));
             let day = s.at.day();
             acc.days_in.insert(day);
             acc.src_in.insert(s.src_port);
@@ -224,8 +229,9 @@ pub fn analyze_hosts(
             if in_windows(windows, s.at) {
                 continue;
             }
-            let (_, acc) =
-                accums.entry(s.src_ip).or_insert_with(|| (*prefix, HostAccum::default()));
+            let (_, acc) = accums
+                .entry(s.src_ip)
+                .or_insert_with(|| (*prefix, HostAccum::default()));
             acc.days_out.insert(s.at.day());
             acc.src_out.insert(s.src_port);
             acc.dst_out.insert(s.dst_port);
@@ -235,17 +241,25 @@ pub fn analyze_hosts(
     let hosts = accums
         .into_iter()
         .map(|(addr, (prefix, acc))| {
-            let port_features =
-                [acc.src_in.len(), acc.src_out.len(), acc.dst_in.len(), acc.dst_out.len()];
-            let normalised: Vec<f64> =
-                port_features.iter().map(|&c| (c as f64 / 65535.0).min(1.0)).collect();
+            let port_features = [
+                acc.src_in.len(),
+                acc.src_out.len(),
+                acc.dst_in.len(),
+                acc.dst_out.len(),
+            ];
+            let normalised: Vec<f64> = port_features
+                .iter()
+                .map(|&c| (c as f64 / 65535.0).min(1.0))
+                .collect();
             let radviz = radviz_project(&normalised);
             // Per-day top service (most packets; ties by service order).
             let mut top_services: Vec<Service> = acc
                 .daily_services
                 .values()
                 .filter_map(|day| {
-                    day.iter().max_by_key(|(s, c)| (**c, std::cmp::Reverse(**s))).map(|(s, _)| *s)
+                    day.iter()
+                        .max_by_key(|(s, c)| (**c, std::cmp::Reverse(**s)))
+                        .map(|(s, _)| *s)
                 })
                 .collect();
             top_services.sort();
@@ -276,7 +290,10 @@ pub fn analyze_hosts(
             }
         })
         .collect();
-    HostAnalysis { hosts, config: *config }
+    HostAnalysis {
+        hosts,
+        config: *config,
+    }
 }
 
 #[cfg(test)]
@@ -286,7 +303,10 @@ mod tests {
     use rtbh_net::{Community, MacAddr, Protocol, Timestamp};
 
     fn config() -> HostConfig {
-        HostConfig { min_days: 3, ..HostConfig::PAPER }
+        HostConfig {
+            min_days: 3,
+            ..HostConfig::PAPER
+        }
     }
 
     fn bh(prefix: &str) -> BgpUpdate {
@@ -344,12 +364,30 @@ mod tests {
         let mut flows = Vec::new();
         for day in 0..5 {
             for k in 0..5u16 {
-                flows.push(flow(day, k as i64, "100.64.0.1", HOST, 40_000 + day as u16 * 10 + k, 443));
-                flows.push(flow(day, k as i64 + 10, HOST, "100.64.0.1", 443, 41_000 + day as u16 * 10 + k));
+                flows.push(flow(
+                    day,
+                    k as i64,
+                    "100.64.0.1",
+                    HOST,
+                    40_000 + day as u16 * 10 + k,
+                    443,
+                ));
+                flows.push(flow(
+                    day,
+                    k as i64 + 10,
+                    HOST,
+                    "100.64.0.1",
+                    443,
+                    41_000 + day as u16 * 10 + k,
+                ));
             }
         }
         let analysis = build(flows, vec![]);
-        let host = analysis.hosts.iter().find(|h| h.addr.to_string() == HOST).unwrap();
+        let host = analysis
+            .hosts
+            .iter()
+            .find(|h| h.addr.to_string() == HOST)
+            .unwrap();
         assert_eq!(host.class, HostClass::Server);
         assert_eq!(host.top_services, vec![Service::tcp(443)]);
         assert!(host.port_variation.unwrap() <= 0.34);
@@ -370,7 +408,11 @@ mod tests {
             }
         }
         let analysis = build(flows, vec![]);
-        let host = analysis.hosts.iter().find(|h| h.addr.to_string() == HOST).unwrap();
+        let host = analysis
+            .hosts
+            .iter()
+            .find(|h| h.addr.to_string() == HOST)
+            .unwrap();
         assert_eq!(host.class, HostClass::Client);
         assert!(host.port_variation.unwrap() >= 0.66);
         let (clients, servers) = analysis.client_server_counts();
@@ -384,7 +426,11 @@ mod tests {
             flow(0, 1, HOST, "100.64.0.1", 443, 41_000),
         ];
         let analysis = build(flows, vec![]);
-        let host = analysis.hosts.iter().find(|h| h.addr.to_string() == HOST).unwrap();
+        let host = analysis
+            .hosts
+            .iter()
+            .find(|h| h.addr.to_string() == HOST)
+            .unwrap();
         assert_eq!(host.class, HostClass::InsufficientData);
         assert!(analysis.eligible_share() < 1.0);
     }
@@ -408,7 +454,11 @@ mod tests {
     fn origin_is_taken_from_events_or_reserved() {
         let flows = vec![flow(0, 0, "100.64.0.1", HOST, 40_000, 443)];
         let analysis = build(flows, vec![event("10.0.0.7/32", 5)]);
-        let host = analysis.hosts.iter().find(|h| h.addr.to_string() == HOST).unwrap();
+        let host = analysis
+            .hosts
+            .iter()
+            .find(|h| h.addr.to_string() == HOST)
+            .unwrap();
         assert_eq!(host.origin, Asn(42));
     }
 }

@@ -2,21 +2,31 @@
 //!
 //! Several analyses ask, for every sample, "which blackholed prefix covers
 //! this destination (or source)?". This module builds the lookup structures
-//! once: a longest-prefix trie over all prefixes that ever appeared in a
-//! blackhole announcement, per-prefix time-sorted sample lists, and a
-//! prefix→origin table from the route-server snapshot.
+//! once: a frozen longest-prefix index ([`FrozenLpm`]) over all prefixes
+//! that ever appeared in a blackhole announcement, per-prefix time-sorted
+//! sample lists, and a prefix→origin table from the route-server snapshot.
+//!
+//! The per-sample scan is the pipeline's hottest loop (two LPM lookups per
+//! sample over a table dominated by `/32`s), so [`SampleIndex::build`]
+//! first compiles the mutable [`PrefixTrie`] into a cache-friendly
+//! [`FrozenLpm`] and then shards the flow log over worker threads
+//! ([`crate::shard`]), merging per-chunk results in chunk order so the
+//! time-sorted invariant — and byte-identical output for every worker
+//! count — is preserved.
 
 use std::collections::BTreeMap;
 
 use rtbh_bgp::UpdateLog;
 use rtbh_fabric::{FlowLog, FlowSample};
-use rtbh_net::{Asn, Ipv4Addr, Prefix, PrefixTrie};
+use rtbh_net::{Asn, FrozenLpm, Ipv4Addr, Prefix, PrefixTrie};
+
+use crate::shard;
 
 /// Index over a flow log keyed by the blackholed prefixes of a corpus.
 pub struct SampleIndex {
-    /// Trie over every prefix that ever carried a blackhole announcement;
-    /// the payload is the dense prefix id.
-    trie: PrefixTrie<usize>,
+    /// Frozen LPM index over every prefix that ever carried a blackhole
+    /// announcement; the payload is the dense prefix id.
+    lpm: FrozenLpm<usize>,
     /// Dense id → prefix.
     prefixes: Vec<Prefix>,
     /// Per prefix id: indices (into the flow log) of samples *towards* the
@@ -28,8 +38,19 @@ pub struct SampleIndex {
 
 impl SampleIndex {
     /// Builds the index from the update log's blackholed prefixes and a
-    /// cleaned flow log.
+    /// cleaned flow log, on the calling thread.
     pub fn build(updates: &UpdateLog, flows: &FlowLog) -> Self {
+        Self::build_with_workers(updates, flows, 1)
+    }
+
+    /// [`SampleIndex::build`] with the sample scan sharded over `workers`
+    /// scoped threads (`0` = one per available core).
+    ///
+    /// Each chunk of the time-sorted flow log produces its own per-prefix
+    /// `towards`/`from` vectors; chunks are merged in chunk order, so the
+    /// concatenated lists stay sorted by sample index (= capture time) and
+    /// the result is identical for every worker count.
+    pub fn build_with_workers(updates: &UpdateLog, flows: &FlowLog, workers: usize) -> Self {
         let mut trie = PrefixTrie::new();
         let mut prefixes = Vec::new();
         for u in updates.blackholes() {
@@ -38,17 +59,41 @@ impl SampleIndex {
                 prefixes.push(u.prefix);
             }
         }
-        let mut towards = vec![Vec::new(); prefixes.len()];
-        let mut from = vec![Vec::new(); prefixes.len()];
-        for (i, s) in flows.samples().iter().enumerate() {
-            if let Some((_, &id)) = trie.longest_match(s.dst_ip) {
-                towards[id].push(i as u32);
+        let lpm = FrozenLpm::from_trie(&trie);
+
+        let n = prefixes.len();
+        let workers = shard::resolve_workers(workers);
+        let partials = shard::map_chunks(flows.samples(), workers, |start, chunk| {
+            let mut towards = vec![Vec::new(); n];
+            let mut from = vec![Vec::new(); n];
+            for (i, s) in chunk.iter().enumerate() {
+                let sample = (start + i) as u32;
+                if let Some((_, &id)) = lpm.longest_match(s.dst_ip) {
+                    towards[id].push(sample);
+                }
+                if let Some((_, &id)) = lpm.longest_match(s.src_ip) {
+                    from[id].push(sample);
+                }
             }
-            if let Some((_, &id)) = trie.longest_match(s.src_ip) {
-                from[id].push(i as u32);
+            (towards, from)
+        });
+
+        let mut towards = vec![Vec::new(); n];
+        let mut from = vec![Vec::new(); n];
+        for (chunk_towards, chunk_from) in partials {
+            for (id, mut ids) in chunk_towards.into_iter().enumerate() {
+                towards[id].append(&mut ids);
+            }
+            for (id, mut ids) in chunk_from.into_iter().enumerate() {
+                from[id].append(&mut ids);
             }
         }
-        Self { trie, prefixes, towards, from }
+        Self {
+            lpm,
+            prefixes,
+            towards,
+            from,
+        }
     }
 
     /// All blackholed prefixes, in first-announcement order.
@@ -58,12 +103,12 @@ impl SampleIndex {
 
     /// The dense id of a prefix, if it ever carried a blackhole.
     pub fn prefix_id(&self, prefix: Prefix) -> Option<usize> {
-        self.trie.get(prefix).copied()
+        self.lpm.get(prefix).copied()
     }
 
     /// The most specific blackholed prefix covering an address.
     pub fn covering(&self, addr: Ipv4Addr) -> Option<(Prefix, usize)> {
-        self.trie.longest_match(addr).map(|(p, &id)| (p, id))
+        self.lpm.longest_match(addr).map(|(p, &id)| (p, id))
     }
 
     /// Sample indices towards a prefix (longest-prefix matched), time-sorted.
@@ -103,40 +148,49 @@ impl SampleIndex {
 /// A longest-prefix origin-AS table built from the corpus's route snapshot,
 /// used to map (unspoofed) source addresses to their origin ASes (§5.5).
 pub struct OriginTable {
-    trie: PrefixTrie<Asn>,
+    lpm: FrozenLpm<Asn>,
+    /// Distinct origin ASes, computed once at build time (the table is
+    /// immutable, so the count can never go stale).
+    distinct_origins: usize,
 }
 
 impl OriginTable {
-    /// Builds the table from `(prefix, origin)` pairs.
+    /// Builds the table from `(prefix, origin)` pairs. Later duplicates of
+    /// a prefix replace earlier ones, like repeated trie inserts would.
     pub fn build(routes: &[(Prefix, Asn)]) -> Self {
         let mut trie = PrefixTrie::new();
         for (p, asn) in routes {
             trie.insert(*p, *asn);
         }
-        Self { trie }
+        let lpm = FrozenLpm::from_trie(&trie);
+        let mut origins: Vec<Asn> = lpm.values().to_vec();
+        origins.sort();
+        origins.dedup();
+        let distinct_origins = origins.len();
+        Self {
+            lpm,
+            distinct_origins,
+        }
     }
 
     /// The origin AS of an address, by longest prefix match.
     pub fn origin_of(&self, addr: Ipv4Addr) -> Option<Asn> {
-        self.trie.longest_match(addr).map(|(_, &asn)| asn)
+        self.lpm.longest_match(addr).map(|(_, &asn)| asn)
     }
 
     /// Number of routes in the table.
     pub fn len(&self) -> usize {
-        self.trie.len()
+        self.lpm.len()
     }
 
     /// True when no routes are loaded.
     pub fn is_empty(&self) -> bool {
-        self.trie.is_empty()
+        self.lpm.is_empty()
     }
 
-    /// Number of distinct origin ASes advertised.
+    /// Number of distinct origin ASes advertised (precomputed at build).
     pub fn distinct_origins(&self) -> usize {
-        let mut origins: Vec<Asn> = self.trie.iter().map(|(_, &asn)| asn).collect();
-        origins.sort();
-        origins.dedup();
-        origins.len()
+        self.distinct_origins
     }
 }
 
@@ -148,7 +202,9 @@ pub struct MacResolver {
 impl MacResolver {
     /// Builds from a corpus member directory.
     pub fn build(corpus: &crate::Corpus) -> Self {
-        Self { map: corpus.mac_to_member() }
+        Self {
+            map: corpus.mac_to_member(),
+        }
     }
 
     /// The member AS that handed a sample into the fabric.
@@ -202,13 +258,12 @@ mod tests {
 
     #[test]
     fn index_assigns_by_longest_prefix() {
-        let updates =
-            UpdateLog::from_updates(vec![bh("10.0.0.0/24"), bh("10.0.0.7/32")]);
+        let updates = UpdateLog::from_updates(vec![bh("10.0.0.0/24"), bh("10.0.0.7/32")]);
         let flows = FlowLog::from_samples(vec![
-            flow("8.8.8.8", "10.0.0.7"),   // /32 wins
-            flow("8.8.8.8", "10.0.0.9"),   // /24
-            flow("10.0.0.7", "8.8.8.8"),   // from /32
-            flow("8.8.8.8", "11.0.0.1"),   // unmatched
+            flow("8.8.8.8", "10.0.0.7"), // /32 wins
+            flow("8.8.8.8", "10.0.0.9"), // /24
+            flow("10.0.0.7", "8.8.8.8"), // from /32
+            flow("8.8.8.8", "11.0.0.1"), // unmatched
         ]);
         let idx = SampleIndex::build(&updates, &flows);
         assert_eq!(idx.prefixes().len(), 2);
@@ -227,6 +282,33 @@ mod tests {
         let updates = UpdateLog::from_updates(vec![bh("10.0.0.7/32"), bh("10.0.0.7/32")]);
         let idx = SampleIndex::build(&updates, &FlowLog::new());
         assert_eq!(idx.prefixes().len(), 1);
+    }
+
+    #[test]
+    fn build_is_worker_count_invariant() {
+        let updates =
+            UpdateLog::from_updates(vec![bh("10.0.0.0/24"), bh("10.0.0.7/32"), bh("20.0.0.0/8")]);
+        let samples: Vec<FlowSample> = (0..257)
+            .map(|i| {
+                let dst = format!("10.0.{}.{}", i % 2, i % 251);
+                let src = format!("20.{}.0.9", i % 7);
+                flow(&src, &dst)
+            })
+            .collect();
+        let flows = FlowLog::from_samples(samples);
+        let reference = SampleIndex::build_with_workers(&updates, &flows, 1);
+        for workers in [2, 3, 16] {
+            let sharded = SampleIndex::build_with_workers(&updates, &flows, workers);
+            assert_eq!(reference.prefixes(), sharded.prefixes());
+            for id in 0..reference.prefixes().len() {
+                assert_eq!(
+                    reference.towards(id),
+                    sharded.towards(id),
+                    "{workers} workers"
+                );
+                assert_eq!(reference.from(id), sharded.from(id), "{workers} workers");
+            }
+        }
     }
 
     #[test]

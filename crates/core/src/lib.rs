@@ -21,11 +21,13 @@
 //! | [`collateral`] | §6.3, Fig. 18 | collateral damage on server top-ports |
 //! | [`classify`] | §7.3, Fig. 19, Table 1 | final use-case classification |
 //!
-//! [`index`] builds the shared sample↔prefix indices; [`pipeline`] wires
-//! everything into a single [`pipeline::Analyzer`] facade, running the
-//! independent analyses on scoped worker threads; [`profile`] records
-//! per-stage wall times and input footprints (`rtbh analyze --timings`,
-//! `BENCH_pipeline.json`).
+//! [`index`] builds the shared sample↔prefix indices over a frozen LPM
+//! table; [`pipeline`] wires everything into a single [`pipeline::Analyzer`]
+//! facade, running the independent analyses on scoped worker threads;
+//! [`shard`] is the chunk-parallel scaffold behind the data-parallel sample
+//! kernels (index build, clock shift, offset scan); [`profile`] records
+//! per-stage wall times, worker counts and input footprints (`rtbh analyze
+//! --timings`, `BENCH_pipeline.json`).
 //!
 //! The pipeline never sees simulator ground truth — only what the paper's
 //! vantage point could record.
@@ -49,6 +51,7 @@ pub mod preevent;
 pub mod profile;
 pub mod protocols;
 pub mod report;
+pub mod shard;
 pub mod visibility;
 
 pub use corpus::{Corpus, MemberInfo};

@@ -55,13 +55,18 @@ pub fn analyze_load(updates: &UpdateLog, period: Interval, step: TimeDelta) -> L
         message_series.push((t, cursor - start_idx));
         t = next;
     }
-    let peak_messages_per_minute =
-        message_series.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let peak_messages_per_minute = message_series.iter().map(|(_, c)| *c).max().unwrap_or(0);
 
-    let announcing_peers: BTreeSet<_> =
-        updates.blackholes().filter(|u| u.is_announce()).map(|u| u.peer).collect();
-    let origin_asns: BTreeSet<_> =
-        updates.blackholes().filter(|u| u.is_announce()).map(|u| u.origin).collect();
+    let announcing_peers: BTreeSet<_> = updates
+        .blackholes()
+        .filter(|u| u.is_announce())
+        .map(|u| u.peer)
+        .collect();
+    let origin_asns: BTreeSet<_> = updates
+        .blackholes()
+        .filter(|u| u.is_announce())
+        .map(|u| u.origin)
+        .collect();
 
     LoadAnalysis {
         active_series,
@@ -208,9 +213,9 @@ mod tests {
             update(10, 1, "10.0.0.1/32", UpdateKind::Withdraw),
         ]);
         let flows = FlowLog::from_samples(vec![
-            dropped(5, "10.0.0.1", 1000),  // explained
-            dropped(15, "10.0.0.1", 500),  // after withdraw → bilateral
-            dropped(5, "99.0.0.1", 500),   // never announced → bilateral
+            dropped(5, "10.0.0.1", 1000), // explained
+            dropped(15, "10.0.0.1", 500), // after withdraw → bilateral
+            dropped(5, "99.0.0.1", 500),  // never announced → bilateral
         ]);
         let prov = drop_provenance(&log, &flows, ts(100));
         assert_eq!(prov.dropped_packets, 3);

@@ -35,7 +35,7 @@ use rtbh_fabric::FlowLog;
 use rtbh_net::{Asn, TimeDelta};
 
 use crate::acceptance::{analyze_acceptance, AcceptanceAnalysis};
-use crate::align::{estimate_offset, shift_flows, Alignment};
+use crate::align::{estimate_offset_with_workers, shift_flows_with_workers, Alignment};
 use crate::classify::{classify_events, Classification, ClassifyConfig, UseCase};
 use crate::clean::{clean_flows, CleanReport};
 use crate::collateral::{analyze_collateral, CollateralAnalysis};
@@ -46,7 +46,7 @@ use crate::hosts::{analyze_hosts, HostAnalysis, HostConfig};
 use crate::index::{MacResolver, OriginTable, SampleIndex};
 use crate::load::{analyze_load, drop_provenance, DropProvenance, LoadAnalysis};
 use crate::preevent::{analyze_preevents, PreEventAnalysis, PreEventConfig};
-use crate::profile::{self, ExecutionMode, Footprint, PipelineProfile};
+use crate::profile::{self, ExecutionMode, Footprint, PipelineProfile, StageStats};
 use crate::protocols::{analyze_event_traffic, ProtocolAnalysis};
 use crate::visibility::{visibility_series, VisibilityPoint};
 
@@ -73,6 +73,11 @@ pub struct AnalyzerConfig {
     pub visibility_step: TimeDelta,
     /// Grid step of the load series (Fig. 3; paper: 1 minute).
     pub load_step: TimeDelta,
+    /// Worker threads for the data-parallel sample kernels (index build,
+    /// clock shift, offset scan): `0` = one per available core. The kernels
+    /// merge per-chunk results in chunk order, so every worker count
+    /// produces byte-identical reports (`rtbh analyze --threads N`).
+    pub workers: usize,
 }
 
 impl AnalyzerConfig {
@@ -99,7 +104,15 @@ impl AnalyzerConfig {
         offset_step: TimeDelta::millis(10),
         visibility_step: TimeDelta::minutes(10),
         load_step: TimeDelta::minutes(1),
+        workers: 0,
     };
+
+    /// Returns the configuration with the sample-kernel worker count set
+    /// (`0` = one per available core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 
     /// Adapts day-scale thresholds (host min-days, classification durations)
     /// to short corpora so tests and demos behave sensibly.
@@ -133,25 +146,105 @@ pub struct Analyzer {
     index: SampleIndex,
     resolver: MacResolver,
     origins: OriginTable,
+    /// Resolved sample-kernel worker count (config's `workers`, with `0`
+    /// resolved to the available parallelism).
+    kernel_workers: usize,
+    /// Stage stats of the preparation kernels, recorded once here and
+    /// attached to every profile the analyzer emits.
+    prepare: Vec<StageStats>,
 }
 
 impl Analyzer {
     /// Prepares a corpus: cleans, aligns clocks, infers events, indexes.
+    ///
+    /// The sample-scan kernels (clock-offset scan, clock shift, index
+    /// build) run chunk-parallel on `config.workers` scoped threads with a
+    /// deterministic ordered merge — any worker count yields the same
+    /// analyzer state.
     pub fn new(corpus: Corpus, config: AnalyzerConfig) -> Self {
-        let (cleaned, clean_report) = clean_flows(&corpus);
-        let alignment = estimate_offset(
-            &corpus.updates,
-            &cleaned,
-            corpus.period.end,
-            config.offset_half_range,
-            config.offset_step,
+        let workers = crate::shard::resolve_workers(config.workers);
+        let mut prepare = Vec::new();
+        let updates_total = corpus.updates.len() as u64;
+
+        let ((cleaned, clean_report), st) = profile::time_stage(
+            "clean",
+            Footprint {
+                updates: 0,
+                samples: corpus.flows.len() as u64,
+                events: 0,
+            },
+            || clean_flows(&corpus),
         );
-        let flows = match &alignment {
-            Some(a) => shift_flows(&cleaned, a.estimated_offset()),
-            None => cleaned,
+        prepare.push(st);
+
+        let (alignment, st) = profile::time_stage_with_workers(
+            "align",
+            Footprint {
+                updates: updates_total,
+                samples: cleaned.len() as u64,
+                events: 0,
+            },
+            workers,
+            || {
+                estimate_offset_with_workers(
+                    &corpus.updates,
+                    &cleaned,
+                    corpus.period.end,
+                    config.offset_half_range,
+                    config.offset_step,
+                    workers,
+                )
+            },
+        );
+        prepare.push(st);
+
+        // Skip the shift stage entirely for a zero offset — the satellite
+        // case where cloning (let alone re-stamping) the whole log would be
+        // pure waste.
+        let offset = alignment
+            .as_ref()
+            .map(|a| a.estimated_offset())
+            .unwrap_or(TimeDelta::ZERO);
+        let flows = if offset == TimeDelta::ZERO {
+            cleaned
+        } else {
+            let (flows, st) = profile::time_stage_with_workers(
+                "shift",
+                Footprint {
+                    updates: 0,
+                    samples: cleaned.len() as u64,
+                    events: 0,
+                },
+                workers,
+                || shift_flows_with_workers(&cleaned, offset, workers),
+            );
+            prepare.push(st);
+            flows
         };
-        let events = infer_events(&corpus.updates, config.merge_delta, corpus.period.end);
-        let index = SampleIndex::build(&corpus.updates, &flows);
+
+        let (events, st) = profile::time_stage(
+            "events",
+            Footprint {
+                updates: updates_total,
+                samples: 0,
+                events: 0,
+            },
+            || infer_events(&corpus.updates, config.merge_delta, corpus.period.end),
+        );
+        prepare.push(st);
+
+        let (index, st) = profile::time_stage_with_workers(
+            "index",
+            Footprint {
+                updates: updates_total,
+                samples: flows.len() as u64,
+                events: 0,
+            },
+            workers,
+            || SampleIndex::build_with_workers(&corpus.updates, &flows, workers),
+        );
+        prepare.push(st);
+
         let resolver = MacResolver::build(&corpus);
         let origins = OriginTable::build(&corpus.routes);
         Self {
@@ -164,6 +257,8 @@ impl Analyzer {
             index,
             resolver,
             origins,
+            kernel_workers: workers,
+            prepare,
         }
     }
 
@@ -213,6 +308,19 @@ impl Analyzer {
         &self.resolver
     }
 
+    /// The resolved sample-kernel worker count (`config.workers`, with `0`
+    /// resolved to one worker per available core).
+    pub fn kernel_workers(&self) -> usize {
+        self.kernel_workers
+    }
+
+    /// Stage stats of the preparation kernels recorded by [`Analyzer::new`]
+    /// (clean, align, shift, event inference, index build). Also attached to
+    /// every [`PipelineProfile`] as [`PipelineProfile::prepare`].
+    pub fn prepare_profile(&self) -> &[StageStats] {
+        &self.prepare
+    }
+
     /// The IP→origin table.
     pub fn origins(&self) -> &OriginTable {
         &self.origins
@@ -220,7 +328,11 @@ impl Analyzer {
 
     /// Fig. 3 (+§3.2): signaling load.
     pub fn load(&self) -> LoadAnalysis {
-        analyze_load(&self.corpus.updates, self.corpus.period, self.config.load_step)
+        analyze_load(
+            &self.corpus.updates,
+            self.corpus.period,
+            self.config.load_step,
+        )
     }
 
     /// §3.1: drop provenance (route-server vs bilateral).
@@ -252,7 +364,12 @@ impl Analyzer {
 
     /// Figs. 11–13 + Table 2: pre-event analysis.
     pub fn preevents(&self) -> PreEventAnalysis {
-        analyze_preevents(&self.events, &self.index, &self.flows, &self.config.preevent)
+        analyze_preevents(
+            &self.events,
+            &self.index,
+            &self.flows,
+            &self.config.preevent,
+        )
     }
 
     /// §5.4 + Table 3: during-event traffic.
@@ -293,7 +410,11 @@ impl Analyzer {
 
     /// Input footprint of the stages that scan the update log only.
     fn footprint_updates(&self) -> Footprint {
-        Footprint { updates: self.corpus.updates.len() as u64, samples: 0, events: 0 }
+        Footprint {
+            updates: self.corpus.updates.len() as u64,
+            samples: 0,
+            events: 0,
+        }
     }
 
     /// Input footprint of the stages that scan updates and the full flow log.
@@ -358,37 +479,30 @@ impl Analyzer {
                     profile::time_stage("provenance", updates_flows, || self.provenance());
                 (load, st_load, provenance, st_prov)
             });
-            let vis = s.spawn(move || {
-                profile::time_stage("visibility", updates, || self.visibility())
-            });
+            let vis =
+                s.spawn(move || profile::time_stage("visibility", updates, || self.visibility()));
             let acc = s.spawn(move || {
                 profile::time_stage("acceptance", updates_flows, || self.acceptance())
             });
             let pre = s.spawn(move || {
                 let (preevents, st_pre) =
                     profile::time_stage("preevents", per_event, || self.preevents());
-                let ((protocols, st_proto), (filtering, st_filt)) =
-                    std::thread::scope(|s2| {
-                        let p = s2.spawn(|| {
-                            profile::time_stage("protocols", per_event, || {
-                                self.protocols(&preevents)
-                            })
-                        });
-                        let f = s2.spawn(|| {
-                            profile::time_stage("filtering", per_event, || {
-                                self.filtering(&preevents)
-                            })
-                        });
-                        (
-                            p.join().expect("protocols stage panicked"),
-                            f.join().expect("filtering stage panicked"),
-                        )
+                let ((protocols, st_proto), (filtering, st_filt)) = std::thread::scope(|s2| {
+                    let p = s2.spawn(|| {
+                        profile::time_stage("protocols", per_event, || self.protocols(&preevents))
                     });
+                    let f = s2.spawn(|| {
+                        profile::time_stage("filtering", per_event, || self.filtering(&preevents))
+                    });
+                    (
+                        p.join().expect("protocols stage panicked"),
+                        f.join().expect("filtering stage panicked"),
+                    )
+                });
                 (preevents, st_pre, protocols, st_proto, filtering, st_filt)
             });
             let host = s.spawn(move || {
-                let (hosts, st_hosts) =
-                    profile::time_stage("hosts", per_event, || self.hosts());
+                let (hosts, st_hosts) = profile::time_stage("hosts", per_event, || self.hosts());
                 let (collateral, st_coll) =
                     profile::time_stage("collateral", per_event, || self.collateral(&hosts));
                 (hosts, st_hosts, collateral, st_coll)
@@ -404,7 +518,11 @@ impl Analyzer {
 
         let (classification, st_class) = profile::time_stage(
             "classification",
-            Footprint { updates: 0, samples: 0, events: self.events.len() as u64 },
+            Footprint {
+                updates: 0,
+                samples: 0,
+                events: self.events.len() as u64,
+            },
             || self.classification(&preevents, &protocols),
         );
 
@@ -412,9 +530,10 @@ impl Analyzer {
             mode: ExecutionMode::Parallel,
             worker_threads: PARALLEL_WORKERS,
             total_wall_ns: t0.elapsed().as_nanos() as u64,
+            prepare: self.prepare.clone(),
             stages: vec![
-                st_load, st_prov, st_vis, st_acc, st_pre, st_proto, st_filt, st_hosts,
-                st_coll, st_class,
+                st_load, st_prov, st_vis, st_acc, st_pre, st_proto, st_filt, st_hosts, st_coll,
+                st_class,
             ],
         };
         let report = FullReport {
@@ -453,12 +572,10 @@ impl Analyzer {
         let (load, st_load) = profile::time_stage("load", updates, || self.load());
         let (provenance, st_prov) =
             profile::time_stage("provenance", updates_flows, || self.provenance());
-        let (visibility, st_vis) =
-            profile::time_stage("visibility", updates, || self.visibility());
+        let (visibility, st_vis) = profile::time_stage("visibility", updates, || self.visibility());
         let (acceptance, st_acc) =
             profile::time_stage("acceptance", updates_flows, || self.acceptance());
-        let (preevents, st_pre) =
-            profile::time_stage("preevents", per_event, || self.preevents());
+        let (preevents, st_pre) = profile::time_stage("preevents", per_event, || self.preevents());
         let (protocols, st_proto) =
             profile::time_stage("protocols", per_event, || self.protocols(&preevents));
         let (filtering, st_filt) =
@@ -468,7 +585,11 @@ impl Analyzer {
             profile::time_stage("collateral", per_event, || self.collateral(&hosts));
         let (classification, st_class) = profile::time_stage(
             "classification",
-            Footprint { updates: 0, samples: 0, events: self.events.len() as u64 },
+            Footprint {
+                updates: 0,
+                samples: 0,
+                events: self.events.len() as u64,
+            },
             || self.classification(&preevents, &protocols),
         );
 
@@ -476,9 +597,10 @@ impl Analyzer {
             mode: ExecutionMode::Sequential,
             worker_threads: 0,
             total_wall_ns: t0.elapsed().as_nanos() as u64,
+            prepare: self.prepare.clone(),
             stages: vec![
-                st_load, st_prov, st_vis, st_acc, st_pre, st_proto, st_filt, st_hosts,
-                st_coll, st_class,
+                st_load, st_prov, st_vis, st_acc, st_pre, st_proto, st_filt, st_hosts, st_coll,
+                st_class,
             ],
         };
         let report = FullReport {
@@ -576,6 +698,10 @@ impl FullReport {
 
     /// Convenience: the share of events classified as a use case.
     pub fn use_case_share(&self, use_case: UseCase) -> f64 {
-        self.classification.shares().get(&use_case).copied().unwrap_or(0.0)
+        self.classification
+            .shares()
+            .get(&use_case)
+            .copied()
+            .unwrap_or(0.0)
     }
 }

@@ -173,8 +173,9 @@ pub fn analyze_event<'a>(
     let series = feature_series(samples, window, config);
     let slots = series.len();
 
-    let mut detectors: Vec<EwmaDetector> =
-        (0..FEATURES).map(|_| EwmaDetector::new(config.ewma)).collect();
+    let mut detectors: Vec<EwmaDetector> = (0..FEATURES)
+        .map(|_| EwmaDetector::new(config.ewma))
+        .collect();
     let mut anomalies = Vec::new();
     for (i, values) in series.iter().enumerate() {
         let mut level = 0u8;
@@ -187,7 +188,10 @@ pub fn analyze_event<'a>(
         }
         if level > 0 {
             let slot_start = window.start + TimeDelta::millis(config.slot.as_millis() * i as i64);
-            anomalies.push(AnomalyHit { before_start: event.start() - slot_start, level });
+            anomalies.push(AnomalyHit {
+                before_start: event.start() - slot_start,
+                level,
+            });
         }
     }
 
@@ -213,7 +217,10 @@ pub fn analyze_event<'a>(
 
     let class = if packets == 0 {
         PreClass::NoData
-    } else if anomalies.iter().any(|a| a.before_start <= config.anomaly_horizon) {
+    } else if anomalies
+        .iter()
+        .any(|a| a.before_start <= config.anomaly_horizon)
+    {
         PreClass::DataAnomaly
     } else {
         PreClass::DataNoAnomaly
@@ -243,9 +250,7 @@ impl PreEventAnalysis {
     /// Table 2: `(no-data, data-no-anomaly, data-anomaly)` shares.
     pub fn class_shares(&self) -> (f64, f64, f64) {
         let n = self.per_event.len().max(1) as f64;
-        let count = |c: PreClass| {
-            self.per_event.iter().filter(|r| r.class == c).count() as f64 / n
-        };
+        let count = |c: PreClass| self.per_event.iter().filter(|r| r.class == c).count() as f64 / n;
         (
             count(PreClass::NoData),
             count(PreClass::DataNoAnomaly),
@@ -267,8 +272,7 @@ impl PreEventAnalysis {
     /// Fig. 11: events sorted by slots-with-data; `(slots, cumulative
     /// events with ≤ slots)` curve.
     pub fn slot_coverage_curve(&self) -> Vec<(usize, usize)> {
-        let mut counts: Vec<usize> =
-            self.per_event.iter().map(|r| r.slots_with_data).collect();
+        let mut counts: Vec<usize> = self.per_event.iter().map(|r| r.slots_with_data).collect();
         counts.sort_unstable();
         let mut curve = Vec::new();
         for (i, c) in counts.iter().enumerate() {
@@ -284,7 +288,9 @@ impl PreEventAnalysis {
         let mut hist = std::collections::BTreeMap::new();
         for r in &self.per_event {
             for a in &r.anomalies {
-                *hist.entry((a.before_start.as_minutes(), a.level)).or_insert(0) += 1;
+                *hist
+                    .entry((a.before_start.as_minutes(), a.level))
+                    .or_insert(0) += 1;
             }
         }
         hist
@@ -299,8 +305,7 @@ impl PreEventAnalysis {
             .flat_map(|r| r.amplification.iter().flatten().copied())
             .collect();
         let all = self.per_event.len().max(1) as f64;
-        let max_share =
-            self.per_event.iter().filter(|r| r.last_slot_is_max).count() as f64 / all;
+        let max_share = self.per_event.iter().filter(|r| r.last_slot_is_max).count() as f64 / all;
         (factors, max_share)
     }
 }
@@ -329,7 +334,10 @@ pub fn analyze_preevents(
             analyze_event(event, &in_window, config)
         })
         .collect();
-    PreEventAnalysis { per_event, config: *config }
+    PreEventAnalysis {
+        per_event,
+        config: *config,
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +350,10 @@ mod tests {
         PreEventConfig {
             slot: TimeDelta::minutes(5),
             pre_window: TimeDelta::minutes(300),
-            ewma: EwmaConfig { span: 20, threshold_sd: 2.5 },
+            ewma: EwmaConfig {
+                span: 20,
+                threshold_sd: 2.5,
+            },
             anomaly_horizon: TimeDelta::minutes(10),
             min_anomalous_value: 4.0,
         }
@@ -403,7 +414,11 @@ mod tests {
         assert_eq!(r.class, PreClass::DataAnomaly);
         assert!(r.anomaly_within(TimeDelta::minutes(10)));
         let last = r.anomalies.last().unwrap();
-        assert!(last.level >= 4, "burst must trip several features, got {}", last.level);
+        assert!(
+            last.level >= 4,
+            "burst must trip several features, got {}",
+            last.level
+        );
         assert!(r.last_slot_is_max);
         let packets_amp = r.amplification[0].unwrap();
         assert!(packets_amp > 10.0, "amplification factor {packets_amp}");
@@ -412,8 +427,9 @@ mod tests {
     #[test]
     fn steady_traffic_is_data_no_anomaly() {
         // One packet roughly every slot, no burst.
-        let samples: Vec<FlowSample> =
-            (0..60).map(|i| sample(i * 5, "8.8.8.8", 443, Protocol::Tcp)).collect();
+        let samples: Vec<FlowSample> = (0..60)
+            .map(|i| sample(i * 5, "8.8.8.8", 443, Protocol::Tcp))
+            .collect();
         let refs: Vec<&FlowSample> = samples.iter().collect();
         let r = analyze_event(&event(300), &refs, &config());
         assert_eq!(r.class, PreClass::DataNoAnomaly);
@@ -422,11 +438,17 @@ mod tests {
 
     #[test]
     fn old_anomaly_outside_horizon_is_not_the_trigger() {
-        let mut samples: Vec<FlowSample> =
-            (0..60).map(|i| sample(i * 5, "8.8.8.8", 443, Protocol::Tcp)).collect();
+        let mut samples: Vec<FlowSample> = (0..60)
+            .map(|i| sample(i * 5, "8.8.8.8", 443, Protocol::Tcp))
+            .collect();
         // Burst 100 minutes before the event (slot 40 of 60).
         for i in 0..100 {
-            samples.push(sample(200, &format!("20.0.0.{}", i % 250 + 1), 50_000 + i, Protocol::Udp));
+            samples.push(sample(
+                200,
+                &format!("20.0.0.{}", i % 250 + 1),
+                50_000 + i,
+                Protocol::Udp,
+            ));
         }
         let refs: Vec<&FlowSample> = samples.iter().collect();
         let r = analyze_event(&event(300), &refs, &config());
@@ -478,11 +500,22 @@ mod tests {
     fn warm_up_slots_cannot_alarm() {
         // A burst inside the first `span` slots must not produce anomalies.
         let samples: Vec<FlowSample> = (0..200)
-            .map(|i| sample(30, &format!("20.0.0.{}", i % 250 + 1), 50_000, Protocol::Udp))
+            .map(|i| {
+                sample(
+                    30,
+                    &format!("20.0.0.{}", i % 250 + 1),
+                    50_000,
+                    Protocol::Udp,
+                )
+            })
             .collect();
         let refs: Vec<&FlowSample> = samples.iter().collect();
         let r = analyze_event(&event(300), &refs, &config());
-        assert!(r.anomalies.is_empty(), "burst sits in warm-up, got {:?}", r.anomalies);
+        assert!(
+            r.anomalies.is_empty(),
+            "burst sits in warm-up, got {:?}",
+            r.anomalies
+        );
         assert_eq!(r.class, PreClass::DataNoAnomaly);
     }
 }

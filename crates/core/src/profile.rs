@@ -2,8 +2,12 @@
 //!
 //! [`pipeline::Analyzer::full_with_profile`](crate::pipeline::Analyzer::full_with_profile)
 //! wraps every analysis stage in [`time_stage`] and returns a
-//! [`PipelineProfile`]: per-stage wall time plus the input footprint the
-//! stage scanned (BGP updates, flow samples, RTBH events). The profile is
+//! [`PipelineProfile`]: per-stage wall time, the worker-thread count the
+//! stage's kernel was sharded over, and the input footprint the stage
+//! scanned (BGP updates, flow samples, RTBH events) — from which a
+//! samples/sec throughput is derived. The preparation kernels of
+//! `Analyzer::new` (clean, align, shift, event inference, index build) are
+//! profiled too and carried in [`PipelineProfile::prepare`]. The profile is
 //! `serde`-serializable, so it can be emitted as JSON (`rtbh analyze
 //! --timings`, the `pipeline_bench` binary in `rtbh-bench`) and diffed
 //! across machines and commits.
@@ -70,6 +74,8 @@ pub struct StageStats {
     pub stage: String,
     /// Wall-clock time of the stage, in nanoseconds.
     pub wall_ns: u64,
+    /// Worker threads the stage's kernel ran on (1 = on its own thread).
+    pub workers: usize,
     /// BGP updates scanned by the stage.
     pub updates_scanned: u64,
     /// Flow samples scanned by the stage.
@@ -83,16 +89,38 @@ impl StageStats {
     pub fn wall_ms(&self) -> f64 {
         self.wall_ns as f64 / 1e6
     }
+
+    /// Scan throughput: flow samples per second of stage wall time
+    /// (0 when the stage scanned no samples).
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.samples_scanned == 0 {
+            0.0
+        } else {
+            self.samples_scanned as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+        }
+    }
 }
 
 /// Runs a closure and records its wall time together with the declared
 /// input footprint. The building block of the pipeline's profiling layer.
 pub fn time_stage<T>(stage: &str, footprint: Footprint, f: impl FnOnce() -> T) -> (T, StageStats) {
+    time_stage_with_workers(stage, footprint, 1, f)
+}
+
+/// [`time_stage`] for a data-parallel kernel: additionally records the
+/// worker-thread count the stage's inner loop was sharded over.
+pub fn time_stage_with_workers<T>(
+    stage: &str,
+    footprint: Footprint,
+    workers: usize,
+    f: impl FnOnce() -> T,
+) -> (T, StageStats) {
     let t0 = Instant::now();
     let out = f();
     let stats = StageStats {
         stage: stage.to_string(),
         wall_ns: t0.elapsed().as_nanos() as u64,
+        workers,
         updates_scanned: footprint.updates,
         samples_scanned: footprint.samples,
         events_touched: footprint.events,
@@ -111,6 +139,11 @@ pub struct PipelineProfile {
     pub worker_threads: usize,
     /// End-to-end wall time including thread joins, in nanoseconds.
     pub total_wall_ns: u64,
+    /// Stats of the shared preparation kernels (clean, align, shift, event
+    /// inference, index build), recorded once at `Analyzer::new` — their
+    /// wall time is *not* part of [`Self::total_wall_ns`], which covers the
+    /// analysis stages only.
+    pub prepare: Vec<StageStats>,
     /// Per-stage statistics, in canonical stage order.
     pub stages: Vec<StageStats>,
 }
@@ -138,18 +171,26 @@ impl PipelineProfile {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
-            "stage", "wall", "updates", "samples", "events"
+            "{:<16} {:>12} {:>5} {:>12} {:>12} {:>9} {:>12}\n",
+            "stage", "wall", "wrk", "updates", "samples", "events", "samples/s"
         ));
-        for s in &self.stages {
+        fn row(out: &mut String, label: &str, s: &StageStats) {
             out.push_str(&format!(
-                "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
-                s.stage,
+                "{:<16} {:>12} {:>5} {:>12} {:>12} {:>9} {:>12}\n",
+                label,
                 format_ns(s.wall_ns),
+                s.workers,
                 s.updates_scanned,
                 s.samples_scanned,
-                s.events_touched
+                s.events_touched,
+                format_rate(s.samples_per_sec()),
             ));
+        }
+        for s in &self.prepare {
+            row(&mut out, &format!("prepare:{}", s.stage), s);
+        }
+        for s in &self.stages {
+            row(&mut out, &s.stage, s);
         }
         out.push_str(&format!(
             "{:<16} {:>12}   ({}, {} worker threads, stage-sum {}, concurrency {:.2}x)\n",
@@ -161,6 +202,21 @@ impl PipelineProfile {
             self.concurrency_factor()
         ));
         out
+    }
+}
+
+/// Human-readable rate from samples/second (`-` for sample-free stages).
+fn format_rate(rate: f64) -> String {
+    if rate <= 0.0 {
+        "-".to_string()
+    } else if rate >= 1e9 {
+        format!("{:.2} G/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} k/s", rate / 1e3)
+    } else {
+        format!("{rate:.0}/s")
     }
 }
 
@@ -184,27 +240,68 @@ mod tests {
     fn sample_profile() -> PipelineProfile {
         let (_, a) = time_stage(
             "alpha",
-            Footprint { updates: 10, samples: 20, events: 3 },
+            Footprint {
+                updates: 10,
+                samples: 20,
+                events: 3,
+            },
             || (0..1000u64).sum::<u64>(),
         );
         let (_, b) = time_stage("beta", Footprint::default(), || ());
+        let (_, prep) = time_stage_with_workers(
+            "index",
+            Footprint {
+                updates: 5,
+                samples: 100,
+                events: 0,
+            },
+            4,
+            || (),
+        );
         PipelineProfile {
             mode: ExecutionMode::Sequential,
             worker_threads: 0,
             total_wall_ns: a.wall_ns + b.wall_ns,
+            prepare: vec![prep],
             stages: vec![a, b],
         }
     }
 
     #[test]
     fn time_stage_records_footprint_and_returns_output() {
-        let (out, stats) =
-            time_stage("demo", Footprint { updates: 7, samples: 9, events: 2 }, || 42);
+        let (out, stats) = time_stage(
+            "demo",
+            Footprint {
+                updates: 7,
+                samples: 9,
+                events: 2,
+            },
+            || 42,
+        );
         assert_eq!(out, 42);
         assert_eq!(stats.stage, "demo");
         assert_eq!(stats.updates_scanned, 7);
         assert_eq!(stats.samples_scanned, 9);
         assert_eq!(stats.events_touched, 2);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn time_stage_with_workers_records_the_worker_count() {
+        let (_, stats) = time_stage_with_workers(
+            "kernel",
+            Footprint {
+                updates: 0,
+                samples: 1_000,
+                events: 0,
+            },
+            8,
+            || (),
+        );
+        assert_eq!(stats.workers, 8);
+        assert!(stats.samples_per_sec() > 0.0);
+        let (_, empty) = time_stage("empty", Footprint::default(), || ());
+        assert_eq!(empty.samples_per_sec(), 0.0);
     }
 
     #[test]
@@ -213,6 +310,7 @@ mod tests {
         let text = profile.render();
         assert!(text.contains("alpha"));
         assert!(text.contains("beta"));
+        assert!(text.contains("prepare:index"));
         assert!(text.contains("total"));
         assert!(text.contains("sequential"));
     }
@@ -242,5 +340,14 @@ mod tests {
         assert_eq!(format_ns(5_000), "5.0 us");
         assert_eq!(format_ns(5_000_000), "5.00 ms");
         assert_eq!(format_ns(5_000_000_000), "5.00 s");
+    }
+
+    #[test]
+    fn format_rate_picks_sensible_units() {
+        assert_eq!(format_rate(0.0), "-");
+        assert_eq!(format_rate(500.0), "500/s");
+        assert_eq!(format_rate(2_500.0), "2.5 k/s");
+        assert_eq!(format_rate(3_000_000.0), "3.00 M/s");
+        assert_eq!(format_rate(2_000_000_000.0), "2.00 G/s");
     }
 }

@@ -66,14 +66,21 @@ impl ProtocolAnalysis {
     /// anomaly (the paper: 18%).
     pub fn data_and_anomaly_share(&self) -> f64 {
         let n = self.per_event.len().max(1) as f64;
-        self.per_event.iter().filter(|e| e.packets > 0 && e.preceded_by_anomaly).count() as f64
+        self.per_event
+            .iter()
+            .filter(|e| e.packets > 0 && e.preceded_by_anomaly)
+            .count() as f64
             / n
     }
 
     /// Among anomaly-preceded events, the share with **no** during-event
     /// data (the paper: one third — short attacks or remote mitigation).
     pub fn anomaly_but_no_data_share(&self) -> f64 {
-        let anomaly = self.per_event.iter().filter(|e| e.preceded_by_anomaly).count();
+        let anomaly = self
+            .per_event
+            .iter()
+            .filter(|e| e.preceded_by_anomaly)
+            .count();
         if anomaly == 0 {
             return 0.0;
         }
@@ -88,7 +95,11 @@ impl ProtocolAnalysis {
     /// (`[UDP, TCP, ICMP, other]` shares; paper: 99.5/0.3/0.1/0.1%).
     pub fn anomaly_protocol_mix(&self) -> [f64; 4] {
         let mut totals = [0u64; 4];
-        for e in self.per_event.iter().filter(|e| e.preceded_by_anomaly && e.packets > 0) {
+        for e in self
+            .per_event
+            .iter()
+            .filter(|e| e.preceded_by_anomaly && e.packets > 0)
+        {
             for (i, c) in e.by_protocol.iter().enumerate() {
                 totals[i] += c;
             }
@@ -130,7 +141,11 @@ impl ProtocolAnalysis {
     /// by number of events in which they dominate (≥3% share).
     pub fn top_amplification_protocols(&self) -> Vec<(AmplificationProtocol, usize)> {
         let mut by_proto: BTreeMap<AmplificationProtocol, usize> = BTreeMap::new();
-        for e in self.per_event.iter().filter(|e| e.preceded_by_anomaly && e.packets > 0) {
+        for e in self
+            .per_event
+            .iter()
+            .filter(|e| e.preceded_by_anomaly && e.packets > 0)
+        {
             let floor = ((e.packets as f64 * 0.03).ceil() as u64).max(2);
             for (p, c) in &e.amplification {
                 if *c >= floor {
@@ -187,8 +202,7 @@ pub fn analyze_event_traffic(
                 let s: &FlowSample = &samples[i as usize];
                 traffic.packets += 1;
                 traffic.by_protocol[classify_protocol(s.protocol)] += 1;
-                if let Some(p) =
-                    AmplificationProtocol::classify(s.protocol, s.src_port, s.fragment)
+                if let Some(p) = AmplificationProtocol::classify(s.protocol, s.src_port, s.fragment)
                 {
                     *traffic.amplification.entry(p).or_insert(0) += 1;
                 }
@@ -208,11 +222,7 @@ pub fn anomaly_horizon(preevents: &PreEventAnalysis) -> TimeDelta {
 mod tests {
     use super::*;
 
-    fn traffic(
-        packets: u64,
-        amp: &[(AmplificationProtocol, u64)],
-        anomaly: bool,
-    ) -> EventTraffic {
+    fn traffic(packets: u64, amp: &[(AmplificationProtocol, u64)], anomaly: bool) -> EventTraffic {
         EventTraffic {
             event_id: 0,
             packets,
@@ -244,12 +254,15 @@ mod tests {
                 traffic(100, &[(AmplificationProtocol::Cldap, 95)], true),
                 traffic(
                     100,
-                    &[(AmplificationProtocol::Cldap, 60), (AmplificationProtocol::Ntp, 35)],
+                    &[
+                        (AmplificationProtocol::Cldap, 60),
+                        (AmplificationProtocol::Ntp, 35),
+                    ],
                     true,
                 ),
-                traffic(100, &[], true),      // 0 protocols
-                traffic(100, &[], false),     // no anomaly → excluded
-                traffic(0, &[], true),        // no data → excluded
+                traffic(100, &[], true),  // 0 protocols
+                traffic(100, &[], false), // no anomaly → excluded
+                traffic(0, &[], true),    // no data → excluded
             ],
         };
         let t = analysis.amplification_protocol_table();
@@ -279,7 +292,14 @@ mod tests {
         let analysis = ProtocolAnalysis {
             per_event: vec![
                 traffic(100, &[(AmplificationProtocol::Cldap, 90)], true),
-                traffic(100, &[(AmplificationProtocol::Cldap, 50), (AmplificationProtocol::Ntp, 40)], true),
+                traffic(
+                    100,
+                    &[
+                        (AmplificationProtocol::Cldap, 50),
+                        (AmplificationProtocol::Ntp, 40),
+                    ],
+                    true,
+                ),
                 traffic(100, &[(AmplificationProtocol::Ntp, 90)], true),
                 traffic(100, &[(AmplificationProtocol::Cldap, 90)], true),
             ],

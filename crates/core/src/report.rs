@@ -93,13 +93,20 @@ pub fn render_report(report: &FullReport, corpus: &Corpus) -> String {
         UseCase::Other,
     ] {
         let share = report.use_case_share(uc);
-        let count = report.classification.counts().get(&uc).copied().unwrap_or(0);
+        let count = report
+            .classification
+            .counts()
+            .get(&uc)
+            .copied()
+            .unwrap_or(0);
         let _ = writeln!(out, "{uc:<28} {count:>6} events ({:>5.1}%)", share * 100.0);
     }
 
-    let (dropping, forwarding, inconsistent) =
-        report.acceptance.source_reaction_buckets(100);
-    let _ = writeln!(out, "\n== top-100 traffic sources vs /32 blackholes (Fig. 7) ==");
+    let (dropping, forwarding, inconsistent) = report.acceptance.source_reaction_buckets(100);
+    let _ = writeln!(
+        out,
+        "\n== top-100 traffic sources vs /32 blackholes (Fig. 7) =="
+    );
     let _ = writeln!(
         out,
         "{dropping} drop ≥99% | {forwarding} forward ≥99% | {inconsistent} inconsistent"

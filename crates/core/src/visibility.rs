@@ -46,16 +46,14 @@ fn hidden_peers(
     route_server: Asn,
     sender: Asn,
 ) -> Vec<Asn> {
-    let deny_all = Community::block_all(route_server)
-        .is_some_and(|c| communities.contains(&c));
+    let deny_all = Community::block_all(route_server).is_some_and(|c| communities.contains(&c));
     peers
         .iter()
         .copied()
         .filter(|&p| p != sender)
         .filter(|&p| {
             if deny_all {
-                !Community::announce_peer(route_server, p)
-                    .is_some_and(|c| communities.contains(&c))
+                !Community::announce_peer(route_server, p).is_some_and(|c| communities.contains(&c))
             } else {
                 Community::block_peer(p).is_some_and(|c| communities.contains(&c))
             }
@@ -79,7 +77,10 @@ fn activity_items(
                     continue;
                 }
                 open.entry(u.prefix).or_insert_with(|| {
-                    (u.at, hidden_peers(&u.communities, peers, route_server, u.peer))
+                    (
+                        u.at,
+                        hidden_peers(&u.communities, peers, route_server, u.peer),
+                    )
                 });
             }
             UpdateKind::Withdraw => {
@@ -161,7 +162,13 @@ pub fn visibility_series(
             let q = |q: f64| rtbh_stats::quantile::quantile_sorted(&shares, q);
             (q(0.5), q(0.99), q(1.0))
         };
-        series.push(VisibilityPoint { at: t, active: n, median, p99, max });
+        series.push(VisibilityPoint {
+            at: t,
+            active: n,
+            median,
+            p99,
+            max,
+        });
         t += step;
     }
     series
@@ -179,12 +186,7 @@ mod tests {
         Timestamp::EPOCH + TimeDelta::minutes(min)
     }
 
-    fn update(
-        min: i64,
-        prefix: &str,
-        kind: UpdateKind,
-        extra: Vec<Community>,
-    ) -> BgpUpdate {
+    fn update(min: i64, prefix: &str, kind: UpdateKind, extra: Vec<Community>) -> BgpUpdate {
         let mut communities = vec![Community::BLACKHOLE];
         communities.extend(extra);
         BgpUpdate {

@@ -8,6 +8,7 @@
 //! mutable state or nondeterministic iteration — exactly the class of bug
 //! this test exists to catch before it ships.
 
+use rtbh_core::pipeline::AnalyzerConfig;
 use rtbh_core::Analyzer;
 use rtbh_sim::ScenarioConfig;
 
@@ -31,10 +32,9 @@ fn parallel_report_serializes_identically_to_sequential() {
     let out = rtbh_sim::run(&config);
     let analyzer = Analyzer::with_defaults(out.corpus);
 
-    let sequential = serde_json::to_string(&analyzer.full_sequential())
-        .expect("serialize sequential report");
-    let parallel =
-        serde_json::to_string(&analyzer.full()).expect("serialize parallel report");
+    let sequential =
+        serde_json::to_string(&analyzer.full_sequential()).expect("serialize sequential report");
+    let parallel = serde_json::to_string(&analyzer.full()).expect("serialize parallel report");
     assert_eq!(sequential, parallel);
 }
 
@@ -65,11 +65,63 @@ fn both_modes_profile_every_stage_in_canonical_order() {
 }
 
 #[test]
+fn worker_counts_do_not_change_the_report() {
+    // The data-parallel sample kernels (offset scan, clock shift, index
+    // build) merge per-chunk results in chunk order, so `--threads N` must
+    // produce a byte-identical report for every N.
+    let mut scenario = ScenarioConfig::tiny();
+    scenario.seed = 0xC0FF_EE00;
+    let out = rtbh_sim::run(&scenario);
+
+    let reference = {
+        let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(1);
+        let analyzer = Analyzer::new(out.corpus.clone(), config);
+        serde_json::to_string(&analyzer.full()).expect("serialize 1-worker report")
+    };
+    for workers in [2usize, 8] {
+        let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(workers);
+        let analyzer = Analyzer::new(out.corpus.clone(), config);
+        let report = serde_json::to_string(&analyzer.full()).expect("serialize N-worker report");
+        assert_eq!(report, reference, "{workers}-worker report diverged");
+    }
+}
+
+#[test]
+fn profiles_record_the_prepare_kernels() {
+    let out = rtbh_sim::run(&ScenarioConfig::tiny());
+    let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(3);
+    let analyzer = Analyzer::new(out.corpus, config);
+    assert_eq!(analyzer.kernel_workers(), 3);
+
+    let (_, profile) = analyzer.full_with_profile();
+    let names: Vec<&str> = profile.prepare.iter().map(|s| s.stage.as_str()).collect();
+    // "shift" only appears when a non-zero clock offset was estimated.
+    assert!(
+        names.starts_with(&["clean", "align"]),
+        "prepare stages: {names:?}"
+    );
+    assert!(
+        names.ends_with(&["events", "index"]),
+        "prepare stages: {names:?}"
+    );
+    for s in &profile.prepare {
+        let expected = match s.stage.as_str() {
+            "clean" | "events" => 1,
+            _ => 3,
+        };
+        assert_eq!(s.workers, expected, "stage {}", s.stage);
+    }
+}
+
+#[test]
 fn profile_serializes_to_json() {
     let out = rtbh_sim::run(&ScenarioConfig::tiny());
     let analyzer = Analyzer::with_defaults(out.corpus);
     let (_, profile) = analyzer.full_with_profile();
     let json = serde_json::to_value(&profile).expect("serialize profile");
-    assert_eq!(json["stages"].as_array().map(|s| s.len()), Some(STAGES.len()));
+    assert_eq!(
+        json["stages"].as_array().map(|s| s.len()),
+        Some(STAGES.len())
+    );
     assert!(json["total_wall_ns"].as_u64().is_some());
 }

@@ -30,7 +30,9 @@ fn pipeline_runs_and_infers_planted_events() {
 #[test]
 fn clock_offset_is_recovered() {
     let (out, analyzer) = tiny();
-    let alignment = analyzer.alignment().expect("tiny corpus has dropped samples");
+    let alignment = analyzer
+        .alignment()
+        .expect("tiny corpus has dropped samples");
     // Data plane stamped clock_offset_ms (negative = early); the scan finds
     // the shift that re-aligns, i.e. the negation. A tiny corpus has few
     // interval-edge samples, so the likelihood plateau is wide; the estimate
@@ -46,14 +48,21 @@ fn clock_offset_is_recovered() {
     // Tiny corpora have few route-server drops relative to bilateral ones,
     // so the explained share is noisy; the paper-scale run reaches ~0.98
     // (see EXPERIMENTS.md).
-    assert!(alignment.best_overlap() > 0.7, "overlap {}", alignment.best_overlap());
+    assert!(
+        alignment.best_overlap() > 0.7,
+        "overlap {}",
+        alignment.best_overlap()
+    );
 }
 
 #[test]
 fn internal_flows_are_cleaned() {
     let (out, analyzer) = tiny();
     let report = analyzer.clean_report();
-    assert_eq!(report.internal_removed as u32, ScenarioConfig::tiny().internal_samples);
+    assert_eq!(
+        report.internal_removed as u32,
+        ScenarioConfig::tiny().internal_samples
+    );
     assert!(report.total >= out.corpus.flows.len());
 }
 
@@ -74,8 +83,7 @@ fn visible_attacks_are_detected_as_anomalies() {
         });
         let result = matched.map(|e| &preevents.per_event[e.id]);
         let flagged_10min = result.is_some_and(|r| r.class == PreClass::DataAnomaly);
-        let flagged_1h =
-            result.is_some_and(|r| r.anomaly_within(TimeDelta::hours(1)));
+        let flagged_1h = result.is_some_and(|r| r.anomaly_within(TimeDelta::hours(1)));
         if flagged_10min || flagged_1h {
             detected += 1;
         } else {
@@ -99,7 +107,11 @@ fn invisible_and_zombie_events_show_no_anomaly() {
         if !matches!(planted.kind, EventKind::AttackInvisible | EventKind::Zombie) {
             continue;
         }
-        for e in analyzer.events().iter().filter(|e| e.prefix == planted.prefix) {
+        for e in analyzer
+            .events()
+            .iter()
+            .filter(|e| e.prefix == planted.prefix)
+        {
             assert_ne!(
                 preevents.per_event[e.id].class,
                 PreClass::DataAnomaly,
@@ -123,8 +135,7 @@ fn zombies_are_classified() {
             continue;
         }
         let classified = analyzer.events().iter().any(|e| {
-            e.prefix == planted.prefix
-                && classification.per_event[e.id].use_case == UseCase::Zombie
+            e.prefix == planted.prefix && classification.per_event[e.id].use_case == UseCase::Zombie
         });
         if classified {
             found += 1;
@@ -165,7 +176,9 @@ fn squatting_prefixes_are_classified() {
 fn acceptance_shows_partial_drop_rates_for_32() {
     let (_, analyzer) = tiny();
     let acceptance = analyzer.acceptance();
-    let (packets, _bytes) = acceptance.drop_rate_for_length(32).expect("/32 traffic exists");
+    let (packets, _bytes) = acceptance
+        .drop_rate_for_length(32)
+        .expect("/32 traffic exists");
     // Policy mix: some accept, some reject → strictly partial drops.
     assert!(packets > 0.15 && packets < 0.9, "drop rate {packets}");
 }
@@ -202,15 +215,20 @@ fn targeted_phase_shows_up_in_visibility_series() {
         .iter()
         .filter(|p| (p.at.day() as u32) >= phase.0 && (p.at.day() as u32) <= phase.1)
         .collect();
-    let post: Vec<_> =
-        series.iter().filter(|p| (p.at.day() as u32) > phase.1 + 1).collect();
+    let post: Vec<_> = series
+        .iter()
+        .filter(|p| (p.at.day() as u32) > phase.1 + 1)
+        .collect();
     let peak_in_phase = in_phase.iter().map(|p| p.max).fold(0.0f64, f64::max);
     let peak_post = post.iter().map(|p| p.median).fold(0.0f64, f64::max);
     assert!(
         peak_in_phase > 0.0,
         "some peer must miss blackholes during the targeted phase"
     );
-    assert_eq!(peak_post, 0.0, "median peer sees everything after the phase");
+    assert_eq!(
+        peak_post, 0.0,
+        "median peer sees everything after the phase"
+    );
 }
 
 #[test]
@@ -218,14 +236,20 @@ fn host_analysis_finds_more_clients_than_servers() {
     let (_, analyzer) = tiny();
     let hosts = analyzer.hosts();
     let (clients, servers) = hosts.client_server_counts();
-    assert!(clients > servers, "paper Table 4: clients dominate ({clients} vs {servers})");
+    assert!(
+        clients > servers,
+        "paper Table 4: clients dominate ({clients} vs {servers})"
+    );
     // Table 4 join: most clients sit in eyeball networks.
     let (client_types, _) = hosts.org_type_table(&analyzer.corpus().registry);
     let cable = client_types
         .get(&rtbh_peeringdb::OrgType::CableDslIsp)
         .copied()
         .unwrap_or(0);
-    assert!(cable * 2 >= clients, "Cable/DSL/ISP must dominate client victims");
+    assert!(
+        cable * 2 >= clients,
+        "Cable/DSL/ISP must dominate client victims"
+    );
 }
 
 #[test]
@@ -243,8 +267,9 @@ fn collateral_damage_exists_for_detected_servers() {
 #[test]
 fn merge_sweep_knees_at_the_probe_gap_ceiling() {
     let (_, analyzer) = tiny();
-    let deltas: Vec<rtbh_net::TimeDelta> =
-        (0..=4).map(|m| rtbh_net::TimeDelta::minutes(m * 5)).collect();
+    let deltas: Vec<rtbh_net::TimeDelta> = (0..=4)
+        .map(|m| rtbh_net::TimeDelta::minutes(m * 5))
+        .collect();
     let (curve, lower_bound) = rtbh_core::events::merge_sweep(
         &analyzer.corpus().updates,
         &deltas,
@@ -252,9 +277,18 @@ fn merge_sweep_knees_at_the_probe_gap_ceiling() {
     );
     // Δ=10 min merges every probe gap (planner draws 1–9 min), so the curve
     // is flat from there on.
-    let at10 = curve.iter().find(|p| p.delta == rtbh_net::TimeDelta::minutes(10)).unwrap();
-    let at20 = curve.iter().find(|p| p.delta == rtbh_net::TimeDelta::minutes(20)).unwrap();
-    assert_eq!(at10.events, at20.events, "no gaps between 10 and 20 minutes");
+    let at10 = curve
+        .iter()
+        .find(|p| p.delta == rtbh_net::TimeDelta::minutes(10))
+        .unwrap();
+    let at20 = curve
+        .iter()
+        .find(|p| p.delta == rtbh_net::TimeDelta::minutes(20))
+        .unwrap();
+    assert_eq!(
+        at10.events, at20.events,
+        "no gaps between 10 and 20 minutes"
+    );
     assert!(curve[0].events > at10.events, "Δ=0 must overcount events");
     assert!(at10.event_fraction >= lower_bound);
 }

@@ -32,7 +32,11 @@ fn arb_schedule() -> impl Strategy<Value = Vec<BgpUpdate>> {
         for (prefix, gap) in steps {
             t += gap;
             let is_open = open.entry(prefix).or_insert(false);
-            let kind = if *is_open { UpdateKind::Withdraw } else { UpdateKind::Announce };
+            let kind = if *is_open {
+                UpdateKind::Withdraw
+            } else {
+                UpdateKind::Announce
+            };
             *is_open = !*is_open;
             updates.push(update(t, prefix, kind));
         }

@@ -47,7 +47,10 @@ pub struct FilteringFabric {
 impl FilteringFabric {
     /// Wraps a fabric with an (initially empty) ACL.
     pub fn new(fabric: Fabric) -> Self {
-        Self { fabric, acl: FlowSpecTable::new() }
+        Self {
+            fabric,
+            acl: FlowSpecTable::new(),
+        }
     }
 
     /// The underlying fabric.
@@ -118,12 +121,18 @@ mod tests {
         let m0 = Member::new(
             MemberId(0),
             Asn(100),
-            vec![RouterPort::new(MacAddr::from_id(1), ImportPolicy::DEFAULT_24)],
+            vec![RouterPort::new(
+                MacAddr::from_id(1),
+                ImportPolicy::DEFAULT_24,
+            )],
         );
         let m1 = Member::new(
             MemberId(1),
             Asn(200),
-            vec![RouterPort::new(MacAddr::from_id(2), ImportPolicy::DEFAULT_24)],
+            vec![RouterPort::new(
+                MacAddr::from_id(2),
+                ImportPolicy::DEFAULT_24,
+            )],
         );
         let mut fabric = Fabric::new(vec![m0, m1]);
         fabric.seed_regular_route(
@@ -161,7 +170,13 @@ mod tests {
     fn empty_acl_delegates_to_rib() {
         let ff = FilteringFabric::new(base_fabric());
         let out = ff.forward(MemberId(1), MacAddr::from_id(2), amp_tuple());
-        assert!(matches!(out, ForwardOutcome::Delivered { member: MemberId(0), .. }));
+        assert!(matches!(
+            out,
+            ForwardOutcome::Delivered {
+                member: MemberId(0),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Fabric {
             let prev = by_asn.insert(m.asn, m.id);
             assert!(prev.is_none(), "duplicate member ASN {}", m.asn);
         }
-        let mut fabric = Self { members, by_asn, origin_member: BTreeMap::new() };
+        let mut fabric = Self {
+            members,
+            by_asn,
+            origin_member: BTreeMap::new(),
+        };
         // Every member reaches its own AS.
         for m in &fabric.members {
             fabric.origin_member.insert(m.asn, m.id);
@@ -142,9 +146,16 @@ impl Fabric {
     ///
     /// Falls back to the member's primary router if the MAC is unknown
     /// (defensive; simulators always pass valid MACs).
-    pub fn forward(&self, ingress: MemberId, ingress_mac: MacAddr, dst: Ipv4Addr) -> ForwardOutcome {
+    pub fn forward(
+        &self,
+        ingress: MemberId,
+        ingress_mac: MacAddr,
+        dst: Ipv4Addr,
+    ) -> ForwardOutcome {
         let member = self.member(ingress);
-        let router = member.router_by_mac(ingress_mac).unwrap_or_else(|| member.primary_router());
+        let router = member
+            .router_by_mac(ingress_mac)
+            .unwrap_or_else(|| member.primary_router());
         match router.rib.decide(dst) {
             Forwarding::Blackholed => ForwardOutcome::Blackholed,
             Forwarding::Forward(origin) => match self.origin_member.get(&origin) {
@@ -171,7 +182,10 @@ mod tests {
         let m0 = Member::new(
             MemberId(0),
             Asn(100),
-            vec![RouterPort::new(MacAddr::from_id(0), ImportPolicy::WHITELIST_32)],
+            vec![RouterPort::new(
+                MacAddr::from_id(0),
+                ImportPolicy::WHITELIST_32,
+            )],
         );
         let m1 = Member::new(
             MemberId(1),
@@ -206,10 +220,17 @@ mod tests {
     #[test]
     fn delivered_to_victim_member_before_blackhole() {
         let fabric = two_member_fabric();
-        let out = fabric.forward(MemberId(1), MacAddr::from_id(10), "203.0.113.7".parse().unwrap());
+        let out = fabric.forward(
+            MemberId(1),
+            MacAddr::from_id(10),
+            "203.0.113.7".parse().unwrap(),
+        );
         assert_eq!(
             out,
-            ForwardOutcome::Delivered { member: MemberId(0), mac: MacAddr::from_id(0) }
+            ForwardOutcome::Delivered {
+                member: MemberId(0),
+                mac: MacAddr::from_id(0)
+            }
         );
         assert_eq!(out.dst_mac(), Some(MacAddr::from_id(0)));
     }
@@ -227,7 +248,10 @@ mod tests {
         );
         assert!(matches!(
             fabric.forward(MemberId(1), MacAddr::from_id(11), dst),
-            ForwardOutcome::Delivered { member: MemberId(0), .. }
+            ForwardOutcome::Delivered {
+                member: MemberId(0),
+                ..
+            }
         ));
     }
 
@@ -237,7 +261,11 @@ mod tests {
         let bh = blackhole_update("203.0.113.7/32");
         fabric.distribute(&bh, &[]); // targeted away from everyone
         assert!(matches!(
-            fabric.forward(MemberId(1), MacAddr::from_id(10), "203.0.113.7".parse().unwrap()),
+            fabric.forward(
+                MemberId(1),
+                MacAddr::from_id(10),
+                "203.0.113.7".parse().unwrap()
+            ),
             ForwardOutcome::Delivered { .. }
         ));
     }
@@ -249,7 +277,11 @@ mod tests {
         fabric.distribute(&bh, &[Asn(999)]);
         // Nothing installed anywhere; no panic.
         assert!(matches!(
-            fabric.forward(MemberId(1), MacAddr::from_id(10), "203.0.113.7".parse().unwrap()),
+            fabric.forward(
+                MemberId(1),
+                MacAddr::from_id(10),
+                "203.0.113.7".parse().unwrap()
+            ),
             ForwardOutcome::Delivered { .. }
         ));
     }
@@ -257,7 +289,11 @@ mod tests {
     #[test]
     fn unroutable_without_seeded_route() {
         let fabric = two_member_fabric();
-        let out = fabric.forward(MemberId(1), MacAddr::from_id(10), "8.8.8.8".parse().unwrap());
+        let out = fabric.forward(
+            MemberId(1),
+            MacAddr::from_id(10),
+            "8.8.8.8".parse().unwrap(),
+        );
         assert_eq!(out, ForwardOutcome::Unroutable);
         assert_eq!(out.dst_mac(), None);
     }
@@ -307,7 +343,11 @@ mod tests {
         wd.kind = UpdateKind::Withdraw;
         fabric.distribute(&wd, &[Asn(200)]);
         assert!(matches!(
-            fabric.forward(MemberId(1), MacAddr::from_id(10), "203.0.113.7".parse().unwrap()),
+            fabric.forward(
+                MemberId(1),
+                MacAddr::from_id(10),
+                "203.0.113.7".parse().unwrap()
+            ),
             ForwardOutcome::Delivered { .. }
         ));
     }

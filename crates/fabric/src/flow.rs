@@ -69,7 +69,9 @@ impl FlowLog {
     /// (checked in debug builds).
     pub fn push(&mut self, sample: FlowSample) {
         debug_assert!(
-            self.samples.last().map_or(true, |last| last.at <= sample.at),
+            self.samples
+                .last()
+                .map_or(true, |last| last.at <= sample.at),
             "samples must be pushed in time order"
         );
         self.samples.push(sample);
@@ -92,7 +94,9 @@ impl FlowLog {
 
     /// Samples with `dst_ip` inside the given prefix.
     pub fn towards(&self, prefix: rtbh_net::Prefix) -> impl Iterator<Item = &FlowSample> {
-        self.samples.iter().filter(move |s| prefix.contains_addr(s.dst_ip))
+        self.samples
+            .iter()
+            .filter(move |s| prefix.contains_addr(s.dst_ip))
     }
 
     /// The dropped (blackholed) samples.
@@ -130,7 +134,11 @@ pub(crate) mod testutil {
         FlowSample {
             at: Timestamp::EPOCH + TimeDelta::minutes(min),
             src_mac: MacAddr::from_id(1),
-            dst_mac: if dropped { MacAddr::BLACKHOLE } else { MacAddr::from_id(2) },
+            dst_mac: if dropped {
+                MacAddr::BLACKHOLE
+            } else {
+                MacAddr::from_id(2)
+            },
             src_ip: "198.51.100.10".parse().unwrap(),
             dst_ip: dst_ip.parse().unwrap(),
             protocol: Protocol::Udp,

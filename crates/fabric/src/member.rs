@@ -6,9 +6,7 @@ use rtbh_bgp::{ImportPolicy, Rib};
 use rtbh_net::{Asn, MacAddr};
 
 /// A stable, dense identifier for an IXP member.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct MemberId(pub u32);
 
@@ -30,7 +28,10 @@ pub struct RouterPort {
 impl RouterPort {
     /// Creates a port with an empty, policy-filtered RIB.
     pub fn new(mac: MacAddr, policy: ImportPolicy) -> Self {
-        Self { mac, rib: Rib::new(policy) }
+        Self {
+            mac,
+            rib: Rib::new(policy),
+        }
     }
 }
 
@@ -51,7 +52,10 @@ impl Member {
     /// # Panics
     /// Panics if `routers` is empty — a member without a port cannot peer.
     pub fn new(id: MemberId, asn: Asn, routers: Vec<RouterPort>) -> Self {
-        assert!(!routers.is_empty(), "member must have at least one router port");
+        assert!(
+            !routers.is_empty(),
+            "member must have at least one router port"
+        );
         Self { id, asn, routers }
     }
 

@@ -119,7 +119,11 @@ mod tests {
         let n = 50_000;
         let draws: Vec<u64> = (0..n).map(|_| poisson(lambda, &mut r)).collect();
         let mean = draws.iter().sum::<u64>() as f64 / n as f64;
-        let var = draws.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = draws
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - lambda).abs() < 0.06, "mean {mean}");
         assert!((var - lambda).abs() < 0.2, "var {var}");
     }
@@ -130,7 +134,10 @@ mod tests {
         let lambda = 10_000.0;
         let n = 2_000;
         let mean = (0..n).map(|_| poisson(lambda, &mut r)).sum::<u64>() as f64 / n as f64;
-        assert!((mean - lambda).abs() < 3.0 * (lambda / n as f64).sqrt() + 5.0, "mean {mean}");
+        assert!(
+            (mean - lambda).abs() < 3.0 * (lambda / n as f64).sqrt() + 5.0,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -149,7 +156,9 @@ mod tests {
         // A 100-packet flow at 1:10k sampling is seen with p ≈ 1%.
         let s = Sampler::PAPER;
         let mut r = rng();
-        let seen = (0..10_000).filter(|_| s.sampled_count(100.0, &mut r) > 0).count();
+        let seen = (0..10_000)
+            .filter(|_| s.sampled_count(100.0, &mut r) > 0)
+            .count();
         assert!(seen > 30 && seen < 300, "seen {seen}");
     }
 

@@ -130,7 +130,11 @@ mod tests {
         FlowSample {
             at: Timestamp::from_millis(ms),
             src_mac: MacAddr::from_id(7),
-            dst_mac: if dropped { MacAddr::BLACKHOLE } else { MacAddr::from_id(9) },
+            dst_mac: if dropped {
+                MacAddr::BLACKHOLE
+            } else {
+                MacAddr::from_id(9)
+            },
             src_ip: "20.0.0.5".parse().unwrap(),
             dst_ip: "203.0.113.7".parse().unwrap(),
             protocol: Protocol::Udp,
@@ -161,7 +165,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
         raw[0] = b'X';
-        assert_eq!(decode_flow_log(Bytes::from(raw)), Err(FlowWireError::BadMagic));
+        assert_eq!(
+            decode_flow_log(Bytes::from(raw)),
+            Err(FlowWireError::BadMagic)
+        );
     }
 
     #[test]
@@ -199,7 +206,12 @@ mod tests {
 
     #[test]
     fn protocols_survive_the_u8_funnel() {
-        for proto in [Protocol::Tcp, Protocol::Udp, Protocol::Icmp, Protocol::Other(47)] {
+        for proto in [
+            Protocol::Tcp,
+            Protocol::Udp,
+            Protocol::Icmp,
+            Protocol::Other(47),
+        ] {
             let mut s = sample(1, false);
             s.protocol = proto;
             let log = FlowLog::from_samples(vec![s]);

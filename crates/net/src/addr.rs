@@ -158,8 +158,19 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for text in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "1.2.3.04x"] {
-            assert!(text.parse::<Ipv4Addr>().is_err(), "{text:?} should not parse");
+        for text in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "1..2.3",
+            "1.2.3.04x",
+        ] {
+            assert!(
+                text.parse::<Ipv4Addr>().is_err(),
+                "{text:?} should not parse"
+            );
         }
     }
 
@@ -185,7 +196,10 @@ mod tests {
     #[test]
     fn wrapping_add_wraps() {
         assert_eq!(Ipv4Addr::BROADCAST.wrapping_add(1), Ipv4Addr::UNSPECIFIED);
-        assert_eq!(Ipv4Addr::new(10, 0, 0, 255).wrapping_add(1), Ipv4Addr::new(10, 0, 1, 0));
+        assert_eq!(
+            Ipv4Addr::new(10, 0, 0, 255).wrapping_add(1),
+            Ipv4Addr::new(10, 0, 1, 0)
+        );
     }
 
     #[test]

@@ -15,9 +15,7 @@ use crate::ports::{Port, Protocol};
 
 /// One known UDP amplification protocol (a row of the paper's Table 3
 /// footnote).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AmplificationProtocol {
     /// Quote of the Day, UDP/17.
     Qotd,
@@ -168,8 +166,24 @@ impl fmt::Display for AmplificationProtocol {
 use AmplificationProtocol::*;
 
 const ALL: [AmplificationProtocol; 18] = [
-    Qotd, Chargen, Dns, Tftp, Ntp, Netbios, Snmp, Cldap, Rip, Ssdp, Game3659, Stun, Sip,
-    Bittorrent, Memcached, Game27005, Game28960, Fragmentation,
+    Qotd,
+    Chargen,
+    Dns,
+    Tftp,
+    Ntp,
+    Netbios,
+    Snmp,
+    Cldap,
+    Rip,
+    Ssdp,
+    Game3659,
+    Stun,
+    Sip,
+    Bittorrent,
+    Memcached,
+    Game27005,
+    Game28960,
+    Fragmentation,
 ];
 
 /// All 18 catalogue entries, in the paper's footnote order.
@@ -182,8 +196,10 @@ mod tests {
     #[test]
     fn catalogue_has_eighteen_distinct_entries() {
         assert_eq!(AMPLIFICATION_PROTOCOLS.len(), 18);
-        let mut ports: Vec<Port> =
-            AMPLIFICATION_PROTOCOLS.iter().map(|p| p.source_port()).collect();
+        let mut ports: Vec<Port> = AMPLIFICATION_PROTOCOLS
+            .iter()
+            .map(|p| p.source_port())
+            .collect();
         ports.sort_unstable();
         ports.dedup();
         assert_eq!(ports.len(), 18, "ports must be unique");
@@ -199,12 +215,18 @@ mod tests {
             AmplificationProtocol::classify(Protocol::Udp, 123, false),
             Some(AmplificationProtocol::Ntp)
         );
-        assert_eq!(AmplificationProtocol::classify(Protocol::Udp, 12345, false), None);
+        assert_eq!(
+            AmplificationProtocol::classify(Protocol::Udp, 12345, false),
+            None
+        );
     }
 
     #[test]
     fn classify_ignores_tcp() {
-        assert_eq!(AmplificationProtocol::classify(Protocol::Tcp, 53, false), None);
+        assert_eq!(
+            AmplificationProtocol::classify(Protocol::Tcp, 53, false),
+            None
+        );
     }
 
     #[test]
@@ -221,14 +243,23 @@ mod tests {
 
     #[test]
     fn port_zero_without_fragment_flag_is_not_fragmentation() {
-        assert_eq!(AmplificationProtocol::classify(Protocol::Udp, 0, false), None);
+        assert_eq!(
+            AmplificationProtocol::classify(Protocol::Udp, 0, false),
+            None
+        );
     }
 
     #[test]
     fn display_matches_paper_footnote_style() {
         assert_eq!(AmplificationProtocol::Cldap.to_string(), "cLDAP/389");
-        assert_eq!(AmplificationProtocol::Memcached.to_string(), "Memcache/11211");
-        assert_eq!(AmplificationProtocol::Fragmentation.to_string(), "Fragmentation");
+        assert_eq!(
+            AmplificationProtocol::Memcached.to_string(),
+            "Memcache/11211"
+        );
+        assert_eq!(
+            AmplificationProtocol::Fragmentation.to_string(),
+            "Fragmentation"
+        );
     }
 
     #[test]

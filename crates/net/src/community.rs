@@ -21,9 +21,7 @@ use crate::error::{ParseError, ParseErrorKind};
 ///   PEER*, and `0:RS` means *announce to nobody except those explicitly
 ///   listed*. See [`Community::block_peer`], [`Community::announce_peer`] and
 ///   [`Community::block_all`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Community {
     /// The high 16 bits, conventionally an AS number.
     pub asn: u16,
@@ -33,11 +31,20 @@ pub struct Community {
 
 impl Community {
     /// The RFC 7999 BLACKHOLE community `65535:666`.
-    pub const BLACKHOLE: Self = Self { asn: 65535, value: 666 };
+    pub const BLACKHOLE: Self = Self {
+        asn: 65535,
+        value: 666,
+    };
     /// The well-known NO_EXPORT community `65535:65281`.
-    pub const NO_EXPORT: Self = Self { asn: 65535, value: 65281 };
+    pub const NO_EXPORT: Self = Self {
+        asn: 65535,
+        value: 65281,
+    };
     /// The well-known NO_ADVERTISE community `65535:65282`.
-    pub const NO_ADVERTISE: Self = Self { asn: 65535, value: 65282 };
+    pub const NO_ADVERTISE: Self = Self {
+        asn: 65535,
+        value: 65282,
+    };
 
     /// Creates a community from its two halves.
     pub const fn new(asn: u16, value: u16) -> Self {
@@ -62,7 +69,9 @@ impl Community {
 
     /// Distribution control: "announce to nobody unless explicitly listed".
     pub fn block_all(route_server: Asn) -> Option<Self> {
-        route_server.is_16bit().then(|| Self::new(0, route_server.value() as u16))
+        route_server
+            .is_16bit()
+            .then(|| Self::new(0, route_server.value() as u16))
     }
 
     /// The packed 32-bit wire value.
@@ -72,7 +81,10 @@ impl Community {
 
     /// Unpacks a 32-bit wire value.
     pub const fn from_u32(raw: u32) -> Self {
-        Self { asn: (raw >> 16) as u16, value: raw as u16 }
+        Self {
+            asn: (raw >> 16) as u16,
+            value: raw as u16,
+        }
     }
 }
 
@@ -101,7 +113,10 @@ mod tests {
     #[test]
     fn blackhole_is_rfc7999() {
         assert_eq!(Community::BLACKHOLE.to_string(), "65535:666");
-        assert_eq!("65535:666".parse::<Community>().unwrap(), Community::BLACKHOLE);
+        assert_eq!(
+            "65535:666".parse::<Community>().unwrap(),
+            Community::BLACKHOLE
+        );
     }
 
     #[test]
@@ -114,7 +129,10 @@ mod tests {
     #[test]
     fn parse_rejects_garbage() {
         for text in ["", "65535", ":", "65536:1", "1:65536", "a:b"] {
-            assert!(text.parse::<Community>().is_err(), "{text:?} should not parse");
+            assert!(
+                text.parse::<Community>().is_err(),
+                "{text:?} should not parse"
+            );
         }
     }
 
@@ -123,7 +141,10 @@ mod tests {
         let rs = Asn(6695);
         let peer = Asn(64500);
         assert_eq!(Community::block_peer(peer), Some(Community::new(0, 64500)));
-        assert_eq!(Community::announce_peer(rs, peer), Some(Community::new(6695, 64500)));
+        assert_eq!(
+            Community::announce_peer(rs, peer),
+            Some(Community::new(6695, 64500))
+        );
         assert_eq!(Community::block_all(rs), Some(Community::new(0, 6695)));
         assert_eq!(Community::block_peer(Asn(70_000)), None);
         assert_eq!(Community::announce_peer(rs, Asn(70_000)), None);

@@ -28,7 +28,10 @@ pub enum ParseErrorKind {
 
 impl ParseError {
     pub(crate) fn new(kind: ParseErrorKind, input: &str) -> Self {
-        Self { kind, input: input.to_owned() }
+        Self {
+            kind,
+            input: input.to_owned(),
+        }
     }
 
     /// The category of primitive that failed to parse.

@@ -10,6 +10,8 @@
 //! * [`Prefix`] — a canonical CIDR prefix with containment/overlap algebra.
 //! * [`PrefixTrie`] — a binary radix trie with longest-prefix matching, the
 //!   lookup structure behind every RIB in `rtbh-bgp`.
+//! * [`FrozenLpm`] — the immutable, cache-friendly stride-8 counterpart,
+//!   compiled once from a trie for the pipeline's sample-scan hot paths.
 //! * [`MacAddr`] — Ethernet addresses; the IXP identifies member routers and
 //!   the blackhole next-hop by MAC (paper §3.1 "Identifying Dropped Traffic").
 //! * [`Asn`] — autonomous system numbers.
@@ -31,6 +33,7 @@ pub mod amplification;
 pub mod asn;
 pub mod community;
 pub mod error;
+pub mod lpm;
 pub mod mac;
 pub mod ports;
 pub mod prefix;
@@ -42,6 +45,7 @@ pub use amplification::{AmplificationProtocol, AMPLIFICATION_PROTOCOLS};
 pub use asn::Asn;
 pub use community::Community;
 pub use error::ParseError;
+pub use lpm::FrozenLpm;
 pub use mac::MacAddr;
 pub use ports::{Port, Protocol, Service};
 pub use prefix::Prefix;

@@ -126,9 +126,17 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for text in ["", "de:ad:be:ef:00", "de:ad:be:ef:00:01:02", "gg:00:00:00:00:00", "deadbeef0001"]
-        {
-            assert!(text.parse::<MacAddr>().is_err(), "{text:?} should not parse");
+        for text in [
+            "",
+            "de:ad:be:ef:00",
+            "de:ad:be:ef:00:01:02",
+            "gg:00:00:00:00:00",
+            "deadbeef0001",
+        ] {
+            assert!(
+                text.parse::<MacAddr>().is_err(),
+                "{text:?} should not parse"
+            );
         }
     }
 

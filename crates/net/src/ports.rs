@@ -13,9 +13,7 @@ pub type Port = u16;
 /// (§6.3), and so does the analysis here. During anomaly-backed RTBH events
 /// the observed protocol mix is 99.5% UDP / 0.3% TCP / 0.1% ICMP / 0.1%
 /// other (§5.4) — a signature of UDP reflection-amplification attacks.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Protocol {
     /// Transmission Control Protocol (IP proto 6).
     Tcp,
@@ -69,9 +67,7 @@ impl fmt::Display for Protocol {
 ///
 /// The paper's host classification (§6.2) keys its "top port" statistic on
 /// exactly this tuple — e.g. `(TCP, 80)` and `(UDP, 80)` are distinct.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Service {
     /// Transport protocol.
     pub protocol: Protocol,

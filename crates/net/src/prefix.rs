@@ -42,12 +42,18 @@ impl Prefix {
         if len > 32 {
             return None;
         }
-        Some(Self { bits: addr.to_u32() & mask(len), len })
+        Some(Self {
+            bits: addr.to_u32() & mask(len),
+            len,
+        })
     }
 
     /// Creates a host prefix (`/32`) for one address.
     pub const fn host(addr: Ipv4Addr) -> Self {
-        Self { bits: addr.to_u32(), len: 32 }
+        Self {
+            bits: addr.to_u32(),
+            len: 32,
+        }
     }
 
     /// The network address.
@@ -106,7 +112,10 @@ impl Prefix {
     pub const fn supernet(self) -> Option<Prefix> {
         match self.len {
             0 => None,
-            len => Some(Self { bits: self.bits & mask(len - 1), len: len - 1 }),
+            len => Some(Self {
+                bits: self.bits & mask(len - 1),
+                len: len - 1,
+            }),
         }
     }
 
@@ -116,8 +125,14 @@ impl Prefix {
             return None;
         }
         let len = self.len + 1;
-        let left = Self { bits: self.bits, len };
-        let right = Self { bits: self.bits | (1u32 << (32 - len as u32)), len };
+        let left = Self {
+            bits: self.bits,
+            len,
+        };
+        let right = Self {
+            bits: self.bits | (1u32 << (32 - len as u32)),
+            len,
+        };
         Some((left, right))
     }
 
@@ -159,7 +174,9 @@ impl FromStr for Prefix {
         let err = || ParseError::new(ParseErrorKind::Prefix, s);
         let (addr_text, len_text) = s.split_once('/').ok_or_else(err)?;
         let addr: Ipv4Addr = addr_text.parse().map_err(|_| err())?;
-        if len_text.is_empty() || len_text.len() > 2 || !len_text.bytes().all(|b| b.is_ascii_digit())
+        if len_text.is_empty()
+            || len_text.len() > 2
+            || !len_text.bytes().all(|b| b.is_ascii_digit())
         {
             return Err(err());
         }
@@ -208,7 +225,14 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for text in ["", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/", "10.0.0.0/2x", "300.0.0.0/8"] {
+        for text in [
+            "",
+            "10.0.0.0",
+            "10.0.0.0/33",
+            "10.0.0.0/",
+            "10.0.0.0/2x",
+            "300.0.0.0/8",
+        ] {
             assert!(text.parse::<Prefix>().is_err(), "{text:?} should not parse");
         }
     }

@@ -152,12 +152,20 @@ impl Timestamp {
 
     /// Saturating earliest of two instants.
     pub fn min(self, other: Self) -> Self {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Saturating latest of two instants.
     pub fn max(self, other: Self) -> Self {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -333,11 +341,17 @@ mod tests {
         let a = Interval::new(Timestamp::from_millis(0), Timestamp::from_millis(100));
         let b = Interval::new(Timestamp::from_millis(100), Timestamp::from_millis(200));
         let c = Interval::new(Timestamp::from_millis(50), Timestamp::from_millis(150));
-        assert!(!a.overlaps(b), "half-open intervals touching do not overlap");
+        assert!(
+            !a.overlaps(b),
+            "half-open intervals touching do not overlap"
+        );
         assert!(a.overlaps(c) && c.overlaps(b));
         assert_eq!(
             a.intersection(c),
-            Some(Interval::new(Timestamp::from_millis(50), Timestamp::from_millis(100)))
+            Some(Interval::new(
+                Timestamp::from_millis(50),
+                Timestamp::from_millis(100)
+            ))
         );
         assert_eq!(a.intersection(b), None);
     }

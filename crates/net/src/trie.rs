@@ -25,7 +25,10 @@ struct Node<T> {
 
 impl<T> Node<T> {
     fn new() -> Self {
-        Self { children: [None, None], value: None }
+        Self {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl<T> Default for PrefixTrie<T> {
 impl<T> PrefixTrie<T> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        Self { nodes: vec![Node::new()], len: 0 }
+        Self {
+            nodes: vec![Node::new()],
+            len: 0,
+        }
     }
 
     /// The number of stored prefixes.
@@ -199,8 +205,7 @@ impl<T> PrefixTrie<T> {
                     }
                 }
                 if let Some(value) = self.nodes[idx].value.as_ref() {
-                    let prefix =
-                        Prefix::new(Ipv4Addr::from_u32(bits), depth).expect("depth <= 32");
+                    let prefix = Prefix::new(Ipv4Addr::from_u32(bits), depth).expect("depth <= 32");
                     return Some((prefix, value));
                 }
             }
@@ -256,9 +261,18 @@ mod tests {
         t.insert(p("0.0.0.0/0"), "default");
         t.insert(p("203.0.113.0/24"), "net");
         t.insert(p("203.0.113.7/32"), "host");
-        assert_eq!(t.longest_match(a("203.0.113.7")).unwrap(), (p("203.0.113.7/32"), &"host"));
-        assert_eq!(t.longest_match(a("203.0.113.8")).unwrap(), (p("203.0.113.0/24"), &"net"));
-        assert_eq!(t.longest_match(a("8.8.8.8")).unwrap(), (p("0.0.0.0/0"), &"default"));
+        assert_eq!(
+            t.longest_match(a("203.0.113.7")).unwrap(),
+            (p("203.0.113.7/32"), &"host")
+        );
+        assert_eq!(
+            t.longest_match(a("203.0.113.8")).unwrap(),
+            (p("203.0.113.0/24"), &"net")
+        );
+        assert_eq!(
+            t.longest_match(a("8.8.8.8")).unwrap(),
+            (p("0.0.0.0/0"), &"default")
+        );
     }
 
     #[test]
@@ -293,7 +307,13 @@ mod tests {
     #[test]
     fn iter_is_sorted_and_complete() {
         let mut t = PrefixTrie::new();
-        let prefixes = ["10.0.0.0/8", "10.0.0.0/16", "9.0.0.0/8", "10.128.0.0/9", "0.0.0.0/0"];
+        let prefixes = [
+            "10.0.0.0/8",
+            "10.0.0.0/16",
+            "9.0.0.0/8",
+            "10.128.0.0/9",
+            "0.0.0.0/0",
+        ];
         for (i, s) in prefixes.iter().enumerate() {
             t.insert(p(s), i);
         }

@@ -1,0 +1,120 @@
+//! Seeded randomized equivalence: `FrozenLpm` must answer every query
+//! exactly like the `PrefixTrie` it was compiled from.
+//!
+//! The frozen index is a different algorithm (controlled prefix expansion
+//! over stride-8 tables vs a bit-by-bit radix walk), so agreement is not
+//! structural — it has to be tested. Each seed builds a random table with
+//! thousands of prefixes across every length (0..=32 inclusive, so /0 and
+//! /32 are always exercised), tombstones a quarter of them, and compares
+//! `longest_match` and `get` on uniform-random addresses plus adversarial
+//! probes around every stored prefix boundary.
+
+use rtbh_net::{FrozenLpm, Ipv4Addr, Prefix, PrefixTrie};
+
+/// SplitMix64 — tiny, seedable, dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Compares both lookup operations on one address.
+fn assert_same_match(trie: &PrefixTrie<u64>, lpm: &FrozenLpm<u64>, addr: Ipv4Addr) {
+    let want = trie.longest_match(addr).map(|(p, v)| (p, *v));
+    let got = lpm.longest_match(addr).map(|(p, v)| (p, *v));
+    assert_eq!(want, got, "longest_match diverged at {addr}");
+}
+
+#[test]
+fn frozen_lpm_is_equivalent_to_the_trie() {
+    for seed in [1u64, 0xD15E_A5E5, 0xBADC_0FFE_E0DD_F00D] {
+        let mut rng = SplitMix64(seed);
+        let mut trie: PrefixTrie<u64> = PrefixTrie::new();
+        let mut inserted: Vec<Prefix> = Vec::new();
+
+        // Random prefixes over all lengths; RTBH-style tables skew to /32,
+        // so force half the draws to be host routes.
+        for i in 0..4000u64 {
+            let len = if rng.next() % 2 == 0 {
+                32
+            } else {
+                (rng.next() % 33) as u8
+            };
+            let addr = Ipv4Addr::from_u32(rng.next() as u32);
+            let prefix = Prefix::new(addr, len).expect("len <= 32");
+            trie.insert(prefix, i);
+            inserted.push(prefix);
+        }
+        // Edge entries are always present.
+        trie.insert(Prefix::DEFAULT, u64::MAX);
+        inserted.push(Prefix::DEFAULT);
+        let edge = Prefix::host(Ipv4Addr::from_u32(u32::MAX));
+        trie.insert(edge, u64::MAX - 1);
+        inserted.push(edge);
+
+        // Tombstone a quarter: removal leaves dead trie nodes behind, and
+        // the frozen compile must skip them.
+        for (i, prefix) in inserted.iter().enumerate() {
+            if i % 4 == 0 {
+                trie.remove(*prefix);
+            }
+        }
+
+        let lpm = FrozenLpm::from_trie(&trie);
+        assert_eq!(
+            lpm.len(),
+            trie.len(),
+            "seed {seed:#x}: entry counts diverge"
+        );
+
+        // Exact lookups agree for live and tombstoned prefixes alike.
+        for prefix in &inserted {
+            assert_eq!(
+                trie.get(*prefix),
+                lpm.get(*prefix),
+                "get({prefix}) diverged"
+            );
+        }
+
+        // Uniform-random probes.
+        for _ in 0..20_000 {
+            assert_same_match(&trie, &lpm, Ipv4Addr::from_u32(rng.next() as u32));
+        }
+
+        // Adversarial probes: every stored prefix's first/last address and
+        // the addresses just outside either boundary.
+        for prefix in trie.prefixes() {
+            let first = prefix.network().to_u32();
+            let last = prefix.last_addr().to_u32();
+            for bits in [first, last, first.wrapping_sub(1), last.wrapping_add(1)] {
+                assert_same_match(&trie, &lpm, Ipv4Addr::from_u32(bits));
+            }
+        }
+    }
+}
+
+#[test]
+fn frozen_lpm_handles_dense_sibling_host_routes() {
+    // 256 consecutive /32s under one /24 — the worst case for per-bit trie
+    // walks and a dense final-level table for the frozen index.
+    let mut trie: PrefixTrie<u64> = PrefixTrie::new();
+    trie.insert("198.51.100.0/24".parse().unwrap(), 9999);
+    for host in 0..=255u64 {
+        let addr = Ipv4Addr::from_u32((198 << 24) | (51 << 16) | (100 << 8) | host as u32);
+        trie.insert(Prefix::host(addr), host);
+    }
+    let lpm = FrozenLpm::from_trie(&trie);
+    for host in 0..=255u32 {
+        let addr = Ipv4Addr::from_u32((198 << 24) | (51 << 16) | (100 << 8) | host);
+        assert_same_match(&trie, &lpm, addr);
+        assert_eq!(lpm.longest_match(addr).unwrap().1, &u64::from(host));
+    }
+    // A neighbour inside the /24's supernet but outside it entirely.
+    assert_same_match(&trie, &lpm, "198.51.101.0".parse().unwrap());
+}

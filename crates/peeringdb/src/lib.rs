@@ -22,9 +22,7 @@ use serde::{Deserialize, Serialize};
 use rtbh_net::Asn;
 
 /// PeeringDB-style organisation type of a network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OrgType {
     /// Content delivery / hosting / cloud ("Content").
     Content,
@@ -72,9 +70,7 @@ impl fmt::Display for OrgType {
 }
 
 /// PeeringDB-style geographic scope of a network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Scope {
     /// Single metro / country region.
     Regional,
@@ -215,7 +211,12 @@ impl Registry {
                 OrgType::Unknown => Scope::Unknown,
                 _ => Scope::Regional,
             };
-            AsRecord { asn, name: format!("Org-{}", asn.value()), org_type, scope }
+            AsRecord {
+                asn,
+                name: format!("Org-{}", asn.value()),
+                org_type,
+                scope,
+            }
         })
     }
 

@@ -213,7 +213,10 @@ mod tests {
         let visible = c.visible_attack_events as f64 / total;
         assert!((visible - 0.33).abs() < 0.03, "visible share {visible}");
         let anomaly_10min = visible * (1.0 - c.short_attack_share * 0.4);
-        assert!((anomaly_10min - 0.27).abs() < 0.03, "≤10min share {anomaly_10min}");
+        assert!(
+            (anomaly_10min - 0.27).abs() < 0.03,
+            "≤10min share {anomaly_10min}"
+        );
     }
 
     #[test]

@@ -7,16 +7,14 @@ use rand_chacha::ChaCha20Rng;
 
 use rtbh_bgp::{BgpUpdate, UpdateKind, UpdateLog};
 use rtbh_fabric::{Fabric, FlowLog, FlowSample, MemberId, Sampler};
-use rtbh_net::{
-    Asn, Community, Interval, Ipv4Addr, MacAddr, Protocol, TimeDelta, Timestamp,
-};
+use rtbh_net::{Asn, Community, Interval, Ipv4Addr, MacAddr, Protocol, TimeDelta, Timestamp};
 use rtbh_traffic::{PacketDescriptor, Workload};
 
 use crate::config::ScenarioConfig;
-use rtbh_core::corpus::{Corpus, MemberInfo};
 use crate::members::{self, MemberPopulation, PolicyClass};
 use crate::planner::{self, Job, Plan};
 use crate::truth::GroundTruth;
+use rtbh_core::corpus::{Corpus, MemberInfo};
 
 /// The complete output of a scenario run.
 pub struct SimOutput {
@@ -76,14 +74,14 @@ fn control_plane(plan: &Plan, corpus_end: Timestamp) -> UpdateLog {
 /// Runs all traffic jobs, in parallel worker threads, deterministically:
 /// each job has its own ChaCha20 stream and results are concatenated in job
 /// order regardless of completion order.
-fn generate_traffic(
-    jobs: &[Job],
-    sampler: &Sampler,
-    master_seed: u64,
-) -> Vec<PacketDescriptor> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    let results: Vec<parking_lot::Mutex<Vec<PacketDescriptor>>> =
-        (0..jobs.len()).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+fn generate_traffic(jobs: &[Job], sampler: &Sampler, master_seed: u64) -> Vec<PacketDescriptor> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    let results: Vec<parking_lot::Mutex<Vec<PacketDescriptor>>> = (0..jobs.len())
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
     let (tx, rx) = crossbeam::channel::unbounded::<usize>();
     for i in 0..jobs.len() {
         tx.send(i).expect("queue open");
@@ -96,8 +94,7 @@ fn generate_traffic(
             scope.spawn(move || {
                 while let Ok(i) = rx.recv() {
                     let job = &jobs[i];
-                    let mut rng =
-                        ChaCha20Rng::seed_from_u64(mix_seed(master_seed, job.tag));
+                    let mut rng = ChaCha20Rng::seed_from_u64(mix_seed(master_seed, job.tag));
                     let pkts = job.workload.generate(job.window, sampler, &mut rng);
                     *results[i].lock() = pkts;
                 }
@@ -219,8 +216,9 @@ fn internal_flows(
     rng: &mut ChaCha20Rng,
 ) -> (Vec<FlowSample>, Vec<MacAddr>) {
     let device_count = 4u32;
-    let macs: Vec<MacAddr> =
-        (0..device_count).map(|i| MacAddr::from_id(0x00F0_0000 + i)).collect();
+    let macs: Vec<MacAddr> = (0..device_count)
+        .map(|i| MacAddr::from_id(0x00F0_0000 + i))
+        .collect();
     let samples = (0..config.internal_samples)
         .map(|_| {
             let a = rng.gen_range(0..device_count) as usize;
@@ -259,7 +257,14 @@ pub fn run(config: &ScenarioConfig) -> SimOutput {
     let sampler = Sampler::new(config.sampling_rate);
     let descriptors = generate_traffic(&plan.jobs, &sampler, config.seed);
     let clock_offset = TimeDelta::millis(config.clock_offset_ms);
-    let flows = replay(&population, &plan, &updates, &descriptors, clock_offset, corpus_end);
+    let flows = replay(
+        &population,
+        &plan,
+        &updates,
+        &descriptors,
+        clock_offset,
+        corpus_end,
+    );
 
     let mut internal_rng = ChaCha20Rng::seed_from_u64(mix_seed(config.seed, 0x03));
     let (internal, internal_macs) = internal_flows(config, corpus_end, &mut internal_rng);
@@ -281,7 +286,10 @@ pub fn run(config: &ScenarioConfig) -> SimOutput {
     let members_info: Vec<MemberInfo> = population
         .members
         .iter()
-        .map(|m| MemberInfo { asn: m.asn, macs: m.routers.iter().map(|r| r.mac).collect() })
+        .map(|m| MemberInfo {
+            asn: m.asn,
+            macs: m.routers.iter().map(|r| r.mac).collect(),
+        })
         .collect();
 
     let mut routes: Vec<(rtbh_net::Prefix, Asn)> =
@@ -327,7 +335,10 @@ mod tests {
         assert!(!out.corpus.updates.is_empty());
         assert!(!out.corpus.flows.is_empty());
         assert!(out.corpus.updates.blackholes().count() > 0);
-        assert!(out.corpus.flows.dropped().count() > 0, "someone must accept blackholes");
+        assert!(
+            out.corpus.flows.dropped().count() > 0,
+            "someone must accept blackholes"
+        );
     }
 
     #[test]
@@ -396,7 +407,13 @@ mod tests {
             if !matches!(e.kind, EventKind::AttackVisible { .. }) {
                 continue;
             }
-            for f in out.corpus.flows.samples().iter().filter(|f| f.dst_ip == e.victim) {
+            for f in out
+                .corpus
+                .flows
+                .samples()
+                .iter()
+                .filter(|f| f.dst_ip == e.victim)
+            {
                 if f.is_dropped() {
                     dropped += 1;
                 } else {
@@ -437,7 +454,12 @@ mod tests {
     #[test]
     fn zombie_prefixes_have_under_ten_samples() {
         let out = tiny_run();
-        for e in out.truth.events.iter().filter(|e| matches!(e.kind, EventKind::Zombie)) {
+        for e in out
+            .truth
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Zombie))
+        {
             let n = out.corpus.flows.towards(e.prefix).count();
             assert!(n < 10, "zombie {} has {} samples", e.prefix, n);
         }
@@ -453,7 +475,11 @@ mod tests {
             if internal.contains(&f.src_mac) {
                 continue;
             }
-            assert!(map.contains_key(&f.src_mac), "unknown src mac {}", f.src_mac);
+            assert!(
+                map.contains_key(&f.src_mac),
+                "unknown src mac {}",
+                f.src_mac
+            );
             assert!(
                 f.dst_mac.is_blackhole() || map.contains_key(&f.dst_mac),
                 "unknown dst mac {}",

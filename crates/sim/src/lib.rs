@@ -30,7 +30,7 @@ pub mod scoring;
 pub mod truth;
 
 pub use config::ScenarioConfig;
-pub use rtbh_core::corpus::{Corpus, MemberInfo};
 pub use engine::{run, SimOutput};
+pub use rtbh_core::corpus::{Corpus, MemberInfo};
 pub use scoring::{score, Scorecard, TruthLabel};
 pub use truth::{EventKind, GroundTruth, HostProfile, PlannedEvent};

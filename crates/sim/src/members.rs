@@ -140,7 +140,12 @@ pub fn build(config: &ScenarioConfig, rng: &mut ChaCha20Rng) -> MemberPopulation
     }
 
     let route_server = RouteServer::new(ROUTE_SERVER_ASN, members.iter().map(|m| m.asn));
-    MemberPopulation { members, classes, registry, route_server }
+    MemberPopulation {
+        members,
+        classes,
+        registry,
+        route_server,
+    }
 }
 
 #[cfg(test)]
@@ -178,17 +183,26 @@ mod tests {
         let pop = population();
         for asn in pop.asns_of(PolicyClass::Inconsistent) {
             let m = pop.members.iter().find(|m| m.asn == asn).unwrap();
-            let accepts: Vec<bool> =
-                m.routers.iter().map(|r| r.rib.policy().accept_blackhole_32).collect();
-            assert!(accepts.iter().any(|a| *a) && accepts.iter().any(|a| !*a), "{asn}");
+            let accepts: Vec<bool> = m
+                .routers
+                .iter()
+                .map(|r| r.rib.policy().accept_blackhole_32)
+                .collect();
+            assert!(
+                accepts.iter().any(|a| *a) && accepts.iter().any(|a| !*a),
+                "{asn}"
+            );
         }
     }
 
     #[test]
     fn macs_are_unique_and_not_blackhole() {
         let pop = population();
-        let mut macs: Vec<MacAddr> =
-            pop.members.iter().flat_map(|m| m.routers.iter().map(|r| r.mac)).collect();
+        let mut macs: Vec<MacAddr> = pop
+            .members
+            .iter()
+            .flat_map(|m| m.routers.iter().map(|r| r.mac))
+            .collect();
         let total = macs.len();
         macs.sort();
         macs.dedup();

@@ -14,15 +14,14 @@ use rand_chacha::ChaCha20Rng;
 
 use rtbh_fabric::MemberId;
 use rtbh_net::{
-    AmplificationProtocol, Asn, Interval, Ipv4Addr, Prefix, Protocol, Service, TimeDelta,
-    Timestamp,
+    AmplificationProtocol, Asn, Interval, Ipv4Addr, Prefix, Protocol, Service, TimeDelta, Timestamp,
 };
 use rtbh_peeringdb::OrgType;
-use rtbh_traffic::{
-    AmplificationAttack, AnyWorkload, AttackEnvelope, ClientWorkload, DiurnalRate,
-    RandomPortFlood, ScanNoise, ServerWorkload, SourcePool, SourceSpec, SynFlood,
-};
 use rtbh_traffic::pool::{AmplifierPool, AmplifierPoolSpec};
+use rtbh_traffic::{
+    AmplificationAttack, AnyWorkload, AttackEnvelope, ClientWorkload, DiurnalRate, RandomPortFlood,
+    ScanNoise, ServerWorkload, SourcePool, SourceSpec, SynFlood,
+};
 
 use crate::config::ScenarioConfig;
 use crate::members::{MemberPopulation, PolicyClass};
@@ -93,13 +92,22 @@ struct VictimSpace {
 
 impl VictimSpace {
     fn new(origins: Vec<(Asn, MemberId, OrgType)>, trigger_members: Vec<MemberId>) -> Self {
-        assert!(origins.len() <= 256, "victim space supports at most 256 origins");
+        assert!(
+            origins.len() <= 256,
+            "victim space supports at most 256 origins"
+        );
         let cursors = vec![0; origins.len()];
         let mut buckets: std::collections::BTreeMap<OrgType, Vec<usize>> = Default::default();
         for (i, (_, _, t)) in origins.iter().enumerate() {
             buckets.entry(*t).or_default().push(i);
         }
-        Self { origins, cursors, buckets, next_customer: 2001, trigger_members }
+        Self {
+            origins,
+            cursors,
+            buckets,
+            next_customer: 2001,
+            trigger_members,
+        }
     }
 
     /// An origin of the wanted type: usually reuses an existing one, grows a
@@ -270,9 +278,7 @@ fn mitigation_spans<R: Rng>(
     corpus_end: Timestamp,
     rng: &mut R,
 ) -> Vec<Interval> {
-    let end_target = (condition_end
-        + TimeDelta::minutes(rng.gen_range(5..=90)))
-    .min(corpus_end);
+    let end_target = (condition_end + TimeDelta::minutes(rng.gen_range(5..=90))).min(corpus_end);
     let mut spans = Vec::new();
     let mut t = start;
     while spans.len() < 60 {
@@ -294,7 +300,10 @@ fn mitigation_spans<R: Rng>(
         }
     }
     if spans.is_empty() {
-        spans.push(Interval::new(start, (start + TimeDelta::minutes(15)).min(corpus_end)));
+        spans.push(Interval::new(
+            start,
+            (start + TimeDelta::minutes(15)).min(corpus_end),
+        ));
     }
     spans
 }
@@ -341,11 +350,7 @@ impl<'a> Planner<'a> {
         ids
     }
 
-    fn new(
-        config: &'a ScenarioConfig,
-        population: &'a MemberPopulation,
-        rng: ChaCha20Rng,
-    ) -> Self {
+    fn new(config: &'a ScenarioConfig, population: &'a MemberPopulation, rng: ChaCha20Rng) -> Self {
         let corpus_end = Timestamp::EPOCH + TimeDelta::days(config.days as i64);
         let mut planner = Self {
             config,
@@ -413,17 +418,14 @@ impl<'a> Planner<'a> {
         // Eyeball client populations: prefer Cable/DSL/ISP members. Their
         // blocks are seeded as regular routes so responses towards clients
         // cross the fabric instead of being unroutable.
-        let eyeball_ids =
-            self.member_ids_of_type(&[OrgType::CableDslIsp], 24.min(members.len()));
+        let eyeball_ids = self.member_ids_of_type(&[OrgType::CableDslIsp], 24.min(members.len()));
         let eyeball_specs: Vec<SourceSpec> = eyeball_ids
             .iter()
             .enumerate()
             .map(|(i, id)| SourceSpec {
                 handover: members[id.0 as usize].asn,
                 prefix: Prefix::new(
-                    Ipv4Addr::from_u32(
-                        Ipv4Addr::new(100, 64, 0, 0).to_u32() + ((i as u32) << 14),
-                    ),
+                    Ipv4Addr::from_u32(Ipv4Addr::new(100, 64, 0, 0).to_u32() + ((i as u32) << 14)),
                     18,
                 )
                 .expect("len 18"),
@@ -474,10 +476,7 @@ impl<'a> Planner<'a> {
         // carriers — reflector hosting is fragmented, which is what keeps
         // per-carrier attack participation low (Fig. 15: the top handover AS
         // joins ~62% of attacks, most join under 10%).
-        let mut carriers: Vec<Asn> = members
-            .iter()
-            .map(|m| m.asn)
-            .collect();
+        let mut carriers: Vec<Asn> = members.iter().map(|m| m.asn).collect();
         carriers.shuffle(&mut self.rng);
         let carrier_count = (carriers.len() * 3 / 5).max(2);
         carriers.truncate(carrier_count);
@@ -668,7 +667,11 @@ impl<'a> Planner<'a> {
             };
             for window in windows {
                 let tag = self.next_tag();
-                self.jobs.push(Job { tag, workload: workload.clone().into(), window });
+                self.jobs.push(Job {
+                    tag,
+                    workload: workload.clone().into(),
+                    window,
+                });
             }
         } else {
             let services = match self.rng.gen_range(0..3) {
@@ -691,7 +694,11 @@ impl<'a> Planner<'a> {
             };
             for window in windows {
                 let tag = self.next_tag();
-                self.jobs.push(Job { tag, workload: workload.clone().into(), window });
+                self.jobs.push(Job {
+                    tag,
+                    workload: workload.clone().into(),
+                    window,
+                });
             }
         }
     }
@@ -724,10 +731,8 @@ impl<'a> Planner<'a> {
             25..=31 => 0.01,
             _ => 0.08,
         };
-        let peak_pps =
-            (lognormal(2000.0, 1.0, &mut self.rng) * rate_scale).clamp(60.0, 60_000.0);
-        let duration_min =
-            lognormal(150.0, 0.8, &mut self.rng).clamp(10.0, 720.0) as i64;
+        let peak_pps = (lognormal(2000.0, 1.0, &mut self.rng) * rate_scale).clamp(60.0, 60_000.0);
+        let duration_min = lognormal(150.0, 0.8, &mut self.rng).clamp(10.0, 720.0) as i64;
         let short = self.rng.gen_bool(self.config.short_attack_share);
         let attack_start = start;
         // Reaction delay: mostly automatic within minutes (Fig. 12).
@@ -799,8 +804,11 @@ impl<'a> Planner<'a> {
             }
             let drawn = self.pool.draw_attack_set(&mut self.rng);
             let amplifiers = self.maybe_concentrate(drawn);
-            let fragment_share =
-                if self.rng.gen_bool(0.12) { self.rng.gen_range(0.04..0.10) } else { 0.0 };
+            let fragment_share = if self.rng.gen_bool(0.12) {
+                self.rng.gen_range(0.04..0.10)
+            } else {
+                0.0
+            };
             (
                 AmplificationAttack {
                     victim,
@@ -815,7 +823,11 @@ impl<'a> Planner<'a> {
             )
         };
         let tag = self.next_tag();
-        self.jobs.push(Job { tag, workload: workload.clone(), window: attack_window });
+        self.jobs.push(Job {
+            tag,
+            workload: workload.clone(),
+            window: attack_window,
+        });
 
         // Real floods fluctuate: when the reaction takes a while, the
         // opening salvo is often the strongest slot of the pre-RTBH window,
@@ -829,13 +841,9 @@ impl<'a> Planner<'a> {
                 let onset_room = delay >= TimeDelta::minutes(5);
                 let (burst_start, burst_end) = if onset_room {
                     (attack_window.start, rtbh_start - TimeDelta::minutes(6))
-                } else if span > TimeDelta::minutes(30).as_millis()
-                    && self.rng.gen_bool(0.45)
-                {
+                } else if span > TimeDelta::minutes(30).as_millis() && self.rng.gen_bool(0.45) {
                     let start = attack_window.start
-                        + TimeDelta::millis(
-                            (span as f64 * self.rng.gen_range(0.05..0.5)) as i64,
-                        );
+                        + TimeDelta::millis((span as f64 * self.rng.gen_range(0.05..0.5)) as i64);
                     let end = (start + TimeDelta::minutes(self.rng.gen_range(3..15)))
                         .min(attack_window.end);
                     (start, end)
@@ -845,8 +853,7 @@ impl<'a> Planner<'a> {
                 if burst_start < burst_end {
                     let mut burst = base.clone();
                     burst.attack_window = Interval::new(burst_start, burst_end);
-                    burst.envelope =
-                        AttackEnvelope::flat(peak_pps * self.rng.gen_range(3.0..5.5));
+                    burst.envelope = AttackEnvelope::flat(peak_pps * self.rng.gen_range(3.0..5.5));
                     let tag = self.next_tag();
                     self.jobs.push(Job {
                         tag,
@@ -896,7 +903,10 @@ impl<'a> Planner<'a> {
             .iter()
             .zip(&self.population.classes)
             .map(|(m, c)| {
-                (m.asn, matches!(c, PolicyClass::Accepting | PolicyClass::Full))
+                (
+                    m.asn,
+                    matches!(c, PolicyClass::Accepting | PolicyClass::Full),
+                )
             })
             .collect();
         let want_accepting = self.rng.gen_bool(0.62);
@@ -916,14 +926,16 @@ impl<'a> Planner<'a> {
         }
         let pick = self.rng.gen_range(0..matching_origins.len());
         let dominant = matching_origins[pick];
-        let mut dominant_pool: Vec<rtbh_traffic::Amplifier> =
-            amplifiers.iter().filter(|a| a.origin == dominant).copied().collect();
+        let mut dominant_pool: Vec<rtbh_traffic::Amplifier> = amplifiers
+            .iter()
+            .filter(|a| a.origin == dominant)
+            .copied()
+            .collect();
         if want_accepting && !self.accept_mega.is_empty() {
             // Re-home the dominant pool onto one accepting mega-carrier
             // (origins are frequently multihomed; the mega carries this
             // attack's reflected volume).
-            let mega =
-                self.accept_mega[self.rng.gen_range(0..self.accept_mega.len())];
+            let mega = self.accept_mega[self.rng.gen_range(0..self.accept_mega.len())];
             for a in &mut dominant_pool {
                 a.handover = mega;
             }
@@ -939,7 +951,10 @@ impl<'a> Planner<'a> {
             out.push(dominant_pool[i % dominant_pool.len()]);
         }
         out.extend(
-            amplifiers.iter().filter(|a| a.origin != dominant).take(total - dominant_count),
+            amplifiers
+                .iter()
+                .filter(|a| a.origin != dominant)
+                .take(total - dominant_count),
         );
         out
     }
@@ -1031,22 +1046,22 @@ impl<'a> Planner<'a> {
         // deviation: long-lived blackholes announced during the targeted
         // phase with large distribution block-lists, withdrawn at its end.
         let batch = if self.config.targeted_phase.is_some() {
-            (self.config.invisible_events / 90).clamp(2, 8).min(self.config.invisible_events)
+            (self.config.invisible_events / 90)
+                .clamp(2, 8)
+                .min(self.config.invisible_events)
         } else {
             0
         };
         if let Some((phase_start, phase_end)) = self.config.targeted_phase {
             let member_asns = self.population.member_asns();
             for _ in 0..batch {
-                let (origin_idx, _block, victim) =
-                    self.victim_block_for(HostProfile::Silent);
+                let (origin_idx, _block, victim) = self.victim_block_for(HostProfile::Silent);
                 let (origin, member, _) = self.space.origins[origin_idx];
                 let trigger_peer = self.population.members[member.0 as usize].asn;
                 let start = Timestamp::EPOCH
                     + TimeDelta::days(phase_start as i64)
                     + TimeDelta::minutes(self.rng.gen_range(0..2880));
-                let end = (Timestamp::EPOCH
-                    + TimeDelta::days(phase_end as i64 + 1)
+                let end = (Timestamp::EPOCH + TimeDelta::days(phase_end as i64 + 1)
                     - TimeDelta::minutes(self.rng.gen_range(0..1440)))
                 .min(self.corpus_end);
                 if start >= end {
@@ -1156,8 +1171,7 @@ impl<'a> Planner<'a> {
                 self.seeds.push((block, origin, member));
                 let len = self.rng.gen_range(22..=24);
                 let prefix = Prefix::new(block.network(), len).expect("len ok");
-                let start = Timestamp::EPOCH
-                    + TimeDelta::hours(self.rng.gen_range(1..120));
+                let start = Timestamp::EPOCH + TimeDelta::hours(self.rng.gen_range(1..120));
                 let spans = vec![Interval::new(start, self.corpus_end)];
                 let noise = ScanNoise {
                     target: prefix,
@@ -1228,7 +1242,11 @@ impl<'a> Planner<'a> {
                 fragment_share: 0.0,
             };
             let tag = self.next_tag();
-            self.jobs.push(Job { tag, workload: attack.into(), window });
+            self.jobs.push(Job {
+                tag,
+                workload: attack.into(),
+                window,
+            });
             // Installed at every accepting member: the drop is near-total on
             // the paths that would otherwise deliver.
             self.bilateral.push(BilateralSpec {
@@ -1243,8 +1261,12 @@ impl<'a> Planner<'a> {
     fn finish(self) -> Plan {
         let mut events = self.events;
         events.sort_by_key(|e| (e.first_announce(), e.id));
-        let origin_types =
-            self.space.origins.iter().map(|(asn, _, t)| (*asn, *t)).collect();
+        let origin_types = self
+            .space
+            .origins
+            .iter()
+            .map(|(asn, _, t)| (*asn, *t))
+            .collect();
         // Route-table snapshot: amplifier space plus chaff ASes that never
         // participate in anything (the paper: only 17% of advertised ASes
         // ever appear as attack origins).
@@ -1269,11 +1291,7 @@ impl<'a> Planner<'a> {
 }
 
 /// Plans a full scenario.
-pub fn plan(
-    config: &ScenarioConfig,
-    population: &MemberPopulation,
-    rng: ChaCha20Rng,
-) -> Plan {
+pub fn plan(config: &ScenarioConfig, population: &MemberPopulation, rng: ChaCha20Rng) -> Plan {
     let mut planner = Planner::new(config, population, rng);
     planner.plan_visible_attacks();
     planner.plan_constant_events();
@@ -1294,7 +1312,11 @@ mod tests {
         let config = ScenarioConfig::tiny();
         let mut rng = ChaCha20Rng::seed_from_u64(config.seed);
         let population = members::build(&config, &mut rng);
-        let plan = plan(&config, &population, ChaCha20Rng::seed_from_u64(config.seed ^ 1));
+        let plan = plan(
+            &config,
+            &population,
+            ChaCha20Rng::seed_from_u64(config.seed ^ 1),
+        );
         (config, plan)
     }
 
@@ -1308,8 +1330,11 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::AttackVisible { .. }))
             .count();
         assert_eq!(visible as u32, config.visible_attack_events);
-        let zombies =
-            plan.events.iter().filter(|e| matches!(e.kind, EventKind::Zombie)).count();
+        let zombies = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Zombie))
+            .count();
         assert_eq!(zombies as u32, config.zombie_events);
     }
 
@@ -1333,7 +1358,11 @@ mod tests {
     fn zombies_never_withdraw() {
         let (config, plan) = make_plan();
         let end = Timestamp::EPOCH + TimeDelta::days(config.days as i64);
-        for e in plan.events.iter().filter(|e| matches!(e.kind, EventKind::Zombie)) {
+        for e in plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Zombie))
+        {
             assert_eq!(e.announcement_spans.len(), 1);
             assert_eq!(e.announcement_spans[0].end, end);
         }
@@ -1343,8 +1372,11 @@ mod tests {
     fn squatting_prefixes_are_le_24_and_long_lived() {
         let (config, plan) = make_plan();
         let end = Timestamp::EPOCH + TimeDelta::days(config.days as i64);
-        let squats: Vec<_> =
-            plan.events.iter().filter(|e| matches!(e.kind, EventKind::Squatting)).collect();
+        let squats: Vec<_> = plan
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Squatting))
+            .collect();
         assert_eq!(squats.len() as u32, config.squatting.1);
         for e in squats {
             assert!(e.prefix.len() <= 24, "{}", e.prefix);
@@ -1374,8 +1406,9 @@ mod tests {
         let (_config, plan) = make_plan();
         for e in &plan.events {
             assert!(
-                plan.seeds.iter().any(|(block, _, _)| block.covers(e.prefix)
-                    || e.prefix.covers(*block)),
+                plan.seeds
+                    .iter()
+                    .any(|(block, _, _)| block.covers(e.prefix) || e.prefix.covers(*block)),
                 "event {} prefix {} not covered by any seed",
                 e.id,
                 e.prefix

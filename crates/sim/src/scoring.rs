@@ -75,7 +75,10 @@ pub fn match_events(
                 .min_by_key(|e| (e.start() - planted.first_announce()).abs().as_millis())
                 .filter(|e| (e.start() - planted.first_announce()).abs() <= slack)
                 .map(|e| e.id);
-            MatchedEvent { truth_idx, inferred_id }
+            MatchedEvent {
+                truth_idx,
+                inferred_id,
+            }
         })
         .collect()
 }
@@ -154,10 +157,21 @@ pub fn score(
     let event_recall = matched as f64 / truth.events.len().max(1) as f64;
     let event_inflation = inferred.len() as f64 / truth.events.len().max(1) as f64;
 
-    let mut anomaly = DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
-    let mut zombie = DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
-    let mut squatting =
-        DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
+    let mut anomaly = DetectionScore {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+    };
+    let mut zombie = DetectionScore {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+    };
+    let mut squatting = DetectionScore {
+        true_positives: 0,
+        false_positives: 0,
+        false_negatives: 0,
+    };
     let mut confusion: BTreeMap<(TruthLabel, UseCase), usize> = BTreeMap::new();
 
     for m in &matches {
@@ -176,8 +190,7 @@ pub fn score(
             continue;
         };
         let pre = &preevents.per_event[id];
-        let flagged = pre.class == PreClass::DataAnomaly
-            || pre.anomaly_within(TimeDelta::hours(1));
+        let flagged = pre.class == PreClass::DataAnomaly || pre.anomaly_within(TimeDelta::hours(1));
         match (label, flagged) {
             (TruthLabel::VisibleAttack, true) => anomaly.true_positives += 1,
             (TruthLabel::VisibleAttack, false) => anomaly.false_negatives += 1,
@@ -192,7 +205,10 @@ pub fn score(
             (false, true) => zombie.false_positives += 1,
             (false, false) => {}
         }
-        match (label == TruthLabel::Squatting, verdict == UseCase::SquattingProtection) {
+        match (
+            label == TruthLabel::Squatting,
+            verdict == UseCase::SquattingProtection,
+        ) {
             (true, true) => squatting.true_positives += 1,
             (true, false) => squatting.false_negatives += 1,
             (false, true) => squatting.false_positives += 1,
@@ -200,7 +216,14 @@ pub fn score(
         }
     }
 
-    Scorecard { event_recall, event_inflation, anomaly, zombie, squatting, confusion }
+    Scorecard {
+        event_recall,
+        event_inflation,
+        anomaly,
+        zombie,
+        squatting,
+        confusion,
+    }
 }
 
 #[cfg(test)]
@@ -220,11 +243,19 @@ mod tests {
 
     #[test]
     fn detection_score_arithmetic() {
-        let s = DetectionScore { true_positives: 8, false_positives: 2, false_negatives: 2 };
+        let s = DetectionScore {
+            true_positives: 8,
+            false_positives: 2,
+            false_negatives: 2,
+        };
         assert!((s.precision() - 0.8).abs() < 1e-12);
         assert!((s.recall() - 0.8).abs() < 1e-12);
         assert!((s.f1() - 0.8).abs() < 1e-12);
-        let empty = DetectionScore { true_positives: 0, false_positives: 0, false_negatives: 0 };
+        let empty = DetectionScore {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: 0,
+        };
         assert_eq!(empty.precision(), 1.0);
         assert_eq!(empty.recall(), 1.0);
     }
@@ -232,16 +263,36 @@ mod tests {
     #[test]
     fn tiny_scenario_scores_well() {
         let card = scorecard();
-        assert!(card.event_recall > 0.95, "event recall {}", card.event_recall);
+        assert!(
+            card.event_recall > 0.95,
+            "event recall {}",
+            card.event_recall
+        );
         assert!(
             (card.event_inflation - 1.0).abs() < 0.25,
             "inflation {}",
             card.event_inflation
         );
-        assert!(card.anomaly.recall() > 0.6, "anomaly recall {}", card.anomaly.recall());
-        assert!(card.anomaly.precision() > 0.7, "anomaly precision {}", card.anomaly.precision());
-        assert!(card.zombie.recall() > 0.6, "zombie recall {}", card.zombie.recall());
-        assert!(card.squatting.recall() > 0.6, "squatting recall {}", card.squatting.recall());
+        assert!(
+            card.anomaly.recall() > 0.6,
+            "anomaly recall {}",
+            card.anomaly.recall()
+        );
+        assert!(
+            card.anomaly.precision() > 0.7,
+            "anomaly precision {}",
+            card.anomaly.precision()
+        );
+        assert!(
+            card.zombie.recall() > 0.6,
+            "zombie recall {}",
+            card.zombie.recall()
+        );
+        assert!(
+            card.squatting.recall() > 0.6,
+            "squatting recall {}",
+            card.squatting.recall()
+        );
     }
 
     #[test]
@@ -261,6 +312,9 @@ mod tests {
             .filter(|((l, _), _)| *l == TruthLabel::VisibleAttack)
             .map(|(_, c)| *c)
             .sum();
-        assert!(vi * 2 > v_total, "infra-protection must dominate visible attacks");
+        assert!(
+            vi * 2 > v_total,
+            "infra-protection must dominate visible attacks"
+        );
     }
 }

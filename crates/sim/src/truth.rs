@@ -73,7 +73,10 @@ pub struct PlannedEvent {
 impl PlannedEvent {
     /// First announcement instant.
     pub fn first_announce(&self) -> rtbh_net::Timestamp {
-        self.announcement_spans.first().expect("event has spans").start
+        self.announcement_spans
+            .first()
+            .expect("event has spans")
+            .start
     }
 
     /// End of the last span.
@@ -119,12 +122,14 @@ impl GroundTruth {
 
     /// Count of visible-attack events.
     pub fn visible_attack_count(&self) -> usize {
-        self.events_where(|k| matches!(k, EventKind::AttackVisible { .. })).count()
+        self.events_where(|k| matches!(k, EventKind::AttackVisible { .. }))
+            .count()
     }
 
     /// Count of zombie events.
     pub fn zombie_count(&self) -> usize {
-        self.events_where(|k| matches!(k, EventKind::Zombie)).count()
+        self.events_where(|k| matches!(k, EventKind::Zombie))
+            .count()
     }
 }
 

@@ -30,7 +30,10 @@ pub struct EwmaConfig {
 
 impl EwmaConfig {
     /// The paper's configuration: 288-slot window, 2.5·SD threshold.
-    pub const PAPER: Self = Self { span: 288, threshold_sd: 2.5 };
+    pub const PAPER: Self = Self {
+        span: 288,
+        threshold_sd: 2.5,
+    };
 
     /// The decay parameter `α = 2/(s+1)`.
     pub fn alpha(&self) -> f64 {
@@ -176,10 +179,13 @@ impl EwmaDetector {
         });
         // Decay all existing weights by β, evict the oldest if warm, admit
         // the new value at weight β^0 = 1.
-        let evicted = if self.is_warm() { self.window[self.head] } else { 0.0 };
+        let evicted = if self.is_warm() {
+            self.window[self.head]
+        } else {
+            0.0
+        };
         self.sum = self.beta * self.sum + value - self.beta_span * evicted;
-        self.sum_sq =
-            self.beta * self.sum_sq + value * value - self.beta_span * evicted * evicted;
+        self.sum_sq = self.beta * self.sum_sq + value * value - self.beta_span * evicted * evicted;
         self.window[self.head] = value;
         self.head = (self.head + 1) % self.config.span;
         if self.filled < self.config.span {
@@ -210,7 +216,10 @@ mod tests {
     use super::*;
 
     fn cfg(span: usize) -> EwmaConfig {
-        EwmaConfig { span, threshold_sd: 2.5 }
+        EwmaConfig {
+            span,
+            threshold_sd: 2.5,
+        }
     }
 
     #[test]
@@ -255,11 +264,15 @@ mod tests {
     #[test]
     fn noisy_but_stationary_series_rarely_flags() {
         // Deterministic pseudo-noise in [9, 11].
-        let series: Vec<f64> =
-            (0..600).map(|i| 10.0 + ((i * 37 % 21) as f64 - 10.0) / 10.0).collect();
+        let series: Vec<f64> = (0..600)
+            .map(|i| 10.0 + ((i * 37 % 21) as f64 - 10.0) / 10.0)
+            .collect();
         let verdicts = detect_series(EwmaConfig::PAPER, &series);
         let anomalies = verdicts.iter().flatten().filter(|v| v.is_anomaly).count();
-        assert_eq!(anomalies, 0, "stationary bounded noise must not trip 2.5 SD");
+        assert_eq!(
+            anomalies, 0,
+            "stationary bounded noise must not trip 2.5 SD"
+        );
     }
 
     #[test]
@@ -282,7 +295,9 @@ mod tests {
         // evaluation of y_t = Σ wᵢ·x_{t−i} / Σ wᵢ with wᵢ = (1−α)^i.
         let span = 6;
         let alpha: f64 = 2.0 / (span as f64 + 1.0);
-        let series: Vec<f64> = (0..40).map(|i| ((i * 13 % 7) as f64) + 0.25 * i as f64).collect();
+        let series: Vec<f64> = (0..40)
+            .map(|i| ((i * 13 % 7) as f64) + 0.25 * i as f64)
+            .collect();
         let mut det = EwmaDetector::new(cfg(span));
         for (t, &x) in series.iter().enumerate() {
             det.push(x);
@@ -290,19 +305,18 @@ mod tests {
                 assert!(det.stats().is_none());
                 continue;
             }
-            let weights: Vec<f64> =
-                (0..span).map(|i| (1.0 - alpha).powi(i as i32)).collect();
+            let weights: Vec<f64> = (0..span).map(|i| (1.0 - alpha).powi(i as i32)).collect();
             let wsum: f64 = weights.iter().sum();
-            let mean_naive: f64 = (0..span)
-                .map(|i| weights[i] * series[t - i])
-                .sum::<f64>()
-                / wsum;
+            let mean_naive: f64 = (0..span).map(|i| weights[i] * series[t - i]).sum::<f64>() / wsum;
             let var_naive: f64 = (0..span)
                 .map(|i| weights[i] * (series[t - i] - mean_naive).powi(2))
                 .sum::<f64>()
                 / wsum;
             let (mean, sd) = det.stats().unwrap();
-            assert!((mean - mean_naive).abs() < 1e-9, "t={t}: {mean} vs {mean_naive}");
+            assert!(
+                (mean - mean_naive).abs() < 1e-9,
+                "t={t}: {mean} vs {mean_naive}"
+            );
             assert!((sd - var_naive.sqrt()).abs() < 1e-9, "t={t}");
         }
     }
@@ -327,8 +341,20 @@ mod tests {
             series[i] += ((i % 3) as f64) - 1.0;
         }
         series.push(16.0);
-        let loose = detect_series(EwmaConfig { span: 16, threshold_sd: 2.5 }, &series);
-        let strict = detect_series(EwmaConfig { span: 16, threshold_sd: 10.0 }, &series);
+        let loose = detect_series(
+            EwmaConfig {
+                span: 16,
+                threshold_sd: 2.5,
+            },
+            &series,
+        );
+        let strict = detect_series(
+            EwmaConfig {
+                span: 16,
+                threshold_sd: 10.0,
+            },
+            &series,
+        );
         let loose_hit = loose.last().unwrap().unwrap().is_anomaly;
         let strict_hit = strict.last().unwrap().unwrap().is_anomaly;
         assert!(loose_hit);

@@ -25,8 +25,17 @@ impl Histogram {
     /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid bounds");
-        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid bounds"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds one observation.
@@ -36,8 +45,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64)
-                as usize;
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
             let last = self.counts.len() - 1;
             self.counts[idx.min(last)] += 1;
         }
@@ -54,7 +62,13 @@ impl Histogram {
         self.counts
             .iter()
             .enumerate()
-            .map(|(i, &c)| (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width, c))
+            .map(|(i, &c)| {
+                (
+                    self.lo + i as f64 * width,
+                    self.lo + (i + 1) as f64 * width,
+                    c,
+                )
+            })
             .collect()
     }
 

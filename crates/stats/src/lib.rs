@@ -30,7 +30,7 @@ pub mod topk;
 pub use ewma::{EwmaConfig, EwmaDetector, EwmaVerdict};
 pub use histogram::{Histogram, LogHistogram};
 pub use moments::Moments;
-pub use offset::{offset_scan, OffsetScan};
+pub use offset::{offset_scan, offset_scan_with_workers, OffsetScan};
 pub use quantile::{quantile, Ecdf};
 pub use radviz::{radviz_project, RadvizPoint};
 pub use topk::top_k_by;

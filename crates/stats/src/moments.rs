@@ -34,7 +34,13 @@ impl Default for Moments {
 impl Moments {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -59,8 +65,7 @@ impl Moments {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -73,17 +78,29 @@ impl Moments {
 
     /// Arithmetic mean (0 for an empty accumulator).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance (divides by `n`).
     pub fn population_variance(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.m2 / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
     }
 
     /// Sample variance (divides by `n − 1`; 0 when fewer than 2 samples).
     pub fn sample_variance(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { self.m2 / (self.count - 1) as f64 }
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
     }
 
     /// Population standard deviation.
@@ -143,7 +160,9 @@ mod tests {
 
     #[test]
     fn textbook_variance() {
-        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((m.mean() - 5.0).abs() < 1e-12);
         assert!((m.population_variance() - 4.0).abs() < 1e-12);
         assert!((m.population_sd() - 2.0).abs() < 1e-12);

@@ -70,16 +70,56 @@ pub fn offset_scan(
     half_range: TimeDelta,
     step: TimeDelta,
 ) -> Option<OffsetScan> {
+    offset_scan_with_workers(samples, half_range, step, 1)
+}
+
+/// [`offset_scan`] with the grid evaluated on `workers` scoped threads.
+///
+/// The grid is split into contiguous chunks of candidate offsets, one per
+/// worker; each point is evaluated exactly as in the sequential scan and the
+/// per-chunk curves are concatenated in grid order, so the result — curve,
+/// floats and argmax included — is identical for every worker count.
+pub fn offset_scan_with_workers(
+    samples: &[ExplainableSample<'_>],
+    half_range: TimeDelta,
+    step: TimeDelta,
+    workers: usize,
+) -> Option<OffsetScan> {
     if samples.is_empty() || step.as_millis() <= 0 || half_range.as_millis() < 0 {
         return None;
     }
-    let mut curve = Vec::new();
+    let mut grid = Vec::new();
     let mut offset = TimeDelta::millis(-half_range.as_millis());
     while offset.as_millis() <= half_range.as_millis() {
-        let explained = samples.iter().filter(|s| s.explained_with(offset)).count();
-        curve.push(OffsetPoint { offset, overlap: explained as f64 / samples.len() as f64 });
+        grid.push(offset);
         offset += step;
     }
+    let point = |offset: TimeDelta| {
+        let explained = samples.iter().filter(|s| s.explained_with(offset)).count();
+        OffsetPoint {
+            offset,
+            overlap: explained as f64 / samples.len() as f64,
+        }
+    };
+    let workers = workers.max(1).min(grid.len());
+    let curve: Vec<OffsetPoint> = if workers <= 1 {
+        grid.iter().map(|&o| point(o)).collect()
+    } else {
+        let chunk_len = grid.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = grid
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let point = &point;
+                    s.spawn(move || chunk.iter().map(|&o| point(o)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("offset-scan chunk panicked"))
+                .collect()
+        })
+    };
     // Ties break towards the smallest |offset|: recorders are NTP-synced,
     // so near-zero skew is the sensible prior on a flat plateau.
     let best = *curve.iter().max_by(|a, b| {
@@ -96,14 +136,20 @@ mod tests {
     use super::*;
 
     fn iv(start_ms: i64, end_ms: i64) -> Interval {
-        Interval::new(Timestamp::from_millis(start_ms), Timestamp::from_millis(end_ms))
+        Interval::new(
+            Timestamp::from_millis(start_ms),
+            Timestamp::from_millis(end_ms),
+        )
     }
 
     #[test]
     fn empty_inputs_give_none() {
         assert!(offset_scan(&[], TimeDelta::seconds(1), TimeDelta::millis(10)).is_none());
         let intervals = [iv(0, 100)];
-        let samples = [ExplainableSample { at: Timestamp::from_millis(50), intervals: &intervals }];
+        let samples = [ExplainableSample {
+            at: Timestamp::from_millis(50),
+            intervals: &intervals,
+        }];
         assert!(offset_scan(&samples, TimeDelta::seconds(1), TimeDelta::ZERO).is_none());
     }
 
@@ -119,14 +165,18 @@ mod tests {
             .chain((0..200).map(|i| 5000 + i * 20)) // true capture in [5000, 9000)
             .chain([1999, 8999]) // edge samples pin the offset uniquely
             .collect();
-        let stamped: Vec<Timestamp> =
-            sample_times.iter().map(|t| Timestamp::from_millis(t + true_offset)).collect();
+        let stamped: Vec<Timestamp> = sample_times
+            .iter()
+            .map(|t| Timestamp::from_millis(t + true_offset))
+            .collect();
         let samples: Vec<ExplainableSample<'_>> = stamped
             .iter()
-            .map(|&at| ExplainableSample { at, intervals: &intervals })
+            .map(|&at| ExplainableSample {
+                at,
+                intervals: &intervals,
+            })
             .collect();
-        let scan =
-            offset_scan(&samples, TimeDelta::millis(200), TimeDelta::millis(10)).unwrap();
+        let scan = offset_scan(&samples, TimeDelta::millis(200), TimeDelta::millis(10)).unwrap();
         assert_eq!(scan.best.offset, TimeDelta::millis(40));
         assert!(scan.best.overlap > 0.99);
     }
@@ -134,7 +184,10 @@ mod tests {
     #[test]
     fn curve_covers_symmetric_grid() {
         let intervals = [iv(0, 1000)];
-        let samples = [ExplainableSample { at: Timestamp::from_millis(500), intervals: &intervals }];
+        let samples = [ExplainableSample {
+            at: Timestamp::from_millis(500),
+            intervals: &intervals,
+        }];
         let scan = offset_scan(&samples, TimeDelta::millis(30), TimeDelta::millis(10)).unwrap();
         let offsets: Vec<i64> = scan.curve.iter().map(|p| p.offset.as_millis()).collect();
         assert_eq!(offsets, vec![-30, -20, -10, 0, 10, 20, 30]);
@@ -145,17 +198,49 @@ mod tests {
         let intervals = [iv(0, 100)];
         let no_intervals: [Interval; 0] = [];
         let samples = [
-            ExplainableSample { at: Timestamp::from_millis(50), intervals: &intervals },
-            ExplainableSample { at: Timestamp::from_millis(50), intervals: &no_intervals },
+            ExplainableSample {
+                at: Timestamp::from_millis(50),
+                intervals: &intervals,
+            },
+            ExplainableSample {
+                at: Timestamp::from_millis(50),
+                intervals: &no_intervals,
+            },
         ];
         let scan = offset_scan(&samples, TimeDelta::ZERO, TimeDelta::millis(1)).unwrap();
         assert_eq!(scan.best.overlap, 0.5);
     }
 
     #[test]
+    fn worker_count_does_not_change_the_scan() {
+        let intervals = [iv(1000, 2000), iv(5000, 9000)];
+        let samples: Vec<ExplainableSample<'_>> = (0..500)
+            .map(|i| ExplainableSample {
+                at: Timestamp::from_millis(900 + i * 17),
+                intervals: &intervals,
+            })
+            .collect();
+        let reference =
+            offset_scan(&samples, TimeDelta::millis(200), TimeDelta::millis(10)).unwrap();
+        for workers in [2, 3, 8, 64] {
+            let parallel = offset_scan_with_workers(
+                &samples,
+                TimeDelta::millis(200),
+                TimeDelta::millis(10),
+                workers,
+            )
+            .unwrap();
+            assert_eq!(parallel, reference, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
     fn binary_search_respects_half_open_bounds() {
         let intervals = [iv(100, 200)];
-        let mk = |ms| ExplainableSample { at: Timestamp::from_millis(ms), intervals: &intervals };
+        let mk = |ms| ExplainableSample {
+            at: Timestamp::from_millis(ms),
+            intervals: &intervals,
+        };
         for (t, inside) in [(99, false), (100, true), (199, true), (200, false)] {
             let s = [mk(t)];
             let scan = offset_scan(&s, TimeDelta::ZERO, TimeDelta::millis(1)).unwrap();

@@ -109,7 +109,11 @@ impl Ecdf {
         }
         (0..n)
             .map(|i| {
-                let q = if n == 1 { 1.0 } else { i as f64 / (n - 1) as f64 };
+                let q = if n == 1 {
+                    1.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 (quantile_sorted(&self.sorted, q), q)
             })
             .collect()

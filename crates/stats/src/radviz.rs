@@ -43,7 +43,10 @@ pub fn anchors(n: usize) -> Vec<RadvizPoint> {
     (0..n)
         .map(|i| {
             let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
-            RadvizPoint { x: theta.cos(), y: theta.sin() }
+            RadvizPoint {
+                x: theta.cos(),
+                y: theta.sin(),
+            }
         })
         .collect()
 }
@@ -73,7 +76,10 @@ pub fn radviz_project(normalised: &[f64]) -> RadvizPoint {
     if sum == 0.0 {
         RadvizPoint { x: 0.0, y: 0.0 }
     } else {
-        RadvizPoint { x: x / sum, y: y / sum }
+        RadvizPoint {
+            x: x / sum,
+            y: y / sum,
+        }
     }
 }
 

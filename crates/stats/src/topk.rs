@@ -23,7 +23,11 @@ where
         return Vec::new();
     }
     let mut all: Vec<T> = items.into_iter().collect();
-    all.sort_by(|a, b| weight(b).partial_cmp(&weight(a)).expect("weights must not be NaN"));
+    all.sort_by(|a, b| {
+        weight(b)
+            .partial_cmp(&weight(a))
+            .expect("weights must not be NaN")
+    });
     all.truncate(k);
     all
 }

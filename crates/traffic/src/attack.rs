@@ -32,7 +32,10 @@ pub struct AttackEnvelope {
 impl AttackEnvelope {
     /// A flat envelope with no ramp.
     pub fn flat(peak_pps: f64) -> Self {
-        Self { peak_pps, ramp_ms: 0 }
+        Self {
+            peak_pps,
+            ramp_ms: 0,
+        }
     }
 
     /// The instantaneous rate `ms_into_attack` after the attack begins.
@@ -68,8 +71,7 @@ impl AttackEnvelope {
         };
         let plateau_lo = a.max(self.ramp_ms);
         let plateau_hi = b.max(self.ramp_ms);
-        let plateau_packets =
-            self.peak_pps * (plateau_hi - plateau_lo).max(0) as f64 / 1000.0;
+        let plateau_packets = self.peak_pps * (plateau_hi - plateau_lo).max(0) as f64 / 1000.0;
         ramp_packets + plateau_packets
     }
 }
@@ -114,8 +116,9 @@ impl Workload for AmplificationAttack {
         let Some(active) = window.intersection(self.attack_window) else {
             return Vec::new();
         };
-        let expected =
-            self.envelope.expected_packets(active, self.attack_window.start.as_millis());
+        let expected = self
+            .envelope
+            .expected_packets(active, self.attack_window.start.as_millis());
         (0..sampler.sampled_count(expected, rng))
             .map(|_| {
                 let amp = &self.amplifiers[rng.gen_range(0..self.amplifiers.len())];
@@ -164,8 +167,9 @@ impl Workload for SynFlood {
         let Some(active) = window.intersection(self.attack_window) else {
             return Vec::new();
         };
-        let expected =
-            self.envelope.expected_packets(active, self.attack_window.start.as_millis());
+        let expected = self
+            .envelope
+            .expected_packets(active, self.attack_window.start.as_millis());
         (0..sampler.sampled_count(expected, rng))
             .map(|_| {
                 let (handover, src) = self.spoofed.draw(rng);
@@ -212,12 +216,16 @@ impl Workload for RandomPortFlood {
         sampler: &Sampler,
         rng: &mut R,
     ) -> Vec<PacketDescriptor> {
-        assert!(!self.protocols.is_empty(), "flood needs at least one protocol");
+        assert!(
+            !self.protocols.is_empty(),
+            "flood needs at least one protocol"
+        );
         let Some(active) = window.intersection(self.attack_window) else {
             return Vec::new();
         };
-        let expected =
-            self.envelope.expected_packets(active, self.attack_window.start.as_millis());
+        let expected = self
+            .envelope
+            .expected_packets(active, self.attack_window.start.as_millis());
         let attack_span = self.attack_window.duration().as_millis().max(1);
         (0..sampler.sampled_count(expected, rng))
             .map(|_| {
@@ -227,8 +235,7 @@ impl Workload for RandomPortFlood {
                 let dst_port = if !protocol.has_ports() {
                     0
                 } else if self.rising_ports {
-                    let progress = (at.as_millis() - self.attack_window.start.as_millis())
-                        as f64
+                    let progress = (at.as_millis() - self.attack_window.start.as_millis()) as f64
                         / attack_span as f64;
                     1024 + (progress * 60_000.0) as u16
                 } else {
@@ -240,7 +247,11 @@ impl Workload for RandomPortFlood {
                     src_ip: src,
                     dst_ip: self.victim,
                     protocol,
-                    src_port: if protocol.has_ports() { rng.gen_range(1024..=65535) } else { 0 },
+                    src_port: if protocol.has_ports() {
+                        rng.gen_range(1024..=65535)
+                    } else {
+                        0
+                    },
                     dst_port,
                     packet_len: rng.gen_range(60..=1200),
                     fragment: false,
@@ -256,7 +267,7 @@ mod tests {
     use crate::pool::SourceSpec;
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
-    use rtbh_net::{Asn, Timestamp, TimeDelta};
+    use rtbh_net::{Asn, TimeDelta, Timestamp};
 
     fn rng() -> ChaCha20Rng {
         ChaCha20Rng::seed_from_u64(11)
@@ -285,7 +296,10 @@ mod tests {
 
     #[test]
     fn envelope_integral() {
-        let e = AttackEnvelope { peak_pps: 1000.0, ramp_ms: 10_000 };
+        let e = AttackEnvelope {
+            peak_pps: 1000.0,
+            ramp_ms: 10_000,
+        };
         // Whole ramp: 1000 * 10s / 2 = 5000 packets.
         let w = iv(0, 60);
         let full = e.expected_packets(
@@ -294,11 +308,11 @@ mod tests {
         );
         assert!((full - 5000.0).abs() < 1.0, "{full}");
         // Ramp + 50s plateau.
-        let total = e.expected_packets(
-            Interval::new(Timestamp::EPOCH, w.end),
-            0,
+        let total = e.expected_packets(Interval::new(Timestamp::EPOCH, w.end), 0);
+        assert!(
+            (total - (5000.0 + 1000.0 * (60.0 * 60.0 - 10.0))).abs() < 1.0,
+            "{total}"
         );
-        assert!((total - (5000.0 + 1000.0 * (60.0 * 60.0 - 10.0))).abs() < 1.0, "{total}");
     }
 
     #[test]
@@ -351,7 +365,9 @@ mod tests {
             fragment_share: 0.0,
         };
         let mut r = rng();
-        assert!(atk.generate(iv(30, 60), &Sampler::new(1000), &mut r).is_empty());
+        assert!(atk
+            .generate(iv(30, 60), &Sampler::new(1000), &mut r)
+            .is_empty());
         let pkts = atk.generate(iv(15, 60), &Sampler::new(1000), &mut r);
         assert!(pkts.iter().all(|p| iv(15, 20).contains(p.at)));
     }
@@ -406,8 +422,14 @@ mod tests {
             })
             .count();
         // Random source ports rarely collide with the 17 amplification ports.
-        assert!(amplification_matched * 50 < pkts.len(), "{amplification_matched}/{}", pkts.len());
-        assert!(pkts.iter().any(|p| p.protocol == Protocol::Icmp && p.dst_port == 0));
+        assert!(
+            amplification_matched * 50 < pkts.len(),
+            "{amplification_matched}/{}",
+            pkts.len()
+        );
+        assert!(pkts
+            .iter()
+            .any(|p| p.protocol == Protocol::Icmp && p.dst_port == 0));
     }
 
     #[test]
@@ -427,10 +449,16 @@ mod tests {
         let mut r = rng();
         let mut pkts = flood.generate(iv(0, 60), &Sampler::new(10_000), &mut r);
         pkts.sort_by_key(|p| p.at);
-        let first_quarter_max =
-            pkts[..pkts.len() / 4].iter().map(|p| p.dst_port).max().unwrap();
-        let last_quarter_min =
-            pkts[3 * pkts.len() / 4..].iter().map(|p| p.dst_port).min().unwrap();
+        let first_quarter_max = pkts[..pkts.len() / 4]
+            .iter()
+            .map(|p| p.dst_port)
+            .max()
+            .unwrap();
+        let last_quarter_min = pkts[3 * pkts.len() / 4..]
+            .iter()
+            .map(|p| p.dst_port)
+            .min()
+            .unwrap();
         assert!(
             last_quarter_min > first_quarter_max,
             "ports must rise: early max {first_quarter_max}, late min {last_quarter_min}"

@@ -70,7 +70,7 @@ mod tests {
     use crate::pool::{SourcePool, SourceSpec};
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
-    use rtbh_net::{Asn, Service, Timestamp, TimeDelta};
+    use rtbh_net::{Asn, Service, TimeDelta, Timestamp};
 
     #[test]
     fn dispatch_matches_direct_call() {
@@ -87,11 +87,17 @@ mod tests {
             }]),
         };
         let window = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(2));
-        let direct =
-            server.generate(window, &Sampler::new(1000), &mut ChaCha20Rng::seed_from_u64(3));
+        let direct = server.generate(
+            window,
+            &Sampler::new(1000),
+            &mut ChaCha20Rng::seed_from_u64(3),
+        );
         let any: AnyWorkload = server.into();
-        let via_enum =
-            any.generate(window, &Sampler::new(1000), &mut ChaCha20Rng::seed_from_u64(3));
+        let via_enum = any.generate(
+            window,
+            &Sampler::new(1000),
+            &mut ChaCha20Rng::seed_from_u64(3),
+        );
         assert_eq!(direct, via_enum);
         assert!(!direct.is_empty());
     }

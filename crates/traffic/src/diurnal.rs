@@ -25,18 +25,25 @@ pub struct DiurnalRate {
 impl DiurnalRate {
     /// A flat (non-diurnal) rate.
     pub fn flat(base_pps: f64) -> Self {
-        Self { base_pps, amplitude: 0.0, peak_fraction: 0.0 }
+        Self {
+            base_pps,
+            amplitude: 0.0,
+            peak_fraction: 0.0,
+        }
     }
 
     /// A typical eyeball-traffic shape: ±40% swing peaking at 20:00.
     pub fn eyeball(base_pps: f64) -> Self {
-        Self { base_pps, amplitude: 0.4, peak_fraction: 20.0 / 24.0 }
+        Self {
+            base_pps,
+            amplitude: 0.4,
+            peak_fraction: 20.0 / 24.0,
+        }
     }
 
     /// The instantaneous rate at `t`, in raw packets per second.
     pub fn pps_at(&self, t: Timestamp) -> f64 {
-        let phase =
-            2.0 * std::f64::consts::PI * (t.day_fraction() - self.peak_fraction + 0.25);
+        let phase = 2.0 * std::f64::consts::PI * (t.day_fraction() - self.peak_fraction + 0.25);
         (self.base_pps * (1.0 + self.amplitude * phase.sin())).max(0.0)
     }
 
@@ -75,7 +82,11 @@ mod tests {
 
     #[test]
     fn peak_sits_at_peak_fraction() {
-        let r = DiurnalRate { base_pps: 100.0, amplitude: 0.5, peak_fraction: 0.5 };
+        let r = DiurnalRate {
+            base_pps: 100.0,
+            amplitude: 0.5,
+            peak_fraction: 0.5,
+        };
         let peak = r.pps_at(Timestamp::EPOCH + TimeDelta::hours(12));
         let trough = r.pps_at(Timestamp::EPOCH + TimeDelta::hours(0));
         assert!((peak - 150.0).abs() < 1.0, "peak {peak}");
@@ -84,7 +95,11 @@ mod tests {
 
     #[test]
     fn rate_never_negative() {
-        let r = DiurnalRate { base_pps: 10.0, amplitude: 1.0, peak_fraction: 0.3 };
+        let r = DiurnalRate {
+            base_pps: 10.0,
+            amplitude: 1.0,
+            peak_fraction: 0.3,
+        };
         for m in (0..1440).step_by(10) {
             let t = Timestamp::EPOCH + TimeDelta::minutes(m);
             assert!(r.pps_at(t) >= 0.0);
@@ -100,7 +115,11 @@ mod tests {
 
     #[test]
     fn expected_packets_over_full_day_equals_base_mean() {
-        let r = DiurnalRate { base_pps: 100.0, amplitude: 0.6, peak_fraction: 0.7 };
+        let r = DiurnalRate {
+            base_pps: 100.0,
+            amplitude: 0.6,
+            peak_fraction: 0.7,
+        };
         let w = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::days(1));
         let expect = 100.0 * 86_400.0;
         let got = r.expected_packets(w);
@@ -112,7 +131,11 @@ mod tests {
 
     #[test]
     fn expected_packets_partial_window() {
-        let r = DiurnalRate { base_pps: 100.0, amplitude: 0.5, peak_fraction: 0.5 };
+        let r = DiurnalRate {
+            base_pps: 100.0,
+            amplitude: 0.5,
+            peak_fraction: 0.5,
+        };
         // Window around the peak must exceed base × duration.
         let w = Interval::new(
             Timestamp::EPOCH + TimeDelta::hours(11),

@@ -66,7 +66,10 @@ impl Workload for ServerWorkload {
         sampler: &Sampler,
         rng: &mut R,
     ) -> Vec<PacketDescriptor> {
-        assert!(!self.services.is_empty(), "server needs at least one service");
+        assert!(
+            !self.services.is_empty(),
+            "server needs at least one service"
+        );
         let mut out = Vec::new();
         let expected_in = self.request_rate.expected_packets(window);
         for _ in 0..sampler.sampled_count(expected_in, rng) {
@@ -241,7 +244,7 @@ mod tests {
     use crate::pool::SourceSpec;
     use rand::SeedableRng;
     use rand_chacha::ChaCha20Rng;
-    use rtbh_net::{Timestamp, TimeDelta};
+    use rtbh_net::{TimeDelta, Timestamp};
 
     fn rng() -> ChaCha20Rng {
         ChaCha20Rng::seed_from_u64(5)

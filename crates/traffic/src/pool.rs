@@ -62,7 +62,10 @@ impl SourcePool {
     pub fn draw<R: Rng>(&self, rng: &mut R) -> (Asn, Ipv4Addr) {
         let total = *self.cumulative.last().expect("non-empty");
         let x = rng.gen_range(0.0..total);
-        let idx = self.cumulative.partition_point(|&c| c <= x).min(self.specs.len() - 1);
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.specs.len() - 1);
         let spec = &self.specs[idx];
         let addr = spec.prefix.addr_at(rng.gen::<u64>());
         (spec.handover, addr)
@@ -147,7 +150,11 @@ impl AmplifierPool {
                     * ((rank + 1) as f64).powf(-spec.participation_exponent))
                 .clamp(0.0, 1.0);
                 let base = spec.address_base.to_u32().wrapping_add((rank as u32) << 8);
-                let boost = if rank == 0 { spec.heavy_hitter_boost.max(1.0) } else { 1.0 };
+                let boost = if rank == 0 {
+                    spec.heavy_hitter_boost.max(1.0)
+                } else {
+                    1.0
+                };
                 OriginGroup {
                     origin,
                     handover,
@@ -158,7 +165,10 @@ impl AmplifierPool {
                 }
             })
             .collect();
-        Self { groups, volume_sigma: spec.volume_sigma }
+        Self {
+            groups,
+            volume_sigma: spec.volume_sigma,
+        }
     }
 
     /// Number of origin ASes in the pool.
@@ -194,8 +204,7 @@ impl AmplifierPool {
             let skew = if self.volume_sigma > 0.0 && rank > 0 {
                 let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 let u2: f64 = rng.gen();
-                let z = (-2.0 * u1.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 // Mean-normalised log-normal: E[skew] = 1 so the expected
                 // reflector count per attack stays calibrated while single
                 // origins can dominate individual attacks.
@@ -231,7 +240,9 @@ mod tests {
 
     fn pool_spec(n: usize) -> AmplifierPoolSpec {
         AmplifierPoolSpec {
-            origins: (0..n).map(|i| (Asn(50_000 + i as u32), Asn(100 + (i % 20) as u32))).collect(),
+            origins: (0..n)
+                .map(|i| (Asn(50_000 + i as u32), Asn(100 + (i % 20) as u32)))
+                .collect(),
             base_participation: 0.6,
             participation_exponent: 0.55,
             amplifiers_per_origin: 15.0,
@@ -245,8 +256,16 @@ mod tests {
     #[test]
     fn source_pool_draws_inside_prefixes() {
         let pool = SourcePool::new(vec![
-            SourceSpec { handover: Asn(1), prefix: "10.0.0.0/16".parse().unwrap(), weight: 1.0 },
-            SourceSpec { handover: Asn(2), prefix: "172.16.0.0/12".parse().unwrap(), weight: 3.0 },
+            SourceSpec {
+                handover: Asn(1),
+                prefix: "10.0.0.0/16".parse().unwrap(),
+                weight: 1.0,
+            },
+            SourceSpec {
+                handover: Asn(2),
+                prefix: "172.16.0.0/12".parse().unwrap(),
+                weight: 3.0,
+            },
         ]);
         let mut r = rng();
         let mut second = 0usize;
@@ -296,7 +315,11 @@ mod tests {
         let mut r = rng();
         let attacks = 500;
         let with_heavy = (0..attacks)
-            .filter(|_| pool.draw_attack_set(&mut r).iter().any(|a| a.origin == heavy))
+            .filter(|_| {
+                pool.draw_attack_set(&mut r)
+                    .iter()
+                    .any(|a| a.origin == heavy)
+            })
             .count();
         let share = with_heavy as f64 / attacks as f64;
         assert!((share - 0.6).abs() < 0.08, "heavy hitter share {share}");

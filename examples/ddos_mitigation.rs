@@ -13,14 +13,14 @@ use rand_chacha::ChaCha20Rng;
 use rtbh::bgp::{BgpUpdate, ImportPolicy, RouteServer, UpdateKind};
 use rtbh::fabric::{Fabric, Member, MemberId, RouterPort, Sampler};
 use rtbh::net::{
-    AmplificationProtocol, Asn, Community, Interval, Ipv4Addr, MacAddr, Prefix, Service,
-    TimeDelta, Timestamp,
+    AmplificationProtocol, Asn, Community, Interval, Ipv4Addr, MacAddr, Prefix, Service, TimeDelta,
+    Timestamp,
 };
+use rtbh::traffic::pool::Amplifier;
 use rtbh::traffic::{
     AmplificationAttack, AttackEnvelope, DiurnalRate, ServerWorkload, SourcePool, SourceSpec,
     Workload,
 };
-use rtbh::traffic::pool::Amplifier;
 
 const RS: Asn = Asn(6695);
 
@@ -53,7 +53,12 @@ fn main() {
     let victim_net: Prefix = "203.0.113.0/24".parse().unwrap();
     fabric.seed_regular_route(victim_net, Asn(100), MemberId(0), Timestamp::EPOCH);
     // Eyeball space for legitimate clients, reachable via member AS105.
-    fabric.seed_regular_route("100.64.0.0/16".parse().unwrap(), Asn(105), MemberId(5), Timestamp::EPOCH);
+    fabric.seed_regular_route(
+        "100.64.0.0/16".parse().unwrap(),
+        Asn(105),
+        MemberId(5),
+        Timestamp::EPOCH,
+    );
 
     // --- the attack -------------------------------------------------------
     let window = Interval::new(
@@ -72,7 +77,10 @@ fn main() {
         vectors: vec![AmplificationProtocol::Cldap, AmplificationProtocol::Ntp],
         amplifiers,
         attack_window: window,
-        envelope: AttackEnvelope { peak_pps: 400_000.0, ramp_ms: 30_000 },
+        envelope: AttackEnvelope {
+            peak_pps: 400_000.0,
+            ramp_ms: 30_000,
+        },
         fragment_share: 0.04,
     };
     // Legitimate baseline towards the victim's HTTPS service.
@@ -95,7 +103,10 @@ fn main() {
     let mut packets = attack.generate(horizon, &sampler, &mut rng);
     packets.extend(legit.generate(horizon, &sampler, &mut rng));
     packets.sort_by_key(|p| p.at);
-    println!("sampled {} packets towards {victim} (attack + legit)", packets.len());
+    println!(
+        "sampled {} packets towards {victim} (attack + legit)",
+        packets.len()
+    );
 
     // --- the victim triggers an RTBH 4 minutes into the attack ------------
     let rtbh = BgpUpdate {
@@ -108,7 +119,11 @@ fn main() {
         next_hop: "198.51.100.66".parse().unwrap(),
     };
     let recipients = route_server.recipients(&rtbh);
-    println!("\nRTBH for {} announced to {} peers:", rtbh.prefix, recipients.len());
+    println!(
+        "\nRTBH for {} announced to {} peers:",
+        rtbh.prefix,
+        recipients.len()
+    );
 
     // --- replay chronologically through the fabric ------------------------
     let mut applied = false;
@@ -123,7 +138,9 @@ fn main() {
             fabric.distribute(&rtbh, &recipients);
             applied = true;
         }
-        let Some(member) = fabric.member_by_asn(pkt.handover) else { continue };
+        let Some(member) = fabric.member_by_asn(pkt.handover) else {
+            continue;
+        };
         let mac = member.primary_router().mac;
         let outcome = fabric.forward(member.id, mac, pkt.dst_ip);
         let is_legit = pkt.protocol == rtbh::net::Protocol::Tcp && pkt.dst_port == 443;
@@ -131,9 +148,7 @@ fn main() {
             legit_total += 1;
         } else {
             attack_total += 1;
-            if AmplificationProtocol::classify(pkt.protocol, pkt.src_port, pkt.fragment)
-                .is_some()
-            {
+            if AmplificationProtocol::classify(pkt.protocol, pkt.src_port, pkt.fragment).is_some() {
                 filterable += 1;
             }
         }
@@ -154,7 +169,11 @@ fn main() {
         println!(
             "  AS{:<4} ({label:<15}) → {}",
             100 + i,
-            if accepts { "accepts: traffic to victim DROPPED" } else { "rejects: still forwarding" }
+            if accepts {
+                "accepts: traffic to victim DROPPED"
+            } else {
+                "rejects: still forwarding"
+            }
         );
     }
 

@@ -13,14 +13,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
 use rtbh::fabric::Sampler;
-use rtbh::net::{
-    AmplificationProtocol, Asn, Interval, Ipv4Addr, Protocol, TimeDelta, Timestamp,
-};
+use rtbh::net::{AmplificationProtocol, Asn, Interval, Ipv4Addr, Protocol, TimeDelta, Timestamp};
 use rtbh::traffic::pool::Amplifier;
+use rtbh::traffic::pool::SourceSpec;
 use rtbh::traffic::{
     AmplificationAttack, AttackEnvelope, RandomPortFlood, SourcePool, SynFlood, Workload,
 };
-use rtbh::traffic::pool::SourceSpec;
 
 fn amplifiers() -> Vec<Amplifier> {
     (0..400)
@@ -135,7 +133,10 @@ fn main() {
     ];
 
     println!("port-ACL coverage on the 18-entry amplification catalogue (Table 3):\n");
-    println!("{:<38} {:>9} {:>10} {:>9}", "attack", "samples", "filterable", "coverage");
+    println!(
+        "{:<38} {:>9} {:>10} {:>9}",
+        "attack", "samples", "filterable", "coverage"
+    );
     for (name, packets) in &attacks {
         let filterable = packets
             .iter()

@@ -16,13 +16,12 @@ use rand_chacha::ChaCha20Rng;
 use rtbh::bgp::{amplification_mitigation, FlowAction, FlowSpecRule, FlowSpecTable};
 use rtbh::fabric::Sampler;
 use rtbh::net::{
-    AmplificationProtocol, Asn, Interval, Ipv4Addr, Prefix, Protocol, Service, TimeDelta,
-    Timestamp,
+    AmplificationProtocol, Asn, Interval, Ipv4Addr, Prefix, Protocol, Service, TimeDelta, Timestamp,
 };
 use rtbh::traffic::pool::{Amplifier, SourceSpec};
 use rtbh::traffic::{
-    AmplificationAttack, AttackEnvelope, DiurnalRate, RandomPortFlood, ServerWorkload,
-    SourcePool, Workload,
+    AmplificationAttack, AttackEnvelope, DiurnalRate, RandomPortFlood, ServerWorkload, SourcePool,
+    Workload,
 };
 
 struct Scoreboard {
@@ -37,8 +36,12 @@ fn score(
     packets: &[rtbh::traffic::PacketDescriptor],
     is_attack: impl Fn(&rtbh::traffic::PacketDescriptor) -> bool,
 ) -> Scoreboard {
-    let mut sb =
-        Scoreboard { attack_dropped: 0, attack_total: 0, legit_dropped: 0, legit_total: 0 };
+    let mut sb = Scoreboard {
+        attack_dropped: 0,
+        attack_total: 0,
+        legit_dropped: 0,
+        legit_total: 0,
+    };
     for p in packets {
         let dropped = table.evaluate(
             p.src_ip, p.dst_ip, p.protocol, p.src_port, p.dst_port, p.fragment,
@@ -149,7 +152,9 @@ fn main() {
     println!();
     print_row(
         "FlowSpec vs random-port",
-        &score(&fs_table, &hard_packets, |p| p.dst_ip == victim && p.dst_port != 443),
+        &score(&fs_table, &hard_packets, |p| {
+            p.dst_ip == victim && p.dst_port != 443
+        }),
     );
     println!(
         "\nAmplification floods: the port table removes ~everything with zero collateral.\n\

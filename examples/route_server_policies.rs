@@ -34,7 +34,10 @@ fn main() {
         ("plain BLACKHOLE", blackhole("203.0.113.7/32", vec![])),
         (
             "0:4 — hide from AS4",
-            blackhole("203.0.113.7/32", vec![Community::block_peer(Asn(4)).unwrap()]),
+            blackhole(
+                "203.0.113.7/32",
+                vec![Community::block_peer(Asn(4)).unwrap()],
+            ),
         ),
         (
             "0:RS + RS:2 — allow-list: only AS2",
@@ -54,7 +57,11 @@ fn main() {
             if recipients.is_empty() {
                 "nobody".to_string()
             } else {
-                recipients.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+                recipients
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             }
         );
     }
@@ -75,7 +82,14 @@ fn main() {
         print!("{label:<28}");
         for p in &prefixes {
             let prefix: Prefix = p.parse().unwrap();
-            print!("{:>18}", if policy.accepts_blackhole(prefix) { "accept" } else { "reject" });
+            print!(
+                "{:>18}",
+                if policy.accepts_blackhole(prefix) {
+                    "accept"
+                } else {
+                    "reject"
+                }
+            );
         }
         println!();
     }
@@ -95,5 +109,8 @@ fn main() {
     let mut withdraw = blackhole("203.0.113.7/32", vec![]);
     withdraw.kind = UpdateKind::Withdraw;
     rib.apply(&withdraw);
-    println!("after withdraw: 203.0.113.7 → {:?}", rib.decide("203.0.113.7".parse().unwrap()));
+    println!(
+        "after withdraw: 203.0.113.7 → {:?}",
+        rib.decide("203.0.113.7".parse().unwrap())
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut config = ScenarioConfig::tiny();
     config.days = 21; // three weeks so zombies age visibly
     config.zombie_events = 10;
-    println!("recording {} days of route-server and flow data...", config.days);
+    println!(
+        "recording {} days of route-server and flow data...",
+        config.days
+    );
     let out = rtbh::sim::run(&config);
     let analyzer = Analyzer::with_defaults(out.corpus);
 
@@ -70,7 +73,10 @@ fn main() {
     // Score against ground truth (only possible because this corpus is
     // simulated — the whole point of the digital twin).
     let card = rtbh::sim::score(&out.truth, analyzer.events(), &preevents, &classification);
-    println!("\n[scoring] planted zombies: {}, reported: {zombies}", out.truth.zombie_count());
+    println!(
+        "\n[scoring] planted zombies: {}, reported: {zombies}",
+        out.truth.zombie_count()
+    );
     println!(
         "[scoring] zombie precision {:.2} / recall {:.2}; squatting recall {:.2}; event recall {:.2}",
         card.zombie.precision(),

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pipeline.json: builds release, simulates a corpus and
-# times the sequential vs parallel analysis pipeline (best-of-N per mode).
+# Regenerates BENCH_pipeline.json and BENCH_index.json: builds release,
+# simulates a corpus, times the sequential vs parallel analysis pipeline
+# (best-of-N per mode) and runs the LPM/index micro-bench (trie vs frozen
+# lookups, 1-vs-N-worker index builds).
 #
 # usage: scripts/bench_pipeline.sh [scale] [reps]
 #   scale  scenario scale factor (default 0.25; 1.0 = full 104-day corpus)
-#   reps   timing repetitions per mode (default 3)
+#   reps   timing repetitions per mode/structure (default 3)
 #
 # See the README's "Performance" section for how to read the output.
 set -euo pipefail
@@ -14,4 +16,5 @@ scale="${1:-0.25}"
 reps="${2:-3}"
 
 cargo build --release -p rtbh-bench --bin pipeline_bench
-./target/release/pipeline_bench --scale "$scale" --reps "$reps" --out BENCH_pipeline.json
+./target/release/pipeline_bench --scale "$scale" --reps "$reps" \
+    --out BENCH_pipeline.json --index-out BENCH_index.json

@@ -3,16 +3,19 @@
 //! ```text
 //! rtbh simulate [--tiny | --paper | --scale F] [--seed N] <out.rtbh>
 //! rtbh info    <corpus.rtbh>
-//! rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings]
+//! rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]
 //! ```
 //!
 //! `simulate` writes the corpus in the binary container format (JSON
 //! metadata + MRT update log + IPFIX-lite flows) and the ground truth as
 //! JSON next to it; `analyze` runs the full paper pipeline on a corpus file
-//! and prints the headline findings. With `--timings` it additionally
-//! prints the per-stage wall-time table of the parallel pipeline and writes
-//! the profile as machine-readable JSON to `BENCH_pipeline.json` in the
-//! working directory (see the README's "Performance" section).
+//! and prints the headline findings. `--threads N` shards the sample
+//! kernels (clock-offset scan, clock shift, index build) over N worker
+//! threads (`0` = one per core, the default) — the report is byte-identical
+//! for every N. With `--timings` it additionally prints the per-stage
+//! wall-time table of the parallel pipeline (preparation kernels included)
+//! and writes the profile as machine-readable JSON to `BENCH_pipeline.json`
+//! in the working directory (see the README's "Performance" section).
 
 use std::path::PathBuf;
 
@@ -22,7 +25,7 @@ use rtbh::sim::ScenarioConfig;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rtbh simulate [--tiny|--paper|--scale F] [--seed N] <out.rtbh>\n  \
-         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings]"
+         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -46,13 +49,19 @@ fn simulate(args: Vec<String>) {
             "--tiny" => config = ScenarioConfig::tiny(),
             "--paper" => config = ScenarioConfig::paper(),
             "--scale" => {
-                let f: f64 =
-                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                let f: f64 = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
                 config = ScenarioConfig::scaled(f);
             }
             "--seed" => {
-                config.seed =
-                    it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                config.seed = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
             }
             path if !path.starts_with('-') => out = Some(PathBuf::from(path)),
             _ => usage(),
@@ -97,12 +106,20 @@ fn info(args: Vec<String>) {
     println!("sampling:       1:{}", corpus.sampling_rate);
     println!("route server:   {}", corpus.route_server_asn);
     println!("members:        {}", corpus.members.len());
-    println!("BGP updates:    {} ({} blackhole announcements)",
+    println!(
+        "BGP updates:    {} ({} blackhole announcements)",
         corpus.updates.len(),
-        corpus.updates.blackholes().filter(|u| u.is_announce()).count());
-    println!("flow samples:   {} ({} dropped)",
+        corpus
+            .updates
+            .blackholes()
+            .filter(|u| u.is_announce())
+            .count()
+    );
+    println!(
+        "flow samples:   {} ({} dropped)",
         corpus.flows.len(),
-        corpus.flows.dropped().count());
+        corpus.flows.dropped().count()
+    );
     println!("route table:    {} prefixes", corpus.routes.len());
     println!("digest:         {:#018x}", corpus.digest());
 }
@@ -111,21 +128,33 @@ fn analyze(args: Vec<String>) {
     let mut path: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut timings = false;
+    let mut threads: usize = 0;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json_out = Some(it.next().unwrap_or_else(|| usage())),
             "--timings" => timings = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
             p if !p.starts_with('-') => path = Some(p.to_string()),
             _ => usage(),
         }
     }
     let Some(path) = path else { usage() };
     let corpus = load(&path);
-    let analyzer = Analyzer::with_defaults(corpus);
+    let config = rtbh::core::pipeline::AnalyzerConfig::for_corpus(&corpus).with_workers(threads);
+    let analyzer = Analyzer::new(corpus, config);
     let (report, profile) = analyzer.full_with_profile();
     let headline = report.headline();
-    print!("{}", rtbh::core::report::render_report(&report, analyzer.corpus()));
+    print!(
+        "{}",
+        rtbh::core::report::render_report(&report, analyzer.corpus())
+    );
     if timings {
         println!();
         print!("{}", profile.render());
@@ -153,8 +182,11 @@ fn analyze(args: Vec<String>) {
             headline,
             class_shares: report.preevents.class_shares(),
         };
-        std::fs::write(&out, serde_json::to_vec_pretty(&payload).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            &out,
+            serde_json::to_vec_pretty(&payload).expect("serialize"),
+        )
+        .expect("write json");
         eprintln!("wrote {out}");
     }
 }

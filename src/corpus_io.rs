@@ -86,8 +86,7 @@ pub fn to_bytes(corpus: &Corpus) -> Result<Bytes, CorpusIoError> {
     let mrt = rtbh_bgp::encode_update_log(&corpus.updates);
     let flows = rtbh_fabric::encode_flow_log(&corpus.flows);
 
-    let mut buf =
-        BytesMut::with_capacity(34 + meta_json.len() + mrt.len() + flows.len());
+    let mut buf = BytesMut::with_capacity(34 + meta_json.len() + mrt.len() + flows.len());
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u64(meta_json.len() as u64);
@@ -122,7 +121,9 @@ pub fn from_bytes(mut buf: Bytes) -> Result<Corpus, CorpusIoError> {
     }
     let version = buf.get_u16();
     if version != VERSION {
-        return Err(CorpusIoError::Container(format!("unsupported version {version}")));
+        return Err(CorpusIoError::Container(format!(
+            "unsupported version {version}"
+        )));
     }
     let meta_json = take_section(&mut buf, "metadata")?;
     let meta: Meta = serde_json::from_slice(&meta_json).map_err(CorpusIoError::Meta)?;

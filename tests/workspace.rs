@@ -67,7 +67,11 @@ fn blackholed_prefixes_stay_inside_victim_space() {
         let covered = routes
             .iter()
             .any(|(p, _)| p.covers(update.prefix) || update.prefix.covers(*p));
-        assert!(covered, "blackholed prefix {} not in route table", update.prefix);
+        assert!(
+            covered,
+            "blackholed prefix {} not in route table",
+            update.prefix
+        );
     }
 }
 
@@ -81,7 +85,11 @@ fn all_figures_render_on_tiny_corpus() {
         assert!(!r.render().is_empty());
         assert!(ids.insert(r.id), "duplicate experiment id {}", r.id);
         // Every report must carry either rendered lines or checks.
-        assert!(!r.lines.is_empty() || !r.checks.is_empty(), "{} is empty", r.id);
+        assert!(
+            !r.lines.is_empty() || !r.checks.is_empty(),
+            "{} is empty",
+            r.id
+        );
     }
     // The JSON side-channel must serialize.
     let json = serde_json::to_string(&reports).unwrap();
