@@ -1,58 +1,74 @@
-//! Criterion micro-benchmarks of the pipeline's hot components.
+//! Micro-benchmarks of the pipeline's hot components.
+//!
+//! A dependency-free harness (`harness = false`): each benchmark runs a
+//! fixed warm-up, then reports the best and median wall time over a fixed
+//! number of iterations. Run with:
 //!
 //! ```text
 //! cargo bench -p rtbh-bench
 //! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use std::hint::black_box;
+use std::time::Instant;
 
 use rtbh_core::events::infer_events;
 use rtbh_core::index::SampleIndex;
 use rtbh_core::preevent::{analyze_preevents, PreEventConfig};
 use rtbh_core::Analyzer;
 use rtbh_net::{Ipv4Addr, Prefix, PrefixTrie, TimeDelta};
+use rtbh_rng::{ChaChaRng, Rng};
 use rtbh_sim::ScenarioConfig;
 use rtbh_stats::{EwmaConfig, EwmaDetector};
 
-fn bench_trie(c: &mut Criterion) {
-    let mut rng = ChaCha20Rng::seed_from_u64(1);
+/// Times `f` over `iters` iterations (after `warmup` unrecorded ones) and
+/// prints best / median per-iteration wall time.
+fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut times_ns: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        times_ns.push(start.elapsed().as_nanos());
+    }
+    times_ns.sort_unstable();
+    let best = times_ns[0];
+    let median = times_ns[times_ns.len() / 2];
+    println!("{name:<40} best {best:>12} ns    median {median:>12} ns    ({iters} iters)");
+}
+
+fn bench_trie() {
+    let mut rng = ChaChaRng::seed_from_u64(1);
     let mut trie = PrefixTrie::new();
     for i in 0..10_000u32 {
-        let addr = Ipv4Addr::from_u32(rand::Rng::gen(&mut rng));
+        let addr = Ipv4Addr::from_u32(rng.gen());
         let len = 16 + (i % 17) as u8;
         trie.insert(Prefix::new(addr, len).unwrap(), i);
     }
-    let probes: Vec<Ipv4Addr> = (0..1024)
-        .map(|_| Ipv4Addr::from_u32(rand::Rng::gen(&mut rng)))
-        .collect();
-    c.bench_function("trie_longest_match_10k_routes", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for p in &probes {
-                if trie.longest_match(black_box(*p)).is_some() {
-                    hits += 1;
-                }
+    let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr::from_u32(rng.gen())).collect();
+    bench("trie_longest_match_10k_routes", 10, 100, || {
+        let mut hits = 0usize;
+        for p in &probes {
+            if trie.longest_match(black_box(*p)).is_some() {
+                hits += 1;
             }
-            black_box(hits)
-        })
+        }
+        hits
     });
 }
 
-fn bench_ewma(c: &mut Criterion) {
+fn bench_ewma() {
     let series: Vec<f64> = (0..864).map(|i| ((i * 37) % 23) as f64).collect();
-    c.bench_function("ewma_span288_full_prewindow", |b| {
-        b.iter(|| {
-            let mut det = EwmaDetector::new(EwmaConfig::PAPER);
-            let mut anomalies = 0usize;
-            for &x in &series {
-                if det.push(black_box(x)).is_some_and(|v| v.is_anomaly) {
-                    anomalies += 1;
-                }
+    bench("ewma_span288_full_prewindow", 10, 100, || {
+        let mut det = EwmaDetector::new(EwmaConfig::PAPER);
+        let mut anomalies = 0usize;
+        for &x in &series {
+            if det.push(black_box(x)).is_some_and(|v| v.is_anomaly) {
+                anomalies += 1;
             }
-            black_box(anomalies)
-        })
+        }
+        anomalies
     });
 }
 
@@ -60,76 +76,54 @@ fn corpus() -> rtbh_sim::SimOutput {
     rtbh_sim::run(&ScenarioConfig::tiny())
 }
 
-fn bench_event_inference(c: &mut Criterion) {
-    let out = corpus();
-    c.bench_function("infer_events_tiny_corpus", |b| {
-        b.iter(|| {
-            black_box(infer_events(
-                &out.corpus.updates,
-                TimeDelta::minutes(10),
-                out.corpus.period.end,
-            ))
-        })
+fn bench_event_inference(out: &rtbh_sim::SimOutput) {
+    bench("infer_events_tiny_corpus", 3, 30, || {
+        infer_events(
+            &out.corpus.updates,
+            TimeDelta::minutes(10),
+            out.corpus.period.end,
+        )
     });
 }
 
-fn bench_sample_index(c: &mut Criterion) {
-    let out = corpus();
-    c.bench_function("sample_index_build_tiny_corpus", |b| {
-        b.iter(|| black_box(SampleIndex::build(&out.corpus.updates, &out.corpus.flows)))
+fn bench_sample_index(out: &rtbh_sim::SimOutput) {
+    bench("sample_index_build_tiny_corpus", 3, 30, || {
+        SampleIndex::build(&out.corpus.updates, &out.corpus.flows)
     });
 }
 
-fn bench_preevents(c: &mut Criterion) {
-    let out = corpus();
+fn bench_preevents(out: &rtbh_sim::SimOutput) {
     let events = infer_events(
         &out.corpus.updates,
         TimeDelta::minutes(10),
         out.corpus.period.end,
     );
     let index = SampleIndex::build(&out.corpus.updates, &out.corpus.flows);
-    c.bench_function("preevent_ewma_analysis_tiny_corpus", |b| {
-        b.iter(|| {
-            black_box(analyze_preevents(
-                &events,
-                &index,
-                &out.corpus.flows,
-                &PreEventConfig::PAPER,
-            ))
-        })
+    bench("preevent_ewma_analysis_tiny_corpus", 3, 30, || {
+        analyze_preevents(&events, &index, &out.corpus.flows, &PreEventConfig::PAPER)
     });
 }
 
-fn bench_full_pipeline(c: &mut Criterion) {
+fn bench_full_pipeline(out: &rtbh_sim::SimOutput) {
+    bench("analyzer_full_tiny_corpus", 1, 10, || {
+        let analyzer = Analyzer::with_defaults(out.corpus.clone());
+        analyzer.full()
+    });
+}
+
+fn bench_scenario_generation() {
+    bench("simulate_tiny_scenario", 1, 10, || {
+        rtbh_sim::run(&ScenarioConfig::tiny())
+    });
+}
+
+fn main() {
+    bench_trie();
+    bench_ewma();
     let out = corpus();
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    group.bench_function("analyzer_full_tiny_corpus", |b| {
-        b.iter(|| {
-            let analyzer = Analyzer::with_defaults(out.corpus.clone());
-            black_box(analyzer.full())
-        })
-    });
-    group.finish();
+    bench_event_inference(&out);
+    bench_sample_index(&out);
+    bench_preevents(&out);
+    bench_full_pipeline(&out);
+    bench_scenario_generation();
 }
-
-fn bench_scenario_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
-    group.bench_function("simulate_tiny_scenario", |b| {
-        b.iter(|| black_box(rtbh_sim::run(&ScenarioConfig::tiny())))
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_trie,
-    bench_ewma,
-    bench_event_inference,
-    bench_sample_index,
-    bench_preevents,
-    bench_full_pipeline,
-    bench_scenario_generation
-);
-criterion_main!(benches);

@@ -99,7 +99,7 @@ fn main() {
     println!("== summary: {within}/{total} paper-anchored checks within ±35% (or ±0.05) ==");
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&selected).expect("serializable reports");
+        let json = rtbh_json::to_string_pretty(&selected);
         let mut f = std::fs::File::create(&path).expect("create json output");
         f.write_all(json.as_bytes()).expect("write json output");
         eprintln!("wrote {path}");

@@ -100,11 +100,7 @@ fn main() {
     )
     .expect("write stdout");
 
-    std::fs::write(
-        &out_path,
-        serde_json::to_vec_pretty(&bench).expect("serialize bench result"),
-    )
-    .unwrap_or_else(|e| {
+    std::fs::write(&out_path, rtbh_json::to_vec_pretty(&bench)).unwrap_or_else(|e| {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);
     });
@@ -148,11 +144,7 @@ fn main() {
                 )
                 .expect("write stdout");
             }
-            std::fs::write(
-                path,
-                serde_json::to_vec_pretty(&idx).expect("serialize index bench"),
-            )
-            .unwrap_or_else(|e| {
+            std::fs::write(path, rtbh_json::to_vec_pretty(&idx)).unwrap_or_else(|e| {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
             });

@@ -710,7 +710,7 @@ pub fn f18(ctx: &Context) -> FigureReport {
     r.check(
         "dropped collateral exists (1=yes)",
         Some(1.0),
-        f64::from(dropped.len() > 0),
+        f64::from(!dropped.is_empty()),
     );
     r
 }

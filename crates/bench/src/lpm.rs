@@ -20,14 +20,12 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use serde::Serialize;
-
 use rtbh_core::index::SampleIndex;
 use rtbh_net::{FrozenLpm, PrefixTrie};
 use rtbh_sim::ScenarioConfig;
 
 /// Best-of-reps timing of one lookup structure over the full sample scan.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LookupTiming {
     /// Structure probed: `"trie"` or `"frozen"`.
     pub structure: &'static str,
@@ -40,7 +38,7 @@ pub struct LookupTiming {
 }
 
 /// Best-of-reps timing of one [`SampleIndex::build_with_workers`] call.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BuildTiming {
     /// Worker threads the sample scan was sharded over.
     pub workers: usize,
@@ -54,7 +52,7 @@ pub struct BuildTiming {
 
 /// The machine-readable result of one index micro-benchmark run
 /// (the content of `BENCH_index.json`).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IndexBench {
     /// The scenario that generated the corpus.
     pub scenario: ScenarioConfig,
@@ -205,6 +203,21 @@ mod tests {
         assert!((bench.builds[0].speedup_vs_one - 1.0).abs() < 1e-12);
         // The result must serialize (it is written verbatim to
         // BENCH_index.json).
-        serde_json::to_string(&bench).expect("serialize index bench");
+        rtbh_json::to_string(&bench);
+    }
+}
+
+rtbh_json::impl_json! {
+    serialize struct LookupTiming { structure, lookups, best_wall_ns, ns_per_lookup }
+}
+
+rtbh_json::impl_json! {
+    serialize struct BuildTiming { workers, best_wall_ns, samples_per_sec, speedup_vs_one }
+}
+
+rtbh_json::impl_json! {
+    serialize struct IndexBench {
+        scenario, updates, samples, prefixes, frozen_tables, reps,
+        lookups_identical, trie, frozen, lookup_speedup, builds,
     }
 }

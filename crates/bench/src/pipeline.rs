@@ -15,15 +15,13 @@
 //! cargo run --release -p rtbh-bench --bin pipeline_bench -- --scale 0.25 --reps 3
 //! ```
 
-use serde::Serialize;
-
 use rtbh_core::pipeline::{Analyzer, FullReport};
 use rtbh_core::profile::PipelineProfile;
 use rtbh_sim::ScenarioConfig;
 
 /// The machine-readable result of one pipeline timing run
 /// (the content of `BENCH_pipeline.json`).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineBench {
     /// The scenario that generated the corpus.
     pub scenario: ScenarioConfig,
@@ -72,8 +70,7 @@ pub fn bench_pipeline(config: ScenarioConfig, reps: usize) -> PipelineBench {
     let (seq_report, sequential) = seq_best.expect("reps >= 1");
     let (par_report, parallel) = par_best.expect("reps >= 1");
 
-    let reports_identical =
-        serde_json::to_string(&seq_report).ok() == serde_json::to_string(&par_report).ok();
+    let reports_identical = rtbh_json::to_string(&seq_report) == rtbh_json::to_string(&par_report);
     let speedup = sequential.total_wall_ns as f64 / parallel.total_wall_ns.max(1) as f64;
 
     PipelineBench {
@@ -101,6 +98,13 @@ mod tests {
         assert!(bench.speedup > 0.0);
         // The result must serialize (it is written verbatim to
         // BENCH_pipeline.json).
-        serde_json::to_string(&bench).expect("serialize bench result");
+        rtbh_json::to_string(&bench);
+    }
+}
+
+rtbh_json::impl_json! {
+    serialize struct PipelineBench {
+        scenario, updates, samples, events, reps, sequential, parallel,
+        speedup, reports_identical,
     }
 }

@@ -1,9 +1,7 @@
 //! Text rendering of figure reports.
 
-use serde::Serialize;
-
 /// One regenerated table or figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Experiment id (`f5`, `t2`, `s31`, ...).
     pub id: &'static str,
@@ -16,7 +14,7 @@ pub struct FigureReport {
 }
 
 /// One paper-vs-measured comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Check {
     /// What is being compared.
     pub name: String,
@@ -158,3 +156,7 @@ mod tests {
         assert!(cdf_row("y", &empty).contains("empty"));
     }
 }
+
+rtbh_json::impl_json! { serialize struct Check { name, paper, measured } }
+
+rtbh_json::impl_json! { serialize struct FigureReport { id, title, lines, checks } }

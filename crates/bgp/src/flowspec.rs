@@ -12,18 +12,18 @@
 //! Wire encoding of FlowSpec NLRI is out of scope; the paper's analyses work
 //! at rule semantics level, and so do we.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{AmplificationProtocol, Ipv4Addr, Port, Prefix, Protocol, AMPLIFICATION_PROTOCOLS};
 
 /// An inclusive transport-port range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortRange {
     /// Lowest matching port.
     pub lo: Port,
     /// Highest matching port (inclusive).
     pub hi: Port,
 }
+
+rtbh_json::impl_json! { struct PortRange { lo, hi } }
 
 impl PortRange {
     /// A single-port range.
@@ -38,7 +38,7 @@ impl PortRange {
 }
 
 /// The traffic-filtering action of a rule (RFC 8955 §7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FlowAction {
     /// `traffic-rate 0`: drop.
     Discard,
@@ -49,9 +49,11 @@ pub enum FlowAction {
     Accept,
 }
 
+rtbh_json::impl_json! { enum FlowAction { Discard, RateLimit(f64), Accept } }
+
 /// One FlowSpec rule: all present components must match (logical AND);
 /// within a component, any alternative may match (logical OR) — RFC 8955 §5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpecRule {
     /// Destination prefix component (mandatory here — every rule protects
     /// someone).
@@ -69,6 +71,12 @@ pub struct FlowSpecRule {
     pub fragment: Option<bool>,
     /// What to do with matching traffic.
     pub action: FlowAction,
+}
+
+rtbh_json::impl_json! {
+    struct FlowSpecRule {
+        dst_prefix, src_prefix, protocols, src_ports, dst_ports, fragment, action,
+    }
 }
 
 impl FlowSpecRule {
@@ -136,10 +144,12 @@ impl FlowSpecRule {
 
 /// An ordered rule table; the first matching rule's action applies
 /// (RFC 8955 orders by specificity — callers insert in that order).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowSpecTable {
     rules: Vec<FlowSpecRule>,
 }
+
+rtbh_json::impl_json! { struct FlowSpecTable { rules } }
 
 impl FlowSpecTable {
     /// An empty table.

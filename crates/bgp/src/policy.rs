@@ -17,12 +17,10 @@
 //! An [`ImportPolicy`] is attached to a *router*, not an AS, precisely to
 //! reproduce that inconsistent split behaviour.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::Prefix;
 
 /// What a router does with a received route, per prefix-length class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ImportPolicy {
     /// Accept blackhole routes with length ≤ /24 (standard).
     pub accept_blackhole_le24: bool,
@@ -33,6 +31,13 @@ pub struct ImportPolicy {
     /// Accept regular (non-blackhole) routes up to /24. Disabled only in
     /// pathological configurations; kept for completeness.
     pub accept_regular: bool,
+}
+
+rtbh_json::impl_json! {
+    struct ImportPolicy {
+        accept_blackhole_le24, accept_blackhole_25_31, accept_blackhole_32,
+        accept_regular,
+    }
 }
 
 impl ImportPolicy {

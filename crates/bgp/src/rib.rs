@@ -8,15 +8,13 @@
 //! in separate slots: withdrawing a blackhole must never tear down the
 //! underlying reachability, even when both share the same prefix.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Asn, Ipv4Addr, Prefix, PrefixTrie, Timestamp};
 
 use crate::policy::ImportPolicy;
 use crate::update::{BgpUpdate, UpdateKind};
 
 /// A route installed in a RIB slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteEntry {
     /// The origin AS of the route.
     pub origin: Asn,
@@ -26,12 +24,16 @@ pub struct RouteEntry {
     pub installed_at: Timestamp,
 }
 
+rtbh_json::impl_json! { struct RouteEntry { origin, blackhole, installed_at } }
+
 /// The two per-prefix slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct Slot {
     regular: Option<RouteEntry>,
     blackhole: Option<RouteEntry>,
 }
+
+rtbh_json::impl_json! { struct Slot { regular, blackhole } }
 
 impl Slot {
     fn is_empty(&self) -> bool {
@@ -40,7 +42,7 @@ impl Slot {
 }
 
 /// The forwarding decision for a destination address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Forwarding {
     /// Best route is a blackhole: the packet is discarded at the IXP.
     Blackholed,
@@ -51,12 +53,16 @@ pub enum Forwarding {
     NoRoute,
 }
 
+rtbh_json::impl_json! { enum Forwarding { Blackholed, Forward(rtbh_net::Asn), NoRoute } }
+
 /// A router's RIB with policy-filtered route installation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Rib {
     routes: PrefixTrie<Slot>,
     policy: ImportPolicy,
 }
+
+rtbh_json::impl_json! { struct Rib { routes, policy } }
 
 impl Rib {
     /// An empty RIB using the given import policy.
@@ -107,8 +113,7 @@ impl Rib {
                 } else {
                     &mut slot.regular
                 };
-                let changed = target.replace(entry) != Some(entry);
-                changed
+                target.replace(entry) != Some(entry)
             }
             UpdateKind::Withdraw => {
                 let Some(slot) = self.routes.get_mut(update.prefix) else {

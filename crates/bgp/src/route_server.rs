@@ -11,18 +11,18 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Asn, Community};
 
 use crate::update::BgpUpdate;
 
 /// The route server of the IXP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteServer {
     asn: Asn,
     peers: BTreeSet<Asn>,
 }
+
+rtbh_json::impl_json! { struct RouteServer { asn, peers } }
 
 impl RouteServer {
     /// Creates a route server with the given ASN and member peers.

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Interval, Prefix, TimeDelta, Timestamp};
 
 use crate::update::{BgpUpdate, UpdateKind};
@@ -112,7 +110,7 @@ pub fn active_count_series(
 /// Summary statistics of blackhole durations — used for the duration part of
 /// the final classification (Fig. 19 differentiates long-lived "zombie"
 /// blackholes from short mitigation blackholes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DurationStats {
     /// Number of intervals.
     pub count: usize,
@@ -121,6 +119,8 @@ pub struct DurationStats {
     /// Longest single interval.
     pub longest: TimeDelta,
 }
+
+rtbh_json::impl_json! { struct DurationStats { count, total, longest } }
 
 /// Computes [`DurationStats`] for one prefix's intervals.
 pub fn duration_stats(intervals: &[Interval]) -> DurationStats {

@@ -1,11 +1,9 @@
 //! BGP update messages and the control-plane corpus.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, Timestamp};
 
 /// Whether an update announces or withdraws a route.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum UpdateKind {
     /// The route becomes available.
     Announce,
@@ -13,13 +11,15 @@ pub enum UpdateKind {
     Withdraw,
 }
 
+rtbh_json::impl_json! { enum UpdateKind { Announce, Withdraw } }
+
 /// One BGP update as seen at the route server.
 ///
 /// This is the paper's control-plane record (§3.1): it tells us *(i)* when
 /// blackholing starts/stops, *(ii)* which member triggered it (`peer`),
 /// *(iii)* which ASes should receive it (`communities`), and *(iv)* the
 /// origin AS of the prefix (`origin`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BgpUpdate {
     /// Collector timestamp.
     pub at: Timestamp,
@@ -37,6 +37,10 @@ pub struct BgpUpdate {
     /// The announced next hop. For blackhole routes this is the IXP's
     /// dedicated blackhole next-hop address.
     pub next_hop: Ipv4Addr,
+}
+
+rtbh_json::impl_json! {
+    struct BgpUpdate { at, peer, prefix, origin, kind, communities, next_hop }
 }
 
 impl BgpUpdate {
@@ -58,10 +62,12 @@ impl BgpUpdate {
 }
 
 /// A time-ordered log of BGP updates — the control-plane corpus.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UpdateLog {
     updates: Vec<BgpUpdate>,
 }
+
+rtbh_json::impl_json! { struct UpdateLog { updates } }
 
 impl UpdateLog {
     /// An empty log.

@@ -8,8 +8,7 @@
 //! self-contained: no `unsafe`, strict bounds checking, and every decode
 //! error is typed.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use rtbh_net::cursor::{PutBytes, Reader};
 use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, Timestamp};
 
 use crate::update::{BgpUpdate, UpdateKind, UpdateLog};
@@ -48,14 +47,14 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Encodes a prefix in BGP NLRI form: length byte + ceil(len/8) bytes.
-fn put_nlri(buf: &mut BytesMut, prefix: Prefix) {
+fn put_nlri(buf: &mut Vec<u8>, prefix: Prefix) {
     buf.put_u8(prefix.len());
     let octets = prefix.network().octets();
     buf.put_slice(&octets[..prefix.len().div_ceil(8) as usize]);
 }
 
 /// Decodes one NLRI prefix.
-fn get_nlri(buf: &mut Bytes) -> Result<Prefix, WireError> {
+fn get_nlri(buf: &mut Reader<'_>) -> Result<Prefix, WireError> {
     if buf.remaining() < 1 {
         return Err(WireError::Truncated("NLRI length"));
     }
@@ -84,11 +83,11 @@ fn get_nlri(buf: &mut Bytes) -> Result<Prefix, WireError> {
 /// in the withdrawn-routes section. Timestamps and the sending peer are
 /// transport-level metadata and live in the MRT framing (see
 /// [`encode_update_log`]).
-pub fn encode_update(update: &BgpUpdate) -> Bytes {
-    let mut body = BytesMut::with_capacity(64);
+pub fn encode_update(update: &BgpUpdate) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
     match update.kind {
         UpdateKind::Withdraw => {
-            let mut withdrawn = BytesMut::new();
+            let mut withdrawn = Vec::new();
             put_nlri(&mut withdrawn, update.prefix);
             body.put_u16(withdrawn.len() as u16);
             body.put_slice(&withdrawn);
@@ -96,7 +95,7 @@ pub fn encode_update(update: &BgpUpdate) -> Bytes {
         }
         UpdateKind::Announce => {
             body.put_u16(0); // no withdrawn routes
-            let mut attrs = BytesMut::new();
+            let mut attrs = Vec::new();
             // ORIGIN: IGP.
             attrs.put_u8(FLAG_TRANSITIVE);
             attrs.put_u8(ATTR_ORIGIN);
@@ -128,12 +127,12 @@ pub fn encode_update(update: &BgpUpdate) -> Bytes {
             put_nlri(&mut body, update.prefix);
         }
     }
-    let mut msg = BytesMut::with_capacity(19 + body.len());
+    let mut msg = Vec::with_capacity(19 + body.len());
     msg.put_slice(&[0xFF; 16]); // marker
     msg.put_u16(19 + body.len() as u16);
     msg.put_u8(MSG_UPDATE);
     msg.put_slice(&body);
-    msg.freeze()
+    msg
 }
 
 /// The attributes of a decoded announcement.
@@ -143,7 +142,7 @@ struct DecodedAttrs {
     communities: Vec<Community>,
 }
 
-fn decode_attrs(mut attrs: Bytes) -> Result<DecodedAttrs, WireError> {
+fn decode_attrs(mut attrs: Reader<'_>) -> Result<DecodedAttrs, WireError> {
     let mut out = DecodedAttrs {
         origin_as: None,
         next_hop: None,
@@ -167,7 +166,7 @@ fn decode_attrs(mut attrs: Bytes) -> Result<DecodedAttrs, WireError> {
         if attrs.remaining() < len {
             return Err(WireError::Truncated("attribute body"));
         }
-        let mut value = attrs.copy_to_bytes(len);
+        let mut value = attrs.take(len);
         match code {
             ATTR_AS_PATH => {
                 // Read the last AS of the last segment as the origin.
@@ -208,11 +207,8 @@ fn decode_attrs(mut attrs: Bytes) -> Result<DecodedAttrs, WireError> {
 /// Decodes one BGP UPDATE message into updates. `at`/`peer` come from the
 /// caller's transport framing. One message may carry several withdrawn
 /// routes and several NLRI; each becomes its own [`BgpUpdate`].
-pub fn decode_update(
-    mut msg: Bytes,
-    at: Timestamp,
-    peer: Asn,
-) -> Result<Vec<BgpUpdate>, WireError> {
+pub fn decode_update(msg: &[u8], at: Timestamp, peer: Asn) -> Result<Vec<BgpUpdate>, WireError> {
+    let mut msg = Reader::new(msg);
     if msg.remaining() < 19 {
         return Err(WireError::Truncated("message header"));
     }
@@ -232,7 +228,7 @@ pub fn decode_update(
     if declared - 19 > msg.remaining() {
         return Err(WireError::Truncated("message body"));
     }
-    let mut body = msg.copy_to_bytes(declared - 19);
+    let mut body = msg.take(declared - 19);
 
     if body.remaining() < 2 {
         return Err(WireError::Truncated("withdrawn length"));
@@ -241,7 +237,7 @@ pub fn decode_update(
     if body.remaining() < withdrawn_len {
         return Err(WireError::Truncated("withdrawn routes"));
     }
-    let mut withdrawn = body.copy_to_bytes(withdrawn_len);
+    let mut withdrawn = body.take(withdrawn_len);
     let mut out = Vec::new();
     while withdrawn.has_remaining() {
         let prefix = get_nlri(&mut withdrawn)?;
@@ -263,7 +259,7 @@ pub fn decode_update(
     if body.remaining() < attrs_len {
         return Err(WireError::Truncated("attributes"));
     }
-    let attrs = decode_attrs(body.copy_to_bytes(attrs_len))?;
+    let attrs = decode_attrs(body.take(attrs_len))?;
     while body.has_remaining() {
         let prefix = get_nlri(&mut body)?;
         out.push(BgpUpdate {
@@ -286,8 +282,8 @@ pub fn decode_update(
 /// MRT-style record framing: `timestamp_ms: i64 | peer: u32 | len: u16 |
 /// message bytes`, repeated. Enough to persist and replay an update log
 /// byte-exactly.
-pub fn encode_update_log(log: &UpdateLog) -> Bytes {
-    let mut buf = BytesMut::new();
+pub fn encode_update_log(log: &UpdateLog) -> Vec<u8> {
+    let mut buf = Vec::new();
     for u in log.updates() {
         let msg = encode_update(u);
         buf.put_i64(u.at.as_millis());
@@ -295,7 +291,7 @@ pub fn encode_update_log(log: &UpdateLog) -> Bytes {
         buf.put_u16(msg.len() as u16);
         buf.put_slice(&msg);
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes an MRT-style stream back into an update log.
@@ -303,7 +299,8 @@ pub fn encode_update_log(log: &UpdateLog) -> Bytes {
 /// Withdrawals in the wire format carry no origin/communities (BGP does not
 /// transmit them); round-tripping a synthetic log therefore canonicalises
 /// withdrawals to bare prefix retractions, exactly like a real feed.
-pub fn decode_update_log(mut buf: Bytes) -> Result<UpdateLog, WireError> {
+pub fn decode_update_log(buf: &[u8]) -> Result<UpdateLog, WireError> {
+    let mut buf = Reader::new(buf);
     let mut updates = Vec::new();
     while buf.has_remaining() {
         if buf.remaining() < 14 {
@@ -315,8 +312,8 @@ pub fn decode_update_log(mut buf: Bytes) -> Result<UpdateLog, WireError> {
         if buf.remaining() < len {
             return Err(WireError::Truncated("record body"));
         }
-        let msg = buf.copy_to_bytes(len);
-        updates.extend(decode_update(msg, at, peer)?);
+        let msg = buf.take(len);
+        updates.extend(decode_update(msg.rest(), at, peer)?);
     }
     Ok(UpdateLog::from_updates(updates))
 }
@@ -342,7 +339,7 @@ mod tests {
     fn announce_round_trips() {
         let u = announce();
         let bytes = encode_update(&u);
-        let decoded = decode_update(bytes, u.at, u.peer).unwrap();
+        let decoded = decode_update(&bytes, u.at, u.peer).unwrap();
         assert_eq!(decoded.len(), 1);
         assert_eq!(decoded[0], u);
     }
@@ -352,7 +349,7 @@ mod tests {
         let mut u = announce();
         u.kind = UpdateKind::Withdraw;
         let bytes = encode_update(&u);
-        let decoded = decode_update(bytes, u.at, u.peer).unwrap();
+        let decoded = decode_update(&bytes, u.at, u.peer).unwrap();
         assert_eq!(decoded.len(), 1);
         assert_eq!(decoded[0].prefix, u.prefix);
         assert_eq!(decoded[0].kind, UpdateKind::Withdraw);
@@ -378,16 +375,16 @@ mod tests {
             // + attrs (ORIGIN 4 + AS_PATH 9 + NEXT_HOP 7 + 2 COMMUNITIES 11 = 31)
             // + NLRI (1 length byte + packed network bytes).
             assert_eq!(bytes.len(), 19 + 2 + 2 + 31 + expected_bytes, "{prefix}");
-            let decoded = decode_update(bytes, u.at, u.peer).unwrap();
+            let decoded = decode_update(&bytes, u.at, u.peer).unwrap();
             assert_eq!(decoded[0].prefix, u.prefix, "{prefix}");
         }
     }
 
     #[test]
     fn corrupted_marker_rejected() {
-        let mut raw = encode_update(&announce()).to_vec();
+        let mut raw = encode_update(&announce());
         raw[0] = 0;
-        let err = decode_update(Bytes::from(raw), Timestamp::EPOCH, Asn(1)).unwrap_err();
+        let err = decode_update(&raw, Timestamp::EPOCH, Asn(1)).unwrap_err();
         assert_eq!(err, WireError::Invalid("marker"));
     }
 
@@ -395,9 +392,8 @@ mod tests {
     fn truncated_message_rejected() {
         let raw = encode_update(&announce());
         for cut in [0, 5, 18, 21, raw.len() - 1] {
-            let sliced = raw.slice(..cut);
             assert!(
-                decode_update(sliced, Timestamp::EPOCH, Asn(1)).is_err(),
+                decode_update(&raw[..cut], Timestamp::EPOCH, Asn(1)).is_err(),
                 "cut at {cut} must fail"
             );
         }
@@ -405,18 +401,18 @@ mod tests {
 
     #[test]
     fn oversized_nlri_length_rejected() {
-        let mut raw = encode_update(&announce()).to_vec();
+        let mut raw = encode_update(&announce());
         let idx = raw.len() - 5; // NLRI length byte of the /32
         assert_eq!(raw[idx], 32);
         raw[idx] = 33;
-        let err = decode_update(Bytes::from(raw), Timestamp::EPOCH, Asn(1)).unwrap_err();
+        let err = decode_update(&raw, Timestamp::EPOCH, Asn(1)).unwrap_err();
         assert_eq!(err, WireError::Invalid("NLRI length > 32"));
     }
 
     #[test]
     fn log_round_trips_with_canonical_withdrawals() {
         let mut withdraw = announce();
-        withdraw.at = withdraw.at + TimeDelta::minutes(10);
+        withdraw.at += TimeDelta::minutes(10);
         withdraw.kind = UpdateKind::Withdraw;
         // Canonical withdrawal (what the wire preserves).
         withdraw.origin = Asn::RESERVED;
@@ -424,7 +420,7 @@ mod tests {
         withdraw.next_hop = Ipv4Addr::UNSPECIFIED;
         let log = UpdateLog::from_updates(vec![announce(), withdraw]);
         let bytes = encode_update_log(&log);
-        let decoded = decode_update_log(bytes).unwrap();
+        let decoded = decode_update_log(&bytes).unwrap();
         assert_eq!(decoded, log);
     }
 
@@ -433,6 +429,6 @@ mod tests {
         let log = UpdateLog::new();
         let bytes = encode_update_log(&log);
         assert!(bytes.is_empty());
-        assert_eq!(decode_update_log(bytes).unwrap(), log);
+        assert_eq!(decode_update_log(&bytes).unwrap(), log);
     }
 }

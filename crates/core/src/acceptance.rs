@@ -14,8 +14,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{blackhole_intervals, UpdateLog};
 use rtbh_fabric::FlowLog;
 use rtbh_net::{Asn, Interval, Prefix, PrefixTrie, Timestamp};
@@ -25,7 +23,7 @@ use rtbh_stats::{top_k_by, Ecdf};
 use crate::index::MacResolver;
 
 /// Dropped/forwarded tallies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DropTally {
     /// Dropped packets (samples).
     pub dropped_packets: u64,
@@ -78,7 +76,7 @@ impl DropTally {
 }
 
 /// The full acceptance analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceptanceAnalysis {
     /// Per prefix length: aggregate tallies over all active blackholes of
     /// that length (Fig. 5).
@@ -365,5 +363,15 @@ mod tests {
         assert_eq!((dropping, forwarding, inconsistent), (1, 0, 1));
         let top = a.top_sources_32(1);
         assert_eq!(top.len(), 1);
+    }
+}
+
+rtbh_json::impl_json! {
+    struct DropTally { dropped_packets, forwarded_packets, dropped_bytes, forwarded_bytes }
+}
+
+rtbh_json::impl_json! {
+    struct AcceptanceAnalysis {
+        by_length, by_prefix, by_source_as_32, samples_during_blackhole,
     }
 }

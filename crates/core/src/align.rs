@@ -6,8 +6,6 @@
 //! maximising that coincidence recovers the inter-recorder clock skew (the
 //! paper: 99.36% overlap at −0.04 s).
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{blackhole_intervals, UpdateLog};
 use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{FrozenLpm, Interval, TimeDelta, Timestamp};
@@ -16,7 +14,7 @@ use rtbh_stats::offset::{offset_scan_with_workers, ExplainableSample, OffsetScan
 use crate::shard;
 
 /// The alignment estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Alignment {
     /// The full likelihood curve and its argmax.
     pub scan: OffsetScan,
@@ -282,3 +280,5 @@ mod tests {
         assert!((alignment.best_overlap() - 0.5).abs() < 1e-12);
     }
 }
+
+rtbh_json::impl_json! { struct Alignment { scan, dropped_samples } }

@@ -1,8 +1,6 @@
 //! Final RTBH use-case classification (paper §7.3, Fig. 19) and the
 //! literature-based expectations (Table 1).
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::TimeDelta;
 
 use crate::events::RtbhEvent;
@@ -10,7 +8,7 @@ use crate::preevent::{PreClass, PreEventAnalysis};
 use crate::protocols::ProtocolAnalysis;
 
 /// The RTBH use cases of paper §2 / Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum UseCase {
     /// DDoS mitigation: a traffic anomaly precedes the blackhole.
     InfrastructureProtection,
@@ -35,7 +33,7 @@ impl std::fmt::Display for UseCase {
 }
 
 /// Table 1: the literature-based expected characteristics of a use case.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpectedProfile {
     /// How the blackhole is triggered.
     pub trigger: &'static str,
@@ -91,7 +89,7 @@ pub fn expected_profile(use_case: UseCase) -> ExpectedProfile {
 }
 
 /// Thresholds of the classifier.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassifyConfig {
     /// Minimum total duration for squatting protection.
     pub squatting_min_duration: TimeDelta,
@@ -125,7 +123,7 @@ impl ClassifyConfig {
 }
 
 /// One classified event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClassifiedEvent {
     /// The event's id.
     pub event_id: usize,
@@ -138,7 +136,7 @@ pub struct ClassifiedEvent {
 }
 
 /// The corpus-wide classification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Classification {
     /// One verdict per event, id order.
     pub per_event: Vec<ClassifiedEvent>,
@@ -375,3 +373,23 @@ mod tests {
         }
     }
 }
+
+rtbh_json::impl_json! {
+    enum UseCase { InfrastructureProtection, SquattingProtection, Zombie, Other }
+}
+
+rtbh_json::impl_json! {
+    serialize struct ExpectedProfile {
+        trigger, prefix_length, reaction_latency, duration, traffic, target,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct ClassifyConfig { squatting_min_duration, zombie_min_duration, zombie_max_packets }
+}
+
+rtbh_json::impl_json! {
+    struct ClassifiedEvent { event_id, use_case, duration, open_ended }
+}
+
+rtbh_json::impl_json! { struct Classification { per_event } }

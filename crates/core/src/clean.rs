@@ -7,14 +7,12 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::FlowLog;
 
 use crate::corpus::Corpus;
 
 /// What cleaning removed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CleanReport {
     /// Samples before cleaning.
     pub total: usize,
@@ -126,3 +124,5 @@ mod tests {
         assert_eq!(report.removed_share(), 0.0);
     }
 }
+
+rtbh_json::impl_json! { struct CleanReport { total, internal_removed } }

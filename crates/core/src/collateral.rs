@@ -10,8 +10,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Ipv4Addr, Service};
 use rtbh_stats::Ecdf;
@@ -21,7 +19,7 @@ use crate::hosts::{HostAnalysis, HostClass};
 use crate::index::SampleIndex;
 
 /// Collateral damage within one event for one detected server.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollateralRecord {
     /// The RTBH event.
     pub event_id: usize,
@@ -34,7 +32,7 @@ pub struct CollateralRecord {
 }
 
 /// The corpus-wide collateral analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollateralAnalysis {
     /// One record per (event, server) pair with any top-port traffic.
     pub records: Vec<CollateralRecord>,
@@ -167,3 +165,9 @@ mod tests {
         assert!(analysis.worst().is_none());
     }
 }
+
+rtbh_json::impl_json! {
+    struct CollateralRecord { event_id, server, to_top_ports, dropped_top_ports }
+}
+
+rtbh_json::impl_json! { struct CollateralAnalysis { records, servers_considered } }

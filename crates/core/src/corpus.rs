@@ -2,8 +2,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::UpdateLog;
 use rtbh_fabric::FlowLog;
 use rtbh_net::{Asn, Interval, MacAddr};
@@ -11,7 +9,7 @@ use rtbh_peeringdb::Registry;
 
 /// The MAC addresses of one member's router ports, as known to the IXP
 /// (the paper maps sampled MACs to member ASes this way, §3.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemberInfo {
     /// The member's AS number.
     pub asn: Asn,
@@ -23,7 +21,7 @@ pub struct MemberInfo {
 ///
 /// The analysis pipeline in `rtbh-core` consumes **only** this structure —
 /// it never sees the simulator's ground truth.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Corpus {
     /// The measurement period `[start, end)`.
     pub period: Interval,
@@ -148,5 +146,14 @@ mod tests {
             next_hop: "198.51.100.66".parse().unwrap(),
         }]);
         assert_ne!(corpus.digest(), other.digest());
+    }
+}
+
+rtbh_json::impl_json! { struct MemberInfo { asn, macs } }
+
+rtbh_json::impl_json! {
+    struct Corpus {
+        period, sampling_rate, route_server_asn, updates, flows, members,
+        registry, internal_macs, routes,
     }
 }

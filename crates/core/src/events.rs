@@ -6,14 +6,12 @@
 //! most Δ into one *RTBH event*, finding Δ = 10 min the knee (400k
 //! announcements → 34k events, 8.5%).
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{blackhole_intervals, UpdateLog};
 use rtbh_net::{Asn, Interval, Prefix, TimeDelta, Timestamp};
 
 /// One inferred RTBH event: a maximal run of same-prefix blackhole activity
 /// whose internal gaps are all ≤ Δ.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RtbhEvent {
     /// Dense event id (order of first announcement).
     pub id: usize,
@@ -117,7 +115,7 @@ pub fn infer_events(
 }
 
 /// One point of the Δ-sweep of Fig. 10.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MergeSweepPoint {
     /// The merge threshold.
     pub delta: TimeDelta,
@@ -272,3 +270,9 @@ mod tests {
         assert_eq!(events[0].origin, Asn(88));
     }
 }
+
+rtbh_json::impl_json! {
+    struct RtbhEvent { id, prefix, spans, trigger_peer, origin, open_ended }
+}
+
+rtbh_json::impl_json! { struct MergeSweepPoint { delta, events, event_fraction } }

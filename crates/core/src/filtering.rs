@@ -9,8 +9,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{AmplificationProtocol, Asn, Protocol};
 use rtbh_stats::Ecdf;
@@ -20,7 +18,7 @@ use crate::index::{MacResolver, OriginTable, SampleIndex};
 use crate::preevent::{PreClass, PreEventAnalysis};
 
 /// Per-event fine-grained-filtering emulation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterEmulation {
     /// The event's id.
     pub event_id: usize,
@@ -49,7 +47,7 @@ impl FilterEmulation {
 
 /// The corpus-wide filtering analysis, restricted to anomaly-backed events
 /// with during-event data (the paper's scope for Figs. 14–15).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilteringAnalysis {
     /// One entry per qualifying event.
     pub per_event: Vec<FilterEmulation>,
@@ -274,4 +272,14 @@ mod tests {
         assert!(analysis.filterable_share_cdf().is_empty());
         assert_eq!(analysis.mean_spread(), (0.0, 0.0, 0.0));
     }
+}
+
+rtbh_json::impl_json! {
+    struct FilterEmulation {
+        event_id, packets, filterable, handover_ases, origin_ases, unique_sources,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct FilteringAnalysis { per_event, handover_participation, origin_participation }
 }

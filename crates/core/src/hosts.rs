@@ -13,8 +13,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Asn, Interval, Ipv4Addr, Prefix, Service, TimeDelta};
 use rtbh_peeringdb::{OrgType, Registry};
@@ -24,7 +22,7 @@ use crate::events::RtbhEvent;
 use crate::index::SampleIndex;
 
 /// Host classification outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostClass {
     /// Stable top ports — behaves like a server.
     Server,
@@ -37,7 +35,7 @@ pub enum HostClass {
 }
 
 /// Configuration of the host analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostConfig {
     /// Minimum days with *both* incoming and outgoing traffic (paper: 20).
     pub min_days: usize,
@@ -67,7 +65,7 @@ impl Default for HostConfig {
 }
 
 /// One analysed host.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostRecord {
     /// The host address.
     pub addr: Ipv4Addr,
@@ -94,7 +92,7 @@ pub struct HostRecord {
 }
 
 /// The corpus-wide host analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostAnalysis {
     /// All hosts that ever appeared in traffic to/from a blackholed prefix.
     pub hosts: Vec<HostRecord>,
@@ -462,3 +460,20 @@ mod tests {
         assert_eq!(host.origin, Asn(42));
     }
 }
+
+rtbh_json::impl_json! {
+    enum HostClass { Server, Client, Ambiguous, InsufficientData }
+}
+
+rtbh_json::impl_json! {
+    struct HostConfig { min_days, reaction, server_max_variation, client_min_variation }
+}
+
+rtbh_json::impl_json! {
+    struct HostRecord {
+        addr, prefix, origin, days_in, days_out, port_features, radviz,
+        top_services, port_variation, class,
+    }
+}
+
+rtbh_json::impl_json! { struct HostAnalysis { hosts, config } }

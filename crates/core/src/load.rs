@@ -2,14 +2,12 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{active_count_series, blackhole_intervals, UpdateLog};
 use rtbh_fabric::FlowLog;
 use rtbh_net::{Interval, PrefixTrie, TimeDelta, Timestamp};
 
 /// The control-plane load analysis (Fig. 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadAnalysis {
     /// `(minute, active parallel RTBH prefixes)` series.
     pub active_series: Vec<(Timestamp, usize)>,
@@ -83,7 +81,7 @@ pub fn analyze_load(updates: &UpdateLog, period: Interval, step: TimeDelta) -> L
 /// Drop provenance (§3.1): how much dropped traffic is explained by
 /// route-server-signaled blackholes (the paper: 95% of dropped bytes; the
 /// rest stems from bilateral RTBH invisible to the route server).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DropProvenance {
     /// All dropped samples.
     pub dropped_packets: u64,
@@ -238,4 +236,15 @@ mod tests {
         let prov = drop_provenance(&UpdateLog::new(), &FlowLog::new(), ts(10));
         assert_eq!(prov.byte_share(), 0.0);
     }
+}
+
+rtbh_json::impl_json! {
+    struct LoadAnalysis {
+        active_series, message_series, mean_active, peak_active,
+        peak_messages_per_minute, total_messages, announcing_peers, origin_asns,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct DropProvenance { dropped_packets, dropped_bytes, explained_packets, explained_bytes }
 }

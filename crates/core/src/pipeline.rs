@@ -29,8 +29,6 @@
 //! additionally returns a [`PipelineProfile`] with per-stage wall times
 //! and input footprints.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::FlowLog;
 use rtbh_net::{Asn, TimeDelta};
 
@@ -55,7 +53,7 @@ use crate::visibility::{visibility_series, VisibilityPoint};
 const PARALLEL_WORKERS: usize = 7;
 
 /// All tunables of the pipeline, defaulting to the paper's choices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyzerConfig {
     /// Δ for merging announcements into events (paper: 10 minutes).
     pub merge_delta: TimeDelta,
@@ -626,7 +624,7 @@ impl Analyzer {
 /// Serializes to JSON deterministically: every contained map is a
 /// `BTreeMap`, so two runs over the same corpus — sequential or parallel —
 /// produce byte-identical output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FullReport {
     /// Cleaning report (§3.1).
     pub clean: CleanReport,
@@ -655,7 +653,7 @@ pub struct FullReport {
 }
 
 /// The abstract's headline numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Headline {
     /// Total inferred RTBH events.
     pub total_events: usize,
@@ -703,5 +701,26 @@ impl FullReport {
             .get(&use_case)
             .copied()
             .unwrap_or(0.0)
+    }
+}
+
+rtbh_json::impl_json! {
+    struct AnalyzerConfig {
+        merge_delta, preevent, host, classify, offset_half_range, offset_step,
+        visibility_step, load_step, workers,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct FullReport {
+        clean, alignment, load, provenance, visibility, acceptance, preevents,
+        protocols, filtering, hosts, collateral, classification,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct Headline {
+        total_events, anomaly_share, drop_rate_32_packets, drop_rate_32_bytes,
+        client_victims, server_victims, fully_filterable_share,
     }
 }

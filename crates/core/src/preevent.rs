@@ -9,8 +9,6 @@
 
 use std::collections::HashSet;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Interval, Protocol, TimeDelta};
 use rtbh_stats::{EwmaConfig, EwmaDetector};
@@ -26,7 +24,7 @@ pub const FEATURE_NAMES: [&str; FEATURES] =
     ["packets", "flows", "src_ips", "dst_ports", "non_tcp_flows"];
 
 /// Configuration of the pre-event analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PreEventConfig {
     /// Slot length (paper: 5 minutes).
     pub slot: TimeDelta,
@@ -68,7 +66,7 @@ impl Default for PreEventConfig {
 }
 
 /// Table 2 classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PreClass {
     /// No sampled packet in the whole pre-window.
     NoData,
@@ -79,7 +77,7 @@ pub enum PreClass {
 }
 
 /// One anomalous slot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnomalyHit {
     /// Time from the slot start to the event's first announcement.
     pub before_start: TimeDelta,
@@ -88,7 +86,7 @@ pub struct AnomalyHit {
 }
 
 /// The per-event result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreEventResult {
     /// The event's id.
     pub event_id: usize,
@@ -164,9 +162,9 @@ fn feature_series(
 }
 
 /// Analyzes one event's pre-window given its time-sorted samples.
-pub fn analyze_event<'a>(
+pub fn analyze_event(
     event: &RtbhEvent,
-    samples: &[&'a FlowSample],
+    samples: &[&FlowSample],
     config: &PreEventConfig,
 ) -> PreEventResult {
     let window = Interval::new(event.start() - config.pre_window, event.start());
@@ -238,7 +236,7 @@ pub fn analyze_event<'a>(
 }
 
 /// The corpus-wide pre-event analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreEventAnalysis {
     /// One result per event, in event-id order.
     pub per_event: Vec<PreEventResult>,
@@ -519,3 +517,20 @@ mod tests {
         assert_eq!(r.class, PreClass::DataNoAnomaly);
     }
 }
+
+rtbh_json::impl_json! {
+    struct PreEventConfig { slot, pre_window, ewma, anomaly_horizon, min_anomalous_value }
+}
+
+rtbh_json::impl_json! { enum PreClass { NoData, DataNoAnomaly, DataAnomaly } }
+
+rtbh_json::impl_json! { struct AnomalyHit { before_start, level } }
+
+rtbh_json::impl_json! {
+    struct PreEventResult {
+        event_id, slots_with_data, packets, anomalies, amplification,
+        last_slot_is_max, class,
+    }
+}
+
+rtbh_json::impl_json! { struct PreEventAnalysis { per_event, config } }

@@ -34,10 +34,8 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 /// How a pipeline run executed its stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionMode {
     /// All stages on the calling thread, in DAG order.
     Sequential,
@@ -56,7 +54,7 @@ impl ExecutionMode {
 }
 
 /// The input footprint of one stage: how much of the corpus it scans.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Footprint {
     /// BGP updates scanned.
     pub updates: u64,
@@ -68,7 +66,7 @@ pub struct Footprint {
 }
 
 /// Wall time and input footprint of one pipeline stage.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageStats {
     /// Stable stage identifier (e.g. `"acceptance"`).
     pub stage: String,
@@ -131,7 +129,7 @@ pub fn time_stage_with_workers<T>(
 /// The profile of one full pipeline run: execution mode, end-to-end wall
 /// time and per-stage statistics in canonical stage order (independent of
 /// completion order, so sequential and parallel profiles line up).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineProfile {
     /// How the stages were executed.
     pub mode: ExecutionMode,
@@ -329,8 +327,8 @@ mod tests {
     #[test]
     fn profile_serializes_to_json_and_back() {
         let profile = sample_profile();
-        let json = serde_json::to_string(&profile).expect("serialize profile");
-        let back: PipelineProfile = serde_json::from_str(&json).expect("deserialize profile");
+        let json = rtbh_json::to_string(&profile);
+        let back: PipelineProfile = rtbh_json::from_str(&json).expect("deserialize profile");
         assert_eq!(back, profile);
     }
 
@@ -350,4 +348,18 @@ mod tests {
         assert_eq!(format_rate(3_000_000.0), "3.00 M/s");
         assert_eq!(format_rate(2_000_000_000.0), "2.00 G/s");
     }
+}
+
+rtbh_json::impl_json! { enum ExecutionMode { Sequential, Parallel } }
+
+rtbh_json::impl_json! { struct Footprint { updates, samples, events } }
+
+rtbh_json::impl_json! {
+    struct StageStats {
+        stage, wall_ns, workers, updates_scanned, samples_scanned, events_touched,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct PipelineProfile { mode, worker_threads, total_wall_ns, prepare, stages }
 }

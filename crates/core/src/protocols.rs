@@ -3,8 +3,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{AmplificationProtocol, Protocol, TimeDelta};
 
@@ -13,7 +11,7 @@ use crate::index::SampleIndex;
 use crate::preevent::{PreClass, PreEventAnalysis};
 
 /// The during-event traffic summary of one event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventTraffic {
     /// The event's id.
     pub event_id: usize,
@@ -48,7 +46,7 @@ impl EventTraffic {
 }
 
 /// The corpus-wide during-event analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolAnalysis {
     /// One entry per event, id order.
     pub per_event: Vec<EventTraffic>,
@@ -309,3 +307,11 @@ mod tests {
         assert_eq!(top[1], (AmplificationProtocol::Ntp, 2));
     }
 }
+
+rtbh_json::impl_json! {
+    struct EventTraffic {
+        event_id, packets, by_protocol, amplification, preceded_by_anomaly,
+    }
+}
+
+rtbh_json::impl_json! { struct ProtocolAnalysis { per_event } }

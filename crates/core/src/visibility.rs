@@ -10,14 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{UpdateKind, UpdateLog};
 use rtbh_net::{Asn, Community, Interval, Prefix, TimeDelta, Timestamp};
 
 /// One grid instant of the Fig. 4 series: quantiles over peers of the share
 /// of active blackholes invisible to them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VisibilityPoint {
     /// Grid instant.
     pub at: Timestamp,
@@ -301,3 +299,5 @@ mod tests {
         assert_eq!(series[7].active, 1);
     }
 }
+
+rtbh_json::impl_json! { struct VisibilityPoint { at, active, median, p99, max } }

@@ -32,9 +32,8 @@ fn parallel_report_serializes_identically_to_sequential() {
     let out = rtbh_sim::run(&config);
     let analyzer = Analyzer::with_defaults(out.corpus);
 
-    let sequential =
-        serde_json::to_string(&analyzer.full_sequential()).expect("serialize sequential report");
-    let parallel = serde_json::to_string(&analyzer.full()).expect("serialize parallel report");
+    let sequential = rtbh_json::to_string(&analyzer.full_sequential());
+    let parallel = rtbh_json::to_string(&analyzer.full());
     assert_eq!(sequential, parallel);
 }
 
@@ -76,12 +75,12 @@ fn worker_counts_do_not_change_the_report() {
     let reference = {
         let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(1);
         let analyzer = Analyzer::new(out.corpus.clone(), config);
-        serde_json::to_string(&analyzer.full()).expect("serialize 1-worker report")
+        rtbh_json::to_string(&analyzer.full())
     };
     for workers in [2usize, 8] {
         let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(workers);
         let analyzer = Analyzer::new(out.corpus.clone(), config);
-        let report = serde_json::to_string(&analyzer.full()).expect("serialize N-worker report");
+        let report = rtbh_json::to_string(&analyzer.full());
         assert_eq!(report, reference, "{workers}-worker report diverged");
     }
 }
@@ -118,10 +117,16 @@ fn profile_serializes_to_json() {
     let out = rtbh_sim::run(&ScenarioConfig::tiny());
     let analyzer = Analyzer::with_defaults(out.corpus);
     let (_, profile) = analyzer.full_with_profile();
-    let json = serde_json::to_value(&profile).expect("serialize profile");
+    let json = rtbh_json::to_value(&profile);
     assert_eq!(
-        json["stages"].as_array().map(|s| s.len()),
+        json.field("stages")
+            .expect_arr("stages")
+            .map(|s| s.len())
+            .ok(),
         Some(STAGES.len())
     );
-    assert!(json["total_wall_ns"].as_u64().is_some());
+    assert!(matches!(
+        json.field("total_wall_ns"),
+        rtbh_json::Json::U64(_)
+    ));
 }

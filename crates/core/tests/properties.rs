@@ -1,10 +1,19 @@
-//! Property tests for the analysis pipeline's inference primitives.
-
-use proptest::prelude::*;
+//! Seeded randomized tests for the analysis pipeline's inference
+//! primitives.
+//!
+//! Each test draws its cases from a [`ChaChaRng`] with a fixed per-test
+//! stream, so failures reproduce exactly.
 
 use rtbh_bgp::{BgpUpdate, UpdateKind, UpdateLog};
 use rtbh_core::events::{infer_events, merge_sweep};
 use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, TimeDelta, Timestamp};
+use rtbh_rng::{ChaChaRng, Rng};
+
+const CASES: usize = 256;
+
+fn rng(test_seed: u64) -> ChaChaRng {
+    ChaChaRng::seed_from_u64(0x434f_5245_5f50_524f ^ test_seed)
+}
 
 fn update(at_min: i64, prefix: Prefix, kind: UpdateKind) -> BgpUpdate {
     BgpUpdate {
@@ -19,55 +28,57 @@ fn update(at_min: i64, prefix: Prefix, kind: UpdateKind) -> BgpUpdate {
 }
 
 /// Random alternating announce/withdraw schedules over a few prefixes.
-fn arb_schedule() -> impl Strategy<Value = Vec<BgpUpdate>> {
-    let prefixes = prop::sample::select(vec![
-        "10.0.0.1/32".parse::<Prefix>().unwrap(),
+fn arb_schedule(rng: &mut ChaChaRng) -> Vec<BgpUpdate> {
+    let prefixes: [Prefix; 3] = [
+        "10.0.0.1/32".parse().unwrap(),
         "10.0.0.2/32".parse().unwrap(),
         "10.1.0.0/24".parse().unwrap(),
-    ]);
-    proptest::collection::vec((prefixes, 1i64..60), 1..30).prop_map(|steps| {
-        let mut t = 0i64;
-        let mut open: std::collections::BTreeMap<Prefix, bool> = Default::default();
-        let mut updates = Vec::new();
-        for (prefix, gap) in steps {
-            t += gap;
-            let is_open = open.entry(prefix).or_insert(false);
-            let kind = if *is_open {
-                UpdateKind::Withdraw
-            } else {
-                UpdateKind::Announce
-            };
-            *is_open = !*is_open;
-            updates.push(update(t, prefix, kind));
-        }
-        updates
-    })
+    ];
+    let steps = rng.gen_range(1usize..30);
+    let mut t = 0i64;
+    let mut open: std::collections::BTreeMap<Prefix, bool> = Default::default();
+    let mut updates = Vec::new();
+    for _ in 0..steps {
+        let prefix = prefixes[rng.gen_range(0usize..prefixes.len())];
+        t += rng.gen_range(1i64..60);
+        let is_open = open.entry(prefix).or_insert(false);
+        let kind = if *is_open {
+            UpdateKind::Withdraw
+        } else {
+            UpdateKind::Announce
+        };
+        *is_open = !*is_open;
+        updates.push(update(t, prefix, kind));
+    }
+    updates
 }
 
 const END_MIN: i64 = 5_000;
 
-proptest! {
-    /// Events partition the activity: spans are sorted, disjoint, gaps
-    /// within an event are ≤ Δ, gaps between same-prefix events are > Δ.
-    #[test]
-    fn event_merge_invariants(updates in arb_schedule(), delta_min in 0i64..30) {
+/// Events partition the activity: spans are sorted, disjoint, gaps within
+/// an event are ≤ Δ, gaps between same-prefix events are > Δ.
+#[test]
+fn event_merge_invariants() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let updates = arb_schedule(&mut rng);
+        let delta = TimeDelta::minutes(rng.gen_range(0i64..30));
         let log = UpdateLog::from_updates(updates);
-        let delta = TimeDelta::minutes(delta_min);
         let corpus_end = Timestamp::EPOCH + TimeDelta::minutes(END_MIN);
         let events = infer_events(&log, delta, corpus_end);
 
         // Ids are dense and start-ordered.
         for (i, e) in events.iter().enumerate() {
-            prop_assert_eq!(e.id, i);
-            prop_assert!(!e.spans.is_empty());
+            assert_eq!(e.id, i);
+            assert!(!e.spans.is_empty());
             for w in e.spans.windows(2) {
                 let gap = w[1].start - w[0].end;
-                prop_assert!(gap <= delta, "gap {gap} exceeds delta inside an event");
-                prop_assert!(w[0].end <= w[1].start);
+                assert!(gap <= delta, "gap {gap} exceeds delta inside an event");
+                assert!(w[0].end <= w[1].start);
             }
         }
         for w in events.windows(2) {
-            prop_assert!(w[0].start() <= w[1].start());
+            assert!(w[0].start() <= w[1].start());
         }
         // Same-prefix events must be separated by more than Δ.
         let mut by_prefix: std::collections::BTreeMap<Prefix, Vec<&rtbh_core::RtbhEvent>> =
@@ -80,41 +91,49 @@ proptest! {
             sorted.sort_by_key(|e| e.start());
             for w in sorted.windows(2) {
                 let gap = w[1].start() - w[0].end();
-                prop_assert!(gap > delta, "adjacent events closer than delta");
+                assert!(gap > delta, "adjacent events closer than delta");
             }
         }
     }
+}
 
-    /// The span count summed over events equals the number of activity runs
-    /// (no span is lost or duplicated by merging).
-    #[test]
-    fn event_merge_preserves_runs(updates in arb_schedule(), delta_min in 0i64..30) {
+/// The span count summed over events equals the number of activity runs
+/// (no span is lost or duplicated by merging).
+#[test]
+fn event_merge_preserves_runs() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let updates = arb_schedule(&mut rng);
+        let delta_min = rng.gen_range(0i64..30);
         let log = UpdateLog::from_updates(updates);
         let corpus_end = Timestamp::EPOCH + TimeDelta::minutes(END_MIN);
         let runs: usize = rtbh_bgp::blackhole_intervals(log.blackholes(), corpus_end)
             .values()
             .map(|v| v.len())
             .sum();
-        let events =
-            infer_events(&log, TimeDelta::minutes(delta_min), corpus_end);
+        let events = infer_events(&log, TimeDelta::minutes(delta_min), corpus_end);
         let spans: usize = events.iter().map(|e| e.spans.len()).sum();
-        prop_assert_eq!(spans, runs);
+        assert_eq!(spans, runs);
     }
+}
 
-    /// The Δ-sweep is monotone non-increasing and bounded below by the
-    /// unique-prefix fraction.
-    #[test]
-    fn merge_sweep_monotonicity(updates in arb_schedule()) {
+/// The Δ-sweep is monotone non-increasing and bounded below by the
+/// unique-prefix fraction.
+#[test]
+fn merge_sweep_monotonicity() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let updates = arb_schedule(&mut rng);
         let log = UpdateLog::from_updates(updates);
         let corpus_end = Timestamp::EPOCH + TimeDelta::minutes(END_MIN);
         let deltas: Vec<TimeDelta> = (0..12).map(|m| TimeDelta::minutes(m * 5)).collect();
         let (curve, lower_bound) = merge_sweep(&log, &deltas, corpus_end);
         for w in curve.windows(2) {
-            prop_assert!(w[0].events >= w[1].events);
+            assert!(w[0].events >= w[1].events);
         }
         for p in &curve {
-            prop_assert!(p.event_fraction >= lower_bound - 1e-12);
-            prop_assert!(p.event_fraction <= 1.0 + 1e-12);
+            assert!(p.event_fraction >= lower_bound - 1e-12);
+            assert!(p.event_fraction <= 1.0 + 1e-12);
         }
     }
 }

@@ -12,8 +12,6 @@
 //! exactly the deployment model (the fabric filters, regardless of member
 //! BGP policy).
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{FlowAction, FlowSpecTable};
 use rtbh_net::{Ipv4Addr, MacAddr, Port, Protocol};
 
@@ -21,7 +19,7 @@ use crate::fabric::{Fabric, ForwardOutcome};
 use crate::member::MemberId;
 
 /// The five-tuple (+ fragment flag) the fabric ACL matches on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketTuple {
     /// Source IP.
     pub src_ip: Ipv4Addr,
@@ -37,12 +35,18 @@ pub struct PacketTuple {
     pub fragment: bool,
 }
 
+rtbh_json::impl_json! {
+    struct PacketTuple { src_ip, dst_ip, protocol, src_port, dst_port, fragment }
+}
+
 /// A fabric with an operator-installed ACL in front of the RIB lookup.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FilteringFabric {
     fabric: Fabric,
     acl: FlowSpecTable,
 }
+
+rtbh_json::impl_json! { struct FilteringFabric { fabric, acl } }
 
 impl FilteringFabric {
     /// Wraps a fabric with an (initially empty) ACL.

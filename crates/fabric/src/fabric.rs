@@ -2,15 +2,13 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{BgpUpdate, Forwarding};
 use rtbh_net::{Asn, Ipv4Addr, MacAddr, Prefix, Timestamp};
 
 use crate::member::{Member, MemberId};
 
 /// What happens to a packet handed into the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ForwardOutcome {
     /// The ingress router's best route is a blackhole: destination MAC is
     /// rewritten to [`MacAddr::BLACKHOLE`] and the frame is discarded.
@@ -24,6 +22,10 @@ pub enum ForwardOutcome {
     },
     /// The ingress router has no route; the packet never crosses the fabric.
     Unroutable,
+}
+
+rtbh_json::impl_json! {
+    enum ForwardOutcome { Blackholed, Delivered { member, mac }, Unroutable }
 }
 
 impl ForwardOutcome {
@@ -40,7 +42,7 @@ impl ForwardOutcome {
 
 /// The IXP switching fabric: members, their router ports, and the mapping
 /// from route origins to egress members.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Fabric {
     members: Vec<Member>,
     by_asn: BTreeMap<Asn, MemberId>,
@@ -48,6 +50,8 @@ pub struct Fabric {
     /// themselves, plus their customer cones).
     origin_member: BTreeMap<Asn, MemberId>,
 }
+
+rtbh_json::impl_json! { struct Fabric { members, by_asn, origin_member } }
 
 impl Fabric {
     /// Builds a fabric from members. Member ids must be dense `0..n` (they

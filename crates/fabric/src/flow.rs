@@ -7,12 +7,10 @@
 //! counting unique sources and amplifier origin ASes) and an IP-fragment
 //! flag (its Table 3 treats fragments as an attack trace).
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Ipv4Addr, MacAddr, Port, Protocol, Timestamp};
 
 /// One sampled packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowSample {
     /// Capture timestamp (data-plane clock).
     pub at: Timestamp,
@@ -39,6 +37,13 @@ pub struct FlowSample {
     pub fragment: bool,
 }
 
+rtbh_json::impl_json! {
+    struct FlowSample {
+        at, src_mac, dst_mac, src_ip, dst_ip, protocol, src_port, dst_port,
+        packet_len, fragment,
+    }
+}
+
 impl FlowSample {
     /// True if the packet was discarded by the blackholing service
     /// (destination MAC is the blackhole MAC).
@@ -48,10 +53,12 @@ impl FlowSample {
 }
 
 /// A time-ordered log of sampled packets.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowLog {
     samples: Vec<FlowSample>,
 }
+
+rtbh_json::impl_json! { struct FlowLog { samples } }
 
 impl FlowLog {
     /// An empty log.

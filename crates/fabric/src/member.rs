@@ -1,14 +1,13 @@
 //! IXP members and their router ports.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_bgp::{ImportPolicy, Rib};
 use rtbh_net::{Asn, MacAddr};
 
 /// A stable, dense identifier for an IXP member.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MemberId(pub u32);
+
+rtbh_json::impl_json! { transparent MemberId }
 
 /// One physical router port a member connects to the fabric.
 ///
@@ -17,13 +16,15 @@ pub struct MemberId(pub u32);
 /// policies — the paper's 13 "inconsistent" top-100 ASes drop part of their
 /// traffic and forward the rest precisely because of such per-router
 /// configuration drift (§4.2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RouterPort {
     /// The port's MAC address on the peering LAN.
     pub mac: MacAddr,
     /// The routes this router accepted.
     pub rib: Rib,
 }
+
+rtbh_json::impl_json! { struct RouterPort { mac, rib } }
 
 impl RouterPort {
     /// Creates a port with an empty, policy-filtered RIB.
@@ -36,7 +37,7 @@ impl RouterPort {
 }
 
 /// An IXP member: an AS with one or more router ports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Member {
     /// The member's identifier inside the fabric.
     pub id: MemberId,
@@ -45,6 +46,8 @@ pub struct Member {
     /// The member's router ports (at least one).
     pub routers: Vec<RouterPort>,
 }
+
+rtbh_json::impl_json! { struct Member { id, asn, routers } }
 
 impl Member {
     /// Creates a member with the given router ports.

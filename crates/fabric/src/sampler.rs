@@ -10,14 +10,15 @@
 //!   Binomial(n, 1/N), which for the tiny sampling probabilities involved is
 //!   indistinguishable from Poisson(n/N)).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::Rng;
 
 /// A deterministic 1-in-`rate` packet sampler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sampler {
     rate: u32,
 }
+
+rtbh_json::impl_json! { struct Sampler { rate } }
 
 impl Sampler {
     /// The paper's sampling rate, 1:10,000.
@@ -78,11 +79,10 @@ pub fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
+    use rtbh_rng::ChaChaRng;
 
-    fn rng() -> ChaCha20Rng {
-        ChaCha20Rng::seed_from_u64(42)
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(42)
     }
 
     #[test]

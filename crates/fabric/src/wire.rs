@@ -14,8 +14,7 @@
 //! All integers are big-endian. Decoding is strict: trailing bytes, bad
 //! magic or record-count mismatches are errors.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use rtbh_net::cursor::{PutBytes, Reader};
 use rtbh_net::{Ipv4Addr, MacAddr, Protocol, Timestamp};
 
 use crate::flow::{FlowLog, FlowSample};
@@ -51,8 +50,8 @@ impl std::fmt::Display for FlowWireError {
 impl std::error::Error for FlowWireError {}
 
 /// Encodes a flow log into the IPFIX-lite stream format.
-pub fn encode_flow_log(log: &FlowLog) -> Bytes {
-    let mut buf = BytesMut::with_capacity(18 + log.len() * RECORD_LEN);
+pub fn encode_flow_log(log: &FlowLog) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(18 + log.len() * RECORD_LEN);
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u64(log.len() as u64);
@@ -68,11 +67,12 @@ pub fn encode_flow_log(log: &FlowLog) -> Bytes {
         buf.put_u16(s.packet_len);
         buf.put_u8(s.fragment as u8);
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes an IPFIX-lite stream.
-pub fn decode_flow_log(mut buf: Bytes) -> Result<FlowLog, FlowWireError> {
+pub fn decode_flow_log(buf: &[u8]) -> Result<FlowLog, FlowWireError> {
+    let mut buf = Reader::new(buf);
     if buf.remaining() < 18 {
         return Err(FlowWireError::Truncated);
     }
@@ -85,8 +85,13 @@ pub fn decode_flow_log(mut buf: Bytes) -> Result<FlowLog, FlowWireError> {
     if version != VERSION {
         return Err(FlowWireError::BadVersion(version));
     }
-    let count = buf.get_u64() as usize;
-    if buf.remaining() < count * RECORD_LEN {
+    let count = usize::try_from(buf.get_u64()).map_err(|_| FlowWireError::Truncated)?;
+    // Checked: a hostile header can declare 2^64 records; the multiply must
+    // not wrap into a small number that passes the bounds test.
+    let body_len = count
+        .checked_mul(RECORD_LEN)
+        .ok_or(FlowWireError::Truncated)?;
+    if buf.remaining() < body_len {
         return Err(FlowWireError::Truncated);
     }
     let mut samples = Vec::with_capacity(count);
@@ -150,7 +155,7 @@ mod tests {
         let log = FlowLog::from_samples((0..100).map(|i| sample(i * 7, i % 3 == 0)).collect());
         let bytes = encode_flow_log(&log);
         assert_eq!(bytes.len(), 18 + 100 * RECORD_LEN);
-        let decoded = decode_flow_log(bytes).unwrap();
+        let decoded = decode_flow_log(&bytes).unwrap();
         assert_eq!(decoded, log);
         assert_eq!(decoded.dropped().count(), log.dropped().count());
     }
@@ -158,25 +163,22 @@ mod tests {
     #[test]
     fn empty_log_round_trips() {
         let bytes = encode_flow_log(&FlowLog::new());
-        assert_eq!(decode_flow_log(bytes).unwrap(), FlowLog::new());
+        assert_eq!(decode_flow_log(&bytes).unwrap(), FlowLog::new());
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
+        let mut raw = encode_flow_log(&FlowLog::new());
         raw[0] = b'X';
-        assert_eq!(
-            decode_flow_log(Bytes::from(raw)),
-            Err(FlowWireError::BadMagic)
-        );
+        assert_eq!(decode_flow_log(&raw), Err(FlowWireError::BadMagic));
     }
 
     #[test]
     fn bad_version_rejected() {
-        let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
+        let mut raw = encode_flow_log(&FlowLog::new());
         raw[9] = 99;
         assert!(matches!(
-            decode_flow_log(Bytes::from(raw)),
+            decode_flow_log(&raw),
             Err(FlowWireError::BadVersion(99))
         ));
     }
@@ -187,7 +189,7 @@ mod tests {
         let raw = encode_flow_log(&log);
         for cut in [0usize, 10, 17, 18, 18 + RECORD_LEN - 1, raw.len() - 1] {
             assert_eq!(
-                decode_flow_log(raw.slice(..cut)),
+                decode_flow_log(&raw[..cut]),
                 Err(FlowWireError::Truncated),
                 "cut {cut}"
             );
@@ -196,12 +198,18 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut raw = encode_flow_log(&FlowLog::new()).to_vec();
+        let mut raw = encode_flow_log(&FlowLog::new());
         raw.push(0);
-        assert_eq!(
-            decode_flow_log(Bytes::from(raw)),
-            Err(FlowWireError::TrailingBytes(1))
-        );
+        assert_eq!(decode_flow_log(&raw), Err(FlowWireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn oversized_declared_count_rejected() {
+        // A count whose byte size overflows usize must fail cleanly, not
+        // wrap around and pass the bounds check.
+        let mut raw = encode_flow_log(&FlowLog::new());
+        raw[10..18].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert_eq!(decode_flow_log(&raw), Err(FlowWireError::Truncated));
     }
 
     #[test]
@@ -215,7 +223,7 @@ mod tests {
             let mut s = sample(1, false);
             s.protocol = proto;
             let log = FlowLog::from_samples(vec![s]);
-            let decoded = decode_flow_log(encode_flow_log(&log)).unwrap();
+            let decoded = decode_flow_log(&encode_flow_log(&log)).unwrap();
             assert_eq!(decoded.samples()[0].protocol, proto);
         }
     }

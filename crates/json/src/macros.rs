@@ -1,0 +1,269 @@
+//! The [`impl_json!`] macro: derives [`ToJson`](crate::ToJson) /
+//! [`FromJson`](crate::FromJson) for plain structs and enums, replacing
+//! `#[derive(Serialize, Deserialize)]`.
+//!
+//! Supported shapes:
+//!
+//! ```
+//! use rtbh_json::impl_json;
+//!
+//! // Named-field struct: serializes as an object, fields in declaration
+//! // order (ToJson + FromJson).
+//! struct Config { retries: u32, label: String }
+//! impl_json! { struct Config { retries, label } }
+//!
+//! // ToJson only — for report types that are written but never read back.
+//! struct Snapshot { count: usize }
+//! impl_json! { serialize struct Snapshot { count } }
+//!
+//! // Transparent newtype: serializes exactly like its single field.
+//! #[derive(Debug, PartialEq)]
+//! struct Id(pub u64);
+//! impl_json! { transparent Id }
+//!
+//! // Enums use the externally-tagged representation (what serde derives):
+//! // unit variants are strings, data variants single-entry objects.
+//! #[derive(Debug, PartialEq)]
+//! enum Shape {
+//!     Point,
+//!     Circle(f64),
+//!     Rect { w: f64, h: f64 },
+//! }
+//! impl_json! { enum Shape { Point, Circle(f64), Rect { w, h } } }
+//!
+//! assert_eq!(rtbh_json::to_string(&Shape::Point), "\"Point\"");
+//! assert_eq!(rtbh_json::to_string(&Shape::Circle(1.0)), "{\"Circle\":1.0}");
+//! assert_eq!(
+//!     rtbh_json::to_string(&Shape::Rect { w: 1.0, h: 2.0 }),
+//!     "{\"Rect\":{\"w\":1.0,\"h\":2.0}}"
+//! );
+//! let back: Shape = rtbh_json::from_str("{\"Circle\":2.5}").unwrap();
+//! assert_eq!(back, Shape::Circle(2.5));
+//! ```
+//!
+//! Field *types* are never spelled in the invocation — they are inferred
+//! from the struct definition, so the macro stays in sync with the type.
+//! (Newtype enum variants do repeat the payload type, which the compiler
+//! checks.) Generic containers ([`PrefixTrie`-style]) hand-write their
+//! impls instead.
+
+/// Derives `ToJson`/`FromJson` for a struct or enum. See the module docs.
+#[macro_export]
+macro_rules! impl_json {
+    // ---- named-field structs ----
+    (struct $name:ident { $($field:ident),* $(,)? }) => {
+        $crate::impl_json! { serialize struct $name { $($field),* } }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                v.expect_obj(stringify!($name))?;
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(v.field(stringify!($field)))
+                        .map_err(|e| e.in_field(concat!(
+                            stringify!($name), ".", stringify!($field)
+                        )))?,)*
+                })
+            }
+        }
+    };
+    (serialize struct $name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+    };
+
+    // ---- single-type-parameter generic structs ----
+    (generic struct $name:ident<T> { $($field:ident),* $(,)? }) => {
+        impl<T: $crate::ToJson> $crate::ToJson for $name<T> {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+        impl<T: $crate::FromJson> $crate::FromJson for $name<T> {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                v.expect_obj(stringify!($name))?;
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(v.field(stringify!($field)))
+                        .map_err(|e| e.in_field(concat!(
+                            stringify!($name), ".", stringify!($field)
+                        )))?,)*
+                })
+            }
+        }
+    };
+
+    // ---- transparent newtype wrappers (serde(transparent)) ----
+    (transparent $name:ident) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $crate::FromJson::from_json(v)
+                    .map(Self)
+                    .map_err(|e| e.in_field(stringify!($name)))
+            }
+        }
+    };
+
+    // ---- enums, externally tagged ----
+    (enum $name:ident {
+        $($vname:ident $(($vty:ty))? $({ $($vfield:ident),* $(,)? })?),* $(,)?
+    }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $($crate::impl_json!(@variant_to self, $name, $vname $(($vty))? $({ $($vfield),* })?);)*
+                unreachable!("all variants covered")
+            }
+        }
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $($crate::impl_json!(@variant_from v, $name, $vname $(($vty))? $({ $($vfield),* })?);)*
+                Err($crate::JsonError::new(format!(
+                    "no variant of {} matches {}", stringify!($name), v.type_name()
+                )))
+            }
+        }
+    };
+
+    // Unit variant: "Name".
+    (@variant_to $self:ident, $name:ident, $vname:ident) => {
+        if let $name::$vname = $self {
+            return $crate::Json::Str(stringify!($vname).to_string());
+        }
+    };
+    (@variant_from $v:ident, $name:ident, $vname:ident) => {
+        if $v.as_str() == Some(stringify!($vname)) {
+            return Ok($name::$vname);
+        }
+    };
+
+    // Newtype variant: {"Name": payload}.
+    (@variant_to $self:ident, $name:ident, $vname:ident ($vty:ty)) => {
+        if let $name::$vname(inner) = $self {
+            return $crate::Json::tagged(
+                stringify!($vname),
+                $crate::ToJson::to_json(inner),
+            );
+        }
+    };
+    (@variant_from $v:ident, $name:ident, $vname:ident ($vty:ty)) => {
+        if let Some(inner) = $v.get(stringify!($vname)) {
+            let parsed: $vty = $crate::FromJson::from_json(inner)
+                .map_err(|e| e.in_field(concat!(stringify!($name), "::", stringify!($vname))))?;
+            return Ok($name::$vname(parsed));
+        }
+    };
+
+    // Struct variant: {"Name": {fields...}}.
+    (@variant_to $self:ident, $name:ident, $vname:ident { $($vfield:ident),* }) => {
+        if let $name::$vname { $($vfield),* } = $self {
+            return $crate::Json::tagged(
+                stringify!($vname),
+                $crate::Json::Obj(vec![
+                    $((stringify!($vfield).to_string(),
+                       $crate::ToJson::to_json($vfield)),)*
+                ]),
+            );
+        }
+    };
+    (@variant_from $v:ident, $name:ident, $vname:ident { $($vfield:ident),* }) => {
+        if let Some(inner) = $v.get(stringify!($vname)) {
+            inner
+                .expect_obj(stringify!($vname))
+                .map_err(|e| e.in_field(stringify!($name)))?;
+            return Ok($name::$vname {
+                $($vfield: $crate::FromJson::from_json(inner.field(stringify!($vfield)))
+                    .map_err(|e| e.in_field(concat!(
+                        stringify!($name), "::", stringify!($vname), ".", stringify!($vfield)
+                    )))?,)*
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: Option<String>,
+        c: Vec<i64>,
+    }
+    impl_json! { struct Plain { a, b, c } }
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapper(pub i64);
+    impl_json! { transparent Wrapper }
+
+    #[derive(Debug, PartialEq)]
+    enum Mixed {
+        Unit,
+        Tuple(Wrapper),
+        Fields { x: u8, y: Vec<u8> },
+    }
+    impl_json! { enum Mixed { Unit, Tuple(Wrapper), Fields { x, y } } }
+
+    #[test]
+    fn struct_round_trip_keeps_field_order() {
+        let v = Plain {
+            a: 1,
+            b: Some("hi".into()),
+            c: vec![-2, 3],
+        };
+        let text = crate::to_string(&v);
+        assert_eq!(text, "{\"a\":1,\"b\":\"hi\",\"c\":[-2,3]}");
+        assert_eq!(crate::from_str::<Plain>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let v: Plain = crate::from_str("{\"a\":1,\"c\":[]}").unwrap();
+        assert_eq!(v.b, None);
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let err = crate::from_str::<Plain>("{\"b\":null,\"c\":[]}").unwrap_err();
+        assert!(err.to_string().contains("Plain.a"), "{err}");
+    }
+
+    #[test]
+    fn transparent_round_trip() {
+        assert_eq!(crate::to_string(&Wrapper(-7)), "-7");
+        assert_eq!(crate::from_str::<Wrapper>("-7").unwrap(), Wrapper(-7));
+    }
+
+    #[test]
+    fn enum_representations_match_serde() {
+        assert_eq!(crate::to_string(&Mixed::Unit), "\"Unit\"");
+        assert_eq!(crate::to_string(&Mixed::Tuple(Wrapper(5))), "{\"Tuple\":5}");
+        assert_eq!(
+            crate::to_string(&Mixed::Fields { x: 1, y: vec![2] }),
+            "{\"Fields\":{\"x\":1,\"y\":[2]}}"
+        );
+        for v in [
+            Mixed::Unit,
+            Mixed::Tuple(Wrapper(-1)),
+            Mixed::Fields { x: 0, y: vec![] },
+        ] {
+            let back: Mixed = crate::from_str(&crate::to_string(&v)).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_rejected() {
+        assert!(crate::from_str::<Mixed>("\"Nope\"").is_err());
+        assert!(crate::from_str::<Mixed>("{\"Nope\":1}").is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! The [`ToJson`]/[`FromJson`] conversion traits and their implementations
+//! for the standard types the workspace serializes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Json, JsonError};
+
+/// Conversion into a [`Json`] tree (the `serde::Serialize` replacement).
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] tree (the `serde::Deserialize` replacement).
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, rejecting shape or range mismatches.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+/// Types usable as JSON object keys (maps serialize as objects, so the key
+/// must have a faithful string form).
+pub trait JsonKey: Sized {
+    /// The key's string form.
+    fn to_key(&self) -> String;
+    /// Parses the string form back.
+    fn from_key(key: &str) -> Result<Self, JsonError>;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(mismatch("bool", other)),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(mismatch("string", other)),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::U64(*self as u64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n = match v {
+                    Json::U64(n) => *n,
+                    Json::I64(n) => u64::try_from(*n)
+                        .map_err(|_| JsonError::new("negative value for unsigned integer"))?,
+                    other => return Err(mismatch("unsigned integer", other)),
+                };
+                <$ty>::try_from(n).map_err(|_| {
+                    JsonError::new(format!(
+                        "{n} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                let n = *self as i64;
+                if n >= 0 { Json::U64(n as u64) } else { Json::I64(n) }
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n = match v {
+                    Json::U64(n) => i64::try_from(*n)
+                        .map_err(|_| JsonError::new("value too large for signed integer"))?,
+                    Json::I64(n) => *n,
+                    other => return Err(mismatch("signed integer", other)),
+                };
+                <$ty>::try_from(n).map_err(|_| {
+                    JsonError::new(format!(
+                        "{n} out of range for {}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::F64(x) => Ok(*x),
+            Json::U64(n) => Ok(*n as f64),
+            Json::I64(n) => Ok(*n as f64),
+            // Non-finite floats serialize as null; accept the round trip.
+            Json::Null => Ok(f64::NAN),
+            other => Err(mismatch("number", other)),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        f64::from_json(v).map(|x| x as f32)
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.expect_arr("Vec")?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.expect_arr("array")?;
+        if items.len() != N {
+            return Err(JsonError::new(format!(
+                "expected array of {N}, found array of {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect::<Result<_, _>>()?;
+        // Length was checked above, so the conversion cannot fail.
+        Ok(parsed
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("length checked")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: FromJson),+> FromJson for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let items = v.expect_arr("tuple")?;
+                if items.len() != $len {
+                    return Err(JsonError::new(format!(
+                        "expected {}-tuple, found array of {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])
+                    .map_err(|e| e.in_field(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+impl<T: ToJson + Ord> ToJson for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Ord> FromJson for BTreeSet<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = v.expect_arr("set")?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<K: JsonKey + Ord, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let entries = v.expect_obj("map")?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_key(k).map_err(|e| e.in_field("key"))?,
+                    V::from_json(v).map_err(|e| e.in_field(k))?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, JsonError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($ty:ty),*) => {$(
+        impl JsonKey for $ty {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, JsonError> {
+                key.parse().map_err(|_| {
+                    JsonError::new(format!(
+                        "invalid {} map key: {key:?}", stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn mismatch(expected: &str, found: &Json) -> JsonError {
+    JsonError::new(format!("expected {expected}, found {}", found.type_name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(crate::to_string(&true), "true");
+        assert_eq!(crate::to_string(&42u32), "42");
+        assert_eq!(crate::to_string(&-42i64), "-42");
+        assert_eq!(crate::from_str::<u8>("255").unwrap(), 255);
+        assert!(crate::from_str::<u8>("256").is_err());
+        assert!(crate::from_str::<u32>("-1").is_err());
+        assert_eq!(crate::from_str::<i64>("-1").unwrap(), -1);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        let text = crate::to_string(&v);
+        assert_eq!(text, "[[1,\"a\"],[2,\"b\"]]");
+        assert_eq!(crate::from_str::<Vec<(u32, String)>>(&text).unwrap(), v);
+
+        let mut map = BTreeMap::new();
+        map.insert(7u8, vec![1.5f64]);
+        let text = crate::to_string(&map);
+        assert_eq!(text, "{\"7\":[1.5]}");
+        assert_eq!(
+            crate::from_str::<BTreeMap<u8, Vec<f64>>>(&text).unwrap(),
+            map
+        );
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(crate::to_string(&Option::<u32>::None), "null");
+        assert_eq!(crate::to_string(&Some(3u32)), "3");
+        assert_eq!(crate::from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(crate::from_str::<Option<u32>>("3").unwrap(), Some(3));
+    }
+}

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ParseError, ParseErrorKind};
 
 /// A 32-bit IPv4 address.
@@ -116,24 +114,19 @@ impl FromStr for Ipv4Addr {
     }
 }
 
-impl Serialize for Ipv4Addr {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        if s.is_human_readable() {
-            s.collect_str(self)
-        } else {
-            s.serialize_u32(self.0)
-        }
+impl rtbh_json::ToJson for Ipv4Addr {
+    fn to_json(&self) -> rtbh_json::Json {
+        rtbh_json::Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Ipv4Addr {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        if d.is_human_readable() {
-            let text = String::deserialize(d)?;
-            text.parse().map_err(serde::de::Error::custom)
-        } else {
-            u32::deserialize(d).map(Self)
-        }
+impl rtbh_json::FromJson for Ipv4Addr {
+    fn from_json(v: &rtbh_json::Json) -> Result<Self, rtbh_json::JsonError> {
+        let text = v
+            .as_str()
+            .ok_or_else(|| rtbh_json::JsonError::new("expected IPv4 address string"))?;
+        text.parse()
+            .map_err(|e| rtbh_json::JsonError::new(format!("bad IPv4 address: {e}")))
     }
 }
 

@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ports::{Port, Protocol};
 
 /// One known UDP amplification protocol (a row of the paper's Table 3
 /// footnote).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AmplificationProtocol {
     /// Quote of the Day, UDP/17.
     Qotd,
@@ -56,6 +54,23 @@ pub enum AmplificationProtocol {
     /// Large amplification responses fragment, so floods of fragments are
     /// themselves an attack trace.
     Fragmentation,
+}
+
+rtbh_json::impl_json! {
+    enum AmplificationProtocol {
+        Qotd, Chargen, Dns, Tftp, Ntp, Netbios, Snmp, Cldap, Rip, Ssdp,
+        Game3659, Stun, Sip, Bittorrent, Memcached, Game27005, Game28960,
+        Fragmentation,
+    }
+}
+
+impl rtbh_json::JsonKey for AmplificationProtocol {
+    fn to_key(&self) -> String {
+        format!("{self:?}")
+    }
+    fn from_key(key: &str) -> Result<Self, rtbh_json::JsonError> {
+        rtbh_json::FromJson::from_json(&rtbh_json::Json::Str(key.to_string()))
+    }
 }
 
 impl AmplificationProtocol {

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ParseError, ParseErrorKind};
 
 /// An autonomous system number (32-bit, RFC 6793).
@@ -17,11 +15,21 @@ use crate::error::{ParseError, ParseErrorKind};
 /// * the **handover AS** — the member whose router hands attack traffic into
 ///   the IXP fabric (derived from source MACs, hence spoofing-proof), versus
 ///   the **traffic origin AS** hosting amplifiers (derived from source IPs).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Asn(pub u32);
+
+rtbh_json::impl_json! { transparent Asn }
+
+impl rtbh_json::JsonKey for Asn {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, rtbh_json::JsonError> {
+        key.parse()
+            .map(Asn)
+            .map_err(|_| rtbh_json::JsonError::new(format!("bad ASN key: {key:?}")))
+    }
+}
 
 impl Asn {
     /// The reserved AS 0 (RFC 7607) — used as a "none" marker in communities.

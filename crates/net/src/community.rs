@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::asn::Asn;
 use crate::error::{ParseError, ParseErrorKind};
 
@@ -21,13 +19,15 @@ use crate::error::{ParseError, ParseErrorKind};
 ///   PEER*, and `0:RS` means *announce to nobody except those explicitly
 ///   listed*. See [`Community::block_peer`], [`Community::announce_peer`] and
 ///   [`Community::block_all`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Community {
     /// The high 16 bits, conventionally an AS number.
     pub asn: u16,
     /// The low 16 bits, the community value.
     pub value: u16,
 }
+
+rtbh_json::impl_json! { struct Community { asn, value } }
 
 impl Community {
     /// The RFC 7999 BLACKHOLE community `65535:666`.

@@ -1,0 +1,169 @@
+//! Plain-slice byte cursors for the workspace's wire codecs.
+//!
+//! All on-disk formats in this workspace (BGP UPDATE framing, the flow-log
+//! record stream, the corpus container) are big-endian and length-prefixed.
+//! [`Reader`] walks a borrowed `&[u8]` forward; [`PutBytes`] extends a plain
+//! `Vec<u8>`. Both are deliberately tiny: the codecs bounds-check with
+//! [`Reader::remaining`] before every read, so the getters may assume the
+//! bytes are present (and panic otherwise, which would be a codec bug, not
+//! an input error).
+
+/// A forward-only cursor over a borrowed byte slice.
+///
+/// ```
+/// use rtbh_net::cursor::Reader;
+///
+/// let mut r = Reader::new(&[0x01, 0x02, 0x03]);
+/// assert_eq!(r.get_u8(), 0x01);
+/// assert_eq!(r.get_u16(), 0x0203);
+/// assert!(!r.has_remaining());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice; the cursor starts at its first byte.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether any bytes are left.
+    pub fn has_remaining(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Splits off the next `len` bytes as a sub-reader and advances past
+    /// them. Panics if fewer than `len` bytes remain.
+    pub fn take(&mut self, len: usize) -> Reader<'a> {
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Reader::new(head)
+    }
+
+    /// Copies the next `dst.len()` bytes into `dst` and advances.
+    pub fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.buf.split_at(dst.len());
+        dst.copy_from_slice(head);
+        self.buf = tail;
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> u8 {
+        let b = self.buf[0];
+        self.buf = &self.buf[1..];
+        b
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `i64`.
+    pub fn get_i64(&mut self) -> i64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        i64::from_be_bytes(raw)
+    }
+
+    /// The unread tail of the slice.
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf
+    }
+}
+
+/// Big-endian append helpers for `Vec<u8>`, mirroring [`Reader`]'s getters.
+pub trait PutBytes {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a big-endian `i64`.
+    fn put_i64(&mut self, v: i64);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x0102);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(u64::MAX - 1);
+        buf.put_i64(-42);
+        buf.put_slice(b"xyz");
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.rest(), b"xyz");
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn take_splits_without_copying_past_len() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = Reader::new(&data);
+        let mut head = r.take(2);
+        assert_eq!(head.get_u16(), 0x0102);
+        assert!(!head.has_remaining());
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8(), 3);
+    }
+}

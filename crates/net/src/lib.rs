@@ -22,7 +22,8 @@
 //! * [`Timestamp`] / [`TimeDelta`] — millisecond-resolution virtual time.
 //!
 //! Everything here is plain data: `Copy` where possible, totally ordered,
-//! hashable, and serde-serializable, so corpora can be persisted and results
+//! hashable, and JSON-serializable (via the in-tree `rtbh-json` traits), so
+//! corpora can be persisted and results
 //! reproduced bit-for-bit.
 
 #![forbid(unsafe_code)]
@@ -32,6 +33,7 @@ pub mod addr;
 pub mod amplification;
 pub mod asn;
 pub mod community;
+pub mod cursor;
 pub mod error;
 pub mod lpm;
 pub mod mac;

@@ -35,8 +35,6 @@
 //! assert_eq!(frozen.longest_match("203.0.113.8".parse().unwrap()).unwrap().1, &"regular");
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::Ipv4Addr;
 use crate::prefix::Prefix;
 use crate::trie::PrefixTrie;
@@ -51,7 +49,7 @@ const TABLE_SLOTS: usize = 256;
 /// level that covers the slot's byte (by index into the value arena, with
 /// its length for reconstructing the matched prefix), plus the child table
 /// for longer prefixes sharing the byte path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     /// Index into `values`/`entries`, or [`NONE`].
     value: u32,
@@ -76,7 +74,7 @@ impl Slot {
 /// only answers queries. [`FrozenLpm::longest_match`] agrees exactly with
 /// [`PrefixTrie::longest_match`] on the same entries (pinned by a seeded
 /// randomized equivalence test in `crates/net/tests/frozen.rs`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrozenLpm<T> {
     /// Stored prefixes, sorted by `(network bits, length)` — the natural
     /// [`Prefix`] order — for exact lookups by binary search.
@@ -238,6 +236,9 @@ impl<T> FromIterator<(Prefix, T)> for FrozenLpm<T> {
         Self::from_entries(iter)
     }
 }
+
+rtbh_json::impl_json! { struct Slot { value, child, value_len } }
+rtbh_json::impl_json! { generic struct FrozenLpm<T> { entries, values, slots } }
 
 #[cfg(test)]
 mod tests {

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ParseError, ParseErrorKind};
 
 /// A 48-bit Ethernet MAC address.
@@ -92,24 +90,29 @@ impl FromStr for MacAddr {
     }
 }
 
-impl Serialize for MacAddr {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        if s.is_human_readable() {
-            s.collect_str(self)
-        } else {
-            self.0.serialize(s)
-        }
+impl rtbh_json::ToJson for MacAddr {
+    fn to_json(&self) -> rtbh_json::Json {
+        rtbh_json::Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for MacAddr {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        if d.is_human_readable() {
-            let text = String::deserialize(d)?;
-            text.parse().map_err(serde::de::Error::custom)
-        } else {
-            <[u8; 6]>::deserialize(d).map(Self)
-        }
+impl rtbh_json::FromJson for MacAddr {
+    fn from_json(v: &rtbh_json::Json) -> Result<Self, rtbh_json::JsonError> {
+        let text = v
+            .as_str()
+            .ok_or_else(|| rtbh_json::JsonError::new("expected MAC address string"))?;
+        text.parse()
+            .map_err(|e| rtbh_json::JsonError::new(format!("bad MAC address: {e}")))
+    }
+}
+
+impl rtbh_json::JsonKey for MacAddr {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, rtbh_json::JsonError> {
+        key.parse()
+            .map_err(|e| rtbh_json::JsonError::new(format!("bad MAC address key: {e}")))
     }
 }
 

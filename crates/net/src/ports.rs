@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A transport-layer port number.
 pub type Port = u16;
 
@@ -13,7 +11,7 @@ pub type Port = u16;
 /// (§6.3), and so does the analysis here. During anomaly-backed RTBH events
 /// the observed protocol mix is 99.5% UDP / 0.3% TCP / 0.1% ICMP / 0.1%
 /// other (§5.4) — a signature of UDP reflection-amplification attacks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     /// Transmission Control Protocol (IP proto 6).
     Tcp,
@@ -24,6 +22,8 @@ pub enum Protocol {
     /// Any other IP protocol, by number.
     Other(u8),
 }
+
+rtbh_json::impl_json! { enum Protocol { Tcp, Udp, Icmp, Other(u8) } }
 
 impl Protocol {
     /// The IP protocol number.
@@ -67,13 +67,15 @@ impl fmt::Display for Protocol {
 ///
 /// The paper's host classification (§6.2) keys its "top port" statistic on
 /// exactly this tuple — e.g. `(TCP, 80)` and `(UDP, 80)` are distinct.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Service {
     /// Transport protocol.
     pub protocol: Protocol,
     /// Destination port.
     pub port: Port,
 }
+
+rtbh_json::impl_json! { struct Service { protocol, port } }
 
 impl Service {
     /// Creates a service tuple.

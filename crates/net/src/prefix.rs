@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::Ipv4Addr;
 use crate::error::{ParseError, ParseErrorKind};
 
@@ -185,26 +183,29 @@ impl FromStr for Prefix {
     }
 }
 
-impl Serialize for Prefix {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        if s.is_human_readable() {
-            s.collect_str(self)
-        } else {
-            (self.bits, self.len).serialize(s)
-        }
+impl rtbh_json::ToJson for Prefix {
+    fn to_json(&self) -> rtbh_json::Json {
+        rtbh_json::Json::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        if d.is_human_readable() {
-            let text = String::deserialize(d)?;
-            text.parse().map_err(serde::de::Error::custom)
-        } else {
-            let (bits, len) = <(u32, u8)>::deserialize(d)?;
-            Prefix::new(Ipv4Addr::from_u32(bits), len)
-                .ok_or_else(|| serde::de::Error::custom("prefix length > 32"))
-        }
+impl rtbh_json::FromJson for Prefix {
+    fn from_json(v: &rtbh_json::Json) -> Result<Self, rtbh_json::JsonError> {
+        let text = v
+            .as_str()
+            .ok_or_else(|| rtbh_json::JsonError::new("expected CIDR prefix string"))?;
+        text.parse()
+            .map_err(|e| rtbh_json::JsonError::new(format!("bad CIDR prefix: {e}")))
+    }
+}
+
+impl rtbh_json::JsonKey for Prefix {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+    fn from_key(key: &str) -> Result<Self, rtbh_json::JsonError> {
+        key.parse()
+            .map_err(|e| rtbh_json::JsonError::new(format!("bad CIDR prefix key: {e}")))
     }
 }
 

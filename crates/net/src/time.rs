@@ -8,14 +8,11 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A signed span of virtual time, in milliseconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct TimeDelta(pub i64);
+
+rtbh_json::impl_json! { transparent TimeDelta }
 
 impl TimeDelta {
     /// Zero span.
@@ -102,11 +99,10 @@ impl fmt::Display for TimeDelta {
 
 /// An instant on the virtual clock: milliseconds since the scenario epoch
 /// (the start of the measurement period, 2018-09-26 in the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub i64);
+
+rtbh_json::impl_json! { transparent Timestamp }
 
 impl Timestamp {
     /// The scenario epoch.
@@ -244,13 +240,15 @@ impl SubAssign<TimeDelta> for TimeDelta {
 }
 
 /// A half-open interval `[start, end)` of virtual time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// Inclusive start.
     pub start: Timestamp,
     /// Exclusive end.
     pub end: Timestamp,
 }
+
+rtbh_json::impl_json! { struct Interval { start, end } }
 
 impl Interval {
     /// Creates an interval; callers must keep `start <= end`.

@@ -10,12 +10,10 @@
 //! self-balancing — IPv4 depth is bounded by 32, so worst-case operations are
 //! O(32).
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::Ipv4Addr;
 use crate::prefix::Prefix;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Node<T> {
     /// Child node indices for bit 0 / bit 1 at this depth.
     children: [Option<u32>; 2],
@@ -46,7 +44,7 @@ impl<T> Node<T> {
 /// assert_eq!(rib.longest_match(victim).unwrap().1, &"blackhole");
 /// assert_eq!(rib.longest_match(other).unwrap().1, &"regular");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PrefixTrie<T> {
     nodes: Vec<Node<T>>,
     len: usize,
@@ -228,6 +226,41 @@ impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
         trie
     }
 }
+
+impl<T: rtbh_json::ToJson> rtbh_json::ToJson for Node<T> {
+    fn to_json(&self) -> rtbh_json::Json {
+        rtbh_json::Json::Obj(vec![
+            (
+                "children".to_string(),
+                rtbh_json::Json::Arr(vec![
+                    rtbh_json::ToJson::to_json(&self.children[0]),
+                    rtbh_json::ToJson::to_json(&self.children[1]),
+                ]),
+            ),
+            ("value".to_string(), rtbh_json::ToJson::to_json(&self.value)),
+        ])
+    }
+}
+
+impl<T: rtbh_json::FromJson> rtbh_json::FromJson for Node<T> {
+    fn from_json(v: &rtbh_json::Json) -> Result<Self, rtbh_json::JsonError> {
+        v.expect_obj("Node")?;
+        let children = <Vec<Option<u32>> as rtbh_json::FromJson>::from_json(v.field("children"))
+            .map_err(|e| e.in_field("Node.children"))?;
+        if children.len() != 2 {
+            return Err(rtbh_json::JsonError::new(
+                "Node.children must have 2 entries",
+            ));
+        }
+        Ok(Self {
+            children: [children[0], children[1]],
+            value: rtbh_json::FromJson::from_json(v.field("value"))
+                .map_err(|e| e.in_field("Node.value"))?,
+        })
+    }
+}
+
+rtbh_json::impl_json! { generic struct PrefixTrie<T> { nodes, len } }
 
 #[cfg(test)]
 mod tests {

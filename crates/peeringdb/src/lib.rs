@@ -15,14 +15,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::{Rng, WeightedIndex};
 
 use rtbh_net::Asn;
 
 /// PeeringDB-style organisation type of a network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OrgType {
     /// Content delivery / hosting / cloud ("Content").
     Content,
@@ -38,6 +36,21 @@ pub enum OrgType {
     NonProfit,
     /// No PeeringDB record or no type filled in.
     Unknown,
+}
+
+rtbh_json::impl_json! {
+    enum OrgType {
+        Content, CableDslIsp, Nsp, Enterprise, EduResearch, NonProfit, Unknown,
+    }
+}
+
+impl rtbh_json::JsonKey for OrgType {
+    fn to_key(&self) -> String {
+        format!("{self:?}")
+    }
+    fn from_key(key: &str) -> Result<Self, rtbh_json::JsonError> {
+        rtbh_json::FromJson::from_json(&rtbh_json::Json::Str(key.to_string()))
+    }
 }
 
 impl OrgType {
@@ -70,7 +83,7 @@ impl fmt::Display for OrgType {
 }
 
 /// PeeringDB-style geographic scope of a network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scope {
     /// Single metro / country region.
     Regional,
@@ -81,6 +94,8 @@ pub enum Scope {
     /// Not filled in.
     Unknown,
 }
+
+rtbh_json::impl_json! { enum Scope { Regional, Continental, Global, Unknown } }
 
 impl fmt::Display for Scope {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -95,7 +110,7 @@ impl fmt::Display for Scope {
 }
 
 /// One registry row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsRecord {
     /// The network's AS number.
     pub asn: Asn,
@@ -107,12 +122,14 @@ pub struct AsRecord {
     pub scope: Scope,
 }
 
+rtbh_json::impl_json! { struct AsRecord { asn, name, org_type, scope } }
+
 /// Relative weights for drawing organisation types.
 ///
 /// The defaults approximate the PeeringDB population visible at a large
 /// European IXP (eyeball-heavy membership, sizeable NSP share, and a large
 /// "Unknown" tail of networks without a PeeringDB record).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TypeMix {
     /// Weight for [`OrgType::Content`].
     pub content: f64,
@@ -128,6 +145,12 @@ pub struct TypeMix {
     pub non_profit: f64,
     /// Weight for [`OrgType::Unknown`].
     pub unknown: f64,
+}
+
+rtbh_json::impl_json! {
+    struct TypeMix {
+        content, cable_dsl_isp, nsp, enterprise, edu_research, non_profit, unknown,
+    }
 }
 
 impl TypeMix {
@@ -168,10 +191,12 @@ impl TypeMix {
 }
 
 /// The registry: an `Asn`-keyed table of [`AsRecord`]s.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Registry {
     records: BTreeMap<Asn, AsRecord>,
 }
+
+rtbh_json::impl_json! { struct Registry { records } }
 
 impl Registry {
     /// An empty registry.
@@ -268,11 +293,10 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
+    use rtbh_rng::ChaChaRng;
 
-    fn rng() -> ChaCha20Rng {
-        ChaCha20Rng::seed_from_u64(7)
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(7)
     }
 
     #[test]

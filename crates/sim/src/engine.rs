@@ -1,9 +1,10 @@
 //! The simulation engine: control-plane synthesis, parallel traffic
 //! generation, and the chronological fabric replay.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rtbh_rng::{ChaChaRng, Rng};
 
 use rtbh_bgp::{BgpUpdate, UpdateKind, UpdateLog};
 use rtbh_fabric::{Fabric, FlowLog, FlowSample, MemberId, Sampler};
@@ -79,31 +80,35 @@ fn generate_traffic(jobs: &[Job], sampler: &Sampler, master_seed: u64) -> Vec<Pa
         .map(|n| n.get())
         .unwrap_or(4)
         .min(16);
-    let results: Vec<parking_lot::Mutex<Vec<PacketDescriptor>>> = (0..jobs.len())
-        .map(|_| parking_lot::Mutex::new(Vec::new()))
-        .collect();
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..jobs.len() {
-        tx.send(i).expect("queue open");
-    }
-    drop(tx);
+    let results: Vec<Mutex<Vec<PacketDescriptor>>> =
+        (0..jobs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    // A shared atomic cursor replaces a work queue: each worker claims the
+    // next unclaimed job index until the list is exhausted.
+    let next_job = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx.clone();
+            let next_job = &next_job;
             let results = &results;
-            scope.spawn(move || {
-                while let Ok(i) = rx.recv() {
-                    let job = &jobs[i];
-                    let mut rng = ChaCha20Rng::seed_from_u64(mix_seed(master_seed, job.tag));
-                    let pkts = job.workload.generate(job.window, sampler, &mut rng);
-                    *results[i].lock() = pkts;
+            scope.spawn(move || loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
                 }
+                let job = &jobs[i];
+                let mut rng = ChaChaRng::seed_from_u64(mix_seed(master_seed, job.tag));
+                let pkts = job.workload.generate(job.window, sampler, &mut rng);
+                *results[i].lock().expect("worker poisoned lock") = pkts;
             });
         }
     });
-    let mut all = Vec::with_capacity(results.iter().map(|r| r.lock().len()).sum());
+    let mut all = Vec::with_capacity(
+        results
+            .iter()
+            .map(|r| r.lock().expect("worker poisoned lock").len())
+            .sum(),
+    );
     for r in results {
-        all.append(&mut r.into_inner());
+        all.append(&mut r.into_inner().expect("worker poisoned lock"));
     }
     all.sort_by_key(|p| p.at);
     all
@@ -213,7 +218,7 @@ fn replay(
 fn internal_flows(
     config: &ScenarioConfig,
     corpus_end: Timestamp,
-    rng: &mut ChaCha20Rng,
+    rng: &mut ChaChaRng,
 ) -> (Vec<FlowSample>, Vec<MacAddr>) {
     let device_count = 4u32;
     let macs: Vec<MacAddr> = (0..device_count)
@@ -248,9 +253,9 @@ pub fn run(config: &ScenarioConfig) -> SimOutput {
     config.validate().expect("invalid scenario configuration");
     let corpus_end = Timestamp::EPOCH + TimeDelta::days(config.days as i64);
 
-    let mut member_rng = ChaCha20Rng::seed_from_u64(mix_seed(config.seed, 0x01));
+    let mut member_rng = ChaChaRng::seed_from_u64(mix_seed(config.seed, 0x01));
     let population = members::build(config, &mut member_rng);
-    let plan_rng = ChaCha20Rng::seed_from_u64(mix_seed(config.seed, 0x02));
+    let plan_rng = ChaChaRng::seed_from_u64(mix_seed(config.seed, 0x02));
     let plan = planner::plan(config, &population, plan_rng);
 
     let updates = control_plane(&plan, corpus_end);
@@ -266,7 +271,7 @@ pub fn run(config: &ScenarioConfig) -> SimOutput {
         corpus_end,
     );
 
-    let mut internal_rng = ChaCha20Rng::seed_from_u64(mix_seed(config.seed, 0x03));
+    let mut internal_rng = ChaChaRng::seed_from_u64(mix_seed(config.seed, 0x03));
     let (internal, internal_macs) = internal_flows(config, corpus_end, &mut internal_rng);
     let flows = flows.merge(FlowLog::from_samples(internal));
 

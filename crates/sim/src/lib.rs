@@ -16,7 +16,7 @@
 //! The event mix, rates and policy distributions are calibrated against the
 //! paper's findings (see `DESIGN.md` §5 and the constants in [`config`]).
 //! Everything is deterministic per [`ScenarioConfig::seed`]: workloads draw
-//! from per-component ChaCha20 streams, so even the crossbeam-parallel
+//! from per-component ChaCha20 streams, so even the thread-parallel
 //! generation path yields byte-identical corpora.
 
 #![forbid(unsafe_code)]

@@ -6,9 +6,7 @@
 //! inconsistently because their routers disagree. A small tail rejects even
 //! ≤/24 blackholes (Fig. 6 shows /24 drop rates from 82–100%).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::ChaCha20Rng;
+use rtbh_rng::{ChaChaRng, Rng, SliceRandom};
 
 use rtbh_bgp::{ImportPolicy, RouteServer};
 use rtbh_fabric::{Member, MemberId, RouterPort};
@@ -89,7 +87,7 @@ fn reject_all_policy() -> ImportPolicy {
 }
 
 /// Builds the member population for a scenario.
-pub fn build(config: &ScenarioConfig, rng: &mut ChaCha20Rng) -> MemberPopulation {
+pub fn build(config: &ScenarioConfig, rng: &mut ChaChaRng) -> MemberPopulation {
     let count = config.members as usize;
     // Deterministic class assignment: exact shares, then shuffled.
     let mut classes: Vec<PolicyClass> = Vec::with_capacity(count);
@@ -151,10 +149,9 @@ pub fn build(config: &ScenarioConfig, rng: &mut ChaCha20Rng) -> MemberPopulation
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn population() -> MemberPopulation {
-        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut rng = ChaChaRng::seed_from_u64(1);
         build(&ScenarioConfig::paper(), &mut rng)
     }
 

@@ -8,9 +8,7 @@
 //! * the regular-route seeds for victim address space,
 //! * bilateral (non-route-server) blackhole specs.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand_chacha::ChaCha20Rng;
+use rtbh_rng::{ChaChaRng, Rng, SliceRandom};
 
 use rtbh_fabric::MemberId;
 use rtbh_net::{
@@ -312,7 +310,7 @@ fn mitigation_spans<R: Rng>(
 pub(crate) struct Planner<'a> {
     config: &'a ScenarioConfig,
     population: &'a MemberPopulation,
-    rng: ChaCha20Rng,
+    rng: ChaChaRng,
     corpus_end: Timestamp,
     /// The small pool of accepting mega-carriers that accept-dominated
     /// attacks funnel through (few top-100 slots, huge volume each — the
@@ -350,7 +348,7 @@ impl<'a> Planner<'a> {
         ids
     }
 
-    fn new(config: &'a ScenarioConfig, population: &'a MemberPopulation, rng: ChaCha20Rng) -> Self {
+    fn new(config: &'a ScenarioConfig, population: &'a MemberPopulation, rng: ChaChaRng) -> Self {
         let corpus_end = Timestamp::EPOCH + TimeDelta::days(config.days as i64);
         let mut planner = Self {
             config,
@@ -607,7 +605,7 @@ impl<'a> Planner<'a> {
         let mut windows = Vec::new();
         let blocks = self.rng.gen_range(1..=3);
         for b in 0..blocks {
-            let len = self.rng.gen_range(2..=5);
+            let len: i64 = self.rng.gen_range(2..=5);
             let start_day = if b == 0 {
                 // Anchor block: always provides pre-window data; covers the
                 // event day itself only part of the time (hosts are not
@@ -787,7 +785,7 @@ impl<'a> Planner<'a> {
                         protocols,
                         attack_window,
                         envelope,
-                        rising_ports: style >= 0.65 && style < 0.80,
+                        rising_ports: (0.65..0.80).contains(&style),
                     }
                     .into(),
                     Vec::new(),
@@ -973,7 +971,7 @@ impl<'a> Planner<'a> {
             };
             let (origin_idx, block, victim) = self.victim_block_for(host);
             let repeats = if self.rng.gen_bool(0.25) {
-                self.rng.gen_range(2..=4).min(remaining)
+                self.rng.gen_range(2u32..=4).min(remaining)
             } else {
                 1
             };
@@ -1291,7 +1289,7 @@ impl<'a> Planner<'a> {
 }
 
 /// Plans a full scenario.
-pub fn plan(config: &ScenarioConfig, population: &MemberPopulation, rng: ChaCha20Rng) -> Plan {
+pub fn plan(config: &ScenarioConfig, population: &MemberPopulation, rng: ChaChaRng) -> Plan {
     let mut planner = Planner::new(config, population, rng);
     planner.plan_visible_attacks();
     planner.plan_constant_events();
@@ -1306,16 +1304,15 @@ pub fn plan(config: &ScenarioConfig, population: &MemberPopulation, rng: ChaCha2
 mod tests {
     use super::*;
     use crate::members;
-    use rand::SeedableRng;
 
     fn make_plan() -> (ScenarioConfig, Plan) {
         let config = ScenarioConfig::tiny();
-        let mut rng = ChaCha20Rng::seed_from_u64(config.seed);
+        let mut rng = ChaChaRng::seed_from_u64(config.seed);
         let population = members::build(&config, &mut rng);
         let plan = plan(
             &config,
             &population,
-            ChaCha20Rng::seed_from_u64(config.seed ^ 1),
+            ChaChaRng::seed_from_u64(config.seed ^ 1),
         );
         (config, plan)
     }
@@ -1427,7 +1424,7 @@ mod tests {
     #[test]
     fn prefix_length_mix_is_host_dominated() {
         // Statistical check on the generator itself.
-        let mut rng = ChaCha20Rng::seed_from_u64(9);
+        let mut rng = ChaChaRng::seed_from_u64(9);
         let mut host = 0;
         for _ in 0..2000 {
             if pick_prefix_len(&mut rng) == 32 {
@@ -1439,7 +1436,7 @@ mod tests {
 
     #[test]
     fn mitigation_spans_gaps_stay_below_merge_threshold() {
-        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let mut rng = ChaChaRng::seed_from_u64(4);
         let start = Timestamp::EPOCH + TimeDelta::hours(100);
         let end = start + TimeDelta::hours(5);
         let corpus_end = Timestamp::EPOCH + TimeDelta::days(9);

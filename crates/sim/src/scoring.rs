@@ -9,8 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_core::classify::{Classification, UseCase};
 use rtbh_core::preevent::{PreClass, PreEventAnalysis};
 use rtbh_core::RtbhEvent;
@@ -20,7 +18,7 @@ use crate::truth::{EventKind, GroundTruth, PlannedEvent};
 
 /// The coarse truth label of a planted event, aligned with the pipeline's
 /// inference targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TruthLabel {
     /// A visible attack (should be detected as an anomaly / infrastructure
     /// protection).
@@ -49,7 +47,7 @@ impl TruthLabel {
 }
 
 /// A planted event matched to an inferred one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatchedEvent {
     /// Index into [`GroundTruth::events`].
     pub truth_idx: usize,
@@ -84,7 +82,7 @@ pub fn match_events(
 }
 
 /// Binary detection quality.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectionScore {
     /// Planted positives correctly flagged.
     pub true_positives: usize,
@@ -128,7 +126,7 @@ impl DetectionScore {
 }
 
 /// The full scorecard.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scorecard {
     /// Share of planted events matched to an inferred event.
     pub event_recall: f64,
@@ -316,5 +314,78 @@ mod tests {
             vi * 2 > v_total,
             "infra-protection must dominate visible attacks"
         );
+    }
+}
+
+rtbh_json::impl_json! {
+    enum TruthLabel { VisibleAttack, Invisible, Constant, Zombie, Squatting }
+}
+
+rtbh_json::impl_json! { struct MatchedEvent { truth_idx, inferred_id } }
+
+rtbh_json::impl_json! {
+    struct DetectionScore { true_positives, false_positives, false_negatives }
+}
+
+// `confusion` is keyed by a (TruthLabel, UseCase) pair, which has no string
+// form, so the map is serialized as an array of `[label, use_case, count]`
+// triples instead of a JSON object.
+impl rtbh_json::ToJson for Scorecard {
+    fn to_json(&self) -> rtbh_json::Json {
+        use rtbh_json::Json;
+        let confusion: Vec<Json> = self
+            .confusion
+            .iter()
+            .map(|((label, use_case), count)| {
+                Json::Arr(vec![label.to_json(), use_case.to_json(), count.to_json()])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("event_recall".to_string(), self.event_recall.to_json()),
+            (
+                "event_inflation".to_string(),
+                self.event_inflation.to_json(),
+            ),
+            ("anomaly".to_string(), self.anomaly.to_json()),
+            ("zombie".to_string(), self.zombie.to_json()),
+            ("squatting".to_string(), self.squatting.to_json()),
+            ("confusion".to_string(), Json::Arr(confusion)),
+        ])
+    }
+}
+
+impl rtbh_json::FromJson for Scorecard {
+    fn from_json(v: &rtbh_json::Json) -> Result<Self, rtbh_json::JsonError> {
+        use rtbh_json::{FromJson, JsonError};
+        v.expect_obj("Scorecard")?;
+        let mut confusion = BTreeMap::new();
+        for (i, entry) in v
+            .field("confusion")
+            .expect_arr("confusion")?
+            .iter()
+            .enumerate()
+        {
+            let triple = entry.expect_arr("confusion entry")?;
+            if triple.len() != 3 {
+                return Err(JsonError::new(format!(
+                    "confusion[{i}]: expected [label, use_case, count] triple"
+                )));
+            }
+            let label = TruthLabel::from_json(&triple[0])?;
+            let use_case = UseCase::from_json(&triple[1])?;
+            let count = usize::from_json(&triple[2])?;
+            confusion.insert((label, use_case), count);
+        }
+        Ok(Scorecard {
+            event_recall: FromJson::from_json(v.field("event_recall"))
+                .map_err(|e| e.in_field("event_recall"))?,
+            event_inflation: FromJson::from_json(v.field("event_inflation"))
+                .map_err(|e| e.in_field("event_inflation"))?,
+            anomaly: FromJson::from_json(v.field("anomaly")).map_err(|e| e.in_field("anomaly"))?,
+            zombie: FromJson::from_json(v.field("zombie")).map_err(|e| e.in_field("zombie"))?,
+            squatting: FromJson::from_json(v.field("squatting"))
+                .map_err(|e| e.in_field("squatting"))?,
+            confusion,
+        })
     }
 }

@@ -4,12 +4,10 @@
 //! EXPERIMENTS.md can score the analysis pipeline against what was actually
 //! planted. The analysis itself never reads this.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{AmplificationProtocol, Asn, Interval, Ipv4Addr, Prefix};
 
 /// How the victim host behaves on the data plane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostProfile {
     /// Steady server baseline: stable listening services.
     Server,
@@ -20,7 +18,7 @@ pub enum HostProfile {
 }
 
 /// What kind of RTBH event was planted.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// A DDoS attack visible at the IXP triggered the blackhole.
     AttackVisible {
@@ -45,7 +43,7 @@ pub enum EventKind {
 }
 
 /// One planned RTBH event with its control-plane schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannedEvent {
     /// Stable event id.
     pub id: u32,
@@ -95,7 +93,7 @@ impl PlannedEvent {
 }
 
 /// The full ledger.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroundTruth {
     /// All planted RTBH events (including squatting), in id order.
     pub events: Vec<PlannedEvent>,
@@ -189,5 +187,31 @@ mod tests {
         truth.events.push(atk);
         assert_eq!(truth.zombie_count(), 1);
         assert_eq!(truth.visible_attack_count(), 1);
+    }
+}
+
+rtbh_json::impl_json! { enum HostProfile { Server, Client, Silent } }
+
+rtbh_json::impl_json! {
+    enum EventKind {
+        AttackVisible { vectors, hard_to_filter, attack_window, peak_pps },
+        AttackInvisible,
+        ConstantTraffic,
+        Zombie,
+        Squatting,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct PlannedEvent {
+        id, kind, prefix, victim, trigger_peer, origin, host,
+        announcement_spans, blocked_peers,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct GroundTruth {
+        events, accepting_members, rejecting_members, inconsistent_members,
+        clock_offset_ms, heavy_hitter_origin,
     }
 }

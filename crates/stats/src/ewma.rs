@@ -17,16 +17,16 @@
 //! full window: the first `s` values can never be flagged, exactly as "no
 //! anomaly can be found during the first 24 hours".
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of an EWMA detector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EwmaConfig {
     /// Window length in slots (`s`). The paper uses 288 (24 h of 5-min slots).
     pub span: usize,
     /// Anomaly threshold in weighted standard deviations above the mean.
     pub threshold_sd: f64,
 }
+
+rtbh_json::impl_json! { struct EwmaConfig { span, threshold_sd } }
 
 impl EwmaConfig {
     /// The paper's configuration: 288-slot window, 2.5·SD threshold.
@@ -48,7 +48,7 @@ impl Default for EwmaConfig {
 }
 
 /// The verdict for one pushed value once the window is full.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EwmaVerdict {
     /// The pushed value under test.
     pub value: f64,
@@ -59,6 +59,8 @@ pub struct EwmaVerdict {
     /// True if `value > mean + threshold_sd · sd`.
     pub is_anomaly: bool,
 }
+
+rtbh_json::impl_json! { struct EwmaVerdict { value, mean, sd, is_anomaly } }
 
 impl EwmaVerdict {
     /// How many SDs the value sits above the mean (0 when SD is zero and the
@@ -337,8 +339,8 @@ mod tests {
     fn higher_threshold_flags_less() {
         let mut series = vec![10.0; 30];
         // Mild bump: ~4 SD above a window with some variance.
-        for i in 0..30 {
-            series[i] += ((i % 3) as f64) - 1.0;
+        for (i, x) in series.iter_mut().enumerate() {
+            *x += ((i % 3) as f64) - 1.0;
         }
         series.push(16.0);
         let loose = detect_series(

@@ -4,10 +4,8 @@
 //! spanning 1…10⁶; a log-binned histogram is the natural summary for such
 //! heavy-tailed count data.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram over `[lo, hi)` with equal-width bins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -17,6 +15,8 @@ pub struct Histogram {
     /// Observations at or above `hi`.
     pub overflow: u64,
 }
+
+rtbh_json::impl_json! { struct Histogram { lo, hi, counts, underflow, overflow } }
 
 impl Histogram {
     /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
@@ -79,7 +79,7 @@ impl Histogram {
 }
 
 /// A histogram with logarithmically spaced bins over `[lo, hi)`, `lo > 0`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     log_lo: f64,
     log_hi: f64,
@@ -89,6 +89,8 @@ pub struct LogHistogram {
     /// Observations at or above `hi`.
     pub overflow: u64,
 }
+
+rtbh_json::impl_json! { struct LogHistogram { log_lo, log_hi, counts, underflow, overflow } }
 
 impl LogHistogram {
     /// Creates a log histogram with `bins` bins over `[lo, hi)`.

@@ -1,7 +1,5 @@
 //! Streaming moment accumulators (Welford's algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// A streaming accumulator for count, mean, variance, min and max.
 ///
 /// Numerically stable (Welford) and mergeable, so per-day partial results
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.mean(), 5.0);
 /// assert_eq!(m.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Moments {
     count: u64,
     mean: f64,
@@ -24,6 +22,8 @@ pub struct Moments {
     min: f64,
     max: f64,
 }
+
+rtbh_json::impl_json! { struct Moments { count, mean, m2, min, max } }
 
 impl Default for Moments {
     fn default() -> Self {

@@ -13,12 +13,10 @@
 //! the set of announcement intervals that would explain it (already filtered
 //! to the right prefix), and the scan shifts sample timestamps over a grid.
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Interval, TimeDelta, Timestamp};
 
 /// One scanned candidate offset and its explained-sample share.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OffsetPoint {
     /// Candidate offset added to sample timestamps.
     pub offset: TimeDelta,
@@ -27,14 +25,18 @@ pub struct OffsetPoint {
     pub overlap: f64,
 }
 
+rtbh_json::impl_json! { struct OffsetPoint { offset, overlap } }
+
 /// The result of an offset scan: the full likelihood curve plus its argmax.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OffsetScan {
     /// One point per scanned offset, in scan order.
     pub curve: Vec<OffsetPoint>,
     /// The point with maximal overlap (ties: first encountered).
     pub best: OffsetPoint,
 }
+
+rtbh_json::impl_json! { struct OffsetScan { curve, best } }
 
 /// A dropped-marked sample to be explained: its capture timestamp and the
 /// control-plane intervals during which a blackhole covering its destination

@@ -1,7 +1,5 @@
 //! Quantiles and empirical cumulative distribution functions.
 
-use serde::{Deserialize, Serialize};
-
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample using linear interpolation
 /// between order statistics (R type-7, the default of most data tools —
 /// matching the pandas toolchain the paper uses).
@@ -43,10 +41,12 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 ///
 /// Used for every CDF figure in the paper (drop rates Fig. 6, filterable
 /// shares Fig. 14, AS participation Fig. 15, collateral packets Fig. 18).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
+
+rtbh_json::impl_json! { struct Ecdf { sorted } }
 
 impl Ecdf {
     /// Builds an ECDF; NaNs are rejected with a panic (they have no order).

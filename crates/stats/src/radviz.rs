@@ -9,16 +9,16 @@
 //! destination-port diversity in incoming traffic) from server-like hosts
 //! (high source-port diversity in incoming traffic).
 
-use serde::{Deserialize, Serialize};
-
 /// A point projected onto the RadViz disc.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadvizPoint {
     /// X coordinate in the unit disc.
     pub x: f64,
     /// Y coordinate in the unit disc.
     pub y: f64,
 }
+
+rtbh_json::impl_json! { struct RadvizPoint { x, y } }
 
 impl RadvizPoint {
     /// Euclidean distance to another point.

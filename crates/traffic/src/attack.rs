@@ -10,8 +10,7 @@
 //!   multi-protocol floods (§5.5);
 //! * an average attack reflects off ~1,086 amplifiers (§5.5).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::Rng;
 
 use rtbh_fabric::Sampler;
 use rtbh_net::{AmplificationProtocol, Interval, Ipv4Addr, Port, Protocol};
@@ -21,13 +20,15 @@ use crate::pool::{Amplifier, SourcePool};
 
 /// The rate envelope of an attack: a linear ramp-up to a flat plateau that
 /// holds until the attack ends (volumetric floods switch on abruptly).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackEnvelope {
     /// Plateau rate in raw packets per second.
     pub peak_pps: f64,
     /// Ramp-up length in milliseconds from attack start.
     pub ramp_ms: i64,
 }
+
+rtbh_json::impl_json! { struct AttackEnvelope { peak_pps, ramp_ms } }
 
 impl AttackEnvelope {
     /// A flat envelope with no ramp.
@@ -87,7 +88,7 @@ fn amplified_len<R: Rng>(rng: &mut R) -> u16 {
 }
 
 /// A UDP reflection-amplification flood.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmplificationAttack {
     /// The attacked address.
     pub victim: Ipv4Addr,
@@ -143,7 +144,7 @@ impl Workload for AmplificationAttack {
 /// A TCP SYN flood from spoofed sources — a state-exhaustion attack
 /// (paper §2.2: attacks target "either state (e.g. TCP Syn attack) or
 /// capacity (UDP-Amplification)").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynFlood {
     /// The attacked address.
     pub victim: Ipv4Addr,
@@ -192,7 +193,7 @@ impl Workload for SynFlood {
 /// The hard-to-filter 10%: floods on random or rising ports, optionally
 /// mixing transport protocols (§5.5 "attacks on random ports, increasing
 /// port numbers, and the use of multiple transport layer protocols").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomPortFlood {
     /// The attacked address.
     pub victim: Ipv4Addr,
@@ -265,12 +266,11 @@ impl Workload for RandomPortFlood {
 mod tests {
     use super::*;
     use crate::pool::SourceSpec;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
     use rtbh_net::{Asn, TimeDelta, Timestamp};
+    use rtbh_rng::ChaChaRng;
 
-    fn rng() -> ChaCha20Rng {
-        ChaCha20Rng::seed_from_u64(11)
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(11)
     }
 
     fn iv(min_a: i64, min_b: i64) -> Interval {
@@ -463,5 +463,21 @@ mod tests {
             last_quarter_min > first_quarter_max,
             "ports must rise: early max {first_quarter_max}, late min {last_quarter_min}"
         );
+    }
+}
+
+rtbh_json::impl_json! {
+    struct AmplificationAttack {
+        victim, vectors, amplifiers, attack_window, envelope, fragment_share,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct SynFlood { victim, dst_port, spoofed, attack_window, envelope }
+}
+
+rtbh_json::impl_json! {
+    struct RandomPortFlood {
+        victim, spoofed, protocols, attack_window, envelope, rising_ports,
     }
 }

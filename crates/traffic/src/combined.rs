@@ -1,8 +1,7 @@
 //! A closed sum of all workload kinds, so schedulers can hold heterogeneous
 //! job lists without boxing.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::Rng;
 
 use rtbh_fabric::Sampler;
 use rtbh_net::Interval;
@@ -12,7 +11,7 @@ use crate::descriptor::{PacketDescriptor, Workload};
 use crate::legit::{ClientWorkload, ScanNoise, ServerWorkload};
 
 /// Any of the concrete workloads of this crate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AnyWorkload {
     /// Legitimate server baseline.
     Server(ServerWorkload),
@@ -68,9 +67,8 @@ mod tests {
     use super::*;
     use crate::diurnal::DiurnalRate;
     use crate::pool::{SourcePool, SourceSpec};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
     use rtbh_net::{Asn, Service, TimeDelta, Timestamp};
+    use rtbh_rng::ChaChaRng;
 
     #[test]
     fn dispatch_matches_direct_call() {
@@ -90,15 +88,26 @@ mod tests {
         let direct = server.generate(
             window,
             &Sampler::new(1000),
-            &mut ChaCha20Rng::seed_from_u64(3),
+            &mut ChaChaRng::seed_from_u64(3),
         );
         let any: AnyWorkload = server.into();
         let via_enum = any.generate(
             window,
             &Sampler::new(1000),
-            &mut ChaCha20Rng::seed_from_u64(3),
+            &mut ChaChaRng::seed_from_u64(3),
         );
         assert_eq!(direct, via_enum);
         assert!(!direct.is_empty());
+    }
+}
+
+rtbh_json::impl_json! {
+    enum AnyWorkload {
+        Server(ServerWorkload),
+        Client(ClientWorkload),
+        Scan(ScanNoise),
+        Amplification(AmplificationAttack),
+        Syn(SynFlood),
+        RandomPort(RandomPortFlood),
     }
 }

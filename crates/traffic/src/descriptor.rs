@@ -1,8 +1,7 @@
 //! Sampled packet descriptors, the interface between workloads and the
 //! fabric.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::Rng;
 
 use rtbh_fabric::Sampler;
 use rtbh_net::{Asn, Interval, Ipv4Addr, Port, Protocol, Timestamp};
@@ -11,7 +10,7 @@ use rtbh_net::{Asn, Interval, Ipv4Addr, Port, Protocol, Timestamp};
 /// its fate. The **handover AS** is the member whose port the packet enters
 /// through; the fabric turns it into a source MAC and decides the destination
 /// MAC (egress router or blackhole).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketDescriptor {
     /// Capture timestamp.
     pub at: Timestamp,
@@ -64,13 +63,12 @@ pub(crate) fn ephemeral_port<R: Rng>(rng: &mut R) -> Port {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
     use rtbh_net::TimeDelta;
+    use rtbh_rng::ChaChaRng;
 
     #[test]
     fn uniform_time_stays_in_window() {
-        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut rng = ChaChaRng::seed_from_u64(1);
         let w = Interval::new(
             Timestamp::from_millis(1000),
             Timestamp::from_millis(1000) + TimeDelta::minutes(5),
@@ -83,17 +81,24 @@ mod tests {
 
     #[test]
     fn uniform_time_handles_degenerate_window() {
-        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut rng = ChaChaRng::seed_from_u64(1);
         let w = Interval::new(Timestamp::from_millis(5), Timestamp::from_millis(5));
         assert_eq!(uniform_time(w, &mut rng), Timestamp::from_millis(5));
     }
 
     #[test]
     fn ephemeral_ports_in_range() {
-        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let mut rng = ChaChaRng::seed_from_u64(2);
         for _ in 0..1000 {
             let p = ephemeral_port(&mut rng);
             assert!(rtbh_net::ports::is_ephemeral(p));
         }
+    }
+}
+
+rtbh_json::impl_json! {
+    struct PacketDescriptor {
+        at, handover, src_ip, dst_ip, protocol, src_port, dst_port,
+        packet_len, fragment,
     }
 }

@@ -5,14 +5,12 @@
 //! analysis sees realistic slow variation (and does not flag the daily peak
 //! as an anomaly — a 2.5·SD threshold over a 24 h window absorbs it).
 
-use serde::{Deserialize, Serialize};
-
 use rtbh_net::{Interval, Timestamp};
 
 /// A sinusoidally modulated packet rate:
 /// `pps(t) = base_pps · (1 + amplitude · sin(2π · (day_fraction(t) − peak)))`
 /// clamped at zero.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiurnalRate {
     /// Mean rate in raw packets per second.
     pub base_pps: f64,
@@ -144,3 +142,5 @@ mod tests {
         assert!(r.expected_packets(w) > 100.0 * 7200.0);
     }
 }
+
+rtbh_json::impl_json! { struct DiurnalRate { base_pps, amplitude, peak_fraction } }

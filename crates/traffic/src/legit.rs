@@ -11,8 +11,7 @@
 //!   traffic hits a different dominant destination port almost every day
 //!   (port variation ≈ 1).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::Rng;
 
 use rtbh_fabric::Sampler;
 use rtbh_net::{Asn, Interval, Ipv4Addr, Protocol, Service};
@@ -43,7 +42,7 @@ fn response_len<R: Rng>(rng: &mut R) -> u16 {
 }
 
 /// A server host with stable listening services.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerWorkload {
     /// The server's address.
     pub server: Ipv4Addr,
@@ -107,7 +106,7 @@ impl Workload for ServerWorkload {
 }
 
 /// A client host (e.g. a DSL subscriber or a gamer's console).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientWorkload {
     /// The client's address.
     pub client: Ipv4Addr,
@@ -198,7 +197,7 @@ impl Workload for ClientWorkload {
 
 /// Internet background radiation / scanning towards an address block —
 /// the faint traffic squatting-protection blackholes attract (§2.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanNoise {
     /// The scanned destination block.
     pub target: rtbh_net::Prefix,
@@ -242,12 +241,11 @@ impl Workload for ScanNoise {
 mod tests {
     use super::*;
     use crate::pool::SourceSpec;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
     use rtbh_net::{TimeDelta, Timestamp};
+    use rtbh_rng::ChaChaRng;
 
-    fn rng() -> ChaCha20Rng {
-        ChaCha20Rng::seed_from_u64(5)
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(5)
     }
 
     fn clients() -> SourcePool {
@@ -390,3 +388,17 @@ mod tests {
         assert!(fine > coarse.max(1) * 20, "fine {fine} vs coarse {coarse}");
     }
 }
+
+rtbh_json::impl_json! {
+    struct ServerWorkload {
+        server, handover, services, request_rate, response_factor, clients,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct ClientWorkload {
+        client, handover, remotes, service_menu, rate, response_factor, day_seed,
+    }
+}
+
+rtbh_json::impl_json! { struct ScanNoise { target, scanners, pps } }

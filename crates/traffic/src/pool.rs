@@ -1,14 +1,13 @@
 //! Source pools: weighted legitimate-client pools and amplifier pools with
 //! heavy-hitter skew.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use rtbh_rng::Rng;
 
 use rtbh_net::{Asn, Ipv4Addr, Prefix};
 
 /// One weighted client population: addresses drawn from `prefix`, handed
 /// into the IXP by member `handover`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceSpec {
     /// The IXP member carrying this population's traffic.
     pub handover: Asn,
@@ -20,7 +19,7 @@ pub struct SourceSpec {
 
 /// A weighted pool of traffic sources (legitimate clients, spoofed-source
 /// space for SYN floods, remote servers for client workloads, ...).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourcePool {
     specs: Vec<SourceSpec>,
     cumulative: Vec<f64>,
@@ -73,7 +72,7 @@ impl SourcePool {
 }
 
 /// One reflector usable in an amplification attack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Amplifier {
     /// The reflector's (real, unspoofed) address.
     pub ip: Ipv4Addr,
@@ -85,7 +84,7 @@ pub struct Amplifier {
 }
 
 /// One origin AS's reflector population inside the pool.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct OriginGroup {
     origin: Asn,
     handover: Asn,
@@ -100,7 +99,7 @@ struct OriginGroup {
 }
 
 /// Parameters for synthesising an [`AmplifierPool`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmplifierPoolSpec {
     /// `(origin, handover)` pairs in rank order — index 0 is the heavy
     /// hitter (the paper's top origin AS participating in ~60% of attacks).
@@ -128,7 +127,7 @@ pub struct AmplifierPoolSpec {
 }
 
 /// The global reflector population attacks draw from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AmplifierPool {
     groups: Vec<OriginGroup>,
     volume_sigma: f64,
@@ -231,11 +230,10 @@ impl AmplifierPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
+    use rtbh_rng::ChaChaRng;
 
-    fn rng() -> ChaCha20Rng {
-        ChaCha20Rng::seed_from_u64(99)
+    fn rng() -> ChaChaRng {
+        ChaChaRng::seed_from_u64(99)
     }
 
     fn pool_spec(n: usize) -> AmplifierPoolSpec {
@@ -330,7 +328,7 @@ mod tests {
         let pool = AmplifierPool::synthesize(&pool_spec(10));
         let mut r = rng();
         for a in pool.draw_attack_set(&mut r) {
-            let rank = (a.origin.value() - 50_000) as u32;
+            let rank = a.origin.value() - 50_000;
             let base = Ipv4Addr::new(20, 0, 0, 0).to_u32() + (rank << 8);
             let pfx = Prefix::new(Ipv4Addr::from_u32(base), 24).unwrap();
             assert!(pfx.contains_addr(a.ip), "{} not in {}", a.ip, pfx);
@@ -345,3 +343,22 @@ mod tests {
         assert_eq!(a, b);
     }
 }
+
+rtbh_json::impl_json! { struct SourceSpec { handover, prefix, weight } }
+rtbh_json::impl_json! { struct SourcePool { specs, cumulative } }
+rtbh_json::impl_json! { struct Amplifier { ip, origin, handover } }
+
+rtbh_json::impl_json! {
+    struct OriginGroup {
+        origin, handover, prefix, pool_size, participation, per_attack_mean,
+    }
+}
+
+rtbh_json::impl_json! {
+    struct AmplifierPoolSpec {
+        origins, base_participation, participation_exponent, amplifiers_per_origin,
+        pool_size_per_origin, address_base, heavy_hitter_boost, volume_sigma,
+    }
+}
+
+rtbh_json::impl_json! { struct AmplifierPool { groups, volume_sigma } }

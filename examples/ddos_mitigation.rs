@@ -7,8 +7,7 @@
 //! cargo run --release --example ddos_mitigation
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use rtbh_rng::ChaChaRng;
 
 use rtbh::bgp::{BgpUpdate, ImportPolicy, RouteServer, UpdateKind};
 use rtbh::fabric::{Fabric, Member, MemberId, RouterPort, Sampler};
@@ -98,7 +97,7 @@ fn main() {
     };
 
     let sampler = Sampler::new(1_000); // 1:1000 for a crisp demo
-    let mut rng = ChaCha20Rng::seed_from_u64(42);
+    let mut rng = ChaChaRng::seed_from_u64(42);
     let horizon = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::minutes(140));
     let mut packets = attack.generate(horizon, &sampler, &mut rng);
     packets.extend(legit.generate(horizon, &sampler, &mut rng));

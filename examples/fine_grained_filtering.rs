@@ -9,8 +9,7 @@
 //! cargo run --release --example fine_grained_filtering
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use rtbh_rng::ChaChaRng;
 
 use rtbh::fabric::Sampler;
 use rtbh::net::{AmplificationProtocol, Asn, Interval, Ipv4Addr, Protocol, TimeDelta, Timestamp};
@@ -43,7 +42,7 @@ fn main() {
     let window = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(1));
     let envelope = AttackEnvelope::flat(200_000.0);
     let sampler = Sampler::new(1_000);
-    let mut rng = ChaCha20Rng::seed_from_u64(7);
+    let mut rng = ChaChaRng::seed_from_u64(7);
 
     use AmplificationProtocol::*;
     let attacks: Vec<(&str, Vec<rtbh::traffic::PacketDescriptor>)> = vec![

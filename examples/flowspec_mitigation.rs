@@ -10,8 +10,7 @@
 //! cargo run --release --example flowspec_mitigation
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use rtbh_rng::ChaChaRng;
 
 use rtbh::bgp::{amplification_mitigation, FlowAction, FlowSpecRule, FlowSpecTable};
 use rtbh::fabric::Sampler;
@@ -76,7 +75,7 @@ fn main() {
     let victim_prefix = Prefix::host(victim);
     let window = Interval::new(Timestamp::EPOCH, Timestamp::EPOCH + TimeDelta::hours(1));
     let sampler = Sampler::new(1_000);
-    let mut rng = ChaCha20Rng::seed_from_u64(99);
+    let mut rng = ChaChaRng::seed_from_u64(99);
 
     let amplifiers: Vec<Amplifier> = (0..500)
         .map(|i| Amplifier {

@@ -66,7 +66,7 @@ fn main() {
             "SQUAT-GUARD {:<18} by {} — {} of scanning noise only; deliberate, keep",
             event.prefix.to_string(),
             event.origin,
-            verdict.duration.to_string()
+            verdict.duration
         );
     }
 

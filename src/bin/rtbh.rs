@@ -21,6 +21,7 @@ use std::path::PathBuf;
 
 use rtbh::core::Analyzer;
 use rtbh::sim::ScenarioConfig;
+use rtbh_json::ToJson;
 
 fn usage() -> ! {
     eprintln!(
@@ -78,11 +79,7 @@ fn simulate(args: Vec<String>) {
     let result = rtbh::sim::run(&config);
     rtbh::corpus_io::save(&result.corpus, &out).expect("write corpus");
     let truth_path = out.with_extension("truth.json");
-    std::fs::write(
-        &truth_path,
-        serde_json::to_vec_pretty(&result.truth).expect("serialize truth"),
-    )
-    .expect("write truth");
+    std::fs::write(&truth_path, rtbh_json::to_vec_pretty(&result.truth)).expect("write truth");
     eprintln!(
         "wrote {} ({} updates, {} samples) and {}",
         out.display(),
@@ -95,7 +92,9 @@ fn simulate(args: Vec<String>) {
 fn load(path: &str) -> rtbh::core::Corpus {
     rtbh::corpus_io::load(std::path::Path::new(path)).unwrap_or_else(|e| {
         eprintln!("failed to load {path}: {e}");
-        std::process::exit(1);
+        // Exit 2 (usage/input error), distinct from 1 (analysis failure), so
+        // scripts can tell a corrupt corpus from a crashed pipeline.
+        std::process::exit(2);
     })
 }
 
@@ -158,35 +157,34 @@ fn analyze(args: Vec<String>) {
     if timings {
         println!();
         print!("{}", profile.render());
-        let payload = serde_json::json!({
-            "corpus": path,
-            "updates": analyzer.corpus().updates.len(),
-            "samples": analyzer.corpus().flows.len(),
-            "events": analyzer.events().len(),
-            "profile": profile,
-        });
-        std::fs::write(
-            "BENCH_pipeline.json",
-            serde_json::to_vec_pretty(&payload).expect("serialize profile"),
-        )
-        .expect("write BENCH_pipeline.json");
+        let payload = rtbh_json::Json::Obj(vec![
+            ("corpus".to_string(), path.to_json()),
+            (
+                "updates".to_string(),
+                analyzer.corpus().updates.len().to_json(),
+            ),
+            (
+                "samples".to_string(),
+                analyzer.corpus().flows.len().to_json(),
+            ),
+            ("events".to_string(), analyzer.events().len().to_json()),
+            ("profile".to_string(), profile.to_json()),
+        ]);
+        std::fs::write("BENCH_pipeline.json", rtbh_json::to_vec_pretty(&payload))
+            .expect("write BENCH_pipeline.json");
         eprintln!("wrote BENCH_pipeline.json");
     }
     if let Some(out) = json_out {
-        #[derive(serde::Serialize)]
         struct JsonOut {
             headline: rtbh::core::pipeline::Headline,
             class_shares: (f64, f64, f64),
         }
+        rtbh_json::impl_json! { serialize struct JsonOut { headline, class_shares } }
         let payload = JsonOut {
             headline,
             class_shares: report.preevents.class_shares(),
         };
-        std::fs::write(
-            &out,
-            serde_json::to_vec_pretty(&payload).expect("serialize"),
-        )
-        .expect("write json");
+        std::fs::write(&out, rtbh_json::to_vec_pretty(&payload)).expect("write json");
         eprintln!("wrote {out}");
     }
 }

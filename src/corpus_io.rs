@@ -14,8 +14,7 @@
 //! keeps a paper-scale corpus (≈7M samples) around a quarter of a gigabyte
 //! instead of multi-GB JSON.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
+use rtbh_net::cursor::{PutBytes, Reader};
 
 use crate::core::corpus::{Corpus, MemberInfo};
 use crate::net::{Asn, Interval, MacAddr, Prefix};
@@ -25,7 +24,6 @@ const MAGIC: &[u8; 8] = b"RTBHCORP";
 const VERSION: u16 = 1;
 
 /// Everything in a corpus except the two logs.
-#[derive(Serialize, Deserialize)]
 struct Meta {
     period: Interval,
     sampling_rate: u32,
@@ -36,13 +34,20 @@ struct Meta {
     routes: Vec<(Prefix, Asn)>,
 }
 
+rtbh_json::impl_json! {
+    struct Meta {
+        period, sampling_rate, route_server_asn, members, registry,
+        internal_macs, routes,
+    }
+}
+
 /// A persistence failure.
 #[derive(Debug)]
 pub enum CorpusIoError {
     /// Bad container framing.
     Container(String),
     /// Metadata (de)serialization failed.
-    Meta(serde_json::Error),
+    Meta(rtbh_json::JsonError),
     /// The update-log section failed to decode.
     Updates(rtbh_bgp::WireError),
     /// The flow-log section failed to decode.
@@ -72,7 +77,7 @@ impl From<std::io::Error> for CorpusIoError {
 }
 
 /// Serializes a corpus into the container format.
-pub fn to_bytes(corpus: &Corpus) -> Result<Bytes, CorpusIoError> {
+pub fn to_bytes(corpus: &Corpus) -> Result<Vec<u8>, CorpusIoError> {
     let meta = Meta {
         period: corpus.period,
         sampling_rate: corpus.sampling_rate,
@@ -82,11 +87,11 @@ pub fn to_bytes(corpus: &Corpus) -> Result<Bytes, CorpusIoError> {
         internal_macs: corpus.internal_macs.clone(),
         routes: corpus.routes.clone(),
     };
-    let meta_json = serde_json::to_vec(&meta).map_err(CorpusIoError::Meta)?;
+    let meta_json = rtbh_json::to_vec(&meta);
     let mrt = rtbh_bgp::encode_update_log(&corpus.updates);
     let flows = rtbh_fabric::encode_flow_log(&corpus.flows);
 
-    let mut buf = BytesMut::with_capacity(34 + meta_json.len() + mrt.len() + flows.len());
+    let mut buf = Vec::with_capacity(34 + meta_json.len() + mrt.len() + flows.len());
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u64(meta_json.len() as u64);
@@ -95,22 +100,24 @@ pub fn to_bytes(corpus: &Corpus) -> Result<Bytes, CorpusIoError> {
     buf.put_slice(&mrt);
     buf.put_u64(flows.len() as u64);
     buf.put_slice(&flows);
-    Ok(buf.freeze())
+    Ok(buf)
 }
 
-fn take_section(buf: &mut Bytes, what: &str) -> Result<Bytes, CorpusIoError> {
+fn take_section<'a>(buf: &mut Reader<'a>, what: &str) -> Result<&'a [u8], CorpusIoError> {
     if buf.remaining() < 8 {
         return Err(CorpusIoError::Container(format!("truncated {what} length")));
     }
-    let len = buf.get_u64() as usize;
+    let len = usize::try_from(buf.get_u64())
+        .map_err(|_| CorpusIoError::Container(format!("oversized {what} length")))?;
     if buf.remaining() < len {
         return Err(CorpusIoError::Container(format!("truncated {what}")));
     }
-    Ok(buf.copy_to_bytes(len))
+    Ok(buf.take(len).rest())
 }
 
 /// Deserializes a corpus from the container format.
-pub fn from_bytes(mut buf: Bytes) -> Result<Corpus, CorpusIoError> {
+pub fn from_bytes(buf: &[u8]) -> Result<Corpus, CorpusIoError> {
+    let mut buf = Reader::new(buf);
     if buf.remaining() < 10 {
         return Err(CorpusIoError::Container("truncated header".into()));
     }
@@ -126,7 +133,7 @@ pub fn from_bytes(mut buf: Bytes) -> Result<Corpus, CorpusIoError> {
         )));
     }
     let meta_json = take_section(&mut buf, "metadata")?;
-    let meta: Meta = serde_json::from_slice(&meta_json).map_err(CorpusIoError::Meta)?;
+    let meta: Meta = rtbh_json::from_slice(meta_json).map_err(CorpusIoError::Meta)?;
     let mrt = take_section(&mut buf, "update log")?;
     let updates = rtbh_bgp::decode_update_log(mrt).map_err(CorpusIoError::Updates)?;
     let flows_bytes = take_section(&mut buf, "flow log")?;
@@ -160,7 +167,7 @@ pub fn save(corpus: &Corpus, path: &std::path::Path) -> Result<(), CorpusIoError
 /// Reads a corpus from a file.
 pub fn load(path: &std::path::Path) -> Result<Corpus, CorpusIoError> {
     let raw = std::fs::read(path)?;
-    from_bytes(Bytes::from(raw))
+    from_bytes(&raw)
 }
 
 #[cfg(test)]
@@ -178,13 +185,25 @@ mod tests {
         crate::sim::run(&config).corpus
     }
 
+    /// Byte offset of a section's u64 length field within an encoded corpus.
+    ///
+    /// `section` is 0 for metadata, 1 for the update log, 2 for the flow log.
+    fn length_field_offset(bytes: &[u8], section: usize) -> usize {
+        let mut offset = 10; // magic + version
+        for _ in 0..section {
+            let len = u64::from_be_bytes(bytes[offset..offset + 8].try_into().unwrap());
+            offset += 8 + len as usize;
+        }
+        offset
+    }
+
     /// Wire withdrawals don't carry origin/communities, so round-tripping
     /// canonicalises them; everything the analysis consumes must survive.
     #[test]
     fn round_trip_preserves_analysis_inputs() {
         let corpus = small_corpus();
         let bytes = to_bytes(&corpus).unwrap();
-        let back = from_bytes(bytes).unwrap();
+        let back = from_bytes(&bytes).unwrap();
         assert_eq!(back.period, corpus.period);
         assert_eq!(back.sampling_rate, corpus.sampling_rate);
         assert_eq!(back.members, corpus.members);
@@ -223,23 +242,88 @@ mod tests {
         let corpus = small_corpus();
         let bytes = to_bytes(&corpus).unwrap();
         // Bad magic.
-        let mut raw = bytes.to_vec();
+        let mut raw = bytes.clone();
         raw[0] = b'X';
-        assert!(matches!(
-            from_bytes(Bytes::from(raw)),
-            Err(CorpusIoError::Container(_))
-        ));
+        assert!(matches!(from_bytes(&raw), Err(CorpusIoError::Container(_))));
         // Truncations at several depths.
         for cut in [5usize, 12, bytes.len() / 2, bytes.len() - 1] {
-            assert!(from_bytes(bytes.slice(..cut)).is_err(), "cut {cut}");
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
         }
         // Trailing garbage.
-        let mut raw = bytes.to_vec();
+        let mut raw = bytes.clone();
         raw.push(7);
-        assert!(matches!(
-            from_bytes(Bytes::from(raw)),
-            Err(CorpusIoError::Container(_))
-        ));
+        assert!(matches!(from_bytes(&raw), Err(CorpusIoError::Container(_))));
+    }
+
+    /// Truncating the container inside each section's u64 length field must
+    /// fail with a framing error, not a panic.
+    #[test]
+    fn truncated_length_fields_rejected() {
+        let corpus = small_corpus();
+        let bytes = to_bytes(&corpus).unwrap();
+        for section in 0..3 {
+            let offset = length_field_offset(&bytes, section);
+            for inside in [0usize, 1, 7] {
+                let cut = offset + inside;
+                assert!(
+                    matches!(from_bytes(&bytes[..cut]), Err(CorpusIoError::Container(_))),
+                    "section {section} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    /// A section length larger than the remaining buffer (including one that
+    /// would overflow usize) must be rejected cleanly.
+    #[test]
+    fn oversized_declared_lengths_rejected() {
+        let corpus = small_corpus();
+        let bytes = to_bytes(&corpus).unwrap();
+        for section in 0..3 {
+            let offset = length_field_offset(&bytes, section);
+            for declared in [bytes.len() as u64 + 1, u64::MAX] {
+                let mut raw = bytes.clone();
+                raw[offset..offset + 8].copy_from_slice(&declared.to_be_bytes());
+                assert!(
+                    matches!(from_bytes(&raw), Err(CorpusIoError::Container(_))),
+                    "section {section} declared {declared}"
+                );
+            }
+        }
+    }
+
+    /// Corrupting the magic of an inner binary section surfaces that
+    /// section's decode error.
+    #[test]
+    fn corrupt_section_magic_reported_per_section() {
+        let corpus = small_corpus();
+        let bytes = to_bytes(&corpus).unwrap();
+        // Update log: records are framed as timestamp(8) + peer(4) + len(2)
+        // followed by the BGP message, whose 16-byte marker is all-ones.
+        // Corrupting the marker's first byte must surface as a decode error.
+        let mrt_start = length_field_offset(&bytes, 1) + 8;
+        let mut raw = bytes.clone();
+        raw[mrt_start + 14] ^= 0xFF;
+        assert!(
+            matches!(from_bytes(&raw), Err(CorpusIoError::Updates(_))),
+            "corrupt update-log magic must be an Updates error"
+        );
+        // Flow log likewise.
+        let flow_start = length_field_offset(&bytes, 2) + 8;
+        let mut raw = bytes.clone();
+        raw[flow_start] ^= 0xFF;
+        assert!(
+            matches!(from_bytes(&raw), Err(CorpusIoError::Flows(_))),
+            "corrupt flow-log magic must be a Flows error"
+        );
+        // Metadata: flipping its first byte breaks the JSON.
+        let meta_start = length_field_offset(&bytes, 0) + 8;
+        let mut raw = bytes.clone();
+        raw[meta_start] = b'X';
+        assert!(
+            matches!(from_bytes(&raw), Err(CorpusIoError::Meta(_))),
+            "corrupt metadata must be a Meta error"
+        );
     }
 
     #[test]

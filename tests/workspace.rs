@@ -38,8 +38,8 @@ fn corpus_serde_round_trip() {
     config.zombie_events = 2;
     config.squatting = (1, 1);
     let out = rtbh::sim::run(&config);
-    let json = serde_json::to_string(&out.corpus).expect("corpus serializes");
-    let back: rtbh::core::Corpus = serde_json::from_str(&json).expect("corpus deserializes");
+    let json = rtbh_json::to_string(&out.corpus);
+    let back: rtbh::core::Corpus = rtbh_json::from_str(&json).expect("corpus deserializes");
     assert_eq!(back.digest(), out.corpus.digest());
     assert_eq!(back.updates.len(), out.corpus.updates.len());
     assert_eq!(back.flows.len(), out.corpus.flows.len());
@@ -53,7 +53,7 @@ fn analysis_never_reads_ground_truth() {
     let out = rtbh::sim::run(&ScenarioConfig::tiny());
     let truth_events = out.truth.events.len();
     let analyzer = Analyzer::with_defaults(out.corpus);
-    assert!(analyzer.events().len() > 0);
+    assert!(!analyzer.events().is_empty());
     assert!(truth_events > 0);
 }
 
@@ -92,7 +92,7 @@ fn all_figures_render_on_tiny_corpus() {
         );
     }
     // The JSON side-channel must serialize.
-    let json = serde_json::to_string(&reports).unwrap();
+    let json = rtbh_json::to_string(&reports);
     assert!(json.contains("\"id\""));
 }
 
