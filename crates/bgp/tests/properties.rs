@@ -9,10 +9,15 @@ use rtbh_bgp::{
 use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, TimeDelta, Timestamp};
 use rtbh_rng::{ChaChaRng, Rng};
 
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
 const CASES: usize = 256;
 
-fn rng(test_seed: u64) -> ChaChaRng {
-    ChaChaRng::seed_from_u64(0x4247_505f_5052_4f50 ^ test_seed)
+fn rng(seed: u64) -> ChaChaRng {
+    // Per-test stream: tests stay independent of each other's draw order.
+    ChaChaRng::seed_from_u64(seed)
 }
 
 fn arb_prefix(rng: &mut ChaChaRng) -> Prefix {
@@ -44,7 +49,7 @@ fn update(at_min: i64, prefix: Prefix, kind: UpdateKind) -> BgpUpdate {
 /// the peer set.
 #[test]
 fn route_server_recipients_partition_peers() {
-    let mut rng = rng(1);
+    let mut rng = rng(seeds::PROP_ROUTE_SERVER_PARTITION);
     for _ in 0..CASES {
         let peer_count = rng.gen_range(2u32..40);
         let sender_idx = rng.gen_range(0u32..40);
@@ -97,7 +102,7 @@ fn route_server_recipients_partition_peers() {
 /// count never exceeds the number of announcements.
 #[test]
 fn interval_reconstruction_invariants() {
-    let mut rng = rng(2);
+    let mut rng = rng(seeds::PROP_INTERVAL_RECONSTRUCTION);
     for _ in 0..CASES {
         let prefix = arb_prefix(&mut rng);
         // Alternate announce/withdraw gaps in minutes.
@@ -146,7 +151,7 @@ fn interval_reconstruction_invariants() {
 /// that rejected it is never affected.
 #[test]
 fn rib_announce_withdraw_symmetry() {
-    let mut rng = rng(3);
+    let mut rng = rng(seeds::PROP_RIB_SYMMETRY);
     for _ in 0..CASES {
         let prefix = arb_prefix(&mut rng);
         let policy = ImportPolicy {
@@ -177,7 +182,7 @@ fn rib_announce_withdraw_symmetry() {
 
 #[test]
 fn wire_announce_round_trips() {
-    let mut rng = rng(4);
+    let mut rng = rng(seeds::PROP_WIRE_ANNOUNCE);
     for _ in 0..CASES {
         let u = BgpUpdate {
             at: Timestamp::from_millis(rng.gen_range(0i64..10_000_000_000)),
@@ -197,7 +202,7 @@ fn wire_announce_round_trips() {
 
 #[test]
 fn wire_log_round_trips() {
-    let mut rng = rng(5);
+    let mut rng = rng(seeds::PROP_WIRE_LOG);
     for _ in 0..64 {
         // Build a canonical log: wire withdrawals are bare retractions.
         let mut updates: Vec<BgpUpdate> = (0..rng.gen_range(0usize..24))
@@ -236,7 +241,7 @@ fn wire_log_round_trips() {
 /// Fuzz the decoder: arbitrary bytes must produce Ok or Err, never panic.
 #[test]
 fn wire_decoder_never_panics_on_garbage() {
-    let mut rng = rng(6);
+    let mut rng = rng(seeds::PROP_WIRE_GARBAGE);
     for _ in 0..CASES {
         let len = rng.gen_range(0usize..200);
         let mut raw = vec![0u8; len];
@@ -254,4 +259,11 @@ fn wire_decoder_never_panics_on_garbage() {
             let _ = rtbh_bgp::decode_update(&msg, Timestamp::EPOCH, Asn(1));
         }
     }
+}
+
+/// Seeded-stream hygiene: no two randomized tests in this crate may draw
+/// from the same base seed.
+#[test]
+fn seed_table_has_no_collisions() {
+    rtbh_testkit::assert_unique_seeds(seeds::BGP_SEEDS);
 }

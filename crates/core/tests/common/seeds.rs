@@ -1,0 +1,15 @@
+//! The one seed table for `rtbh-core`'s randomized suites.
+//!
+//! Included via `#[path]` so every seeded stream in the crate is declared
+//! in one place; the hygiene check in `properties.rs` asserts no two
+//! streams share a base seed. Values preserve the crate's historical
+//! per-test streams (the old `0x434f_5245_5f50_524f ^ test_index` scheme,
+//! "CORE_PRO" in ASCII).
+
+rtbh_testkit::seed_table! {
+    pub static CORE_SEEDS = {
+        PROP_EVENT_MERGE_INVARIANTS = 0x434f_5245_5f50_524e,
+        PROP_EVENT_MERGE_RUNS = 0x434f_5245_5f50_524d,
+        PROP_MERGE_SWEEP_MONOTONE = 0x434f_5245_5f50_524c,
+    }
+}

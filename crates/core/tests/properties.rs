@@ -9,10 +9,15 @@ use rtbh_core::events::{infer_events, merge_sweep};
 use rtbh_net::{Asn, Community, Ipv4Addr, Prefix, TimeDelta, Timestamp};
 use rtbh_rng::{ChaChaRng, Rng};
 
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
 const CASES: usize = 256;
 
-fn rng(test_seed: u64) -> ChaChaRng {
-    ChaChaRng::seed_from_u64(0x434f_5245_5f50_524f ^ test_seed)
+fn rng(seed: u64) -> ChaChaRng {
+    // Per-test stream: tests stay independent of each other's draw order.
+    ChaChaRng::seed_from_u64(seed)
 }
 
 fn update(at_min: i64, prefix: Prefix, kind: UpdateKind) -> BgpUpdate {
@@ -59,7 +64,7 @@ const END_MIN: i64 = 5_000;
 /// an event are ≤ Δ, gaps between same-prefix events are > Δ.
 #[test]
 fn event_merge_invariants() {
-    let mut rng = rng(1);
+    let mut rng = rng(seeds::PROP_EVENT_MERGE_INVARIANTS);
     for _ in 0..CASES {
         let updates = arb_schedule(&mut rng);
         let delta = TimeDelta::minutes(rng.gen_range(0i64..30));
@@ -101,7 +106,7 @@ fn event_merge_invariants() {
 /// (no span is lost or duplicated by merging).
 #[test]
 fn event_merge_preserves_runs() {
-    let mut rng = rng(2);
+    let mut rng = rng(seeds::PROP_EVENT_MERGE_RUNS);
     for _ in 0..CASES {
         let updates = arb_schedule(&mut rng);
         let delta_min = rng.gen_range(0i64..30);
@@ -121,7 +126,7 @@ fn event_merge_preserves_runs() {
 /// unique-prefix fraction.
 #[test]
 fn merge_sweep_monotonicity() {
-    let mut rng = rng(3);
+    let mut rng = rng(seeds::PROP_MERGE_SWEEP_MONOTONE);
     for _ in 0..CASES {
         let updates = arb_schedule(&mut rng);
         let log = UpdateLog::from_updates(updates);
@@ -136,4 +141,11 @@ fn merge_sweep_monotonicity() {
             assert!(p.event_fraction <= 1.0 + 1e-12);
         }
     }
+}
+
+/// Seeded-stream hygiene: no two randomized tests in this crate may draw
+/// from the same base seed.
+#[test]
+fn seed_table_has_no_collisions() {
+    rtbh_testkit::assert_unique_seeds(seeds::CORE_SEEDS);
 }

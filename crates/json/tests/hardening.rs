@@ -1,0 +1,138 @@
+//! Hostile-input hardening for the parser: unpaired surrogate escapes and
+//! the nesting-depth limit.
+//!
+//! Both behaviors exist in the parser; this suite pins them as contracts.
+//! Unpaired surrogates are the classic way malformed JSON smuggles invalid
+//! UTF-16 into a `String`; unlimited nesting turns a recursive-descent
+//! parser into a stack-overflow primitive (which aborts the process —
+//! no `catch_unwind` can contain it). The testkit fuzz suite hammers both
+//! paths with generated input; these are the explicit, named cases.
+
+use rtbh_json::{parse, Json, MAX_DEPTH};
+
+// ---------------------------------------------------------------- surrogates
+
+#[test]
+fn lone_high_surrogate_rejected() {
+    for text in [
+        r#""\uD800""#,       // lowest high surrogate, string ends
+        r#""\uDBFF""#,       // highest high surrogate
+        r#""\uD83Dabc""#,    // high surrogate followed by plain characters
+        r#""\uD83D\n""#,     // high surrogate followed by a non-\u escape
+        r#""\uD800A""#,      // high surrogate, then a bare character
+        r#""\uD800\uD800""#, // second high surrogate instead of a low one
+    ] {
+        assert!(parse(text).is_err(), "must reject {text}");
+    }
+}
+
+#[test]
+fn high_surrogate_followed_by_non_low_escape_rejected() {
+    // A high surrogate followed by a valid — but non-low-surrogate —
+    // escape (U+0041). Must be rejected, not combined.
+    let text = format!(r#""\uD800\u{}""#, "0041");
+    assert!(parse(&text).is_err(), "must reject {text}");
+}
+
+#[test]
+fn lone_low_surrogate_rejected() {
+    for text in [r#""\uDC00""#, r#""\uDFFF""#, r#""a\uDEAD""#] {
+        assert!(parse(text).is_err(), "must reject {text}");
+    }
+}
+
+#[test]
+fn truncated_surrogate_escape_rejected() {
+    for text in [
+        r#""\uD83D"#,
+        r#""\uD83D\"#,
+        r#""\uD83D\u"#,
+        r#""\uD83D\uDE"#,
+    ] {
+        assert!(parse(text).is_err(), "must reject {text}");
+    }
+}
+
+#[test]
+fn valid_surrogate_pairs_accepted() {
+    // A correctly paired high+low escape decodes to U+1F600 (😀). Built at
+    // runtime so the source holds the escape sequence, not the raw scalar.
+    let escaped = format!(r#""\u{}\u{}""#, "D83D", "DE00");
+    assert_eq!(parse(&escaped).unwrap(), Json::Str("😀".to_string()));
+    // The raw UTF-8 form parses to the same value...
+    assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+    // ...and round-trips through the writer (which re-emits raw UTF-8).
+    let written = rtbh_json::to_string(&Json::Str("😀".to_string()));
+    assert_eq!(parse(&written).unwrap(), Json::Str("😀".to_string()));
+}
+
+#[test]
+fn surrogate_error_messages_name_the_problem() {
+    let high = parse(r#""\uD800x""#).unwrap_err().to_string();
+    assert!(high.contains("surrogate"), "unhelpful error: {high}");
+    let low = parse(r#""\uDC00""#).unwrap_err().to_string();
+    assert!(low.contains("surrogate"), "unhelpful error: {low}");
+}
+
+// --------------------------------------------------------------- depth limit
+
+fn nested_arrays(depth: usize) -> String {
+    "[".repeat(depth) + &"]".repeat(depth)
+}
+
+fn nested_objects(depth: usize) -> String {
+    let mut text = String::new();
+    for _ in 0..depth {
+        text.push_str("{\"k\":");
+    }
+    text.push('1');
+    for _ in 0..depth {
+        text.push('}');
+    }
+    text
+}
+
+#[test]
+fn depth_at_the_limit_parses() {
+    // The limit counts the depth at which each *value* is parsed: the
+    // innermost of k empty arrays parses at depth k-1, but the scalar
+    // inside k objects parses at depth k. So MAX_DEPTH empty arrays fit,
+    // while objects max out one container earlier.
+    assert!(parse(&nested_arrays(MAX_DEPTH)).is_ok());
+    assert!(parse(&nested_objects(MAX_DEPTH - 1)).is_ok());
+}
+
+#[test]
+fn depth_over_the_limit_is_an_error() {
+    let err = parse(&nested_arrays(MAX_DEPTH + 1))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("MAX_DEPTH"), "unhelpful error: {err}");
+    assert!(parse(&nested_objects(MAX_DEPTH)).is_err());
+}
+
+/// The reason the limit exists: pathological inputs must produce a parse
+/// error, not exhaust the stack. 100k unclosed brackets would need ~100k
+/// recursive frames without the limit.
+#[test]
+fn pathological_nesting_returns_error_not_stack_overflow() {
+    for text in [
+        "[".repeat(100_000),
+        "{\"k\":".repeat(100_000),
+        nested_arrays(100_000),
+        "[{\"a\":".repeat(50_000),
+    ] {
+        assert!(parse(&text).is_err());
+    }
+}
+
+/// Mixed nesting counts every level, whichever container type it is.
+#[test]
+fn mixed_nesting_counts_all_container_levels() {
+    let mut text = String::new();
+    for _ in 0..MAX_DEPTH / 2 + 1 {
+        text.push_str("[{\"k\":");
+    }
+    // MAX_DEPTH + 2 levels deep before any value: must already be an error.
+    assert!(parse(&text).is_err());
+}

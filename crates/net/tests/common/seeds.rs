@@ -1,0 +1,36 @@
+//! The one seed table for `rtbh-net`'s randomized suites.
+//!
+//! Both integration tests include this file via `#[path]`, so every seeded
+//! stream in the crate is declared in one place and the hygiene check in
+//! `properties.rs` can assert no two streams share a base seed (shared
+//! seeds explore *correlated* case sequences — they look like independent
+//! evidence but are not).
+//!
+//! The `PROP_*` values preserve the crate's historical per-test streams
+//! (the old `0x4e45_545f_5052_4f50 ^ test_index` scheme, "NET_PROP" in
+//! ASCII); `FROZEN_*` are the raw SplitMix64 seeds the frozen-LPM
+//! equivalence suite has always used.
+
+rtbh_testkit::seed_table! {
+    pub static NET_SEEDS = {
+        PROP_ADDR_PREFIX_TEXT = 0x4e45_545f_5052_4f51,
+        PROP_PREFIX_CONTAINS = 0x4e45_545f_5052_4f52,
+        PROP_COVERS_SET_SEMANTICS = 0x4e45_545f_5052_4f53,
+        PROP_OVERLAP = 0x4e45_545f_5052_4f54,
+        PROP_SUPERNET_SUBNETS = 0x4e45_545f_5052_4f55,
+        PROP_ADDR_AT = 0x4e45_545f_5052_4f56,
+        PROP_TRIE_ORACLE = 0x4e45_545f_5052_4f57,
+        PROP_TRIE_REMOVE = 0x4e45_545f_5052_4f58,
+        PROP_TRIE_MATCHES_SORTED = 0x4e45_545f_5052_4f59,
+        PROP_TRIE_ITER = 0x4e45_545f_5052_4f5a,
+        PROP_MAC_TEXT = 0x4e45_545f_5052_4f5b,
+        PROP_COMMUNITY = 0x4e45_545f_5052_4f5c,
+        PROP_ASN_TEXT = 0x4e45_545f_5052_4f5d,
+        PROP_TIMESTAMP_SLOTS = 0x4e45_545f_5052_4f5e,
+        PROP_JSON_ROUND_TRIP = 0x4e45_545f_5052_4f5f,
+        PROP_AMPLIFICATION = 0x4e45_545f_5052_4f40,
+        FROZEN_EQUIV_SPARSE = 0x0000_0000_0000_0001,
+        FROZEN_EQUIV_MIXED = 0x0000_0000_d15e_a5e5,
+        FROZEN_EQUIV_DENSE = 0xbadc_0ffe_e0dd_f00d,
+    }
+}

@@ -11,6 +11,10 @@
 
 use rtbh_net::{FrozenLpm, Ipv4Addr, Prefix, PrefixTrie};
 
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
 /// SplitMix64 — tiny, seedable, dependency-free.
 struct SplitMix64(u64);
 
@@ -33,7 +37,11 @@ fn assert_same_match(trie: &PrefixTrie<u64>, lpm: &FrozenLpm<u64>, addr: Ipv4Add
 
 #[test]
 fn frozen_lpm_is_equivalent_to_the_trie() {
-    for seed in [1u64, 0xD15E_A5E5, 0xBADC_0FFE_E0DD_F00D] {
+    for seed in [
+        seeds::FROZEN_EQUIV_SPARSE,
+        seeds::FROZEN_EQUIV_MIXED,
+        seeds::FROZEN_EQUIV_DENSE,
+    ] {
         let mut rng = SplitMix64(seed);
         let mut trie: PrefixTrie<u64> = PrefixTrie::new();
         let mut inserted: Vec<Prefix> = Vec::new();

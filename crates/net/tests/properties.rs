@@ -8,12 +8,16 @@
 use rtbh_net::{Ipv4Addr, MacAddr, Prefix, PrefixTrie};
 use rtbh_rng::{ChaChaRng, Rng};
 
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
 /// Cases per randomized test — the budget the old proptest suite used.
 const CASES: usize = 256;
 
-fn rng(test_seed: u64) -> ChaChaRng {
+fn rng(seed: u64) -> ChaChaRng {
     // Per-test stream: tests stay independent of each other's draw order.
-    ChaChaRng::seed_from_u64(0x4e45_545f_5052_4f50 ^ test_seed)
+    ChaChaRng::seed_from_u64(seed)
 }
 
 fn arb_addr(rng: &mut ChaChaRng) -> Ipv4Addr {
@@ -59,7 +63,7 @@ fn dedup(entries: Vec<Prefix>) -> Vec<(Prefix, usize)> {
 
 #[test]
 fn addr_and_prefix_text_round_trip() {
-    let mut rng = rng(1);
+    let mut rng = rng(seeds::PROP_ADDR_PREFIX_TEXT);
     for _ in 0..CASES {
         let addr = arb_addr(&mut rng);
         assert_eq!(addr.to_string().parse::<Ipv4Addr>().unwrap(), addr);
@@ -70,7 +74,7 @@ fn addr_and_prefix_text_round_trip() {
 
 #[test]
 fn prefix_contains_network_and_last() {
-    let mut rng = rng(2);
+    let mut rng = rng(seeds::PROP_PREFIX_CONTAINS);
     for _ in 0..CASES {
         let prefix = arb_prefix(&mut rng);
         assert!(prefix.contains_addr(prefix.network()));
@@ -85,7 +89,7 @@ fn prefix_contains_network_and_last() {
 
 #[test]
 fn covers_matches_set_semantics() {
-    let mut rng = rng(3);
+    let mut rng = rng(seeds::PROP_COVERS_SET_SEMANTICS);
     for _ in 0..CASES {
         let a = arb_prefix(&mut rng);
         let b = arb_prefix(&mut rng);
@@ -97,7 +101,7 @@ fn covers_matches_set_semantics() {
 
 #[test]
 fn overlap_iff_one_covers() {
-    let mut rng = rng(4);
+    let mut rng = rng(seeds::PROP_OVERLAP);
     for _ in 0..CASES {
         let a = arb_prefix(&mut rng);
         // Mix in clustered prefixes so overlaps actually occur.
@@ -109,7 +113,7 @@ fn overlap_iff_one_covers() {
 
 #[test]
 fn supernet_covers_and_subnets_partition() {
-    let mut rng = rng(5);
+    let mut rng = rng(seeds::PROP_SUPERNET_SUBNETS);
     for _ in 0..CASES {
         let prefix = arb_prefix(&mut rng);
         if let Some(sup) = prefix.supernet() {
@@ -126,7 +130,7 @@ fn supernet_covers_and_subnets_partition() {
 
 #[test]
 fn addr_at_stays_inside() {
-    let mut rng = rng(6);
+    let mut rng = rng(seeds::PROP_ADDR_AT);
     for _ in 0..CASES {
         let prefix = arb_prefix(&mut rng);
         let idx = rng.next_u64();
@@ -136,7 +140,7 @@ fn addr_at_stays_inside() {
 
 #[test]
 fn trie_agrees_with_oracle() {
-    let mut rng = rng(7);
+    let mut rng = rng(seeds::PROP_TRIE_ORACLE);
     for _ in 0..64 {
         let n = rng.gen_range(0usize..64);
         let entries = dedup((0..n).map(|_| arb_clustered_prefix(&mut rng)).collect());
@@ -161,7 +165,7 @@ fn trie_agrees_with_oracle() {
 
 #[test]
 fn trie_remove_restores_oracle() {
-    let mut rng = rng(8);
+    let mut rng = rng(seeds::PROP_TRIE_REMOVE);
     for _ in 0..64 {
         let n = rng.gen_range(1usize..48);
         let entries = dedup((0..n).map(|_| arb_clustered_prefix(&mut rng)).collect());
@@ -190,7 +194,7 @@ fn trie_remove_restores_oracle() {
 
 #[test]
 fn trie_matches_sorted_by_length() {
-    let mut rng = rng(9);
+    let mut rng = rng(seeds::PROP_TRIE_MATCHES_SORTED);
     for _ in 0..CASES {
         let n = rng.gen_range(0usize..48);
         let entries: Vec<Prefix> = (0..n).map(|_| arb_clustered_prefix(&mut rng)).collect();
@@ -208,7 +212,7 @@ fn trie_matches_sorted_by_length() {
 
 #[test]
 fn trie_iter_round_trips_entries() {
-    let mut rng = rng(10);
+    let mut rng = rng(seeds::PROP_TRIE_ITER);
     for _ in 0..CASES {
         let n = rng.gen_range(0usize..48);
         let entries: Vec<Prefix> = (0..n).map(|_| arb_clustered_prefix(&mut rng)).collect();
@@ -232,7 +236,7 @@ fn arb_mac(rng: &mut ChaChaRng) -> MacAddr {
 
 #[test]
 fn mac_text_round_trip() {
-    let mut rng = rng(11);
+    let mut rng = rng(seeds::PROP_MAC_TEXT);
     for _ in 0..CASES {
         let mac = arb_mac(&mut rng);
         assert_eq!(mac.to_string().parse::<MacAddr>().unwrap(), mac);
@@ -241,7 +245,7 @@ fn mac_text_round_trip() {
 
 #[test]
 fn community_wire_and_text_round_trip() {
-    let mut rng = rng(12);
+    let mut rng = rng(seeds::PROP_COMMUNITY);
     for _ in 0..CASES {
         let c = rtbh_net::Community::new(rng.gen(), rng.gen());
         assert_eq!(rtbh_net::Community::from_u32(c.to_u32()), c);
@@ -251,7 +255,7 @@ fn community_wire_and_text_round_trip() {
 
 #[test]
 fn asn_text_round_trip() {
-    let mut rng = rng(13);
+    let mut rng = rng(seeds::PROP_ASN_TEXT);
     for _ in 0..CASES {
         let a = rtbh_net::Asn(rng.next_u32());
         assert_eq!(a.to_string().parse::<rtbh_net::Asn>().unwrap(), a);
@@ -260,7 +264,7 @@ fn asn_text_round_trip() {
 
 #[test]
 fn timestamp_slot_arithmetic_consistent() {
-    let mut rng = rng(14);
+    let mut rng = rng(seeds::PROP_TIMESTAMP_SLOTS);
     for _ in 0..CASES {
         let ms = rng.gen_range(-10_000_000_000i64..10_000_000_000);
         let t = rtbh_net::Timestamp::from_millis(ms);
@@ -275,7 +279,7 @@ fn timestamp_slot_arithmetic_consistent() {
 
 #[test]
 fn json_round_trip_everything() {
-    let mut rng = rng(15);
+    let mut rng = rng(seeds::PROP_JSON_ROUND_TRIP);
     for _ in 0..CASES {
         let prefix = arb_prefix(&mut rng);
         let p2: Prefix = rtbh_json::from_str(&rtbh_json::to_string(&prefix)).unwrap();
@@ -301,7 +305,7 @@ fn json_round_trip_everything() {
 #[test]
 fn amplification_classifier_is_consistent() {
     use rtbh_net::{AmplificationProtocol, Protocol, AMPLIFICATION_PROTOCOLS};
-    let mut rng = rng(16);
+    let mut rng = rng(seeds::PROP_AMPLIFICATION);
     for _ in 0..CASES {
         let port: u16 = rng.gen();
         let frag = rng.gen_bool(0.5);
@@ -317,4 +321,11 @@ fn amplification_classifier_is_consistent() {
                 .all(|p| p.source_port() != port || *p == AmplificationProtocol::Fragmentation));
         }
     }
+}
+
+/// Seeded-stream hygiene: no two randomized tests in this crate may draw
+/// from the same base seed.
+#[test]
+fn seed_table_has_no_collisions() {
+    rtbh_testkit::assert_unique_seeds(seeds::NET_SEEDS);
 }

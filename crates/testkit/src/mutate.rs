@@ -1,0 +1,189 @@
+//! Structure-blind byte mutation for hardening decoders.
+//!
+//! The generators in [`crate::gen`] produce *valid* wire images; this module
+//! corrupts them (or raw random buffers) the way damaged captures, hostile
+//! peers, and truncated files do. The operator mix follows the classic
+//! coverage-blind fuzzer playbook: bit flips, interesting-value injection,
+//! region splices, truncation, and — because every codec in this workspace
+//! frames with big-endian length fields — targeted length-field corruption.
+
+use rtbh_rng::{Rng, SliceRandom};
+
+/// Byte values that disproportionately trigger edge cases: zero, one, sign
+/// boundaries, and all-ones.
+pub const INTERESTING_BYTES: [u8; 6] = [0x00, 0x01, 0x7F, 0x80, 0xFE, 0xFF];
+
+/// 64-bit values worth writing over anything that smells like a length or
+/// count: tiny values, type maxima, and off-by-one neighbours of maxima.
+pub const INTERESTING_U64S: [u64; 10] = [
+    0,
+    1,
+    2,
+    0x7F,
+    0xFF,
+    0xFFFF,
+    u32::MAX as u64 - 1,
+    u32::MAX as u64,
+    u64::MAX - 1,
+    u64::MAX,
+];
+
+/// Applies one random mutation to `data`. May grow, shrink, or empty the
+/// buffer; never panics, even on empty input.
+pub fn mutate<R: Rng>(rng: &mut R, data: &mut Vec<u8>) {
+    // Weights lean toward small local damage (flips, interesting bytes) with
+    // a steady minority of structural damage (splices, truncation, length
+    // corruption) — the mix that historically finds framing bugs fastest.
+    match rng.gen_range(0..10u32) {
+        0..=2 => flip_bit(rng, data),
+        3 | 4 => set_interesting_byte(rng, data),
+        5 => truncate(rng, data),
+        6 => insert_random(rng, data),
+        7 => remove_region(rng, data),
+        8 => splice_region(rng, data),
+        9 => corrupt_length_field(rng, data),
+        _ => unreachable!(),
+    }
+}
+
+/// Applies `count` random mutations in sequence.
+pub fn mutate_n<R: Rng>(rng: &mut R, data: &mut Vec<u8>, count: usize) {
+    for _ in 0..count {
+        mutate(rng, data);
+    }
+}
+
+/// A fresh random buffer of length `0..=max_len` — the "pure garbage" input
+/// class, complementing mutated-valid inputs.
+pub fn random_bytes<R: Rng>(rng: &mut R, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+fn flip_bit<R: Rng>(rng: &mut R, data: &mut [u8]) {
+    if data.is_empty() {
+        return;
+    }
+    let at = rng.gen_range(0..data.len());
+    data[at] ^= 1 << rng.gen_range(0..8u32);
+}
+
+fn set_interesting_byte<R: Rng>(rng: &mut R, data: &mut [u8]) {
+    if data.is_empty() {
+        return;
+    }
+    let at = rng.gen_range(0..data.len());
+    data[at] = *INTERESTING_BYTES.choose(rng).expect("non-empty");
+}
+
+fn truncate<R: Rng>(rng: &mut R, data: &mut Vec<u8>) {
+    if data.is_empty() {
+        return;
+    }
+    let keep = rng.gen_range(0..data.len());
+    data.truncate(keep);
+}
+
+fn insert_random<R: Rng>(rng: &mut R, data: &mut Vec<u8>) {
+    let at = rng.gen_range(0..=data.len());
+    let count = rng.gen_range(1..=8usize);
+    let fresh: Vec<u8> = (0..count).map(|_| rng.gen::<u8>()).collect();
+    data.splice(at..at, fresh);
+}
+
+fn remove_region<R: Rng>(rng: &mut R, data: &mut Vec<u8>) {
+    if data.is_empty() {
+        return;
+    }
+    let start = rng.gen_range(0..data.len());
+    let len = rng.gen_range(1..=(data.len() - start).min(16));
+    data.drain(start..start + len);
+}
+
+/// Copies one region of the buffer over another (both random), duplicating
+/// structure — the mutation most likely to desynchronize section framing.
+fn splice_region<R: Rng>(rng: &mut R, data: &mut [u8]) {
+    if data.len() < 2 {
+        return;
+    }
+    let len = rng.gen_range(1..=data.len().min(16));
+    let src = rng.gen_range(0..=data.len() - len);
+    let dst = rng.gen_range(0..=data.len() - len);
+    let region: Vec<u8> = data[src..src + len].to_vec();
+    data[dst..dst + len].copy_from_slice(&region);
+}
+
+/// Overwrites a random 2-, 4-, or 8-byte window with a big-endian
+/// "interesting" integer — aimed at the length/count fields all three wire
+/// formats use for framing.
+fn corrupt_length_field<R: Rng>(rng: &mut R, data: &mut [u8]) {
+    let width = *[2usize, 4, 8].choose(rng).expect("non-empty");
+    if data.len() < width {
+        return;
+    }
+    let at = rng.gen_range(0..=data.len() - width);
+    let mut value = *INTERESTING_U64S.choose(rng).expect("non-empty");
+    // Half the time, derive from the buffer length instead — off-by-one
+    // framing errors live at len±1.
+    if rng.gen_bool(0.5) {
+        let len = data.len() as u64;
+        value = *[len, len - 1, len + 1, len / 2]
+            .choose(rng)
+            .expect("non-empty");
+    }
+    let bytes = value.to_be_bytes();
+    data[at..at + width].copy_from_slice(&bytes[8 - width..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_rng::ChaChaRng;
+
+    #[test]
+    fn mutation_is_deterministic_and_total() {
+        let run = |seed: u64| {
+            let mut rng = ChaChaRng::seed_from_u64(seed);
+            let mut data = b"RTBHCORP\x00\x01hello world, framing bytes".to_vec();
+            let mut trace = Vec::new();
+            for _ in 0..500 {
+                mutate(&mut rng, &mut data);
+                trace.push(data.clone());
+            }
+            trace
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn empty_and_tiny_buffers_never_panic() {
+        let mut rng = ChaChaRng::seed_from_u64(7);
+        for start_len in 0..4usize {
+            for _ in 0..2_000 {
+                let mut data = vec![0xAB; start_len];
+                mutate(&mut rng, &mut data);
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_actually_change_long_buffers() {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let original = vec![0x5A; 64];
+        let mut changed = 0;
+        for _ in 0..200 {
+            let mut data = original.clone();
+            mutate(&mut rng, &mut data);
+            if data != original {
+                changed += 1;
+            }
+        }
+        // Some operators can no-op (splice onto itself, interesting byte that
+        // was already there), but the overwhelming majority must mutate.
+        assert!(
+            changed > 150,
+            "only {changed}/200 mutations changed the buffer"
+        );
+    }
+}

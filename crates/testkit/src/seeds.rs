@@ -1,0 +1,75 @@
+//! Seeded-stream hygiene.
+//!
+//! Every randomized test in the workspace derives its `ChaChaRng` stream
+//! from a seed constant. Two tests sharing a constant explore *correlated*
+//! case sequences — they look like independent evidence but are not. The
+//! [`seed_table!`] macro declares a crate's seeds in one place and builds a
+//! compile-time table; [`assert_unique_seeds`] is the one-line test that
+//! keeps the table collision-free as suites grow.
+
+/// Declares named `u64` seed constants plus a static table of
+/// `(name, value)` pairs for uniqueness checking:
+///
+/// ```
+/// rtbh_testkit::seed_table! {
+///     pub static SEEDS = {
+///         ADDR_ROUND_TRIP = 0x4e45_0001,
+///         TRIE_VS_ORACLE = 0x4e45_0002,
+///     }
+/// }
+/// assert_eq!(SEEDS.len(), 2);
+/// rtbh_testkit::assert_unique_seeds(SEEDS);
+/// ```
+#[macro_export]
+macro_rules! seed_table {
+    ($vis:vis static $table:ident = { $($name:ident = $value:expr),* $(,)? }) => {
+        $( $vis const $name: u64 = $value; )*
+        $vis static $table: &[(&str, u64)] = &[ $( (stringify!($name), $name) ),* ];
+    };
+}
+
+/// Panics if any two entries of a [`seed_table!`] share a value, naming the
+/// colliding constants.
+pub fn assert_unique_seeds(table: &[(&str, u64)]) {
+    let mut by_value: std::collections::BTreeMap<u64, Vec<&str>> =
+        std::collections::BTreeMap::new();
+    for (name, value) in table {
+        by_value.entry(*value).or_default().push(name);
+    }
+    let collisions: Vec<String> = by_value
+        .iter()
+        .filter(|(_, names)| names.len() > 1)
+        .map(|(value, names)| format!("{:#x} shared by {}", value, names.join(", ")))
+        .collect();
+    assert!(
+        collisions.is_empty(),
+        "seed constants must be unique per crate:\n  {}",
+        collisions.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    seed_table! {
+        static DEMO = {
+            ALPHA = 0x1000,
+            BETA = 0x2000,
+        }
+    }
+
+    #[test]
+    fn macro_builds_consts_and_table() {
+        assert_eq!(ALPHA, 0x1000);
+        assert_eq!(BETA, 0x2000);
+        assert_eq!(DEMO, &[("ALPHA", 0x1000), ("BETA", 0x2000)]);
+        assert_unique_seeds(DEMO);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared by FIRST, SECOND")]
+    fn duplicate_seeds_are_named_in_the_panic() {
+        assert_unique_seeds(&[("FIRST", 7), ("SECOND", 7), ("THIRD", 8)]);
+    }
+}

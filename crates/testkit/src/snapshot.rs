@@ -1,0 +1,135 @@
+//! Golden-file (snapshot) assertions.
+//!
+//! A snapshot test compares a rendered artifact against a committed file.
+//! When the two diverge the assertion fails with a line-level diff around
+//! the first divergence — enough to review the drift in the test output —
+//! and tells you how to regenerate: rerun with `RTBH_BLESS=1` once the new
+//! output is *intentional*. Blessing rewrites the file; `git diff` is then
+//! the review surface.
+
+use std::path::Path;
+
+/// Environment variable that switches snapshot assertions into
+/// regeneration mode.
+pub const BLESS_ENV: &str = "RTBH_BLESS";
+
+fn blessing() -> bool {
+    std::env::var(BLESS_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Asserts `actual` matches the snapshot at `path`.
+///
+/// * Snapshot missing: fails with bless instructions (or writes it, when
+///   blessing).
+/// * Snapshot differs: fails with a diff around the first divergent line
+///   (or rewrites it, when blessing).
+pub fn assert_snapshot(path: &Path, actual: &str) {
+    if blessing() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", parent.display()));
+        }
+        std::fs::write(path, actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        eprintln!("blessed snapshot {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}\n\
+             If this is a new test, generate it with:\n  {}=1 cargo test (same test)\n\
+             then commit the file.",
+            path.display(),
+            BLESS_ENV
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    panic!(
+        "snapshot mismatch: {}\n{}\n\
+         If the change is intentional, rerun with {}=1 and review `git diff`.",
+        path.display(),
+        first_divergence(&expected, actual),
+        BLESS_ENV
+    );
+}
+
+/// Renders a unified-ish diff around the first line where the texts differ.
+fn first_divergence(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let first = exp
+        .iter()
+        .zip(&act)
+        .position(|(e, a)| e != a)
+        .unwrap_or(exp.len().min(act.len()));
+    let context = 3usize;
+    let start = first.saturating_sub(context);
+    let end = (first + context + 1).min(exp.len().max(act.len()));
+    let mut out = format!(
+        "first divergence at line {} of {} (expected) / {} (actual) lines:\n",
+        first + 1,
+        exp.len(),
+        act.len()
+    );
+    for i in start..end {
+        match (exp.get(i), act.get(i)) {
+            (Some(e), Some(a)) if e == a => out.push_str(&format!("    {e}\n")),
+            (e, a) => {
+                if let Some(e) = e {
+                    out.push_str(&format!("  - {e}\n"));
+                }
+                if let Some(a) = a {
+                    out.push_str(&format!("  + {a}\n"));
+                }
+            }
+        }
+    }
+    out.pop();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, contents: Option<&str>) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("rtbh-testkit-snap-{name}"));
+        match contents {
+            Some(c) => std::fs::write(&path, c).unwrap(),
+            None => {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        path
+    }
+
+    #[test]
+    fn matching_snapshot_passes() {
+        let path = tmp("match", Some("a\nb\n"));
+        assert_snapshot(&path, "a\nb\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot mismatch")]
+    fn mismatch_panics_with_diff() {
+        let path = tmp("mismatch", Some("a\nb\nc\n"));
+        assert_snapshot(&path, "a\nX\nc\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing snapshot")]
+    fn missing_snapshot_panics_with_instructions() {
+        let path = tmp("missing", None);
+        assert_snapshot(&path, "anything");
+    }
+
+    #[test]
+    fn divergence_diff_shows_both_sides() {
+        let diff = first_divergence("a\nb\nc\nd\n", "a\nB\nc\nd\n");
+        assert!(diff.contains("- b"), "{diff}");
+        assert!(diff.contains("+ B"), "{diff}");
+        assert!(diff.contains("line 2"), "{diff}");
+    }
+}

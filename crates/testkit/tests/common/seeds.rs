@@ -1,0 +1,24 @@
+//! The one seed table for every randomized testkit suite.
+//!
+//! Each integration test includes this file via `#[path]`, so all base
+//! seeds live in a single place and the `seed_hygiene` suite can assert
+//! they never collide (two targets sharing a base seed would explore
+//! correlated case sequences).
+
+rtbh_testkit::seed_table! {
+    pub static TESTKIT_SEEDS = {
+        FUZZ_BGP_UPDATE_ROUNDTRIP = 0x7E57_4B17_0000_0001,
+        FUZZ_BGP_LOG_ROUNDTRIP = 0x7E57_4B17_0000_0002,
+        FUZZ_BGP_MSG_MUTATED = 0x7E57_4B17_0000_0003,
+        FUZZ_BGP_LOG_MUTATED = 0x7E57_4B17_0000_0004,
+        FUZZ_BGP_GARBAGE = 0x7E57_4B17_0000_0005,
+        FUZZ_FLOW_ROUNDTRIP = 0x7E57_4B17_0000_0006,
+        FUZZ_FLOW_MUTATED = 0x7E57_4B17_0000_0007,
+        FUZZ_FLOW_GARBAGE = 0x7E57_4B17_0000_0008,
+        FUZZ_JSON_FIXPOINT = 0x7E57_4B17_0000_0009,
+        FUZZ_JSON_MUTATED = 0x7E57_4B17_0000_000A,
+        FUZZ_JSON_GARBAGE = 0x7E57_4B17_0000_000B,
+        FUZZ_LPM_DIFF = 0x7E57_4B17_0000_000C,
+        FUZZ_REPORT_IDENTITY = 0x7E57_4B17_0000_000D,
+    }
+}

@@ -1,0 +1,53 @@
+//! Deterministic fuzz suite for the IPFIX-lite flow codec
+//! (`rtbh_fabric::wire`). Same shape as `fuzz_bgp`: valid values must
+//! round-trip exactly; mutated and garbage bytes must be rejected or
+//! decode to self-consistent logs — never panic.
+
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
+use rtbh_rng::Rng;
+use rtbh_testkit::{gen, mutate, oracle, FuzzTarget};
+
+fn target(test_name: &'static str, base_seed: u64) -> FuzzTarget {
+    FuzzTarget {
+        package: "rtbh-testkit",
+        test_file: "fuzz_fabric",
+        test_name,
+        base_seed,
+    }
+}
+
+#[test]
+fn flow_log_roundtrip() {
+    target("flow_log_roundtrip", seeds::FUZZ_FLOW_ROUNDTRIP).run(1200, |_, rng| {
+        oracle::check_flow_log_roundtrip(&gen::arb_flow_log(rng, 12));
+    });
+}
+
+#[test]
+fn mutated_streams_never_panic() {
+    target("mutated_streams_never_panic", seeds::FUZZ_FLOW_MUTATED).run(1200, |_, rng| {
+        let mut bytes = rtbh_fabric::encode_flow_log(&gen::arb_flow_log(rng, 8));
+        let hits = rng.gen_range(1..=4usize);
+        mutate::mutate_n(rng, &mut bytes, hits);
+        oracle::check_flow_bytes(&bytes);
+    });
+}
+
+#[test]
+fn garbage_never_panics() {
+    target("garbage_never_panics", seeds::FUZZ_FLOW_GARBAGE).run(1200, |_, rng| {
+        // Half the cases keep a valid stream header so the fuzzer spends its
+        // budget past the magic/version checks.
+        let bytes = if rng.gen_bool(0.5) {
+            let mut framed = b"RTBHFLOW\x00\x01".to_vec();
+            framed.extend(mutate::random_bytes(rng, 256));
+            framed
+        } else {
+            mutate::random_bytes(rng, 256)
+        };
+        oracle::check_flow_bytes(&bytes);
+    });
+}

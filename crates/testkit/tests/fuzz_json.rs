@@ -1,0 +1,68 @@
+//! Deterministic fuzz suite for the hand-rolled JSON codec (`rtbh-json`).
+//!
+//! The fixpoint target generates arbitrary `Json` values (all number
+//! lanes, escape-heavy strings, duplicate keys) and demands
+//! `write(parse(write(v))) == write(v)`; the hardening targets feed the
+//! parser mutated serializations, structural soup, and pathological
+//! nesting — it must return errors, never panic or overflow the stack.
+
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
+use rtbh_rng::{Rng, SliceRandom};
+use rtbh_testkit::{gen, mutate, oracle, FuzzTarget};
+
+fn target(test_name: &'static str, base_seed: u64) -> FuzzTarget {
+    FuzzTarget {
+        package: "rtbh-testkit",
+        test_file: "fuzz_json",
+        test_name,
+        base_seed,
+    }
+}
+
+#[test]
+fn serialization_fixpoint() {
+    target("serialization_fixpoint", seeds::FUZZ_JSON_FIXPOINT).run(1200, |_, rng| {
+        let depth = rng.gen_range(0..=5usize);
+        oracle::check_json_fixpoint(&gen::arb_json(rng, depth));
+    });
+}
+
+#[test]
+fn mutated_documents_never_panic() {
+    target("mutated_documents_never_panic", seeds::FUZZ_JSON_MUTATED).run(1200, |_, rng| {
+        let depth = rng.gen_range(0..=4usize);
+        let mut bytes = rtbh_json::to_string(&gen::arb_json(rng, depth)).into_bytes();
+        let hits = rng.gen_range(1..=4usize);
+        mutate::mutate_n(rng, &mut bytes, hits);
+        oracle::check_json_text(&String::from_utf8_lossy(&bytes));
+    });
+}
+
+#[test]
+fn garbage_text_never_panics() {
+    // The palette leans on JSON's structural tokens so the parser gets past
+    // the first byte; case 2 hammers the depth limit with long bracket runs
+    // (a recursive-descent parser without the limit dies here by stack
+    // overflow, which no `catch_unwind` can catch).
+    const PALETTE: &[u8] = br#"[]{}:,"\truefalsn0123456789.eE+- u"#;
+    target("garbage_text_never_panics", seeds::FUZZ_JSON_GARBAGE).run(1200, |_, rng| {
+        let text = match rng.gen_range(0..3u32) {
+            0 => String::from_utf8_lossy(&mutate::random_bytes(rng, 200)).into_owned(),
+            1 => {
+                let n = rng.gen_range(0..=200usize);
+                (0..n)
+                    .map(|_| *PALETTE.choose(rng).expect("non-empty") as char)
+                    .collect()
+            }
+            _ => {
+                let n = rng.gen_range(0..=4_000usize);
+                let open = *[b'[', b'{'].choose(rng).expect("non-empty") as char;
+                std::iter::repeat(open).take(n).collect()
+            }
+        };
+        oracle::check_json_text(&text);
+    });
+}

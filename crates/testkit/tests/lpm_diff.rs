@@ -1,0 +1,52 @@
+//! Differential fuzz: the frozen stride-8 LPM index vs the `PrefixTrie` it
+//! is built from. Tables are fuzzed (random sizes, overlapping prefixes,
+//! removals, duplicate inserts); probes mix uniform addresses with the
+//! boundary addresses of every inserted prefix — first/last covered
+//! address and their out-of-prefix neighbours, where stride-boundary bugs
+//! live.
+
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
+use rtbh_net::{Ipv4Addr, Prefix};
+use rtbh_rng::Rng;
+use rtbh_testkit::{gen, oracle, FuzzTarget};
+
+#[test]
+fn frozen_lpm_matches_trie() {
+    let target = FuzzTarget {
+        package: "rtbh-testkit",
+        test_file: "lpm_diff",
+        test_name: "frozen_lpm_matches_trie",
+        base_seed: seeds::FUZZ_LPM_DIFF,
+    };
+    target.run(400, |_, rng| {
+        let n = rng.gen_range(0..=64usize);
+        let entries: Vec<(Prefix, u32)> =
+            (0..n).map(|i| (gen::arb_prefix(rng), i as u32)).collect();
+
+        // Remove a random subset of inserted prefixes plus a few prefixes
+        // that may never have been inserted (removal must be a no-op then).
+        let mut removals: Vec<Prefix> = if n == 0 {
+            Vec::new()
+        } else {
+            (0..rng.gen_range(0..=n / 2 + 1))
+                .map(|_| entries[rng.gen_range(0..n)].0)
+                .collect()
+        };
+        for _ in 0..rng.gen_range(0..=4usize) {
+            removals.push(gen::arb_prefix(rng));
+        }
+
+        let mut probes: Vec<Ipv4Addr> = (0..64).map(|_| gen::arb_addr(rng)).collect();
+        for (prefix, _) in &entries {
+            probes.push(prefix.network());
+            probes.push(prefix.last_addr());
+            probes.push(prefix.network().wrapping_add(u32::MAX)); // network - 1
+            probes.push(prefix.last_addr().wrapping_add(1));
+        }
+
+        oracle::check_lpm_scenario(&entries, &removals, &probes);
+    });
+}

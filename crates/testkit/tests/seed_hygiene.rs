@@ -1,0 +1,16 @@
+//! Seeded-stream hygiene for the testkit's own fuzz suites: every fuzz
+//! target draws its cases from a distinct base seed, so no two suites
+//! explore correlated sequences. The substrate crates (`net`, `bgp`,
+//! `core`) each carry the same one-line check over their own tables.
+
+#[path = "common/seeds.rs"]
+mod seeds;
+
+#[test]
+fn no_two_fuzz_targets_share_a_base_seed() {
+    rtbh_testkit::assert_unique_seeds(seeds::TESTKIT_SEEDS);
+    assert!(
+        seeds::TESTKIT_SEEDS.len() >= 13,
+        "the table should list every fuzz target"
+    );
+}

@@ -16,5 +16,13 @@ scale="${1:-0.25}"
 reps="${2:-3}"
 
 cargo build --release -p rtbh-bench --bin pipeline_bench
-./target/release/pipeline_bench --scale "$scale" --reps "$reps" \
-    --out BENCH_pipeline.json --index-out BENCH_index.json
+
+# pipeline_bench exits non-zero when the sequential and parallel reports
+# are not byte-identical (or the index micro-bench diverges). Guard it
+# explicitly — `set -e` alone would die silently mid-script, and a benched
+# pipeline whose modes disagree must fail loudly, not just print numbers.
+if ! ./target/release/pipeline_bench --scale "$scale" --reps "$reps" \
+    --out BENCH_pipeline.json --index-out BENCH_index.json; then
+    echo "bench_pipeline: FAILED — sequential/parallel report identity (or index equivalence) check did not pass" >&2
+    exit 1
+fi

@@ -1,0 +1,88 @@
+//! Deterministic fuzz suite for the corpus container codec
+//! (`rtbh::corpus_io`) — the root package's tier-1 fuzz smoke.
+//!
+//! Starts from a real simulated corpus so mutations concentrate on the
+//! section framing and the three nested codecs instead of dying at the
+//! magic check; a second target fuzzes raw container frames assembled from
+//! arbitrary section payloads. `from_bytes` must reject or return a
+//! corpus whose own re-serialization round-trips — never panic.
+
+use rtbh_rng::Rng;
+use rtbh_testkit::{mutate, FuzzTarget};
+
+rtbh_testkit::seed_table! {
+    static CORPUS_FUZZ_SEEDS = {
+        FUZZ_CONTAINER_MUTATED = 0x4352_5053_0000_0001,
+        FUZZ_CONTAINER_FRAMED = 0x4352_5053_0000_0002,
+    }
+}
+
+fn target(test_name: &'static str, base_seed: u64) -> FuzzTarget {
+    FuzzTarget {
+        package: "rtbh",
+        test_file: "fuzz_corpus",
+        test_name,
+        base_seed,
+    }
+}
+
+fn base_bytes() -> Vec<u8> {
+    let mut config = rtbh::sim::ScenarioConfig::tiny();
+    config.visible_attack_events = 3;
+    config.constant_events = 2;
+    config.invisible_events = 2;
+    config.zombie_events = 2;
+    config.squatting = (1, 1);
+    let corpus = rtbh::sim::run(&config).corpus;
+    rtbh::corpus_io::to_bytes(&corpus).expect("encode corpus")
+}
+
+/// `from_bytes` on `Ok` must hand back a corpus that survives its own
+/// codec (mutations can land in "don't-care" bytes and still decode).
+fn check_container_bytes(bytes: &[u8]) {
+    if let Ok(corpus) = rtbh::corpus_io::from_bytes(bytes) {
+        let reencoded = rtbh::corpus_io::to_bytes(&corpus).expect("re-encode accepted corpus");
+        let redecoded = rtbh::corpus_io::from_bytes(&reencoded)
+            .expect("re-decode of freshly encoded corpus failed");
+        assert_eq!(
+            redecoded.digest(),
+            corpus.digest(),
+            "accepted corpus is not self-consistent"
+        );
+    }
+}
+
+#[test]
+fn mutated_containers_never_panic() {
+    let base = base_bytes();
+    target("mutated_containers_never_panic", FUZZ_CONTAINER_MUTATED).run(200, |_, rng| {
+        let mut bytes = base.clone();
+        let hits = rng.gen_range(1..=4usize);
+        mutate::mutate_n(rng, &mut bytes, hits);
+        check_container_bytes(&bytes);
+    });
+}
+
+#[test]
+fn arbitrary_section_frames_never_panic() {
+    target(
+        "arbitrary_section_frames_never_panic",
+        FUZZ_CONTAINER_FRAMED,
+    )
+    .run(200, |_, rng| {
+        let meta = mutate::random_bytes(rng, 128);
+        let mrt = mutate::random_bytes(rng, 128);
+        let flows = mutate::random_bytes(rng, 128);
+        let mut bytes = rtbh_testkit::gen::corpus_container(&[&meta, &mrt, &flows]);
+        if rng.gen_bool(0.5) {
+            let hits = rng.gen_range(1..=3usize);
+            mutate::mutate_n(rng, &mut bytes, hits);
+        }
+        check_container_bytes(&bytes);
+    });
+}
+
+#[test]
+fn fuzz_seeds_are_unique() {
+    rtbh_testkit::assert_unique_seeds(CORPUS_FUZZ_SEEDS);
+}
