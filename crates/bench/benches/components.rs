@@ -99,8 +99,9 @@ fn bench_preevents(out: &rtbh_sim::SimOutput) {
         out.corpus.period.end,
     );
     let index = SampleIndex::build(&out.corpus.updates, &out.corpus.flows);
+    let cols = rtbh_core::columns::ColumnarFlows::from_log(&out.corpus.flows);
     bench("preevent_ewma_analysis_tiny_corpus", 3, 30, || {
-        analyze_preevents(&events, &index, &out.corpus.flows, &PreEventConfig::PAPER)
+        analyze_preevents(&events, &index, &cols, &PreEventConfig::PAPER)
     });
 }
 
@@ -108,6 +109,17 @@ fn bench_full_pipeline(out: &rtbh_sim::SimOutput) {
     bench("analyzer_full_tiny_corpus", 1, 10, || {
         let analyzer = Analyzer::with_defaults(out.corpus.clone());
         analyzer.full()
+    });
+}
+
+fn bench_json_serialization(out: &rtbh_sim::SimOutput) {
+    let analyzer = Analyzer::with_defaults(out.corpus.clone());
+    let report = analyzer.full();
+    bench("json_compact_full_report_tiny", 3, 30, || {
+        rtbh_json::to_string(black_box(&report))
+    });
+    bench("json_pretty_full_report_tiny", 3, 30, || {
+        rtbh_json::to_string_pretty(black_box(&report))
     });
 }
 
@@ -125,5 +137,6 @@ fn main() {
     bench_sample_index(&out);
     bench_preevents(&out);
     bench_full_pipeline(&out);
+    bench_json_serialization(&out);
     bench_scenario_generation();
 }

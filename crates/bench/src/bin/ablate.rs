@@ -78,7 +78,7 @@ fn ablate_threshold(config: &ScenarioConfig) {
         let pre = rtbh_core::preevent::analyze_preevents(
             analyzer.events(),
             analyzer.index(),
-            analyzer.flows(),
+            analyzer.columns(),
             &pre_config,
         );
         let (a, b, c) = pre.class_shares();

@@ -1,27 +1,29 @@
 //! Emits `BENCH_pipeline.json` (sequential vs parallel `Analyzer::full`
-//! stage timings) and `BENCH_index.json` (trie vs frozen-LPM lookups,
-//! 1-vs-N-worker index builds) on one simulated corpus.
+//! stage timings), `BENCH_index.json` (trie vs frozen-LPM lookups,
+//! 1-vs-N-worker index builds) and `BENCH_flows.json` (AoS vs columnar vs
+//! columnar+enriched stage-kernel scans) on one simulated corpus.
 //!
 //! ```text
 //! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N]
 //!                [--out PATH] [--index-out PATH] [--no-index]
+//!                [--flows-out PATH] [--no-flows]
 //! ```
 //!
 //! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json --index-out
-//! BENCH_index.json`. Prints the stage tables, speedups and the index
-//! micro-bench summary to stdout; the JSON files carry the full
-//! machine-readable records (see `rtbh_bench::pipeline` and
-//! `rtbh_bench::lpm`).
+//! BENCH_index.json --flows-out BENCH_flows.json`. Prints the stage
+//! tables, speedups and the micro-bench summaries to stdout; the JSON
+//! files carry the full machine-readable records (see
+//! `rtbh_bench::pipeline`, `rtbh_bench::lpm` and `rtbh_bench::flows`).
 
 use std::io::Write;
 
-use rtbh_bench::{bench_index, bench_pipeline};
+use rtbh_bench::{bench_flows, bench_index, bench_pipeline};
 use rtbh_sim::ScenarioConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] \
-         [--out PATH] [--index-out PATH] [--no-index]"
+         [--out PATH] [--index-out PATH] [--no-index] [--flows-out PATH] [--no-flows]"
     );
     std::process::exit(2);
 }
@@ -31,6 +33,7 @@ fn main() {
     let mut reps: usize = 3;
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut index_out_path = Some(String::from("BENCH_index.json"));
+    let mut flows_out_path = Some(String::from("BENCH_flows.json"));
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -61,6 +64,8 @@ fn main() {
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
             "--index-out" => index_out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--no-index" => index_out_path = None,
+            "--flows-out" => flows_out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-flows" => flows_out_path = None,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -110,7 +115,7 @@ fn main() {
         None => true,
         Some(path) => {
             eprintln!("\nindex micro-bench ({reps} rep(s) per structure) ...");
-            let idx = bench_index(config, reps);
+            let idx = bench_index(config.clone(), reps);
             writeln!(
                 stdout,
                 "\nLPM lookups over {} samples ({} prefixes, {} stride-8 tables):",
@@ -153,12 +158,56 @@ fn main() {
         }
     };
 
+    let flows_ok = match &flows_out_path {
+        None => true,
+        Some(path) => {
+            eprintln!("\nflow-store micro-bench ({reps} rep(s) per variant) ...");
+            let fb = bench_flows(config, reps);
+            writeln!(
+                stdout,
+                "\nflow-store kernel scans over {} samples ({} dropped, enrich {:.2} ms once):",
+                fb.samples,
+                fb.dropped,
+                fb.enrich_wall_ns as f64 / 1e6
+            )
+            .expect("write stdout");
+            for t in &fb.timings {
+                writeln!(
+                    stdout,
+                    "  {:<9} {:>3} worker(s): {:>8.2} ms  {:>12.0} samples/s  {:.2}x vs aos",
+                    t.variant,
+                    t.workers,
+                    t.best_wall_ns as f64 / 1e6,
+                    t.samples_per_sec,
+                    t.speedup_vs_aos
+                )
+                .expect("write stdout");
+            }
+            writeln!(
+                stdout,
+                "  enriched speedup vs aos (1 worker): {:.2}x   answers identical: {}",
+                fb.enriched_speedup, fb.answers_identical
+            )
+            .expect("write stdout");
+            std::fs::write(path, rtbh_json::to_vec_pretty(&fb)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+            fb.answers_identical
+        }
+    };
+
     if !bench.reports_identical {
         eprintln!("ERROR: sequential and parallel reports diverged");
         std::process::exit(1);
     }
     if !index_ok {
         eprintln!("ERROR: trie and frozen LPM answers diverged");
+        std::process::exit(1);
+    }
+    if !flows_ok {
+        eprintln!("ERROR: flow-store kernel variants diverged");
         std::process::exit(1);
     }
 }

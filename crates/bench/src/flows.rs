@@ -1,0 +1,280 @@
+//! The flow-store micro-benchmark behind `BENCH_flows.json`.
+//!
+//! Three implementations of the same representative stage kernel — drop
+//! provenance (count dropped packets/bytes and the subset explained by an
+//! active route-server blackhole) — are timed on one simulated corpus at
+//! 1, 2 and all-cores worker counts:
+//!
+//! 1. **aos**: the pre-columnar baseline — scan the array-of-structs
+//!    [`rtbh_fabric::FlowSample`] log and, per dropped sample, do an LPM
+//!    lookup plus a binary search over the blackhole activity intervals;
+//! 2. **columnar**: the same per-sample lookups, but reading the
+//!    structure-of-arrays [`ColumnarFlows`] base columns (layout change
+//!    only);
+//! 3. **enriched**: the shipped kernel
+//!    ([`rtbh_core::load::drop_provenance`]) — the activity check was
+//!    precomputed once by the enrichment pass, so the scan touches only
+//!    the flags and packet-length columns.
+//!
+//! All variants are cross-checked for identical answers at every worker
+//! count before anything is timed — a fast-but-wrong kernel fails the
+//! bench, it does not win it. The one-time enrichment cost is reported
+//! alongside (it is paid once and amortized over every stage that
+//! consumes the columns, not per kernel).
+//!
+//! Regenerate with `scripts/bench_pipeline.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p rtbh-bench --bin pipeline_bench -- --scale 0.25 --reps 3
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rtbh_bgp::blackhole_intervals;
+use rtbh_core::columns::ColumnarFlows;
+use rtbh_core::index::{MacResolver, OriginTable};
+use rtbh_core::load::{drop_provenance, DropProvenance};
+use rtbh_core::shard;
+use rtbh_fabric::FlowSample;
+use rtbh_net::{FrozenLpm, Interval, Ipv4Addr, Timestamp};
+use rtbh_sim::ScenarioConfig;
+
+/// Best-of-reps timing of one kernel variant at one worker count.
+#[derive(Debug, Clone)]
+pub struct VariantTiming {
+    /// Kernel variant: `"aos"`, `"columnar"` or `"enriched"`.
+    pub variant: &'static str,
+    /// Worker threads the scan was sharded over.
+    pub workers: usize,
+    /// Best (lowest) wall time of one repetition, in nanoseconds.
+    pub best_wall_ns: u64,
+    /// Flow samples scanned per second in the best repetition.
+    pub samples_per_sec: f64,
+    /// Speedup over the AoS baseline at the same worker count.
+    pub speedup_vs_aos: f64,
+}
+
+/// The machine-readable result of one flow-store micro-benchmark run
+/// (the content of `BENCH_flows.json`).
+#[derive(Debug, Clone)]
+pub struct FlowsBench {
+    /// The scenario that generated the corpus.
+    pub scenario: ScenarioConfig,
+    /// Flow samples scanned per repetition.
+    pub samples: usize,
+    /// Dropped samples among them.
+    pub dropped: usize,
+    /// Timing repetitions (the best run is reported).
+    pub reps: usize,
+    /// Whether every variant agreed at every worker count.
+    pub answers_identical: bool,
+    /// One-time cost of `ColumnarFlows::build_enriched` at all cores, in
+    /// nanoseconds (amortized over every stage, not per kernel).
+    pub enrich_wall_ns: u64,
+    /// All variant × worker-count timings.
+    pub timings: Vec<VariantTiming>,
+    /// Headline: AoS wall / enriched wall at one worker.
+    pub enriched_speedup: f64,
+}
+
+fn empty_provenance() -> DropProvenance {
+    DropProvenance {
+        dropped_packets: 0,
+        dropped_bytes: 0,
+        explained_packets: 0,
+        explained_bytes: 0,
+    }
+}
+
+fn merge(partials: Vec<DropProvenance>) -> DropProvenance {
+    let mut out = empty_provenance();
+    for p in partials {
+        out.dropped_packets += p.dropped_packets;
+        out.dropped_bytes += p.dropped_bytes;
+        out.explained_packets += p.explained_packets;
+        out.explained_bytes += p.explained_bytes;
+    }
+    out
+}
+
+fn explained(lpm: &FrozenLpm<Vec<Interval>>, dst: Ipv4Addr, at: Timestamp) -> bool {
+    lpm.longest_match(dst).is_some_and(|(_, ivs)| {
+        let idx = ivs.partition_point(|iv| iv.start <= at);
+        idx > 0 && ivs[idx - 1].contains(at)
+    })
+}
+
+/// The pre-columnar baseline: AoS scan with per-sample LPM + interval
+/// lookups.
+fn aos_scan(
+    samples: &[FlowSample],
+    lpm: &FrozenLpm<Vec<Interval>>,
+    workers: usize,
+) -> DropProvenance {
+    merge(shard::map_chunks(samples, workers, |_, chunk| {
+        let mut p = empty_provenance();
+        for s in chunk {
+            if !s.is_dropped() {
+                continue;
+            }
+            p.dropped_packets += 1;
+            p.dropped_bytes += s.packet_len as u64;
+            if explained(lpm, s.dst_ip, s.at) {
+                p.explained_packets += 1;
+                p.explained_bytes += s.packet_len as u64;
+            }
+        }
+        p
+    }))
+}
+
+/// The layout-only variant: SoA base columns, same per-sample lookups.
+fn columnar_scan(
+    cols: &ColumnarFlows,
+    lpm: &FrozenLpm<Vec<Interval>>,
+    workers: usize,
+) -> DropProvenance {
+    merge(shard::map_chunks(cols.flags(), workers, |start, chunk| {
+        let mut p = empty_provenance();
+        for (off, _) in chunk.iter().enumerate() {
+            let i = start + off;
+            if !cols.is_dropped(i) {
+                continue;
+            }
+            p.dropped_packets += 1;
+            p.dropped_bytes += cols.packet_len(i) as u64;
+            if explained(lpm, cols.dst_ip(i), cols.at(i)) {
+                p.explained_packets += 1;
+                p.explained_bytes += cols.packet_len(i) as u64;
+            }
+        }
+        p
+    }))
+}
+
+/// Simulates `config` and times the three kernel variants, `reps`
+/// repetitions each at 1, 2 and all-cores workers, keeping the best wall
+/// time per cell.
+pub fn bench_flows(config: ScenarioConfig, reps: usize) -> FlowsBench {
+    let reps = reps.max(1);
+    let out = rtbh_sim::run(&config);
+    let corpus = &out.corpus;
+    let samples = corpus.flows.samples();
+
+    // The activity structure the AoS/columnar variants look up per sample.
+    let intervals = blackhole_intervals(corpus.updates.updates().iter(), corpus.period.end);
+    let lpm: FrozenLpm<Vec<Interval>> = FrozenLpm::from_entries(intervals);
+
+    let cores = shard::resolve_workers(0);
+    let resolver = MacResolver::build(corpus);
+    let origins = OriginTable::build(&corpus.routes);
+
+    // One-time enrichment cost at all cores (best of reps).
+    let mut enrich_wall_ns = u64::MAX;
+    let mut built = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let b = black_box(ColumnarFlows::build_enriched(
+            &corpus.updates,
+            &corpus.flows,
+            &resolver,
+            &origins,
+            corpus.period.end,
+            cores,
+        ));
+        enrich_wall_ns = enrich_wall_ns.min(t0.elapsed().as_nanos() as u64);
+        built = Some(b);
+    }
+    let cols = built.expect("reps >= 1").columns;
+
+    let mut worker_counts = vec![1, 2, cores];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    // Cross-check before timing: identical answers everywhere.
+    let reference = aos_scan(samples, &lpm, 1);
+    let answers_identical = worker_counts.iter().all(|&w| {
+        aos_scan(samples, &lpm, w) == reference
+            && columnar_scan(&cols, &lpm, w) == reference
+            && drop_provenance(&cols, w) == reference
+    });
+
+    let time_best = |f: &dyn Fn() -> DropProvenance| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+
+    let mut timings = Vec::new();
+    let mut aos_one_wall = 0u64;
+    let mut enriched_one_wall = 1u64;
+    for &workers in &worker_counts {
+        let aos_wall = time_best(&|| aos_scan(samples, &lpm, workers));
+        let columnar_wall = time_best(&|| columnar_scan(&cols, &lpm, workers));
+        let enriched_wall = time_best(&|| drop_provenance(&cols, workers));
+        if workers == 1 {
+            aos_one_wall = aos_wall;
+            enriched_one_wall = enriched_wall;
+        }
+        for (variant, wall) in [
+            ("aos", aos_wall),
+            ("columnar", columnar_wall),
+            ("enriched", enriched_wall),
+        ] {
+            timings.push(VariantTiming {
+                variant,
+                workers,
+                best_wall_ns: wall,
+                samples_per_sec: samples.len() as f64 / (wall.max(1) as f64 / 1e9),
+                speedup_vs_aos: aos_wall as f64 / wall.max(1) as f64,
+            });
+        }
+    }
+
+    FlowsBench {
+        scenario: config,
+        samples: samples.len(),
+        dropped: reference.dropped_packets as usize,
+        reps,
+        answers_identical,
+        enrich_wall_ns,
+        timings,
+        enriched_speedup: aos_one_wall as f64 / enriched_one_wall.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_flows_cross_checks_and_serializes() {
+        let bench = bench_flows(ScenarioConfig::tiny(), 1);
+        assert!(bench.answers_identical);
+        assert!(bench.samples > 0);
+        assert!(bench.dropped > 0);
+        assert_eq!(bench.timings.len() % 3, 0);
+        let one_worker: Vec<_> = bench.timings.iter().filter(|t| t.workers == 1).collect();
+        assert_eq!(one_worker.len(), 3);
+        assert!((one_worker[0].speedup_vs_aos - 1.0).abs() < 1e-12);
+        // The result must serialize (it is written verbatim to
+        // BENCH_flows.json).
+        rtbh_json::to_string(&bench);
+    }
+}
+
+rtbh_json::impl_json! {
+    serialize struct VariantTiming { variant, workers, best_wall_ns, samples_per_sec, speedup_vs_aos }
+}
+
+rtbh_json::impl_json! {
+    serialize struct FlowsBench {
+        scenario, samples, dropped, reps, answers_identical, enrich_wall_ns,
+        timings, enriched_speedup,
+    }
+}

@@ -14,13 +14,12 @@
 
 use std::collections::BTreeMap;
 
-use rtbh_bgp::{blackhole_intervals, UpdateLog};
-use rtbh_fabric::FlowLog;
-use rtbh_net::{Asn, Interval, Prefix, PrefixTrie, Timestamp};
+use rtbh_net::{Asn, Prefix};
 use rtbh_peeringdb::{OrgType, Registry};
 use rtbh_stats::{top_k_by, Ecdf};
 
-use crate::index::MacResolver;
+use crate::columns::{ColumnarFlows, FLAG_ACTIVE, FLAG_DROPPED};
+use crate::shard;
 
 /// Dropped/forwarded tallies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +43,15 @@ impl DropTally {
             self.forwarded_packets += 1;
             self.forwarded_bytes += len as u64;
         }
+    }
+
+    /// Folds another tally in (all fields are sums, so merging per-chunk
+    /// tallies in any order gives the sequential result).
+    fn absorb(&mut self, other: &DropTally) {
+        self.dropped_packets += other.dropped_packets;
+        self.forwarded_packets += other.forwarded_packets;
+        self.dropped_bytes += other.dropped_bytes;
+        self.forwarded_bytes += other.forwarded_bytes;
     }
 
     /// Total packets.
@@ -94,48 +102,71 @@ pub struct AcceptanceAnalysis {
 /// Minimum samples for a prefix to enter a drop-rate CDF.
 pub const MIN_SAMPLES_FOR_CDF: u64 = 5;
 
-/// Attributes flows to active blackholes and aggregates the tallies.
-pub fn analyze_acceptance(
-    updates: &UpdateLog,
-    flows: &FlowLog,
-    resolver: &MacResolver,
-    corpus_end: Timestamp,
-) -> AcceptanceAnalysis {
-    let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
-    let mut trie: PrefixTrie<Vec<Interval>> = PrefixTrie::new();
-    for (p, ivs) in intervals {
-        trie.insert(p, ivs);
+/// Attributes flows to active blackholes and aggregates the tallies,
+/// chunk-parallel over `workers` scoped threads (`0` = one per core).
+///
+/// Consumes the enrichment pass's precomputed columns: the covering
+/// interval-holding prefix, the `ACTIVE` bit (was that prefix's blackhole
+/// announced at the sample's timestamp?), the `DROPPED` bit and the
+/// interned ingress ASN — no per-sample LPM walk or MAC hash remains.
+/// Per-chunk maps fold into `BTreeMap`s whose tallies are plain sums, so
+/// the result is identical for every worker count.
+pub fn analyze_acceptance(cols: &ColumnarFlows, workers: usize) -> AcceptanceAnalysis {
+    struct Partial {
+        by_length: BTreeMap<u8, DropTally>,
+        by_prefix: BTreeMap<Prefix, DropTally>,
+        by_source_as_32: BTreeMap<Asn, DropTally>,
+        samples_during_blackhole: u64,
     }
+
+    let workers = shard::resolve_workers(workers);
+    let partials = shard::map_chunks(cols.flags(), workers, |start, chunk| {
+        let mut p = Partial {
+            by_length: BTreeMap::new(),
+            by_prefix: BTreeMap::new(),
+            by_source_as_32: BTreeMap::new(),
+            samples_during_blackhole: 0,
+        };
+        for (k, &flags) in chunk.iter().enumerate() {
+            if flags & FLAG_ACTIVE == 0 {
+                continue;
+            }
+            let i = start + k;
+            let (prefix, _) = cols.active_prefix(i).expect("ACTIVE implies a prefix");
+            let dropped = flags & FLAG_DROPPED != 0;
+            let len = cols.packet_len(i);
+            p.samples_during_blackhole += 1;
+            p.by_length
+                .entry(prefix.len())
+                .or_default()
+                .add(dropped, len);
+            p.by_prefix.entry(prefix).or_default().add(dropped, len);
+            if prefix.is_host() {
+                if let Some(source) = cols.ingress(i) {
+                    p.by_source_as_32
+                        .entry(source)
+                        .or_default()
+                        .add(dropped, len);
+                }
+            }
+        }
+        p
+    });
+
     let mut by_length: BTreeMap<u8, DropTally> = BTreeMap::new();
     let mut by_prefix: BTreeMap<Prefix, DropTally> = BTreeMap::new();
     let mut by_source_as_32: BTreeMap<Asn, DropTally> = BTreeMap::new();
     let mut samples_during_blackhole = 0u64;
-
-    for s in flows.samples() {
-        let Some((prefix, ivs)) = trie.longest_match(s.dst_ip) else {
-            continue;
-        };
-        let idx = ivs.partition_point(|iv| iv.start <= s.at);
-        let active = idx > 0 && ivs[idx - 1].contains(s.at);
-        if !active {
-            continue;
+    for p in partials {
+        samples_during_blackhole += p.samples_during_blackhole;
+        for (k, t) in &p.by_length {
+            by_length.entry(*k).or_default().absorb(t);
         }
-        samples_during_blackhole += 1;
-        by_length
-            .entry(prefix.len())
-            .or_default()
-            .add(s.is_dropped(), s.packet_len);
-        by_prefix
-            .entry(prefix)
-            .or_default()
-            .add(s.is_dropped(), s.packet_len);
-        if prefix.is_host() {
-            if let Some(source) = resolver.handover(s) {
-                by_source_as_32
-                    .entry(source)
-                    .or_default()
-                    .add(s.is_dropped(), s.packet_len);
-            }
+        for (k, t) in &p.by_prefix {
+            by_prefix.entry(*k).or_default().absorb(t);
+        }
+        for (k, t) in &p.by_source_as_32 {
+            by_source_as_32.entry(*k).or_default().absorb(t);
         }
     }
     AcceptanceAnalysis {
@@ -223,12 +254,27 @@ impl AcceptanceAnalysis {
 mod tests {
     use super::*;
     use crate::corpus::{Corpus, MemberInfo};
-    use rtbh_bgp::{BgpUpdate, UpdateKind};
-    use rtbh_fabric::FlowSample;
-    use rtbh_net::{Community, Ipv4Addr, MacAddr, Protocol, TimeDelta};
+    use crate::index::{MacResolver, OriginTable};
+    use rtbh_bgp::{BgpUpdate, UpdateKind, UpdateLog};
+    use rtbh_fabric::{FlowLog, FlowSample};
+    use rtbh_net::{Community, Interval, Ipv4Addr, MacAddr, Protocol, TimeDelta, Timestamp};
 
     fn ts(min: i64) -> Timestamp {
         Timestamp::EPOCH + TimeDelta::minutes(min)
+    }
+
+    /// Enriches with the test resolver, then runs the columnar kernel —
+    /// the same call chain the pipeline makes.
+    fn analyze(updates: &UpdateLog, flows: &FlowLog) -> AcceptanceAnalysis {
+        let built = ColumnarFlows::build_enriched(
+            updates,
+            flows,
+            &resolver(),
+            &OriginTable::build(&[]),
+            ts(1000),
+            1,
+        );
+        analyze_acceptance(&built.columns, 1)
     }
 
     fn bh(min: i64, prefix: &str, kind: UpdateKind) -> BgpUpdate {
@@ -286,6 +332,7 @@ mod tests {
             registry: Registry::new(),
             internal_macs: Vec::new(),
             routes: Vec::new(),
+            caches: Default::default(),
         };
         MacResolver::build(&corpus)
     }
@@ -302,7 +349,7 @@ mod tests {
             sample(12, 2, "10.0.0.7", false),
             sample(200, 2, "10.0.0.7", false), // outside interval → ignored
         ]);
-        let a = analyze_acceptance(&updates, &flows, &resolver(), ts(1000));
+        let a = analyze(&updates, &flows);
         assert_eq!(a.samples_during_blackhole, 3);
         let t = a.by_length[&32];
         assert_eq!(t.dropped_packets, 2);
@@ -323,7 +370,7 @@ mod tests {
             sample(10, 1, "10.0.0.7", true), // /32
             sample(10, 1, "10.0.0.9", true), // /24
         ]);
-        let a = analyze_acceptance(&updates, &flows, &resolver(), ts(1000));
+        let a = analyze(&updates, &flows);
         assert_eq!(a.by_length[&32].packets(), 1);
         assert_eq!(a.by_length[&24].packets(), 1);
         let shares = a.traffic_share_by_length();
@@ -342,7 +389,7 @@ mod tests {
             .collect();
         samples.extend((0..2).map(|i| sample(10 + i, 1, "10.0.1.7", true)));
         let flows = FlowLog::from_samples(samples);
-        let a = analyze_acceptance(&updates, &flows, &resolver(), ts(1000));
+        let a = analyze(&updates, &flows);
         let cdf = a.drop_rate_cdf(32);
         assert_eq!(cdf.len(), 1);
         assert!((cdf.median().unwrap() - 0.5).abs() < 1e-12);
@@ -358,7 +405,7 @@ mod tests {
             samples.push(sample(1 + i, 2, "10.0.0.7", i % 2 == 0)); // AS202 mixed
         }
         let flows = FlowLog::from_samples(samples);
-        let a = analyze_acceptance(&updates, &flows, &resolver(), ts(1000));
+        let a = analyze(&updates, &flows);
         let (dropping, forwarding, inconsistent) = a.source_reaction_buckets(100);
         assert_eq!((dropping, forwarding, inconsistent), (1, 0, 1));
         let top = a.top_sources_32(1);

@@ -69,19 +69,30 @@ pub fn estimate_offset_with_workers(
     let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
     let lpm: FrozenLpm<Vec<Interval>> = FrozenLpm::from_entries(intervals);
     static EMPTY: &[Interval] = &[];
-    let samples: Vec<ExplainableSample<'_>> = flows
-        .dropped()
-        .map(|s: &FlowSample| {
-            let intervals = lpm
-                .longest_match(s.dst_ip)
-                .map(|(_, ivs)| ivs.as_slice())
-                .unwrap_or(EMPTY);
-            ExplainableSample {
-                at: s.at,
-                intervals,
-            }
-        })
-        .collect();
+    // The per-sample LPM lookups dominate the setup cost on large corpora;
+    // shard them over the same worker pool as the scan itself. Contiguous
+    // chunks concatenated in order keep the sample order — and therefore
+    // the scan input — identical for every worker count.
+    let dropped: Vec<&FlowSample> = flows.dropped().collect();
+    let chunks = shard::map_chunks(&dropped, shard::resolve_workers(workers), |_, chunk| {
+        chunk
+            .iter()
+            .map(|s| {
+                let intervals = lpm
+                    .longest_match(s.dst_ip)
+                    .map(|(_, ivs)| ivs.as_slice())
+                    .unwrap_or(EMPTY);
+                ExplainableSample {
+                    at: s.at,
+                    intervals,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut samples: Vec<ExplainableSample<'_>> = Vec::with_capacity(dropped.len());
+    for mut chunk in chunks {
+        samples.append(&mut chunk);
+    }
     let dropped_samples = samples.len();
     let scan =
         offset_scan_with_workers(&samples, half_range, step, shard::resolve_workers(workers))?;

@@ -33,15 +33,28 @@ impl CleanReport {
 
 /// Removes internal-device flows, returning the cleaned log and a report.
 pub fn clean_flows(corpus: &Corpus) -> (FlowLog, CleanReport) {
+    clean_flows_with_workers(corpus, 1)
+}
+
+/// [`clean_flows`] with the filter sharded over `workers` scoped threads
+/// (`0` = one per available core). Chunks are contiguous and concatenated
+/// in order, so the kept-sample order — and the resulting log — is
+/// identical for every worker count.
+pub fn clean_flows_with_workers(corpus: &Corpus, workers: usize) -> (FlowLog, CleanReport) {
     let internal: BTreeSet<_> = corpus.internal_macs.iter().copied().collect();
     let total = corpus.flows.len();
-    let kept: Vec<_> = corpus
-        .flows
-        .samples()
-        .iter()
-        .filter(|f| !internal.contains(&f.src_mac) && !internal.contains(&f.dst_mac))
-        .copied()
-        .collect();
+    let workers = crate::shard::resolve_workers(workers);
+    let partials = crate::shard::map_chunks(corpus.flows.samples(), workers, |_, chunk| {
+        chunk
+            .iter()
+            .filter(|f| !internal.contains(&f.src_mac) && !internal.contains(&f.dst_mac))
+            .copied()
+            .collect::<Vec<_>>()
+    });
+    let mut kept = Vec::with_capacity(total);
+    for mut p in partials {
+        kept.append(&mut p);
+    }
     let report = CleanReport {
         total,
         internal_removed: total - kept.len(),
@@ -83,6 +96,7 @@ mod tests {
             registry: Registry::new(),
             internal_macs: internal,
             routes: Vec::new(),
+            caches: Default::default(),
         }
     }
 
@@ -114,6 +128,27 @@ mod tests {
         assert_eq!(clean.len(), 1);
         assert_eq!(report.internal_removed, 0);
         assert_eq!(report.removed_share(), 0.0);
+    }
+
+    #[test]
+    fn clean_is_worker_count_invariant() {
+        let internal = MacAddr::from_id(0xF000);
+        let flows: Vec<FlowSample> = (0..101)
+            .map(|i| {
+                if i % 7 == 0 {
+                    sample(internal, MacAddr::from_id(2))
+                } else {
+                    sample(MacAddr::from_id(1), MacAddr::from_id(2))
+                }
+            })
+            .collect();
+        let corpus = corpus_with(flows, vec![internal]);
+        let (reference, ref_report) = clean_flows_with_workers(&corpus, 1);
+        for workers in [2, 3, 16] {
+            let (sharded, report) = clean_flows_with_workers(&corpus, workers);
+            assert_eq!(reference.samples(), sharded.samples(), "{workers} workers");
+            assert_eq!(ref_report, report, "{workers} workers");
+        }
     }
 
     #[test]

@@ -10,10 +10,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Ipv4Addr, Service};
 use rtbh_stats::Ecdf;
 
+use crate::columns::ColumnarFlows;
 use crate::events::RtbhEvent;
 use crate::hosts::{HostAnalysis, HostClass};
 use crate::index::SampleIndex;
@@ -69,7 +69,7 @@ impl CollateralAnalysis {
 pub fn analyze_collateral(
     events: &[RtbhEvent],
     index: &SampleIndex,
-    flows: &FlowLog,
+    cols: &ColumnarFlows,
     hosts: &HostAnalysis,
 ) -> CollateralAnalysis {
     // Detected servers with their top-service sets, grouped by prefix so we
@@ -85,7 +85,6 @@ pub fn analyze_collateral(
             .push((h.addr, h.top_services.iter().copied().collect()));
     }
 
-    let samples = flows.samples();
     let mut records = Vec::new();
     for event in events {
         let Some(servers) = servers_by_prefix.get(&event.prefix) else {
@@ -96,19 +95,18 @@ pub fn analyze_collateral(
             .prefix_id(event.prefix)
             .map(|id| index.towards(id))
             .unwrap_or(&[]);
-        let lo = ids.partition_point(|&i| samples[i as usize].at < cover.start);
-        let hi = ids.partition_point(|&i| samples[i as usize].at < cover.end);
+        let during = cols.window_ids(ids, cover.start, cover.end);
         for (server, top) in servers {
             let mut to_top = 0u64;
             let mut dropped = 0u64;
-            for &i in &ids[lo..hi] {
-                let s: &FlowSample = &samples[i as usize];
-                if s.dst_ip != *server || !s.protocol.has_ports() {
+            for &id in during {
+                let i = id as usize;
+                if cols.dst_ip(i) != *server || !cols.protocol(i).has_ports() {
                     continue;
                 }
-                if top.contains(&Service::new(s.protocol, s.dst_port)) {
+                if top.contains(&Service::new(cols.protocol(i), cols.dst_port(i))) {
                     to_top += 1;
-                    if s.is_dropped() {
+                    if cols.is_dropped(i) {
                         dropped += 1;
                     }
                 }

@@ -1,0 +1,745 @@
+//! Columnar (SoA) flow store with one-pass enrichment and a time-bucket
+//! window index.
+//!
+//! Every analysis stage used to iterate the AoS `Vec<FlowSample>` and
+//! independently re-resolve MACs and re-walk the blackhole LPM per sample.
+//! [`ColumnarFlows`] stores the cleaned, aligned flow log as parallel
+//! arrays — timestamps, addresses, ports, protocol, packet length, a
+//! packed flags byte — plus per-sample ids a single parallel **enrichment
+//! pass** precomputes once:
+//!
+//! * ingress/egress member ASN (via [`MacResolver`]), interned into a
+//!   sorted ASN table;
+//! * the origin AS of the source address ([`OriginTable`] LPM), interned
+//!   into the same table;
+//! * the dense covering blackhole-prefix id for destination and source —
+//!   the very ids [`SampleIndex`](crate::index::SampleIndex) uses, so the
+//!   index build degrades to bucketing precomputed ids;
+//! * the covering *interval-holding* prefix id plus an `ACTIVE` flag:
+//!   whether the sample arrived while that prefix's blackhole was
+//!   announced. (This is a separate column because
+//!   [`blackhole_intervals`] omits prefixes whose only intervals are
+//!   degenerate, so its prefix set can be a strict subset of the
+//!   announcement set the sample index is keyed by.)
+//!
+//! Determinism: the build shards the time-sorted flow log into contiguous
+//! chunks ([`shard::map_chunks`]) and concatenates per-chunk columns in
+//! chunk order, so every column is byte-identical for every worker count.
+//! All id tables (ASN intern table, prefix ids) are compiled *before* the
+//! parallel pass from already-deterministic inputs.
+//!
+//! One lossy corner, by design: the protocol column stores the wire
+//! protocol *number* (`u8`), and accessors rebuild the enum via
+//! [`Protocol::from_number`], which canonicalizes (`Other(6)` would come
+//! back as `Tcp`). The wire codec already funnels protocols through the
+//! same `u8`, and the simulator only emits canonical variants, so no
+//! corpus can observe the difference.
+//!
+//! The [`TimeBuckets`] partition index divides the (sorted) timestamp
+//! column into fixed-width slots with per-slot start offsets, so window
+//! queries (pre-event windows, ±1h correlations) binary-search one slot
+//! instead of the whole log.
+
+use std::collections::BTreeMap;
+
+use rtbh_bgp::{blackhole_intervals, UpdateLog};
+use rtbh_fabric::FlowLog;
+use rtbh_net::{Asn, FrozenLpm, Interval, Ipv4Addr, Prefix, PrefixTrie, Protocol, Timestamp};
+
+use crate::index::{compile_blackhole_prefixes, MacResolver, OriginTable};
+use crate::shard;
+
+/// Sentinel for "no value" in every `u32` id column (interned ASNs,
+/// prefix ids).
+pub const NONE: u32 = u32::MAX;
+
+/// Flags-byte bit: the sample was an IP fragment.
+pub const FLAG_FRAGMENT: u8 = 1;
+/// Flags-byte bit: the sample was delivered to the blackhole next hop.
+pub const FLAG_DROPPED: u8 = 2;
+/// Flags-byte bit: the destination's covering interval-holding prefix had
+/// an active blackhole at the sample's timestamp.
+pub const FLAG_ACTIVE: u8 = 4;
+
+/// The columnar flow store. See the module docs for layout and
+/// determinism notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarFlows {
+    at: Vec<i64>,
+    src_ip: Vec<u32>,
+    dst_ip: Vec<u32>,
+    src_port: Vec<u16>,
+    dst_port: Vec<u16>,
+    protocol: Vec<u8>,
+    packet_len: Vec<u16>,
+    flags: Vec<u8>,
+    /// Interned id of the ingress (src MAC) member ASN, or [`NONE`].
+    ingress: Vec<u32>,
+    /// Interned id of the egress (dst MAC) member ASN, or [`NONE`]
+    /// (always [`NONE`] for dropped samples).
+    egress: Vec<u32>,
+    /// Interned id of the source address's origin AS, or [`NONE`].
+    origin: Vec<u32>,
+    /// Dense blackhole-prefix id covering the destination, or [`NONE`].
+    dst_pid: Vec<u32>,
+    /// Dense blackhole-prefix id covering the source, or [`NONE`].
+    src_pid: Vec<u32>,
+    /// Id (into `active_prefixes`) of the interval-holding prefix covering
+    /// the destination, or [`NONE`].
+    active_pid: Vec<u32>,
+    /// Sorted, deduplicated ASN intern table.
+    asns: Vec<Asn>,
+    /// Interval-holding prefixes, in `BTreeMap` (prefix) order.
+    active_prefixes: Vec<Prefix>,
+    buckets: TimeBuckets,
+}
+
+/// Result of [`ColumnarFlows::build_enriched`]: the columns plus the
+/// compiled blackhole-prefix LPM and id table, handed onward so
+/// [`SampleIndex::from_columns`](crate::index::SampleIndex::from_columns)
+/// is guaranteed to use the same dense ids the columns were enriched with.
+pub struct EnrichedBuild {
+    /// The enriched columnar store.
+    pub columns: ColumnarFlows,
+    /// Frozen LPM over every blackholed prefix; payload is the dense id.
+    pub blackholes: FrozenLpm<usize>,
+    /// Dense id → blackholed prefix, first-announcement order.
+    pub blackhole_prefixes: Vec<Prefix>,
+}
+
+/// Per-chunk column fragment produced by one enrichment worker.
+struct Partial {
+    at: Vec<i64>,
+    src_ip: Vec<u32>,
+    dst_ip: Vec<u32>,
+    src_port: Vec<u16>,
+    dst_port: Vec<u16>,
+    protocol: Vec<u8>,
+    packet_len: Vec<u16>,
+    flags: Vec<u8>,
+    ingress: Vec<u32>,
+    egress: Vec<u32>,
+    origin: Vec<u32>,
+    dst_pid: Vec<u32>,
+    src_pid: Vec<u32>,
+    active_pid: Vec<u32>,
+}
+
+impl Partial {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            at: Vec::with_capacity(n),
+            src_ip: Vec::with_capacity(n),
+            dst_ip: Vec::with_capacity(n),
+            src_port: Vec::with_capacity(n),
+            dst_port: Vec::with_capacity(n),
+            protocol: Vec::with_capacity(n),
+            packet_len: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            ingress: Vec::with_capacity(n),
+            egress: Vec::with_capacity(n),
+            origin: Vec::with_capacity(n),
+            dst_pid: Vec::with_capacity(n),
+            src_pid: Vec::with_capacity(n),
+            active_pid: Vec::with_capacity(n),
+        }
+    }
+}
+
+impl ColumnarFlows {
+    /// Builds columns **and** runs the one-pass enrichment over `workers`
+    /// scoped threads: every per-sample id any stage needs (interned
+    /// member/origin ASNs, blackhole-prefix ids, activity bit) is computed
+    /// here, exactly once, in a single pass over the samples.
+    ///
+    /// Byte-deterministic for every worker count: chunks are contiguous
+    /// and concatenated in order, and all lookup tables are built before
+    /// the parallel section.
+    pub fn build_enriched(
+        updates: &UpdateLog,
+        flows: &FlowLog,
+        resolver: &MacResolver,
+        origins: &OriginTable,
+        corpus_end: Timestamp,
+        workers: usize,
+    ) -> EnrichedBuild {
+        let (blackholes, blackhole_prefixes) = compile_blackhole_prefixes(updates);
+
+        // Interval-holding prefixes: acceptance/provenance reason about
+        // *activity*, which only prefixes with non-degenerate intervals
+        // have. Flatten the BTreeMap into id-indexed tables + an LPM.
+        let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
+        let mut active_prefixes = Vec::with_capacity(intervals.len());
+        let mut active_intervals: Vec<Vec<Interval>> = Vec::with_capacity(intervals.len());
+        let mut trie = PrefixTrie::new();
+        for (p, ivs) in intervals {
+            trie.insert(p, active_prefixes.len());
+            active_prefixes.push(p);
+            active_intervals.push(ivs);
+        }
+        let activity = FrozenLpm::from_trie(&trie);
+
+        // ASN intern table: union of member ASNs and route origins,
+        // sorted + deduplicated so ids are stable and binary-searchable.
+        let mut asns: Vec<Asn> = resolver
+            .asns()
+            .chain(origins.asns().iter().copied())
+            .collect();
+        asns.sort_unstable();
+        asns.dedup();
+        let intern = |asn: Option<Asn>| -> u32 {
+            match asn {
+                // Every ASN the resolver/origin table can return is in the
+                // table, so the search cannot fail; NONE is for None.
+                Some(a) => asns.binary_search(&a).map_or(NONE, |i| i as u32),
+                None => NONE,
+            }
+        };
+        let pid = |lpm: &FrozenLpm<usize>, addr: Ipv4Addr| -> u32 {
+            lpm.longest_match(addr).map_or(NONE, |(_, &id)| id as u32)
+        };
+
+        let workers = shard::resolve_workers(workers);
+        let partials = shard::map_chunks(flows.samples(), workers, |_, chunk| {
+            let mut p = Partial::with_capacity(chunk.len());
+            for s in chunk {
+                let mut flags = 0u8;
+                if s.fragment {
+                    flags |= FLAG_FRAGMENT;
+                }
+                if s.is_dropped() {
+                    flags |= FLAG_DROPPED;
+                }
+                let active_pid = match activity.longest_match(s.dst_ip) {
+                    Some((_, &aid)) => {
+                        let ivs = &active_intervals[aid];
+                        let idx = ivs.partition_point(|iv| iv.start <= s.at);
+                        if idx > 0 && ivs[idx - 1].contains(s.at) {
+                            flags |= FLAG_ACTIVE;
+                        }
+                        aid as u32
+                    }
+                    None => NONE,
+                };
+                p.at.push(s.at.as_millis());
+                p.src_ip.push(s.src_ip.to_u32());
+                p.dst_ip.push(s.dst_ip.to_u32());
+                p.src_port.push(s.src_port);
+                p.dst_port.push(s.dst_port);
+                p.protocol.push(s.protocol.number());
+                p.packet_len.push(s.packet_len);
+                p.flags.push(flags);
+                p.ingress.push(intern(resolver.handover(s)));
+                p.egress.push(intern(resolver.egress(s)));
+                p.origin.push(intern(origins.origin_of(s.src_ip)));
+                p.dst_pid.push(pid(&blackholes, s.dst_ip));
+                p.src_pid.push(pid(&blackholes, s.src_ip));
+                p.active_pid.push(active_pid);
+            }
+            p
+        });
+
+        let n = flows.len();
+        let mut cols = Self {
+            at: Vec::with_capacity(n),
+            src_ip: Vec::with_capacity(n),
+            dst_ip: Vec::with_capacity(n),
+            src_port: Vec::with_capacity(n),
+            dst_port: Vec::with_capacity(n),
+            protocol: Vec::with_capacity(n),
+            packet_len: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            ingress: Vec::with_capacity(n),
+            egress: Vec::with_capacity(n),
+            origin: Vec::with_capacity(n),
+            dst_pid: Vec::with_capacity(n),
+            src_pid: Vec::with_capacity(n),
+            active_pid: Vec::with_capacity(n),
+            asns,
+            active_prefixes,
+            buckets: TimeBuckets::empty(),
+        };
+        for mut p in partials {
+            cols.at.append(&mut p.at);
+            cols.src_ip.append(&mut p.src_ip);
+            cols.dst_ip.append(&mut p.dst_ip);
+            cols.src_port.append(&mut p.src_port);
+            cols.dst_port.append(&mut p.dst_port);
+            cols.protocol.append(&mut p.protocol);
+            cols.packet_len.append(&mut p.packet_len);
+            cols.flags.append(&mut p.flags);
+            cols.ingress.append(&mut p.ingress);
+            cols.egress.append(&mut p.egress);
+            cols.origin.append(&mut p.origin);
+            cols.dst_pid.append(&mut p.dst_pid);
+            cols.src_pid.append(&mut p.src_pid);
+            cols.active_pid.append(&mut p.active_pid);
+        }
+        cols.buckets = TimeBuckets::build(&cols.at);
+        EnrichedBuild {
+            columns: cols,
+            blackholes,
+            blackhole_prefixes,
+        }
+    }
+
+    /// Base columns only (empty enrichment tables) — for callers that need
+    /// the layout and the time index but no control-plane context, e.g.
+    /// micro-benches and unit tests.
+    pub fn from_log(flows: &FlowLog) -> Self {
+        Self::build_enriched(
+            &UpdateLog::new(),
+            flows,
+            &MacResolver::from_map(BTreeMap::new()),
+            &OriginTable::build(&[]),
+            Timestamp::EPOCH,
+            1,
+        )
+        .columns
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Timestamp of sample `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> Timestamp {
+        Timestamp(self.at[i])
+    }
+
+    /// The raw (sorted) millisecond-timestamp column.
+    #[inline]
+    pub fn at_millis(&self) -> &[i64] {
+        &self.at
+    }
+
+    /// Source address of sample `i`.
+    #[inline]
+    pub fn src_ip(&self, i: usize) -> Ipv4Addr {
+        Ipv4Addr::from_u32(self.src_ip[i])
+    }
+
+    /// Destination address of sample `i`.
+    #[inline]
+    pub fn dst_ip(&self, i: usize) -> Ipv4Addr {
+        Ipv4Addr::from_u32(self.dst_ip[i])
+    }
+
+    /// Source address of sample `i` as a raw `u32`.
+    #[inline]
+    pub fn src_ip_raw(&self, i: usize) -> u32 {
+        self.src_ip[i]
+    }
+
+    /// Source port of sample `i`.
+    #[inline]
+    pub fn src_port(&self, i: usize) -> u16 {
+        self.src_port[i]
+    }
+
+    /// Destination port of sample `i`.
+    #[inline]
+    pub fn dst_port(&self, i: usize) -> u16 {
+        self.dst_port[i]
+    }
+
+    /// Protocol of sample `i` (canonicalized, see the module docs).
+    #[inline]
+    pub fn protocol(&self, i: usize) -> Protocol {
+        Protocol::from_number(self.protocol[i])
+    }
+
+    /// Raw wire protocol number of sample `i`.
+    #[inline]
+    pub fn protocol_raw(&self, i: usize) -> u8 {
+        self.protocol[i]
+    }
+
+    /// Sampled packet length of sample `i`.
+    #[inline]
+    pub fn packet_len(&self, i: usize) -> u16 {
+        self.packet_len[i]
+    }
+
+    /// The packed flags column ([`FLAG_FRAGMENT`] | [`FLAG_DROPPED`] |
+    /// [`FLAG_ACTIVE`]).
+    #[inline]
+    pub fn flags(&self) -> &[u8] {
+        &self.flags
+    }
+
+    /// Was sample `i` an IP fragment?
+    #[inline]
+    pub fn fragment(&self, i: usize) -> bool {
+        self.flags[i] & FLAG_FRAGMENT != 0
+    }
+
+    /// Was sample `i` delivered to the blackhole next hop?
+    #[inline]
+    pub fn is_dropped(&self, i: usize) -> bool {
+        self.flags[i] & FLAG_DROPPED != 0
+    }
+
+    /// The ingress (handover) member ASN of sample `i`, if known.
+    #[inline]
+    pub fn ingress(&self, i: usize) -> Option<Asn> {
+        self.asn_of(self.ingress[i])
+    }
+
+    /// The egress member ASN of sample `i` (None for dropped samples).
+    #[inline]
+    pub fn egress(&self, i: usize) -> Option<Asn> {
+        self.asn_of(self.egress[i])
+    }
+
+    /// The origin AS of sample `i`'s source address, if routed.
+    #[inline]
+    pub fn origin(&self, i: usize) -> Option<Asn> {
+        self.asn_of(self.origin[i])
+    }
+
+    #[inline]
+    fn asn_of(&self, id: u32) -> Option<Asn> {
+        (id != NONE).then(|| self.asns[id as usize])
+    }
+
+    /// Dense blackhole-prefix ids covering each destination ([`NONE`]
+    /// where uncovered) — the column
+    /// [`SampleIndex::from_columns`](crate::index::SampleIndex::from_columns)
+    /// buckets.
+    #[inline]
+    pub fn dst_prefix_ids(&self) -> &[u32] {
+        &self.dst_pid
+    }
+
+    /// Dense blackhole-prefix ids covering each source ([`NONE`] where
+    /// uncovered).
+    #[inline]
+    pub fn src_prefix_ids(&self) -> &[u32] {
+        &self.src_pid
+    }
+
+    /// The interval-holding prefix covering sample `i`'s destination, plus
+    /// whether its blackhole was active at the sample's timestamp.
+    #[inline]
+    pub fn active_prefix(&self, i: usize) -> Option<(Prefix, bool)> {
+        let pid = self.active_pid[i];
+        (pid != NONE).then(|| {
+            (
+                self.active_prefixes[pid as usize],
+                self.flags[i] & FLAG_ACTIVE != 0,
+            )
+        })
+    }
+
+    /// The sorted ASN intern table.
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// Global index range `[lo, hi)` of samples with
+    /// `start <= at < end`, answered via the time-bucket index.
+    pub fn time_range(&self, start: Timestamp, end: Timestamp) -> (usize, usize) {
+        (
+            self.buckets.lower_bound(&self.at, start.as_millis()),
+            self.buckets.lower_bound(&self.at, end.as_millis()),
+        )
+    }
+
+    /// Restricts a sorted sample-id slice (e.g. a
+    /// [`SampleIndex`](crate::index::SampleIndex) `towards`/`from` list)
+    /// to ids whose sample time falls in `[start, end)`.
+    ///
+    /// Equivalent to filtering `ids` by each sample's timestamp — because
+    /// both `ids` and the timestamp column are sorted, the time window
+    /// maps to one contiguous id range, found with two binary searches
+    /// seeded by the time-bucket index.
+    pub fn window_ids<'a>(&self, ids: &'a [u32], start: Timestamp, end: Timestamp) -> &'a [u32] {
+        let (glo, ghi) = self.time_range(start, end);
+        let lo = ids.partition_point(|&i| (i as usize) < glo);
+        let hi = ids.partition_point(|&i| (i as usize) < ghi);
+        &ids[lo..hi]
+    }
+}
+
+/// Fixed-width time-slot partition over the sorted timestamp column:
+/// `offsets[b]` is the index of the first sample at or after slot `b`'s
+/// start. A window bound then binary-searches one slot's span instead of
+/// the whole column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBuckets {
+    /// Timestamp (ms) of the first sample = start of slot 0.
+    start: i64,
+    /// Slot width in ms.
+    slot: i64,
+    /// `slots + 1` offsets; `offsets[slots] == len`.
+    offsets: Vec<u32>,
+}
+
+/// Default time-bucket slot width: one hour, matching the paper's ±1h
+/// correlation windows.
+pub const DEFAULT_SLOT_MILLIS: i64 = 3_600_000;
+
+/// Slot-count cap; the width doubles until the span fits.
+const MAX_SLOTS: i64 = 1 << 20;
+
+impl TimeBuckets {
+    fn empty() -> Self {
+        Self {
+            start: 0,
+            slot: DEFAULT_SLOT_MILLIS,
+            offsets: vec![0],
+        }
+    }
+
+    /// Builds the partition over a sorted millisecond-timestamp column.
+    pub fn build(at: &[i64]) -> Self {
+        let (Some(&first), Some(&last)) = (at.first(), at.last()) else {
+            return Self::empty();
+        };
+        // Manual ceiling division: `i64::div_ceil` is not stable at the
+        // MSRV, and both operands are positive here.
+        let span = last - first + 1;
+        let mut slot = DEFAULT_SLOT_MILLIS;
+        while (span + slot - 1) / slot > MAX_SLOTS {
+            slot *= 2;
+        }
+        let slots = (span + slot - 1) / slot;
+        let mut offsets = Vec::with_capacity(slots as usize + 1);
+        offsets.push(0u32);
+        for b in 1..=slots {
+            let boundary = first + slot * b;
+            offsets.push(at.partition_point(|&t| t < boundary) as u32);
+        }
+        Self {
+            start: first,
+            slot,
+            offsets,
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The index of the first element of `at` that is `>= t` (i.e.
+    /// `at.partition_point(|&x| x < t)`), found by jumping to `t`'s slot
+    /// and binary-searching only its span. `at` must be the column this
+    /// partition was built over.
+    pub fn lower_bound(&self, at: &[i64], t: i64) -> usize {
+        if self.slots() == 0 || t <= self.start {
+            return 0;
+        }
+        let b = ((t - self.start) / self.slot) as usize;
+        if b >= self.slots() {
+            return at.len();
+        }
+        let lo = self.offsets[b] as usize;
+        let hi = self.offsets[b + 1] as usize;
+        lo + at[lo..hi].partition_point(|&x| x < t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_bgp::{BgpUpdate, UpdateKind};
+    use rtbh_fabric::FlowSample;
+    use rtbh_net::{Community, MacAddr};
+    use rtbh_rng::{ChaChaRng, Rng};
+
+    fn ts(min: i64) -> Timestamp {
+        Timestamp(min * 60_000)
+    }
+
+    fn update(min: i64, prefix: &str, kind: UpdateKind) -> BgpUpdate {
+        BgpUpdate {
+            at: ts(min),
+            peer: Asn(65_001),
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(65_001),
+            kind,
+            communities: vec![Community::BLACKHOLE],
+            next_hop: Ipv4Addr::new(198, 51, 100, 66),
+        }
+    }
+
+    fn sample(min: i64, src: &str, dst: &str, dropped: bool) -> FlowSample {
+        FlowSample {
+            at: ts(min),
+            src_mac: MacAddr::from_id(1),
+            dst_mac: if dropped {
+                MacAddr::BLACKHOLE
+            } else {
+                MacAddr::from_id(2)
+            },
+            src_ip: src.parse().unwrap(),
+            dst_ip: dst.parse().unwrap(),
+            protocol: Protocol::Udp,
+            src_port: 53,
+            dst_port: 4444,
+            packet_len: 1400,
+            fragment: min % 2 == 0,
+        }
+    }
+
+    fn test_resolver() -> MacResolver {
+        let mut map = BTreeMap::new();
+        map.insert(MacAddr::from_id(1), Asn(201));
+        map.insert(MacAddr::from_id(2), Asn(202));
+        MacResolver::from_map(map)
+    }
+
+    fn build(mins: &[i64]) -> (EnrichedBuild, FlowLog) {
+        let updates = UpdateLog::from_updates(vec![
+            update(0, "10.0.0.0/24", UpdateKind::Announce),
+            update(0, "10.0.0.7/32", UpdateKind::Announce),
+            update(50, "10.0.0.7/32", UpdateKind::Withdraw),
+        ]);
+        let flows = FlowLog::from_samples(
+            mins.iter()
+                .map(|&m| sample(m, "20.1.0.5", "10.0.0.7", m < 50))
+                .collect(),
+        );
+        let origins = OriginTable::build(&[("20.0.0.0/8".parse().unwrap(), Asn(300))]);
+        let built =
+            ColumnarFlows::build_enriched(&updates, &flows, &test_resolver(), &origins, ts(100), 1);
+        (built, flows)
+    }
+
+    #[test]
+    fn enrichment_matches_per_sample_lookups() {
+        let (built, flows) = build(&[1, 10, 49, 60, 90]);
+        let cols = &built.columns;
+        assert_eq!(cols.len(), flows.len());
+        for (i, s) in flows.samples().iter().enumerate() {
+            assert_eq!(cols.at(i), s.at);
+            assert_eq!(cols.src_ip(i), s.src_ip);
+            assert_eq!(cols.dst_ip(i), s.dst_ip);
+            assert_eq!(cols.protocol(i), s.protocol);
+            assert_eq!(cols.fragment(i), s.fragment);
+            assert_eq!(cols.is_dropped(i), s.is_dropped());
+            assert_eq!(cols.ingress(i), Some(Asn(201)));
+            assert_eq!(cols.egress(i), (!s.is_dropped()).then_some(Asn(202)));
+            assert_eq!(cols.origin(i), Some(Asn(300)));
+        }
+        // 10.0.0.7 is covered by the /32 (longest match) for the sample
+        // index, and the /32's blackhole interval is [0, 50).
+        let id32 = built
+            .blackhole_prefixes
+            .iter()
+            .position(|p| p.len() == 32)
+            .unwrap() as u32;
+        assert!(cols.dst_prefix_ids().iter().all(|&id| id == id32));
+        assert!(cols.src_prefix_ids().iter().all(|&id| id == NONE));
+        let actives: Vec<bool> = (0..cols.len())
+            .map(|i| cols.active_prefix(i).unwrap().1)
+            .collect();
+        assert_eq!(actives, [true, true, true, false, false]);
+        assert_eq!(
+            cols.active_prefix(0).unwrap().0,
+            "10.0.0.7/32".parse().unwrap()
+        );
+    }
+
+    #[test]
+    fn build_is_worker_count_invariant() {
+        let mins: Vec<i64> = (0..157).map(|i| i % 97).collect();
+        let (reference, flows) = build(&mins);
+        let origins = OriginTable::build(&[("20.0.0.0/8".parse().unwrap(), Asn(300))]);
+        let updates = UpdateLog::from_updates(vec![
+            update(0, "10.0.0.0/24", UpdateKind::Announce),
+            update(0, "10.0.0.7/32", UpdateKind::Announce),
+            update(50, "10.0.0.7/32", UpdateKind::Withdraw),
+        ]);
+        for workers in [2, 3, 16] {
+            let sharded = ColumnarFlows::build_enriched(
+                &updates,
+                &flows,
+                &test_resolver(),
+                &origins,
+                ts(100),
+                workers,
+            );
+            assert_eq!(reference.columns, sharded.columns, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn buckets_match_naive_partition_point_on_seeded_columns() {
+        let mut rng = ChaChaRng::seed_from_u64(0x000c_0ffe_ec01_u64);
+        for case in 0..40 {
+            // Mix densities: sparse multi-day spans, dense bursts, and a
+            // huge span that forces the slot-width widening loop.
+            let n = (rng.next_u64() % 400) as usize;
+            let spread: i64 = match case % 3 {
+                0 => 90 * 24 * 3_600_000,          // ~a measurement period
+                1 => 1000,                         // one burst, sub-slot
+                _ => MAX_SLOTS * 3 * 3_600_000i64, // forces widening
+            };
+            let mut at: Vec<i64> = (0..n)
+                .map(|_| (rng.next_u64() % spread as u64) as i64)
+                .collect();
+            at.sort_unstable();
+            let buckets = TimeBuckets::build(&at);
+            let mut probes: Vec<i64> = (0..64)
+                .map(|_| (rng.next_u64() % (spread as u64 * 2)) as i64 - spread / 2)
+                .collect();
+            // Exact sample times and slot boundaries are the edge cases.
+            probes.extend(at.iter().take(16).copied());
+            probes.extend(at.iter().take(8).map(|t| t + 1));
+            if let Some(&first) = at.first() {
+                probes.extend([first, first + buckets.slot, first + 2 * buckets.slot]);
+            }
+            for t in probes {
+                assert_eq!(
+                    buckets.lower_bound(&at, t),
+                    at.partition_point(|&x| x < t),
+                    "case {case}, t {t}, n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_ids_match_naive_time_filter() {
+        let mut rng = ChaChaRng::seed_from_u64(0x0001_d0c5_u64);
+        let mins: Vec<i64> = (0..301).map(|i| i * 3 % 500).collect();
+        let (built, flows) = build(&mins);
+        let cols = &built.columns;
+        let samples = flows.samples();
+        for _ in 0..50 {
+            // A random sorted subset of ids, like an index towards-list.
+            let ids: Vec<u32> = (0..cols.len() as u32)
+                .filter(|_| rng.next_u64() % 3 == 0)
+                .collect();
+            let a = ts((rng.next_u64() % 600) as i64 - 50);
+            let b = ts((rng.next_u64() % 600) as i64 - 50);
+            let (start, end) = (a.min(b), a.max(b));
+            let naive: Vec<u32> = ids
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let t = samples[i as usize].at;
+                    start <= t && t < end
+                })
+                .collect();
+            assert_eq!(cols.window_ids(&ids, start, end), naive.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let cols = ColumnarFlows::from_log(&FlowLog::new());
+        assert!(cols.is_empty());
+        assert_eq!(cols.time_range(ts(0), ts(100)), (0, 0));
+        assert_eq!(cols.window_ids(&[], ts(0), ts(100)), &[] as &[u32]);
+    }
+}

@@ -1,6 +1,7 @@
 //! The measurement corpus — everything the paper's vantage point records.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use rtbh_bgp::UpdateLog;
 use rtbh_fabric::FlowLog;
@@ -44,23 +45,40 @@ pub struct Corpus {
     /// pairs. The paper uses routing data to attribute source IPs (e.g.
     /// amplifiers) to their origin ASes (§5.5).
     pub routes: Vec<(rtbh_net::Prefix, Asn)>,
+    /// Lazily built lookup caches derived from `members`. Excluded from
+    /// serialization and equality; rebuilt on first access.
+    pub caches: CorpusCaches,
+}
+
+/// Derived lookup tables over [`Corpus::members`], computed once on first
+/// access instead of being rebuilt by every caller. The cache assumes
+/// `members` is not mutated after the first lookup (the pipeline treats a
+/// corpus as immutable once constructed).
+#[derive(Debug, Clone, Default)]
+pub struct CorpusCaches {
+    mac_to_member: OnceLock<BTreeMap<MacAddr, Asn>>,
+    member_asns: OnceLock<Vec<Asn>>,
 }
 
 impl Corpus {
-    /// MAC → member-ASN lookup table.
-    pub fn mac_to_member(&self) -> BTreeMap<MacAddr, Asn> {
-        let mut map = BTreeMap::new();
-        for m in &self.members {
-            for mac in &m.macs {
-                map.insert(*mac, m.asn);
+    /// MAC → member-ASN lookup table (built once, then cached).
+    pub fn mac_to_member(&self) -> &BTreeMap<MacAddr, Asn> {
+        self.caches.mac_to_member.get_or_init(|| {
+            let mut map = BTreeMap::new();
+            for m in &self.members {
+                for mac in &m.macs {
+                    map.insert(*mac, m.asn);
+                }
             }
-        }
-        map
+            map
+        })
     }
 
-    /// All member ASNs.
-    pub fn member_asns(&self) -> Vec<Asn> {
-        self.members.iter().map(|m| m.asn).collect()
+    /// All member ASNs (built once, then cached).
+    pub fn member_asns(&self) -> &[Asn] {
+        self.caches
+            .member_asns
+            .get_or_init(|| self.members.iter().map(|m| m.asn).collect())
     }
 
     /// A stable FNV-1a digest over the corpus's essential content, for
@@ -119,6 +137,7 @@ mod tests {
             registry: Registry::new(),
             internal_macs: Vec::new(),
             routes: Vec::new(),
+            caches: CorpusCaches::default(),
         }
     }
 
@@ -152,8 +171,35 @@ mod tests {
 rtbh_json::impl_json! { struct MemberInfo { asn, macs } }
 
 rtbh_json::impl_json! {
-    struct Corpus {
+    serialize struct Corpus {
         period, sampling_rate, route_server_asn, updates, flows, members,
         registry, internal_macs, routes,
+    }
+}
+
+// Hand-written (the exhaustive `impl_json!` struct arm would also demand a
+// `caches` key in the JSON): deserializes the nine data fields and starts
+// with empty caches.
+impl rtbh_json::FromJson for Corpus {
+    fn from_json(v: &rtbh_json::Json) -> Result<Self, rtbh_json::JsonError> {
+        v.expect_obj("Corpus")?;
+        macro_rules! field {
+            ($name:ident) => {
+                rtbh_json::FromJson::from_json(v.field(stringify!($name)))
+                    .map_err(|e| e.in_field(concat!("Corpus.", stringify!($name))))?
+            };
+        }
+        Ok(Self {
+            period: field!(period),
+            sampling_rate: field!(sampling_rate),
+            route_server_asn: field!(route_server_asn),
+            updates: field!(updates),
+            flows: field!(flows),
+            members: field!(members),
+            registry: field!(registry),
+            internal_macs: field!(internal_macs),
+            routes: field!(routes),
+            caches: CorpusCaches::default(),
+        })
     }
 }

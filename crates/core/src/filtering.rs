@@ -9,12 +9,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{AmplificationProtocol, Asn, Protocol};
 use rtbh_stats::Ecdf;
 
+use crate::columns::ColumnarFlows;
 use crate::events::RtbhEvent;
-use crate::index::{MacResolver, OriginTable, SampleIndex};
+use crate::index::SampleIndex;
 use crate::preevent::{PreClass, PreEventAnalysis};
 
 /// Per-event fine-grained-filtering emulation result.
@@ -118,12 +118,9 @@ impl FilteringAnalysis {
 pub fn analyze_filtering(
     events: &[RtbhEvent],
     index: &SampleIndex,
-    flows: &FlowLog,
+    cols: &ColumnarFlows,
     preevents: &PreEventAnalysis,
-    resolver: &MacResolver,
-    origins: &OriginTable,
 ) -> FilteringAnalysis {
-    let samples = flows.samples();
     let mut per_event = Vec::new();
     let mut handover_participation: BTreeMap<Asn, usize> = BTreeMap::new();
     let mut origin_participation: BTreeMap<Asn, usize> = BTreeMap::new();
@@ -141,9 +138,8 @@ pub fn analyze_filtering(
             .prefix_id(event.prefix)
             .map(|id| index.towards(id))
             .unwrap_or(&[]);
-        let lo = ids.partition_point(|&i| samples[i as usize].at < cover.start);
-        let hi = ids.partition_point(|&i| samples[i as usize].at < cover.end);
-        if hi - lo < 5 {
+        let during = cols.window_ids(ids, cover.start, cover.end);
+        if during.len() < 5 {
             // Anomaly but (almost) nothing during the event — §5.4's third;
             // a handful of stray samples cannot support a filter verdict.
             continue;
@@ -158,22 +154,24 @@ pub fn analyze_filtering(
         };
         let mut sources = BTreeSet::new();
         let mut udp_like = 0u64;
-        for &i in &ids[lo..hi] {
-            let s: &FlowSample = &samples[i as usize];
+        for &id in during {
+            let i = id as usize;
             emu.packets += 1;
-            if AmplificationProtocol::classify(s.protocol, s.src_port, s.fragment).is_some() {
+            if AmplificationProtocol::classify(cols.protocol(i), cols.src_port(i), cols.fragment(i))
+                .is_some()
+            {
                 emu.filterable += 1;
             }
-            if s.protocol == Protocol::Udp || s.fragment {
+            if cols.protocol(i) == Protocol::Udp || cols.fragment(i) {
                 udp_like += 1;
             }
-            if let Some(h) = resolver.handover(s) {
+            if let Some(h) = cols.ingress(i) {
                 emu.handover_ases.insert(h);
             }
-            if let Some(o) = origins.origin_of(s.src_ip) {
+            if let Some(o) = cols.origin(i) {
                 emu.origin_ases.insert(o);
             }
-            sources.insert(s.src_ip);
+            sources.insert(cols.src_ip(i));
         }
         emu.unique_sources = sources.len();
         // Participation statistics are about UDP amplification attacks: only

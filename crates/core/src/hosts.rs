@@ -13,11 +13,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Asn, Interval, Ipv4Addr, Prefix, Service, TimeDelta};
 use rtbh_peeringdb::{OrgType, Registry};
 use rtbh_stats::{radviz_project, RadvizPoint};
 
+use crate::columns::ColumnarFlows;
 use crate::events::RtbhEvent;
 use crate::index::SampleIndex;
 
@@ -186,7 +186,7 @@ fn in_windows(windows: &[Interval], at: rtbh_net::Timestamp) -> bool {
 pub fn analyze_hosts(
     events: &[RtbhEvent],
     index: &SampleIndex,
-    flows: &FlowLog,
+    cols: &ColumnarFlows,
     config: &HostConfig,
 ) -> HostAnalysis {
     let exclusions = exclusion_windows(events, config.reaction);
@@ -194,7 +194,6 @@ pub fn analyze_hosts(
     let origin_of: BTreeMap<Prefix, Asn> = events.iter().map(|e| (e.prefix, e.origin)).collect();
 
     let mut accums: BTreeMap<Ipv4Addr, (Prefix, HostAccum)> = BTreeMap::new();
-    let samples = flows.samples();
     static NO_WINDOWS: &[Interval] = &[];
 
     for (pid, prefix) in index.prefixes().iter().enumerate() {
@@ -202,37 +201,37 @@ pub fn analyze_hosts(
             .get(prefix)
             .map(|w| w.as_slice())
             .unwrap_or(NO_WINDOWS);
-        for &i in index.towards(pid) {
-            let s: &FlowSample = &samples[i as usize];
-            if in_windows(windows, s.at) {
+        for &id in index.towards(pid) {
+            let i = id as usize;
+            if in_windows(windows, cols.at(i)) {
                 continue;
             }
             let (_, acc) = accums
-                .entry(s.dst_ip)
+                .entry(cols.dst_ip(i))
                 .or_insert_with(|| (*prefix, HostAccum::default()));
-            let day = s.at.day();
+            let day = cols.at(i).day();
             acc.days_in.insert(day);
-            acc.src_in.insert(s.src_port);
-            acc.dst_in.insert(s.dst_port);
-            if s.protocol.has_ports() {
+            acc.src_in.insert(cols.src_port(i));
+            acc.dst_in.insert(cols.dst_port(i));
+            if cols.protocol(i).has_ports() {
                 *acc.daily_services
                     .entry(day)
                     .or_default()
-                    .entry(Service::new(s.protocol, s.dst_port))
+                    .entry(Service::new(cols.protocol(i), cols.dst_port(i)))
                     .or_insert(0) += 1;
             }
         }
-        for &i in index.from(pid) {
-            let s: &FlowSample = &samples[i as usize];
-            if in_windows(windows, s.at) {
+        for &id in index.from(pid) {
+            let i = id as usize;
+            if in_windows(windows, cols.at(i)) {
                 continue;
             }
             let (_, acc) = accums
-                .entry(s.src_ip)
+                .entry(cols.src_ip(i))
                 .or_insert_with(|| (*prefix, HostAccum::default()));
-            acc.days_out.insert(s.at.day());
-            acc.src_out.insert(s.src_port);
-            acc.dst_out.insert(s.dst_port);
+            acc.days_out.insert(cols.at(i).day());
+            acc.src_out.insert(cols.src_port(i));
+            acc.dst_out.insert(cols.dst_port(i));
         }
     }
 
@@ -298,6 +297,7 @@ pub fn analyze_hosts(
 mod tests {
     use super::*;
     use rtbh_bgp::{BgpUpdate, UpdateKind, UpdateLog};
+    use rtbh_fabric::{FlowLog, FlowSample};
     use rtbh_net::{Community, MacAddr, Protocol, Timestamp};
 
     fn config() -> HostConfig {
@@ -352,7 +352,8 @@ mod tests {
         let updates = UpdateLog::from_updates(vec![bh("10.0.0.7/32")]);
         let log = FlowLog::from_samples(flows);
         let index = SampleIndex::build(&updates, &log);
-        analyze_hosts(&events, &index, &log, &config())
+        let cols = ColumnarFlows::from_log(&log);
+        analyze_hosts(&events, &index, &cols, &config())
     }
 
     #[test]

@@ -51,15 +51,7 @@ impl SampleIndex {
     /// concatenated lists stay sorted by sample index (= capture time) and
     /// the result is identical for every worker count.
     pub fn build_with_workers(updates: &UpdateLog, flows: &FlowLog, workers: usize) -> Self {
-        let mut trie = PrefixTrie::new();
-        let mut prefixes = Vec::new();
-        for u in updates.blackholes() {
-            if trie.get(u.prefix).is_none() {
-                trie.insert(u.prefix, prefixes.len());
-                prefixes.push(u.prefix);
-            }
-        }
-        let lpm = FrozenLpm::from_trie(&trie);
+        let (lpm, prefixes) = compile_blackhole_prefixes(updates);
 
         let n = prefixes.len();
         let workers = shard::resolve_workers(workers);
@@ -73,6 +65,59 @@ impl SampleIndex {
                 }
                 if let Some((_, &id)) = lpm.longest_match(s.src_ip) {
                     from[id].push(sample);
+                }
+            }
+            (towards, from)
+        });
+
+        let mut towards = vec![Vec::new(); n];
+        let mut from = vec![Vec::new(); n];
+        for (chunk_towards, chunk_from) in partials {
+            for (id, mut ids) in chunk_towards.into_iter().enumerate() {
+                towards[id].append(&mut ids);
+            }
+            for (id, mut ids) in chunk_from.into_iter().enumerate() {
+                from[id].append(&mut ids);
+            }
+        }
+        Self {
+            lpm,
+            prefixes,
+            towards,
+            from,
+        }
+    }
+
+    /// Builds the index from prefix-id columns the enrichment pass already
+    /// computed ([`crate::columns::ColumnarFlows`]), skipping the two
+    /// per-sample LPM walks entirely: each worker only buckets the
+    /// precomputed `dst`/`src` prefix ids of its chunk.
+    ///
+    /// `lpm` and `prefixes` must be the pair the columns were enriched with
+    /// (see [`compile_blackhole_prefixes`] via
+    /// [`crate::columns::ColumnarFlows::build_enriched`]), so the dense ids
+    /// line up. Chunks merge in chunk order — byte-identical to
+    /// [`SampleIndex::build_with_workers`] for every worker count.
+    pub fn from_columns(
+        lpm: FrozenLpm<usize>,
+        prefixes: Vec<Prefix>,
+        cols: &crate::columns::ColumnarFlows,
+        workers: usize,
+    ) -> Self {
+        let n = prefixes.len();
+        let workers = shard::resolve_workers(workers);
+        let src_pids = cols.src_prefix_ids();
+        let partials = shard::map_chunks(cols.dst_prefix_ids(), workers, |start, chunk| {
+            let mut towards = vec![Vec::new(); n];
+            let mut from = vec![Vec::new(); n];
+            for (i, &dst_pid) in chunk.iter().enumerate() {
+                let sample = (start + i) as u32;
+                if dst_pid != crate::columns::NONE {
+                    towards[dst_pid as usize].push(sample);
+                }
+                let src_pid = src_pids[start + i];
+                if src_pid != crate::columns::NONE {
+                    from[src_pid as usize].push(sample);
                 }
             }
             (towards, from)
@@ -192,6 +237,29 @@ impl OriginTable {
     pub fn distinct_origins(&self) -> usize {
         self.distinct_origins
     }
+
+    /// Every origin AS in the table, one per route (duplicates possible).
+    /// The enrichment pass unions these with the member ASNs to build its
+    /// interned ASN table.
+    pub fn asns(&self) -> &[Asn] {
+        self.lpm.values()
+    }
+}
+
+/// Compiles the deduplicated blackholed-prefix set of an update log into a
+/// frozen LPM whose payload is the dense prefix id, plus the id → prefix
+/// table (first-announcement order). Shared by [`SampleIndex`] and the
+/// columnar enrichment pass so both agree on prefix ids.
+pub(crate) fn compile_blackhole_prefixes(updates: &UpdateLog) -> (FrozenLpm<usize>, Vec<Prefix>) {
+    let mut trie = PrefixTrie::new();
+    let mut prefixes = Vec::new();
+    for u in updates.blackholes() {
+        if trie.get(u.prefix).is_none() {
+            trie.insert(u.prefix, prefixes.len());
+            prefixes.push(u.prefix);
+        }
+    }
+    (FrozenLpm::from_trie(&trie), prefixes)
 }
 
 /// MAC → member-AS resolver with the blackhole MAC special-cased.
@@ -202,9 +270,18 @@ pub struct MacResolver {
 impl MacResolver {
     /// Builds from a corpus member directory.
     pub fn build(corpus: &crate::Corpus) -> Self {
-        Self {
-            map: corpus.mac_to_member(),
-        }
+        Self::from_map(corpus.mac_to_member().clone())
+    }
+
+    /// Builds from an explicit MAC → member-AS map.
+    pub fn from_map(map: BTreeMap<rtbh_net::MacAddr, Asn>) -> Self {
+        Self { map }
+    }
+
+    /// Every member AS the resolver can return, one per known MAC
+    /// (duplicates possible for multi-port members).
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.map.values().copied()
     }
 
     /// The member AS that handed a sample into the fabric.

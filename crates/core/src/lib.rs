@@ -21,13 +21,17 @@
 //! | [`collateral`] | §6.3, Fig. 18 | collateral damage on server top-ports |
 //! | [`classify`] | §7.3, Fig. 19, Table 1 | final use-case classification |
 //!
-//! [`index`] builds the shared sample↔prefix indices over a frozen LPM
-//! table; [`pipeline`] wires everything into a single [`pipeline::Analyzer`]
+//! [`columns`] holds the cleaned flow log as a columnar (SoA) store whose
+//! one-pass enrichment kernel precomputes every per-sample id the stages
+//! need (interned member/origin ASNs, blackhole-prefix ids, activity bits)
+//! plus a time-bucket window index; [`index`] buckets those precomputed
+//! ids into the shared sample↔prefix lists over a frozen LPM table;
+//! [`pipeline`] wires everything into a single [`pipeline::Analyzer`]
 //! facade, running the independent analyses on scoped worker threads;
 //! [`shard`] is the chunk-parallel scaffold behind the data-parallel sample
-//! kernels (index build, clock shift, offset scan); [`profile`] records
-//! per-stage wall times, worker counts and input footprints (`rtbh analyze
-//! --timings`, `BENCH_pipeline.json`).
+//! kernels (enrichment, index build, clock shift, offset scan); [`profile`]
+//! records per-stage wall times, worker counts and input footprints (`rtbh
+//! analyze --timings`, `BENCH_pipeline.json`).
 //!
 //! The pipeline never sees simulator ground truth — only what the paper's
 //! vantage point could record.
@@ -40,6 +44,7 @@ pub mod align;
 pub mod classify;
 pub mod clean;
 pub mod collateral;
+pub mod columns;
 pub mod corpus;
 pub mod events;
 pub mod filtering;

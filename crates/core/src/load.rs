@@ -3,8 +3,10 @@
 use std::collections::BTreeSet;
 
 use rtbh_bgp::{active_count_series, blackhole_intervals, UpdateLog};
-use rtbh_fabric::FlowLog;
-use rtbh_net::{Interval, PrefixTrie, TimeDelta, Timestamp};
+use rtbh_net::{Interval, TimeDelta, Timestamp};
+
+use crate::columns::{ColumnarFlows, FLAG_ACTIVE, FLAG_DROPPED};
+use crate::shard;
 
 /// The control-plane load analysis (Fig. 3).
 #[derive(Debug, Clone, PartialEq)]
@@ -113,34 +115,45 @@ impl DropProvenance {
     }
 }
 
-/// Attributes each dropped sample to route-server blackholes (or not).
-pub fn drop_provenance(
-    updates: &UpdateLog,
-    flows: &FlowLog,
-    corpus_end: Timestamp,
-) -> DropProvenance {
-    let intervals = blackhole_intervals(updates.updates().iter(), corpus_end);
-    let mut trie: PrefixTrie<Vec<Interval>> = PrefixTrie::new();
-    for (p, ivs) in intervals {
-        trie.insert(p, ivs);
-    }
+/// Attributes each dropped sample to route-server blackholes (or not),
+/// sharded over `workers` scoped threads. The activity check was already
+/// done by the enrichment pass ([`FLAG_ACTIVE`]), so this is a pure
+/// flags-column scan; per-chunk partial sums make the totals worker-count
+/// invariant.
+pub fn drop_provenance(cols: &ColumnarFlows, workers: usize) -> DropProvenance {
+    let workers = shard::resolve_workers(workers);
+    let partials = shard::map_chunks(cols.flags(), workers, |start, chunk| {
+        let mut p = DropProvenance {
+            dropped_packets: 0,
+            dropped_bytes: 0,
+            explained_packets: 0,
+            explained_bytes: 0,
+        };
+        for (off, &flags) in chunk.iter().enumerate() {
+            if flags & FLAG_DROPPED == 0 {
+                continue;
+            }
+            let bytes = cols.packet_len(start + off) as u64;
+            p.dropped_packets += 1;
+            p.dropped_bytes += bytes;
+            if flags & FLAG_ACTIVE != 0 {
+                p.explained_packets += 1;
+                p.explained_bytes += bytes;
+            }
+        }
+        p
+    });
     let mut out = DropProvenance {
         dropped_packets: 0,
         dropped_bytes: 0,
         explained_packets: 0,
         explained_bytes: 0,
     };
-    for s in flows.dropped() {
-        out.dropped_packets += 1;
-        out.dropped_bytes += s.packet_len as u64;
-        let explained = trie.longest_match(s.dst_ip).is_some_and(|(_, ivs)| {
-            let idx = ivs.partition_point(|iv| iv.start <= s.at);
-            idx > 0 && ivs[idx - 1].contains(s.at)
-        });
-        if explained {
-            out.explained_packets += 1;
-            out.explained_bytes += s.packet_len as u64;
-        }
+    for p in partials {
+        out.dropped_packets += p.dropped_packets;
+        out.dropped_bytes += p.dropped_bytes;
+        out.explained_packets += p.explained_packets;
+        out.explained_bytes += p.explained_bytes;
     }
     out
 }
@@ -148,9 +161,17 @@ pub fn drop_provenance(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::{MacResolver, OriginTable};
     use rtbh_bgp::{BgpUpdate, UpdateKind};
-    use rtbh_fabric::FlowSample;
+    use rtbh_fabric::{FlowLog, FlowSample};
     use rtbh_net::{Asn, Community, Ipv4Addr, MacAddr, Protocol};
+
+    fn provenance_of(updates: &UpdateLog, flows: &FlowLog, end: Timestamp) -> DropProvenance {
+        let resolver = MacResolver::from_map(Default::default());
+        let origins = OriginTable::build(&[]);
+        let built = ColumnarFlows::build_enriched(updates, flows, &resolver, &origins, end, 1);
+        drop_provenance(&built.columns, 1)
+    }
 
     fn ts(min: i64) -> Timestamp {
         Timestamp::EPOCH + TimeDelta::minutes(min)
@@ -215,13 +236,33 @@ mod tests {
             dropped(15, "10.0.0.1", 500), // after withdraw → bilateral
             dropped(5, "99.0.0.1", 500),  // never announced → bilateral
         ]);
-        let prov = drop_provenance(&log, &flows, ts(100));
+        let prov = provenance_of(&log, &flows, ts(100));
         assert_eq!(prov.dropped_packets, 3);
         assert_eq!(prov.explained_packets, 1);
         assert_eq!(prov.dropped_bytes, 2000);
         assert_eq!(prov.explained_bytes, 1000);
         assert!((prov.byte_share() - 0.5).abs() < 1e-12);
         assert!((prov.packet_share() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provenance_is_worker_count_invariant() {
+        let log = UpdateLog::from_updates(vec![
+            update(0, 1, "10.0.0.1/32", UpdateKind::Announce),
+            update(10, 1, "10.0.0.1/32", UpdateKind::Withdraw),
+        ]);
+        let flows = FlowLog::from_samples(
+            (0..97)
+                .map(|k| dropped(k % 20, "10.0.0.1", 100 + k as u16))
+                .collect(),
+        );
+        let resolver = MacResolver::from_map(Default::default());
+        let origins = OriginTable::build(&[]);
+        let built = ColumnarFlows::build_enriched(&log, &flows, &resolver, &origins, ts(100), 1);
+        let reference = drop_provenance(&built.columns, 1);
+        for workers in [2, 3, 16] {
+            assert_eq!(reference, drop_provenance(&built.columns, workers));
+        }
     }
 
     #[test]
@@ -233,7 +274,7 @@ mod tests {
         );
         assert_eq!(load.peak_active, 0);
         assert_eq!(load.mean_active, 0.0);
-        let prov = drop_provenance(&UpdateLog::new(), &FlowLog::new(), ts(10));
+        let prov = provenance_of(&UpdateLog::new(), &FlowLog::new(), ts(10));
         assert_eq!(prov.byte_share(), 0.0);
     }
 }

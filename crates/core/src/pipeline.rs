@@ -8,12 +8,12 @@
 //! # Concurrency
 //!
 //! The per-analysis functions are pure over shared immutable state
-//! (`&SampleIndex`, `&FlowLog`, `&[RtbhEvent]`), so [`Analyzer::full`]
+//! (`&SampleIndex`, `&ColumnarFlows`, `&[RtbhEvent]`), so [`Analyzer::full`]
 //! executes the stage dependency DAG on scoped worker threads
 //! ([`std::thread::scope`] — no extra dependency, no `'static` bounds):
 //!
 //! ```text
-//! prepare (Analyzer::new: clean → align → infer events → index)
+//! prepare (Analyzer::new: clean → align → infer events → enrich → index)
 //!   ├─ load ─ provenance          (signal-load chain)
 //!   ├─ visibility
 //!   ├─ acceptance
@@ -30,13 +30,14 @@
 //! and input footprints.
 
 use rtbh_fabric::FlowLog;
-use rtbh_net::{Asn, TimeDelta};
+use rtbh_net::TimeDelta;
 
 use crate::acceptance::{analyze_acceptance, AcceptanceAnalysis};
 use crate::align::{estimate_offset_with_workers, shift_flows_with_workers, Alignment};
 use crate::classify::{classify_events, Classification, ClassifyConfig, UseCase};
-use crate::clean::{clean_flows, CleanReport};
+use crate::clean::{clean_flows_with_workers, CleanReport};
 use crate::collateral::{analyze_collateral, CollateralAnalysis};
+use crate::columns::ColumnarFlows;
 use crate::corpus::Corpus;
 use crate::events::{infer_events, RtbhEvent};
 use crate::filtering::{analyze_filtering, FilteringAnalysis};
@@ -71,8 +72,9 @@ pub struct AnalyzerConfig {
     pub visibility_step: TimeDelta,
     /// Grid step of the load series (Fig. 3; paper: 1 minute).
     pub load_step: TimeDelta,
-    /// Worker threads for the data-parallel sample kernels (index build,
-    /// clock shift, offset scan): `0` = one per available core. The kernels
+    /// Worker threads for the data-parallel sample kernels (clean,
+    /// enrichment, index build, clock shift, offset scan, acceptance,
+    /// provenance): `0` = one per available core. The kernels
     /// merge per-chunk results in chunk order, so every worker count
     /// produces byte-identical reports (`rtbh analyze --threads N`).
     pub workers: usize,
@@ -141,6 +143,8 @@ pub struct Analyzer {
     /// Cleaned, offset-corrected flows.
     flows: FlowLog,
     events: Vec<RtbhEvent>,
+    /// The enriched columnar store every sample-scanning stage reads.
+    columns: ColumnarFlows,
     index: SampleIndex,
     resolver: MacResolver,
     origins: OriginTable,
@@ -153,25 +157,27 @@ pub struct Analyzer {
 }
 
 impl Analyzer {
-    /// Prepares a corpus: cleans, aligns clocks, infers events, indexes.
+    /// Prepares a corpus: cleans, aligns clocks, infers events, enriches
+    /// the columnar store, indexes.
     ///
-    /// The sample-scan kernels (clock-offset scan, clock shift, index
-    /// build) run chunk-parallel on `config.workers` scoped threads with a
-    /// deterministic ordered merge — any worker count yields the same
-    /// analyzer state.
+    /// The sample-scan kernels (clean, clock-offset scan, clock shift,
+    /// enrichment, index build) run chunk-parallel on `config.workers`
+    /// scoped threads with a deterministic ordered merge — any worker
+    /// count yields the same analyzer state.
     pub fn new(corpus: Corpus, config: AnalyzerConfig) -> Self {
         let workers = crate::shard::resolve_workers(config.workers);
         let mut prepare = Vec::new();
         let updates_total = corpus.updates.len() as u64;
 
-        let ((cleaned, clean_report), st) = profile::time_stage(
+        let ((cleaned, clean_report), st) = profile::time_stage_with_workers(
             "clean",
             Footprint {
                 updates: 0,
                 samples: corpus.flows.len() as u64,
                 events: 0,
             },
-            || clean_flows(&corpus),
+            workers,
+            || clean_flows_with_workers(&corpus, workers),
         );
         prepare.push(st);
 
@@ -231,6 +237,35 @@ impl Analyzer {
         );
         prepare.push(st);
 
+        let resolver = MacResolver::build(&corpus);
+        let origins = OriginTable::build(&corpus.routes);
+
+        // One pass over the samples computes every per-sample id the
+        // stages consume (interned member/origin ASNs, blackhole-prefix
+        // ids, activity bits) — no stage re-hashes a MAC or re-walks the
+        // LPM afterwards.
+        let (enriched, st) = profile::time_stage_with_workers(
+            "enrich",
+            Footprint {
+                updates: updates_total,
+                samples: flows.len() as u64,
+                events: 0,
+            },
+            workers,
+            || {
+                ColumnarFlows::build_enriched(
+                    &corpus.updates,
+                    &flows,
+                    &resolver,
+                    &origins,
+                    corpus.period.end,
+                    workers,
+                )
+            },
+        );
+        prepare.push(st);
+        let columns = enriched.columns;
+
         let (index, st) = profile::time_stage_with_workers(
             "index",
             Footprint {
@@ -239,12 +274,17 @@ impl Analyzer {
                 events: 0,
             },
             workers,
-            || SampleIndex::build_with_workers(&corpus.updates, &flows, workers),
+            || {
+                SampleIndex::from_columns(
+                    enriched.blackholes,
+                    enriched.blackhole_prefixes,
+                    &columns,
+                    workers,
+                )
+            },
         );
         prepare.push(st);
 
-        let resolver = MacResolver::build(&corpus);
-        let origins = OriginTable::build(&corpus.routes);
         Self {
             corpus,
             config,
@@ -252,6 +292,7 @@ impl Analyzer {
             alignment,
             flows,
             events,
+            columns,
             index,
             resolver,
             origins,
@@ -291,6 +332,12 @@ impl Analyzer {
         &self.flows
     }
 
+    /// The enriched columnar flow store (same samples as
+    /// [`Analyzer::flows`], in the same order).
+    pub fn columns(&self) -> &ColumnarFlows {
+        &self.columns
+    }
+
     /// The inferred RTBH events (§5.1).
     pub fn events(&self) -> &[RtbhEvent] {
         &self.events
@@ -313,7 +360,8 @@ impl Analyzer {
     }
 
     /// Stage stats of the preparation kernels recorded by [`Analyzer::new`]
-    /// (clean, align, shift, event inference, index build). Also attached to
+    /// (clean, align, shift, event inference, enrichment, index build).
+    /// Also attached to
     /// every [`PipelineProfile`] as [`PipelineProfile::prepare`].
     pub fn prepare_profile(&self) -> &[StageStats] {
         &self.prepare
@@ -335,15 +383,14 @@ impl Analyzer {
 
     /// §3.1: drop provenance (route-server vs bilateral).
     pub fn provenance(&self) -> DropProvenance {
-        drop_provenance(&self.corpus.updates, &self.flows, self.corpus.period.end)
+        drop_provenance(&self.columns, self.kernel_workers)
     }
 
     /// Fig. 4: targeted-blackholing visibility percentiles.
     pub fn visibility(&self) -> Vec<VisibilityPoint> {
-        let peers: Vec<Asn> = self.corpus.member_asns();
         visibility_series(
             &self.corpus.updates,
-            &peers,
+            self.corpus.member_asns(),
             self.corpus.route_server_asn,
             self.corpus.period,
             self.config.visibility_step,
@@ -352,12 +399,7 @@ impl Analyzer {
 
     /// Figs. 5–8: acceptance analysis.
     pub fn acceptance(&self) -> AcceptanceAnalysis {
-        analyze_acceptance(
-            &self.corpus.updates,
-            &self.flows,
-            &self.resolver,
-            self.corpus.period.end,
-        )
+        analyze_acceptance(&self.columns, self.kernel_workers)
     }
 
     /// Figs. 11–13 + Table 2: pre-event analysis.
@@ -365,36 +407,29 @@ impl Analyzer {
         analyze_preevents(
             &self.events,
             &self.index,
-            &self.flows,
+            &self.columns,
             &self.config.preevent,
         )
     }
 
     /// §5.4 + Table 3: during-event traffic.
     pub fn protocols(&self, preevents: &PreEventAnalysis) -> ProtocolAnalysis {
-        analyze_event_traffic(&self.events, &self.index, &self.flows, preevents)
+        analyze_event_traffic(&self.events, &self.index, &self.columns, preevents)
     }
 
     /// Figs. 14–15: fine-grained filtering and AS participation.
     pub fn filtering(&self, preevents: &PreEventAnalysis) -> FilteringAnalysis {
-        analyze_filtering(
-            &self.events,
-            &self.index,
-            &self.flows,
-            preevents,
-            &self.resolver,
-            &self.origins,
-        )
+        analyze_filtering(&self.events, &self.index, &self.columns, preevents)
     }
 
     /// Figs. 16–17 + Table 4: host classification.
     pub fn hosts(&self) -> HostAnalysis {
-        analyze_hosts(&self.events, &self.index, &self.flows, &self.config.host)
+        analyze_hosts(&self.events, &self.index, &self.columns, &self.config.host)
     }
 
     /// Fig. 18: collateral damage.
     pub fn collateral(&self, hosts: &HostAnalysis) -> CollateralAnalysis {
-        analyze_collateral(&self.events, &self.index, &self.flows, hosts)
+        analyze_collateral(&self.events, &self.index, &self.columns, hosts)
     }
 
     /// Fig. 19: final classification.

@@ -9,10 +9,10 @@
 
 use std::collections::HashSet;
 
-use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Interval, Protocol, TimeDelta};
 use rtbh_stats::{EwmaConfig, EwmaDetector};
 
+use crate::columns::ColumnarFlows;
 use crate::events::RtbhEvent;
 use crate::index::SampleIndex;
 
@@ -114,9 +114,11 @@ impl PreEventResult {
     }
 }
 
-/// Builds the five feature series of one event's pre-window.
+/// Builds the five feature series of one event's pre-window from the
+/// columnar store, reading only the columns each feature needs.
 fn feature_series(
-    samples: &[&FlowSample],
+    cols: &ColumnarFlows,
+    ids: &[u32],
     window: Interval,
     config: &PreEventConfig,
 ) -> Vec<[f64; FEATURES]> {
@@ -126,8 +128,9 @@ fn feature_series(
     let mut src_ips: Vec<HashSet<u32>> = vec![HashSet::new(); slots];
     let mut dst_ports: Vec<HashSet<u16>> = vec![HashSet::new(); slots];
     let mut non_tcp = vec![0u32; slots];
-    for s in samples {
-        let offset = (s.at - window.start).as_millis();
+    for &id in ids {
+        let i = id as usize;
+        let offset = (cols.at(i) - window.start).as_millis();
         if offset < 0 {
             continue;
         }
@@ -137,14 +140,14 @@ fn feature_series(
         }
         packets[idx] += 1;
         flows[idx].insert((
-            s.src_ip.to_u32(),
-            s.src_port,
-            s.dst_port,
-            s.protocol.number(),
+            cols.src_ip_raw(i),
+            cols.src_port(i),
+            cols.dst_port(i),
+            cols.protocol_raw(i),
         ));
-        src_ips[idx].insert(s.src_ip.to_u32());
-        dst_ports[idx].insert(s.dst_port);
-        if s.protocol != Protocol::Tcp {
+        src_ips[idx].insert(cols.src_ip_raw(i));
+        dst_ports[idx].insert(cols.dst_port(i));
+        if cols.protocol(i) != Protocol::Tcp {
             non_tcp[idx] += 1;
         }
     }
@@ -161,14 +164,16 @@ fn feature_series(
         .collect()
 }
 
-/// Analyzes one event's pre-window given its time-sorted samples.
+/// Analyzes one event's pre-window given the (time-sorted) ids of its
+/// samples in the columnar store.
 pub fn analyze_event(
     event: &RtbhEvent,
-    samples: &[&FlowSample],
+    cols: &ColumnarFlows,
+    ids: &[u32],
     config: &PreEventConfig,
 ) -> PreEventResult {
     let window = Interval::new(event.start() - config.pre_window, event.start());
-    let series = feature_series(samples, window, config);
+    let series = feature_series(cols, ids, window, config);
     let slots = series.len();
 
     let mut detectors: Vec<EwmaDetector> = (0..FEATURES)
@@ -312,24 +317,20 @@ impl PreEventAnalysis {
 pub fn analyze_preevents(
     events: &[RtbhEvent],
     index: &SampleIndex,
-    flows: &FlowLog,
+    cols: &ColumnarFlows,
     config: &PreEventConfig,
 ) -> PreEventAnalysis {
-    let samples = flows.samples();
     let per_event = events
         .iter()
         .map(|event| {
-            let window_start = event.start() - config.pre_window;
             let ids = index
                 .prefix_id(event.prefix)
                 .map(|id| index.towards(id))
                 .unwrap_or(&[]);
-            // Slice the (time-sorted) id list to the pre-window.
-            let lo = ids.partition_point(|&i| samples[i as usize].at < window_start);
-            let hi = ids.partition_point(|&i| samples[i as usize].at < event.start());
-            let in_window: Vec<&FlowSample> =
-                ids[lo..hi].iter().map(|&i| &samples[i as usize]).collect();
-            analyze_event(event, &in_window, config)
+            // Slice the (time-sorted) id list to the pre-window via the
+            // time-bucket index — two binary searches, no full scan.
+            let in_window = cols.window_ids(ids, event.start() - config.pre_window, event.start());
+            analyze_event(event, cols, in_window, config)
         })
         .collect();
     PreEventAnalysis {
@@ -341,6 +342,7 @@ pub fn analyze_preevents(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtbh_fabric::{FlowLog, FlowSample};
     use rtbh_net::{Asn, MacAddr, Timestamp};
 
     fn config() -> PreEventConfig {
@@ -384,9 +386,16 @@ mod tests {
         }
     }
 
+    fn cols_of(samples: Vec<FlowSample>) -> (ColumnarFlows, Vec<u32>) {
+        let cols = ColumnarFlows::from_log(&FlowLog::from_samples(samples));
+        let ids: Vec<u32> = (0..cols.len() as u32).collect();
+        (cols, ids)
+    }
+
     #[test]
     fn empty_pre_window_is_no_data() {
-        let r = analyze_event(&event(300), &[], &config());
+        let (cols, ids) = cols_of(Vec::new());
+        let r = analyze_event(&event(300), &cols, &ids, &config());
         assert_eq!(r.class, PreClass::NoData);
         assert_eq!(r.slots_with_data, 0);
         assert!(r.anomalies.is_empty());
@@ -407,8 +416,8 @@ mod tests {
                 Protocol::Udp,
             ));
         }
-        let refs: Vec<&FlowSample> = samples.iter().collect();
-        let r = analyze_event(&event(300), &refs, &config());
+        let (cols, ids) = cols_of(samples);
+        let r = analyze_event(&event(300), &cols, &ids, &config());
         assert_eq!(r.class, PreClass::DataAnomaly);
         assert!(r.anomaly_within(TimeDelta::minutes(10)));
         let last = r.anomalies.last().unwrap();
@@ -428,8 +437,8 @@ mod tests {
         let samples: Vec<FlowSample> = (0..60)
             .map(|i| sample(i * 5, "8.8.8.8", 443, Protocol::Tcp))
             .collect();
-        let refs: Vec<&FlowSample> = samples.iter().collect();
-        let r = analyze_event(&event(300), &refs, &config());
+        let (cols, ids) = cols_of(samples);
+        let r = analyze_event(&event(300), &cols, &ids, &config());
         assert_eq!(r.class, PreClass::DataNoAnomaly);
         assert!(r.slots_with_data > 50);
     }
@@ -448,8 +457,8 @@ mod tests {
                 Protocol::Udp,
             ));
         }
-        let refs: Vec<&FlowSample> = samples.iter().collect();
-        let r = analyze_event(&event(300), &refs, &config());
+        let (cols, ids) = cols_of(samples);
+        let r = analyze_event(&event(300), &cols, &ids, &config());
         assert_eq!(r.class, PreClass::DataNoAnomaly);
         assert!(r.anomaly_within(TimeDelta::minutes(150)));
         assert!(!r.anomaly_within(TimeDelta::minutes(10)));
@@ -507,8 +516,8 @@ mod tests {
                 )
             })
             .collect();
-        let refs: Vec<&FlowSample> = samples.iter().collect();
-        let r = analyze_event(&event(300), &refs, &config());
+        let (cols, ids) = cols_of(samples);
+        let r = analyze_event(&event(300), &cols, &ids, &config());
         assert!(
             r.anomalies.is_empty(),
             "burst sits in warm-up, got {:?}",

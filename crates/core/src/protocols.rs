@@ -3,9 +3,9 @@
 
 use std::collections::BTreeMap;
 
-use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{AmplificationProtocol, Protocol, TimeDelta};
 
+use crate::columns::ColumnarFlows;
 use crate::events::RtbhEvent;
 use crate::index::SampleIndex;
 use crate::preevent::{PreClass, PreEventAnalysis};
@@ -170,10 +170,9 @@ fn classify_protocol(p: Protocol) -> usize {
 pub fn analyze_event_traffic(
     events: &[RtbhEvent],
     index: &SampleIndex,
-    flows: &FlowLog,
+    cols: &ColumnarFlows,
     preevents: &PreEventAnalysis,
 ) -> ProtocolAnalysis {
-    let samples = flows.samples();
     let horizon = preevents.config.anomaly_horizon;
     let per_event = events
         .iter()
@@ -187,8 +186,6 @@ pub fn analyze_event_traffic(
                 .prefix_id(event.prefix)
                 .map(|id| index.towards(id))
                 .unwrap_or(&[]);
-            let lo = ids.partition_point(|&i| samples[i as usize].at < cover.start);
-            let hi = ids.partition_point(|&i| samples[i as usize].at < cover.end);
             let mut traffic = EventTraffic {
                 event_id: event.id,
                 packets: 0,
@@ -196,12 +193,15 @@ pub fn analyze_event_traffic(
                 amplification: BTreeMap::new(),
                 preceded_by_anomaly,
             };
-            for &i in &ids[lo..hi] {
-                let s: &FlowSample = &samples[i as usize];
+            for &id in cols.window_ids(ids, cover.start, cover.end) {
+                let i = id as usize;
                 traffic.packets += 1;
-                traffic.by_protocol[classify_protocol(s.protocol)] += 1;
-                if let Some(p) = AmplificationProtocol::classify(s.protocol, s.src_port, s.fragment)
-                {
+                traffic.by_protocol[classify_protocol(cols.protocol(i))] += 1;
+                if let Some(p) = AmplificationProtocol::classify(
+                    cols.protocol(i),
+                    cols.src_port(i),
+                    cols.fragment(i),
+                ) {
                     *traffic.amplification.entry(p).or_insert(0) += 1;
                 }
             }

@@ -100,12 +100,12 @@ fn profiles_record_the_prepare_kernels() {
         "prepare stages: {names:?}"
     );
     assert!(
-        names.ends_with(&["events", "index"]),
+        names.ends_with(&["events", "enrich", "index"]),
         "prepare stages: {names:?}"
     );
     for s in &profile.prepare {
         let expected = match s.stage.as_str() {
-            "clean" | "events" => 1,
+            "events" => 1,
             _ => 3,
         };
         assert_eq!(s.workers, expected, "stage {}", s.stage);

@@ -1,4 +1,12 @@
 //! Compact and pretty JSON serializers.
+//!
+//! Both writers append into a single caller-owned `String`: numbers are
+//! formatted in place with `core::fmt::Write` (no intermediate
+//! `to_string` allocations) and the pretty writer keeps one reusable
+//! indentation buffer that grows and shrinks with the nesting level, so
+//! serializing a node allocates nothing beyond the output buffer itself.
+
+use std::fmt::Write as _;
 
 use crate::Json;
 
@@ -14,7 +22,11 @@ pub fn to_compact(v: &Json) -> String {
 /// stay on one line).
 pub fn to_pretty(v: &Json) -> String {
     let mut out = String::new();
-    write_pretty(v, 0, &mut out);
+    PrettyWriter {
+        out: &mut out,
+        indent: String::new(),
+    }
+    .write(v);
     out
 }
 
@@ -22,8 +34,12 @@ fn write_compact(v: &Json, out: &mut String) {
     match v {
         Json::Null => out.push_str("null"),
         Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Json::U64(n) => out.push_str(&n.to_string()),
-        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
         Json::F64(x) => write_f64(*x, out),
         Json::Str(s) => write_string(s, out),
         Json::Arr(items) => {
@@ -51,43 +67,52 @@ fn write_compact(v: &Json, out: &mut String) {
     }
 }
 
-fn write_pretty(v: &Json, indent: usize, out: &mut String) {
-    match v {
-        Json::Arr(items) if !items.is_empty() => {
-            out.push_str("[\n");
-            for (i, item) in items.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(",\n");
-                }
-                push_indent(indent + 1, out);
-                write_pretty(item, indent + 1, out);
-            }
-            out.push('\n');
-            push_indent(indent, out);
-            out.push(']');
-        }
-        Json::Obj(entries) if !entries.is_empty() => {
-            out.push_str("{\n");
-            for (i, (k, item)) in entries.iter().enumerate() {
-                if i > 0 {
-                    out.push_str(",\n");
-                }
-                push_indent(indent + 1, out);
-                write_string(k, out);
-                out.push_str(": ");
-                write_pretty(item, indent + 1, out);
-            }
-            out.push('\n');
-            push_indent(indent, out);
-            out.push('}');
-        }
-        other => write_compact(other, out),
-    }
+/// The pretty serializer's state: the output buffer plus a cached
+/// indentation string holding two spaces per current nesting level, so
+/// each line's leading whitespace is one `push_str` instead of a
+/// per-level loop.
+struct PrettyWriter<'a> {
+    out: &'a mut String,
+    indent: String,
 }
 
-fn push_indent(levels: usize, out: &mut String) {
-    for _ in 0..levels {
-        out.push_str("  ");
+impl PrettyWriter<'_> {
+    fn write(&mut self, v: &Json) {
+        match v {
+            Json::Arr(items) if !items.is_empty() => {
+                self.out.push_str("[\n");
+                self.indent.push_str("  ");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(",\n");
+                    }
+                    self.out.push_str(&self.indent);
+                    self.write(item);
+                }
+                self.indent.truncate(self.indent.len() - 2);
+                self.out.push('\n');
+                self.out.push_str(&self.indent);
+                self.out.push(']');
+            }
+            Json::Obj(entries) if !entries.is_empty() => {
+                self.out.push_str("{\n");
+                self.indent.push_str("  ");
+                for (i, (k, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(",\n");
+                    }
+                    self.out.push_str(&self.indent);
+                    write_string(k, self.out);
+                    self.out.push_str(": ");
+                    self.write(item);
+                }
+                self.indent.truncate(self.indent.len() - 2);
+                self.out.push('\n');
+                self.out.push_str(&self.indent);
+                self.out.push('}');
+            }
+            other => write_compact(other, self.out),
+        }
     }
 }
 
@@ -99,9 +124,9 @@ fn write_f64(x: f64, out: &mut String) {
         out.push_str("null");
         return;
     }
-    let text = x.to_string();
-    out.push_str(&text);
-    if !text.contains(['.', 'e', 'E']) {
+    let start = out.len();
+    let _ = write!(out, "{x}");
+    if !out[start..].contains(['.', 'e', 'E']) {
         out.push_str(".0");
     }
 }
@@ -118,7 +143,7 @@ fn write_string(s: &str, out: &mut String) {
             '\u{8}' => out.push_str("\\b"),
             '\u{c}' => out.push_str("\\f"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }

@@ -313,6 +313,7 @@ pub fn run(config: &ScenarioConfig) -> SimOutput {
         registry,
         internal_macs,
         routes,
+        caches: Default::default(),
     };
     let truth = GroundTruth {
         events: plan.events.clone(),

@@ -9,8 +9,10 @@
 //! space — fuzzed merge deltas, slot sizes, EWMA windows, offset-scan
 //! grids — where a stage with hidden order-dependence would slip through.
 //!
-//! One case = four full pipeline runs, so the iteration count is small by
-//! default and *capped* even under `RTBH_FUZZ_ITERS`.
+//! One case = six full pipeline runs (parallel at workers 1/2/7 plus a
+//! sequential pass over the 2- and 7-worker prepare kernels), so the
+//! iteration count is small by default and *capped* even under
+//! `RTBH_FUZZ_ITERS`.
 
 #[path = "common/seeds.rs"]
 #[allow(dead_code)]
@@ -95,6 +97,18 @@ fn sequential_and_parallel_reports_identical_under_fuzzed_configs() {
                 "parallel report (workers={workers}) diverged from the sequential \
                  reference under config seed {seed:#x}: {config:?}"
             );
+            // The prepare kernels (clean, enrichment, index build, offset
+            // scan) already ran sharded over `workers` threads inside
+            // `Analyzer::new` — a sequential stage pass over their output
+            // must still reproduce the reference byte for byte.
+            if workers != 1 {
+                let sequential = rtbh_json::to_string(&analyzer.full_sequential());
+                assert_eq!(
+                    sequential, reference,
+                    "sequential report over {workers}-worker prepare kernels diverged \
+                     under config seed {seed:#x}: {config:?}"
+                );
+            }
         }
     });
 }

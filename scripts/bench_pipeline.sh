@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pipeline.json and BENCH_index.json: builds release,
-# simulates a corpus, times the sequential vs parallel analysis pipeline
-# (best-of-N per mode) and runs the LPM/index micro-bench (trie vs frozen
-# lookups, 1-vs-N-worker index builds).
+# Regenerates BENCH_pipeline.json, BENCH_index.json and BENCH_flows.json:
+# builds release, simulates a corpus, times the sequential vs parallel
+# analysis pipeline (best-of-N per mode), runs the LPM/index micro-bench
+# (trie vs frozen lookups, 1-vs-N-worker index builds) and the flow-store
+# micro-bench (AoS vs columnar vs columnar+enriched kernel scans).
 #
 # usage: scripts/bench_pipeline.sh [scale] [reps]
 #   scale  scenario scale factor (default 0.25; 1.0 = full 104-day corpus)
@@ -18,11 +19,13 @@ reps="${2:-3}"
 cargo build --release -p rtbh-bench --bin pipeline_bench
 
 # pipeline_bench exits non-zero when the sequential and parallel reports
-# are not byte-identical (or the index micro-bench diverges). Guard it
-# explicitly — `set -e` alone would die silently mid-script, and a benched
-# pipeline whose modes disagree must fail loudly, not just print numbers.
+# are not byte-identical (or the index/flow-store micro-benches diverge).
+# Guard it explicitly — `set -e` alone would die silently mid-script, and
+# a benched pipeline whose modes disagree must fail loudly, not just print
+# numbers.
 if ! ./target/release/pipeline_bench --scale "$scale" --reps "$reps" \
-    --out BENCH_pipeline.json --index-out BENCH_index.json; then
-    echo "bench_pipeline: FAILED — sequential/parallel report identity (or index equivalence) check did not pass" >&2
+    --out BENCH_pipeline.json --index-out BENCH_index.json \
+    --flows-out BENCH_flows.json; then
+    echo "bench_pipeline: FAILED — sequential/parallel report identity (or index/flow-store equivalence) check did not pass" >&2
     exit 1
 fi

@@ -154,6 +154,7 @@ pub fn from_bytes(buf: &[u8]) -> Result<Corpus, CorpusIoError> {
         registry: meta.registry,
         internal_macs: meta.internal_macs,
         routes: meta.routes,
+        caches: Default::default(),
     })
 }
 
