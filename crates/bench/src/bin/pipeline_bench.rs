@@ -6,7 +6,7 @@
 //! ```text
 //! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N]
 //!                [--out PATH] [--index-out PATH] [--no-index]
-//!                [--flows-out PATH] [--no-flows]
+//!                [--flows-out PATH] [--no-flows] [--flows-floor F]
 //! ```
 //!
 //! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json --index-out
@@ -14,6 +14,10 @@
 //! tables, speedups and the micro-bench summaries to stdout; the JSON
 //! files carry the full machine-readable records (see
 //! `rtbh_bench::pipeline`, `rtbh_bench::lpm` and `rtbh_bench::flows`).
+//!
+//! `--flows-floor F` is the CI performance gate: after the answers are
+//! cross-checked, the process exits 1 if the enriched-kernel speedup vs
+//! the AoS baseline falls below `F`.
 
 use std::io::Write;
 
@@ -23,7 +27,8 @@ use rtbh_sim::ScenarioConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] \
-         [--out PATH] [--index-out PATH] [--no-index] [--flows-out PATH] [--no-flows]"
+         [--out PATH] [--index-out PATH] [--no-index] [--flows-out PATH] [--no-flows] \
+         [--flows-floor F]"
     );
     std::process::exit(2);
 }
@@ -34,6 +39,7 @@ fn main() {
     let mut out_path = String::from("BENCH_pipeline.json");
     let mut index_out_path = Some(String::from("BENCH_index.json"));
     let mut flows_out_path = Some(String::from("BENCH_flows.json"));
+    let mut flows_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -66,6 +72,14 @@ fn main() {
             "--no-index" => index_out_path = None,
             "--flows-out" => flows_out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--no-flows" => flows_out_path = None,
+            "--flows-floor" => {
+                flows_floor = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -158,6 +172,7 @@ fn main() {
         }
     };
 
+    let mut flows_speedup: Option<f64> = None;
     let flows_ok = match &flows_out_path {
         None => true,
         Some(path) => {
@@ -183,6 +198,18 @@ fn main() {
                 )
                 .expect("write stdout");
             }
+            for m in [&fb.bitset, &fb.gallop] {
+                writeln!(
+                    stdout,
+                    "  {:<18} vs {:<18}: {:>8.3} ms vs {:>8.3} ms  {:.2}x",
+                    m.kernel,
+                    m.baseline,
+                    m.kernel_wall_ns as f64 / 1e6,
+                    m.baseline_wall_ns as f64 / 1e6,
+                    m.speedup
+                )
+                .expect("write stdout");
+            }
             writeln!(
                 stdout,
                 "  enriched speedup vs aos (1 worker): {:.2}x   answers identical: {}",
@@ -194,6 +221,7 @@ fn main() {
                 std::process::exit(1);
             });
             eprintln!("wrote {path}");
+            flows_speedup = Some(fb.enriched_speedup);
             fb.answers_identical
         }
     };
@@ -209,5 +237,15 @@ fn main() {
     if !flows_ok {
         eprintln!("ERROR: flow-store kernel variants diverged");
         std::process::exit(1);
+    }
+    if let (Some(floor), Some(speedup)) = (flows_floor, flows_speedup) {
+        if speedup < floor {
+            eprintln!(
+                "ERROR: enriched-kernel speedup {speedup:.2}x regressed below the \
+                 {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("enriched-kernel speedup {speedup:.2}x >= {floor:.2}x floor: ok");
     }
 }

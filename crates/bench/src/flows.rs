@@ -22,6 +22,18 @@
 //! alongside (it is paid once and amortized over every stage that
 //! consumes the columns, not per kernel).
 //!
+//! Two further **micro-benches** isolate the sealed-chunk kernels the
+//! enriched scan is built from:
+//!
+//! * **bitset**: popcount over whole `dropped`/`dropped & active` flag
+//!   words vs the same counts via rowwise per-sample bit tests;
+//! * **gallop**: window × sorted-id joins via
+//!   [`rtbh_core::columns::gallop_partition_point`] vs full-width binary
+//!   searches over the id list.
+//!
+//! `pipeline_bench --flows-floor F` turns the headline `enriched_speedup`
+//! into a CI gate: the process exits non-zero if it regresses below `F`.
+//!
 //! Regenerate with `scripts/bench_pipeline.sh` or directly:
 //!
 //! ```text
@@ -55,6 +67,24 @@ pub struct VariantTiming {
     pub speedup_vs_aos: f64,
 }
 
+/// One isolated kernel-vs-baseline comparison (best-of-reps, one worker).
+#[derive(Debug, Clone)]
+pub struct MicroBench {
+    /// The sealed-chunk kernel being isolated.
+    pub kernel: &'static str,
+    /// The scalar baseline it replaces.
+    pub baseline: &'static str,
+    /// Best kernel wall time, in nanoseconds.
+    pub kernel_wall_ns: u64,
+    /// Best baseline wall time, in nanoseconds.
+    pub baseline_wall_ns: u64,
+    /// Baseline wall / kernel wall.
+    pub speedup: f64,
+    /// Whether kernel and baseline produced identical answers (checked
+    /// before timing).
+    pub answers_identical: bool,
+}
+
 /// The machine-readable result of one flow-store micro-benchmark run
 /// (the content of `BENCH_flows.json`).
 #[derive(Debug, Clone)]
@@ -67,7 +97,8 @@ pub struct FlowsBench {
     pub dropped: usize,
     /// Timing repetitions (the best run is reported).
     pub reps: usize,
-    /// Whether every variant agreed at every worker count.
+    /// Whether every variant agreed at every worker count (micro-bench
+    /// cross-checks included).
     pub answers_identical: bool,
     /// One-time cost of `ColumnarFlows::build_enriched` at all cores, in
     /// nanoseconds (amortized over every stage, not per kernel).
@@ -76,6 +107,10 @@ pub struct FlowsBench {
     pub timings: Vec<VariantTiming>,
     /// Headline: AoS wall / enriched wall at one worker.
     pub enriched_speedup: f64,
+    /// Popcount-over-flag-words kernel vs rowwise bit tests.
+    pub bitset: MicroBench,
+    /// Gallop window × id-list joins vs full-width binary searches.
+    pub gallop: MicroBench,
 }
 
 fn empty_provenance() -> DropProvenance {
@@ -135,22 +170,128 @@ fn columnar_scan(
     lpm: &FrozenLpm<Vec<Interval>>,
     workers: usize,
 ) -> DropProvenance {
-    merge(shard::map_chunks(cols.flags(), workers, |start, chunk| {
+    merge(shard::map_chunks(cols.chunks(), workers, |_, chunks| {
         let mut p = empty_provenance();
-        for (off, _) in chunk.iter().enumerate() {
-            let i = start + off;
-            if !cols.is_dropped(i) {
-                continue;
-            }
-            p.dropped_packets += 1;
-            p.dropped_bytes += cols.packet_len(i) as u64;
-            if explained(lpm, cols.dst_ip(i), cols.at(i)) {
-                p.explained_packets += 1;
-                p.explained_bytes += cols.packet_len(i) as u64;
+        for c in chunks {
+            for r in 0..c.len() {
+                if !c.dropped(r) {
+                    continue;
+                }
+                let i = c.start() + r;
+                p.dropped_packets += 1;
+                p.dropped_bytes += cols.packet_len(i) as u64;
+                if explained(lpm, cols.dst_ip(i), cols.at(i)) {
+                    p.explained_packets += 1;
+                    p.explained_bytes += cols.packet_len(i) as u64;
+                }
             }
         }
         p
     }))
+}
+
+/// Bitset micro-bench: dropped/explained *packet counts* (the pure bitset
+/// part of the provenance kernel) as whole-word popcounts vs rowwise bit
+/// tests over the same sealed chunks.
+fn bench_bitset(cols: &ColumnarFlows, reps: usize) -> MicroBench {
+    let popcount = || -> (u64, u64) {
+        let mut dropped = 0u64;
+        let mut explained = 0u64;
+        for c in cols.chunks() {
+            for (&d, &a) in c.dropped_words().iter().zip(c.active_words()) {
+                dropped += u64::from(d.count_ones());
+                explained += u64::from((d & a).count_ones());
+            }
+        }
+        (dropped, explained)
+    };
+    let rowwise = || -> (u64, u64) {
+        let mut dropped = 0u64;
+        let mut explained = 0u64;
+        for c in cols.chunks() {
+            for r in 0..c.len() {
+                if c.dropped(r) {
+                    dropped += 1;
+                    if c.active(r) {
+                        explained += 1;
+                    }
+                }
+            }
+        }
+        (dropped, explained)
+    };
+    let answers_identical = popcount() == rowwise();
+    let kernel_wall_ns = time_best_of(reps, &|| black_box(popcount()));
+    let baseline_wall_ns = time_best_of(reps, &|| black_box(rowwise()));
+    MicroBench {
+        kernel: "bitset_popcount",
+        baseline: "rowwise_bits",
+        kernel_wall_ns,
+        baseline_wall_ns,
+        speedup: baseline_wall_ns as f64 / kernel_wall_ns.max(1) as f64,
+        answers_identical,
+    }
+}
+
+/// Gallop micro-bench: join a sliding time window against the sorted
+/// dropped-sample id list (an index `towards`-list shape) by galloping
+/// from the previous bound vs a full-width binary search per window.
+fn bench_gallop(cols: &ColumnarFlows, reps: usize) -> MicroBench {
+    use rtbh_core::columns::gallop_partition_point;
+    let ids: Vec<u32> = (0..cols.len() as u32)
+        .filter(|&i| cols.is_dropped(i as usize))
+        .collect();
+    // Sliding windows over the corpus: many short windows, resolved in
+    // time order — the shape collateral/filtering queries take.
+    let n = cols.len();
+    let windows: Vec<(usize, usize)> = (0..512)
+        .map(|k| {
+            let lo = n * k / 512;
+            (lo, (lo + n / 64).min(n))
+        })
+        .collect();
+    let galloping = || -> u64 {
+        let mut total = 0u64;
+        let mut cursor = 0usize;
+        for &(glo, ghi) in &windows {
+            let lo = gallop_partition_point(&ids, cursor, glo as u32);
+            let hi = gallop_partition_point(&ids, lo, ghi as u32);
+            cursor = lo;
+            total += (hi - lo) as u64;
+        }
+        total
+    };
+    let binary = || -> u64 {
+        let mut total = 0u64;
+        for &(glo, ghi) in &windows {
+            let lo = ids.partition_point(|&i| (i as usize) < glo);
+            let hi = ids.partition_point(|&i| (i as usize) < ghi);
+            total += (hi - lo) as u64;
+        }
+        total
+    };
+    let answers_identical = galloping() == binary();
+    let kernel_wall_ns = time_best_of(reps, &|| black_box(galloping()));
+    let baseline_wall_ns = time_best_of(reps, &|| black_box(binary()));
+    MicroBench {
+        kernel: "gallop_join",
+        baseline: "binary_search_join",
+        kernel_wall_ns,
+        baseline_wall_ns,
+        speedup: baseline_wall_ns as f64 / kernel_wall_ns.max(1) as f64,
+        answers_identical,
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds.
+fn time_best_of<R>(reps: usize, f: &dyn Fn() -> R) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
 }
 
 /// Simulates `config` and times the three kernel variants, `reps`
@@ -194,11 +335,15 @@ pub fn bench_flows(config: ScenarioConfig, reps: usize) -> FlowsBench {
 
     // Cross-check before timing: identical answers everywhere.
     let reference = aos_scan(samples, &lpm, 1);
-    let answers_identical = worker_counts.iter().all(|&w| {
+    let scans_identical = worker_counts.iter().all(|&w| {
         aos_scan(samples, &lpm, w) == reference
             && columnar_scan(&cols, &lpm, w) == reference
             && drop_provenance(&cols, w) == reference
     });
+
+    let bitset = bench_bitset(&cols, reps);
+    let gallop = bench_gallop(&cols, reps);
+    let answers_identical = scans_identical && bitset.answers_identical && gallop.answers_identical;
 
     let time_best = |f: &dyn Fn() -> DropProvenance| -> u64 {
         let mut best = u64::MAX;
@@ -245,6 +390,8 @@ pub fn bench_flows(config: ScenarioConfig, reps: usize) -> FlowsBench {
         enrich_wall_ns,
         timings,
         enriched_speedup: aos_one_wall as f64 / enriched_one_wall.max(1) as f64,
+        bitset,
+        gallop,
     }
 }
 
@@ -256,6 +403,8 @@ mod tests {
     fn bench_flows_cross_checks_and_serializes() {
         let bench = bench_flows(ScenarioConfig::tiny(), 1);
         assert!(bench.answers_identical);
+        assert!(bench.bitset.answers_identical);
+        assert!(bench.gallop.answers_identical);
         assert!(bench.samples > 0);
         assert!(bench.dropped > 0);
         assert_eq!(bench.timings.len() % 3, 0);
@@ -273,8 +422,14 @@ rtbh_json::impl_json! {
 }
 
 rtbh_json::impl_json! {
+    serialize struct MicroBench {
+        kernel, baseline, kernel_wall_ns, baseline_wall_ns, speedup, answers_identical,
+    }
+}
+
+rtbh_json::impl_json! {
     serialize struct FlowsBench {
         scenario, samples, dropped, reps, answers_identical, enrich_wall_ns,
-        timings, enriched_speedup,
+        timings, enriched_speedup, bitset, gallop,
     }
 }

@@ -18,7 +18,7 @@ use rtbh_net::{Asn, Prefix};
 use rtbh_peeringdb::{OrgType, Registry};
 use rtbh_stats::{top_k_by, Ecdf};
 
-use crate::columns::{ColumnarFlows, FLAG_ACTIVE, FLAG_DROPPED};
+use crate::columns::ColumnarFlows;
 use crate::shard;
 
 /// Dropped/forwarded tallies.
@@ -35,7 +35,7 @@ pub struct DropTally {
 }
 
 impl DropTally {
-    fn add(&mut self, dropped: bool, len: u16) {
+    fn add(&mut self, dropped: bool, len: u32) {
         if dropped {
             self.dropped_packets += 1;
             self.dropped_bytes += len as u64;
@@ -106,11 +106,15 @@ pub const MIN_SAMPLES_FOR_CDF: u64 = 5;
 /// chunk-parallel over `workers` scoped threads (`0` = one per core).
 ///
 /// Consumes the enrichment pass's precomputed columns: the covering
-/// interval-holding prefix, the `ACTIVE` bit (was that prefix's blackhole
-/// announced at the sample's timestamp?), the `DROPPED` bit and the
-/// interned ingress ASN — no per-sample LPM walk or MAC hash remains.
-/// Per-chunk maps fold into `BTreeMap`s whose tallies are plain sums, so
-/// the result is identical for every worker count.
+/// interval-holding prefix id, the `active` bitset (was that prefix's
+/// blackhole announced at the sample's timestamp?), the `dropped` bitset
+/// and the interned ingress ASN — no per-sample LPM walk or MAC hash
+/// remains. Blackhole-active samples are a small minority of the corpus,
+/// so the scan iterates the set bits of the `active` words directly
+/// (one `trailing_zeros` per hit, one test per word of misses) instead of
+/// visiting every row. Workers scan whole sealed chunks; per-chunk maps
+/// fold into `BTreeMap`s whose tallies are plain sums, so the result is
+/// identical for every worker count and chunk capacity.
 pub fn analyze_acceptance(cols: &ColumnarFlows, workers: usize) -> AcceptanceAnalysis {
     struct Partial {
         by_length: BTreeMap<u8, DropTally>,
@@ -120,33 +124,41 @@ pub fn analyze_acceptance(cols: &ColumnarFlows, workers: usize) -> AcceptanceAna
     }
 
     let workers = shard::resolve_workers(workers);
-    let partials = shard::map_chunks(cols.flags(), workers, |start, chunk| {
+    let partials = shard::map_chunks(cols.chunks(), workers, |_, chunks| {
         let mut p = Partial {
             by_length: BTreeMap::new(),
             by_prefix: BTreeMap::new(),
             by_source_as_32: BTreeMap::new(),
             samples_during_blackhole: 0,
         };
-        for (k, &flags) in chunk.iter().enumerate() {
-            if flags & FLAG_ACTIVE == 0 {
-                continue;
-            }
-            let i = start + k;
-            let (prefix, _) = cols.active_prefix(i).expect("ACTIVE implies a prefix");
-            let dropped = flags & FLAG_DROPPED != 0;
-            let len = cols.packet_len(i);
-            p.samples_during_blackhole += 1;
-            p.by_length
-                .entry(prefix.len())
-                .or_default()
-                .add(dropped, len);
-            p.by_prefix.entry(prefix).or_default().add(dropped, len);
-            if prefix.is_host() {
-                if let Some(source) = cols.ingress(i) {
-                    p.by_source_as_32
-                        .entry(source)
+        for c in chunks {
+            let pids = c.active_prefix_ids();
+            let lens = c.packet_lens();
+            let ingress = c.ingress_ids();
+            for (w, (&active, &dropped_word)) in
+                c.active_words().iter().zip(c.dropped_words()).enumerate()
+            {
+                let mut bits = active;
+                while bits != 0 {
+                    let r = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let prefix = cols.active_prefix_lookup(pids[r]);
+                    let dropped = dropped_word >> (r & 63) & 1 == 1;
+                    let len = lens[r];
+                    p.samples_during_blackhole += 1;
+                    p.by_length
+                        .entry(prefix.len())
                         .or_default()
                         .add(dropped, len);
+                    p.by_prefix.entry(prefix).or_default().add(dropped, len);
+                    if prefix.is_host() {
+                        if let Some(source) = cols.asn_lookup(ingress[r]) {
+                            p.by_source_as_32
+                                .entry(source)
+                                .or_default()
+                                .add(dropped, len);
+                        }
+                    }
                 }
             }
         }

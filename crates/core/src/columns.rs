@@ -1,12 +1,12 @@
-//! Columnar (SoA) flow store with one-pass enrichment and a time-bucket
-//! window index.
+//! Sealed-chunk columnar flow store with one-pass enrichment and
+//! header-pruned window queries.
 //!
 //! Every analysis stage used to iterate the AoS `Vec<FlowSample>` and
 //! independently re-resolve MACs and re-walk the blackhole LPM per sample.
-//! [`ColumnarFlows`] stores the cleaned, aligned flow log as parallel
-//! arrays — timestamps, addresses, ports, protocol, packet length, a
-//! packed flags byte — plus per-sample ids a single parallel **enrichment
-//! pass** precomputes once:
+//! [`ColumnarFlows`] stores the cleaned, aligned flow log as a sequence of
+//! immutable **sealed chunks** ([`SealedChunk`]): fixed-capacity column
+//! slabs — timestamps, addresses, ports, protocol, packet length — plus
+//! per-sample ids a single parallel **enrichment pass** precomputes once:
 //!
 //! * ingress/egress member ASN (via [`MacResolver`]), interned into a
 //!   sorted ASN table;
@@ -15,18 +15,37 @@
 //! * the dense covering blackhole-prefix id for destination and source —
 //!   the very ids [`SampleIndex`](crate::index::SampleIndex) uses, so the
 //!   index build degrades to bucketing precomputed ids;
-//! * the covering *interval-holding* prefix id plus an `ACTIVE` flag:
+//! * the covering *interval-holding* prefix id plus an *active* bit:
 //!   whether the sample arrived while that prefix's blackhole was
 //!   announced. (This is a separate column because
 //!   [`blackhole_intervals`] omits prefixes whose only intervals are
 //!   degenerate, so its prefix set can be a strict subset of the
 //!   announcement set the sample index is keyed by.)
 //!
-//! Determinism: the build shards the time-sorted flow log into contiguous
-//! chunks ([`shard::map_chunks`]) and concatenates per-chunk columns in
-//! chunk order, so every column is byte-identical for every worker count.
-//! All id tables (ASN intern table, prefix ids) are compiled *before* the
-//! parallel pass from already-deterministic inputs.
+//! The boolean per-sample facts (fragment, dropped, active) are **bitset
+//! columns**: one `u64` word per 64 samples, bit `r & 63` of word `r >> 6`
+//! for row `r`, unused tail bits zero. Counting kernels reduce to popcount
+//! over (masked) whole words; see [`crate::load::drop_provenance`] and
+//! [`crate::acceptance::analyze_acceptance`].
+//!
+//! The chunk layout is a **written contract**: `docs/CHUNK_ABI.md` at the
+//! workspace root specifies every column's order, width and sentinel, the
+//! bitset word packing and the chunk-header fields, and a unit test here
+//! cross-checks the spec against the [`abi`] constants. Streaming ingest,
+//! the `rtbhd` server and out-of-core spill (ROADMAP items 1–3) all
+//! consume sealed chunks through this contract.
+//!
+//! # Determinism
+//!
+//! Chunk boundaries depend on the (power-of-two) chunk capacity alone —
+//! chunk `k` always holds samples `[k·C, min((k+1)·C, n))` — never on the
+//! worker count: workers seal whole chunks and the results are reassembled
+//! in chunk order. Concatenating the chunks in order therefore reproduces
+//! the input sample order exactly, for every worker count *and* every
+//! capacity, which is why `FullReport` bytes can never move when either
+//! knob changes (pinned by the `report_identity` and `columns_diff`
+//! differential suites). All id tables (ASN intern table, prefix ids) are
+//! compiled *before* the parallel pass from already-deterministic inputs.
 //!
 //! One lossy corner, by design: the protocol column stores the wire
 //! protocol *number* (`u8`), and accessors rebuild the enum via
@@ -35,15 +54,22 @@
 //! same `u8`, and the simulator only emits canonical variants, so no
 //! corpus can observe the difference.
 //!
-//! The [`TimeBuckets`] partition index divides the (sorted) timestamp
-//! column into fixed-width slots with per-slot start offsets, so window
-//! queries (pre-event windows, ±1h correlations) binary-search one slot
-//! instead of the whole log.
+//! # Window queries
+//!
+//! Samples are time-sorted, so each chunk's `min_at`/`max_at` header
+//! brackets its rows and the per-chunk `max_at` sequence is
+//! non-decreasing. [`TimeBuckets`] keeps that header sequence; a window
+//! bound first *prunes* to the one chunk that can contain the boundary
+//! (binary search over headers), then binary-searches only inside it.
+//! [`ColumnarFlows::window_ids`] then intersects the window with a sorted
+//! sample-id list via [`gallop_partition_point`] — exponential search that
+//! is O(log d) in the *distance* to the answer, not the list length.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rtbh_bgp::{blackhole_intervals, UpdateLog};
-use rtbh_fabric::FlowLog;
+use rtbh_fabric::{FlowLog, FlowSample};
 use rtbh_net::{Asn, FrozenLpm, Interval, Ipv4Addr, Prefix, PrefixTrie, Protocol, Timestamp};
 
 use crate::index::{compile_blackhole_prefixes, MacResolver, OriginTable};
@@ -53,45 +79,409 @@ use crate::shard;
 /// prefix ids).
 pub const NONE: u32 = u32::MAX;
 
-/// Flags-byte bit: the sample was an IP fragment.
-pub const FLAG_FRAGMENT: u8 = 1;
-/// Flags-byte bit: the sample was delivered to the blackhole next hop.
-pub const FLAG_DROPPED: u8 = 2;
-/// Flags-byte bit: the destination's covering interval-holding prefix had
-/// an active blackhole at the sample's timestamp.
-pub const FLAG_ACTIVE: u8 = 4;
+/// The sealed-chunk ABI constants, mirrored field-by-field by
+/// `docs/CHUNK_ABI.md` (a unit test asserts the two agree).
+pub mod abi {
+    /// Version of the in-memory chunk layout this module implements.
+    pub const ABI_VERSION: u32 = 1;
+    /// Default chunk capacity (rows per chunk), a power of two.
+    pub const DEFAULT_CHUNK_CAPACITY: usize = 1 << 16;
+    /// Smallest accepted chunk capacity; requests below are clamped up.
+    pub const MIN_CHUNK_CAPACITY: usize = 64;
+    /// Largest accepted chunk capacity; requests above are clamped down.
+    pub const MAX_CHUNK_CAPACITY: usize = 1 << 30;
+    /// Bits per flag-bitset word: row `r` lives in word `r >> 6`,
+    /// bit `r & 63`. Unused bits of the last word are zero.
+    pub const FLAG_WORD_BITS: usize = 64;
+    /// `(name, element width in bytes)` of every value column, in ABI
+    /// order. Id columns use [`super::NONE`] (`u32::MAX`) as the "no
+    /// value" sentinel.
+    pub const VALUE_COLUMNS: [(&str, usize); 13] = [
+        ("at", 8),
+        ("src_ip", 4),
+        ("dst_ip", 4),
+        ("src_port", 2),
+        ("dst_port", 2),
+        ("protocol", 1),
+        ("packet_len", 4),
+        ("ingress", 4),
+        ("egress", 4),
+        ("origin", 4),
+        ("dst_pid", 4),
+        ("src_pid", 4),
+        ("active_pid", 4),
+    ];
+    /// Names of the per-flag bitset columns, in ABI order.
+    pub const FLAG_COLUMNS: [&str; 3] = ["fragment", "dropped", "active"];
+    /// `(name, width in bytes)` of the chunk-header fields, in ABI order.
+    pub const HEADER_FIELDS: [(&str, usize); 3] = [("start", 8), ("min_at", 8), ("max_at", 8)];
+}
 
-/// The columnar flow store. See the module docs for layout and
-/// determinism notes.
+/// One immutable, fixed-capacity slab of the columnar store.
+///
+/// Sealed at build time and never mutated afterwards: every accessor
+/// returns either a whole column slice (for the word-at-a-time kernels) or
+/// one row's value. Row indices are chunk-local (`0..len()`); add
+/// [`SealedChunk::start`] to recover the global sample index.
+///
+/// # Example
+///
+/// ```
+/// use rtbh_core::columns::ColumnarFlows;
+/// use rtbh_fabric::{FlowLog, FlowSample};
+/// use rtbh_net::{MacAddr, Protocol, Timestamp};
+///
+/// let samples: Vec<FlowSample> = (0..130)
+///     .map(|i| FlowSample {
+///         at: Timestamp(i * 1_000),
+///         src_mac: MacAddr::from_id(1),
+///         dst_mac: if i % 2 == 0 { MacAddr::BLACKHOLE } else { MacAddr::from_id(2) },
+///         src_ip: "192.0.2.1".parse().unwrap(),
+///         dst_ip: "198.51.100.9".parse().unwrap(),
+///         protocol: Protocol::Udp,
+///         src_port: 53,
+///         dst_port: 4444,
+///         packet_len: 512,
+///         fragment: false,
+///     })
+///     .collect();
+/// // Capacity 64 → three sealed chunks holding 64 + 64 + 2 rows.
+/// let cols = ColumnarFlows::from_log_with_capacity(&FlowLog::from_samples(samples), 64);
+/// assert_eq!(cols.chunks().len(), 3);
+/// assert_eq!(cols.chunks()[2].start(), 128);
+/// // Counting kernels are popcounts over whole bitset words — the tail
+/// // bits of the last word are zero by contract.
+/// let dropped: u32 = cols
+///     .chunks()
+///     .iter()
+///     .flat_map(|c| c.dropped_words())
+///     .map(|w| w.count_ones())
+///     .sum();
+/// assert_eq!(dropped, 65);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct ColumnarFlows {
+pub struct SealedChunk {
+    /// Global index of this chunk's row 0.
+    start: usize,
+    /// Smallest timestamp (ms) in the chunk.
+    min_at: i64,
+    /// Largest timestamp (ms) in the chunk.
+    max_at: i64,
     at: Vec<i64>,
     src_ip: Vec<u32>,
     dst_ip: Vec<u32>,
     src_port: Vec<u16>,
     dst_port: Vec<u16>,
     protocol: Vec<u8>,
-    packet_len: Vec<u16>,
-    flags: Vec<u8>,
-    /// Interned id of the ingress (src MAC) member ASN, or [`NONE`].
+    packet_len: Vec<u32>,
     ingress: Vec<u32>,
-    /// Interned id of the egress (dst MAC) member ASN, or [`NONE`]
-    /// (always [`NONE`] for dropped samples).
     egress: Vec<u32>,
-    /// Interned id of the source address's origin AS, or [`NONE`].
     origin: Vec<u32>,
-    /// Dense blackhole-prefix id covering the destination, or [`NONE`].
     dst_pid: Vec<u32>,
-    /// Dense blackhole-prefix id covering the source, or [`NONE`].
     src_pid: Vec<u32>,
-    /// Id (into `active_prefixes`) of the interval-holding prefix covering
-    /// the destination, or [`NONE`].
     active_pid: Vec<u32>,
+    fragment_bits: Vec<u64>,
+    dropped_bits: Vec<u64>,
+    active_bits: Vec<u64>,
+}
+
+impl SealedChunk {
+    /// Rows in this chunk (at most the store's chunk capacity; only the
+    /// last chunk may hold fewer).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    /// True when the chunk holds no rows (never produced by a build; kept
+    /// for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Global sample index of row 0.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Header: smallest timestamp (ms) in the chunk — with the store's
+    /// time-sorted samples, the timestamp of row 0.
+    #[inline]
+    pub fn min_at_millis(&self) -> i64 {
+        self.min_at
+    }
+
+    /// Header: largest timestamp (ms) in the chunk — with time-sorted
+    /// samples, the timestamp of the last row.
+    #[inline]
+    pub fn max_at_millis(&self) -> i64 {
+        self.max_at
+    }
+
+    /// The millisecond-timestamp column.
+    #[inline]
+    pub fn at_millis(&self) -> &[i64] {
+        &self.at
+    }
+
+    /// The raw `u32` source-address column.
+    #[inline]
+    pub fn src_ip_raw(&self) -> &[u32] {
+        &self.src_ip
+    }
+
+    /// The raw `u32` destination-address column.
+    #[inline]
+    pub fn dst_ip_raw(&self) -> &[u32] {
+        &self.dst_ip
+    }
+
+    /// The source-port column.
+    #[inline]
+    pub fn src_ports(&self) -> &[u16] {
+        &self.src_port
+    }
+
+    /// The destination-port column.
+    #[inline]
+    pub fn dst_ports(&self) -> &[u16] {
+        &self.dst_port
+    }
+
+    /// The wire protocol-number column.
+    #[inline]
+    pub fn protocols(&self) -> &[u8] {
+        &self.protocol
+    }
+
+    /// The sampled packet-length column (widened to `u32` per the ABI).
+    #[inline]
+    pub fn packet_lens(&self) -> &[u32] {
+        &self.packet_len
+    }
+
+    /// Interned ingress (handover) member-ASN ids ([`NONE`] = unknown).
+    #[inline]
+    pub fn ingress_ids(&self) -> &[u32] {
+        &self.ingress
+    }
+
+    /// Interned egress member-ASN ids ([`NONE`] for dropped samples).
+    #[inline]
+    pub fn egress_ids(&self) -> &[u32] {
+        &self.egress
+    }
+
+    /// Interned origin-AS ids of the source addresses ([`NONE`] =
+    /// unrouted).
+    #[inline]
+    pub fn origin_ids(&self) -> &[u32] {
+        &self.origin
+    }
+
+    /// Dense blackhole-prefix ids covering each destination ([`NONE`]
+    /// where uncovered) — the column
+    /// [`SampleIndex::from_columns`](crate::index::SampleIndex::from_columns)
+    /// buckets.
+    #[inline]
+    pub fn dst_prefix_ids(&self) -> &[u32] {
+        &self.dst_pid
+    }
+
+    /// Dense blackhole-prefix ids covering each source ([`NONE`] where
+    /// uncovered).
+    #[inline]
+    pub fn src_prefix_ids(&self) -> &[u32] {
+        &self.src_pid
+    }
+
+    /// Ids (into [`ColumnarFlows::active_prefixes`]) of the
+    /// interval-holding prefix covering each destination ([`NONE`] where
+    /// uncovered).
+    #[inline]
+    pub fn active_prefix_ids(&self) -> &[u32] {
+        &self.active_pid
+    }
+
+    /// Number of `u64` words in each bitset column:
+    /// `(len + 63) / 64`.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.fragment_bits.len()
+    }
+
+    /// The fragment bitset: bit `r & 63` of word `r >> 6` is set when row
+    /// `r` was an IP fragment. Tail bits beyond `len()` are zero.
+    #[inline]
+    pub fn fragment_words(&self) -> &[u64] {
+        &self.fragment_bits
+    }
+
+    /// The dropped bitset: set when the row was delivered to the
+    /// blackhole next hop. Tail bits are zero, so
+    /// `dropped_words().iter().map(|w| w.count_ones())` is an exact
+    /// dropped-packet count.
+    #[inline]
+    pub fn dropped_words(&self) -> &[u64] {
+        &self.dropped_bits
+    }
+
+    /// The active bitset: set when the destination's covering
+    /// interval-holding prefix had an announced blackhole at the row's
+    /// timestamp. Tail bits are zero.
+    #[inline]
+    pub fn active_words(&self) -> &[u64] {
+        &self.active_bits
+    }
+
+    /// Was row `r` an IP fragment?
+    #[inline]
+    pub fn fragment(&self, r: usize) -> bool {
+        self.fragment_bits[r >> 6] >> (r & 63) & 1 == 1
+    }
+
+    /// Was row `r` delivered to the blackhole next hop?
+    #[inline]
+    pub fn dropped(&self, r: usize) -> bool {
+        self.dropped_bits[r >> 6] >> (r & 63) & 1 == 1
+    }
+
+    /// Did row `r` arrive during an active blackhole of its covering
+    /// interval-holding prefix?
+    #[inline]
+    pub fn active(&self, r: usize) -> bool {
+        self.active_bits[r >> 6] >> (r & 63) & 1 == 1
+    }
+}
+
+/// Work-in-progress columns of one chunk; [`ChunkBuilder::seal`] freezes
+/// them into a [`SealedChunk`] with computed headers.
+struct ChunkBuilder {
+    chunk: SealedChunk,
+}
+
+impl ChunkBuilder {
+    fn new(start: usize, rows: usize) -> Self {
+        let words = rows.div_ceil(abi::FLAG_WORD_BITS);
+        Self {
+            chunk: SealedChunk {
+                start,
+                min_at: i64::MAX,
+                max_at: i64::MIN,
+                at: Vec::with_capacity(rows),
+                src_ip: Vec::with_capacity(rows),
+                dst_ip: Vec::with_capacity(rows),
+                src_port: Vec::with_capacity(rows),
+                dst_port: Vec::with_capacity(rows),
+                protocol: Vec::with_capacity(rows),
+                packet_len: Vec::with_capacity(rows),
+                ingress: Vec::with_capacity(rows),
+                egress: Vec::with_capacity(rows),
+                origin: Vec::with_capacity(rows),
+                dst_pid: Vec::with_capacity(rows),
+                src_pid: Vec::with_capacity(rows),
+                active_pid: Vec::with_capacity(rows),
+                fragment_bits: vec![0; words],
+                dropped_bits: vec![0; words],
+                active_bits: vec![0; words],
+            },
+        }
+    }
+
+    #[inline]
+    fn set_bit(bits: &mut [u64], r: usize) {
+        bits[r >> 6] |= 1u64 << (r & 63);
+    }
+
+    fn seal(mut self) -> SealedChunk {
+        let (min_at, max_at) = self
+            .chunk
+            .at
+            .iter()
+            .fold((i64::MAX, i64::MIN), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+        self.chunk.min_at = min_at;
+        self.chunk.max_at = max_at;
+        self.chunk
+    }
+}
+
+/// The sealed-chunk columnar flow store. See the module docs and
+/// `docs/CHUNK_ABI.md` for layout and determinism notes.
+pub struct ColumnarFlows {
+    chunks: Vec<SealedChunk>,
+    /// Total samples across all chunks.
+    len: usize,
+    /// log2 of the chunk capacity; global index `i` lives in chunk
+    /// `i >> cap_shift`, row `i & ((1 << cap_shift) - 1)`.
+    cap_shift: u32,
     /// Sorted, deduplicated ASN intern table.
     asns: Vec<Asn>,
     /// Interval-holding prefixes, in `BTreeMap` (prefix) order.
     active_prefixes: Vec<Prefix>,
     buckets: TimeBuckets,
+    /// Window-query observability counters (not part of the value: cloned
+    /// as a snapshot, ignored by equality, never serialized).
+    stats: WindowStats,
+}
+
+/// Relaxed atomic counters behind the per-chunk `--timings` stats.
+#[derive(Debug, Default)]
+struct WindowStats {
+    /// Window-bound lookups answered ([`ColumnarFlows::time_range`] makes
+    /// two per call).
+    queries: AtomicU64,
+    /// Lookups that needed an in-chunk binary search (the rest were
+    /// answered by chunk headers alone).
+    probes: AtomicU64,
+}
+
+impl Clone for WindowStats {
+    fn clone(&self) -> Self {
+        Self {
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for ColumnarFlows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnarFlows")
+            .field("len", &self.len)
+            .field("chunks", &self.chunks.len())
+            .field("chunk_capacity", &self.chunk_capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for ColumnarFlows {
+    fn clone(&self) -> Self {
+        Self {
+            chunks: self.chunks.clone(),
+            len: self.len,
+            cap_shift: self.cap_shift,
+            asns: self.asns.clone(),
+            active_prefixes: self.active_prefixes.clone(),
+            buckets: self.buckets.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+/// Equality is over the stored value (chunks, tables, capacity) — the
+/// observability counters are excluded, so two stores that answered
+/// different query mixes still compare equal.
+impl PartialEq for ColumnarFlows {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.cap_shift == other.cap_shift
+            && self.chunks == other.chunks
+            && self.asns == other.asns
+            && self.active_prefixes == other.active_prefixes
+            && self.buckets == other.buckets
+    }
 }
 
 /// Result of [`ColumnarFlows::build_enriched`]: the columns plus the
@@ -99,7 +489,7 @@ pub struct ColumnarFlows {
 /// [`SampleIndex::from_columns`](crate::index::SampleIndex::from_columns)
 /// is guaranteed to use the same dense ids the columns were enriched with.
 pub struct EnrichedBuild {
-    /// The enriched columnar store.
+    /// The enriched sealed-chunk store.
     pub columns: ColumnarFlows,
     /// Frozen LPM over every blackholed prefix; payload is the dense id.
     pub blackholes: FrozenLpm<usize>,
@@ -107,53 +497,57 @@ pub struct EnrichedBuild {
     pub blackhole_prefixes: Vec<Prefix>,
 }
 
-/// Per-chunk column fragment produced by one enrichment worker.
-struct Partial {
-    at: Vec<i64>,
-    src_ip: Vec<u32>,
-    dst_ip: Vec<u32>,
-    src_port: Vec<u16>,
-    dst_port: Vec<u16>,
-    protocol: Vec<u8>,
-    packet_len: Vec<u16>,
-    flags: Vec<u8>,
-    ingress: Vec<u32>,
-    egress: Vec<u32>,
-    origin: Vec<u32>,
-    dst_pid: Vec<u32>,
-    src_pid: Vec<u32>,
-    active_pid: Vec<u32>,
+/// Snapshot of the store's shape and window-query behaviour, rendered by
+/// `rtbh analyze --timings`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkStats {
+    /// Number of sealed chunks.
+    pub chunks: usize,
+    /// Chunk capacity (rows per chunk, power of two).
+    pub capacity: usize,
+    /// Total samples stored.
+    pub samples: usize,
+    /// Mean chunk fill: `samples / (chunks * capacity)` (1.0 when every
+    /// chunk is full; only the last chunk can be partial).
+    pub fill: f64,
+    /// Window-bound lookups answered so far.
+    pub window_queries: u64,
+    /// Lookups that binary-searched inside a chunk (the remainder were
+    /// resolved by the min/max headers alone).
+    pub chunks_probed: u64,
+    /// Share of per-query chunk work avoided by header pruning: of the
+    /// `window_queries * chunks` chunk visits a naive scan would make,
+    /// the fraction that never happened.
+    pub pruned_ratio: f64,
 }
 
-impl Partial {
-    fn with_capacity(n: usize) -> Self {
-        Self {
-            at: Vec::with_capacity(n),
-            src_ip: Vec::with_capacity(n),
-            dst_ip: Vec::with_capacity(n),
-            src_port: Vec::with_capacity(n),
-            dst_port: Vec::with_capacity(n),
-            protocol: Vec::with_capacity(n),
-            packet_len: Vec::with_capacity(n),
-            flags: Vec::with_capacity(n),
-            ingress: Vec::with_capacity(n),
-            egress: Vec::with_capacity(n),
-            origin: Vec::with_capacity(n),
-            dst_pid: Vec::with_capacity(n),
-            src_pid: Vec::with_capacity(n),
-            active_pid: Vec::with_capacity(n),
-        }
-    }
+/// Normalizes a requested chunk capacity: `0` selects
+/// [`abi::DEFAULT_CHUNK_CAPACITY`]; anything else is clamped to
+/// `[MIN_CHUNK_CAPACITY, MAX_CHUNK_CAPACITY]` and rounded up to a power
+/// of two. Returns `(capacity, log2(capacity))`.
+fn normalize_capacity(requested: usize) -> (usize, u32) {
+    let requested = if requested == 0 {
+        abi::DEFAULT_CHUNK_CAPACITY
+    } else {
+        requested
+    };
+    let capacity = requested
+        .clamp(abi::MIN_CHUNK_CAPACITY, abi::MAX_CHUNK_CAPACITY)
+        .next_power_of_two();
+    (capacity, capacity.trailing_zeros())
 }
 
 impl ColumnarFlows {
-    /// Builds columns **and** runs the one-pass enrichment over `workers`
-    /// scoped threads: every per-sample id any stage needs (interned
-    /// member/origin ASNs, blackhole-prefix ids, activity bit) is computed
-    /// here, exactly once, in a single pass over the samples.
+    /// Builds sealed chunks **and** runs the one-pass enrichment over
+    /// `workers` scoped threads at the default chunk capacity
+    /// ([`abi::DEFAULT_CHUNK_CAPACITY`]): every per-sample id any stage
+    /// needs (interned member/origin ASNs, blackhole-prefix ids, activity
+    /// bit) is computed here, exactly once, in a single pass over the
+    /// samples.
     ///
-    /// Byte-deterministic for every worker count: chunks are contiguous
-    /// and concatenated in order, and all lookup tables are built before
+    /// Byte-deterministic for every worker count: chunk boundaries are
+    /// fixed by the capacity alone, workers seal whole chunks, and the
+    /// chunks are reassembled in order. All lookup tables are built before
     /// the parallel section.
     pub fn build_enriched(
         updates: &UpdateLog,
@@ -162,6 +556,27 @@ impl ColumnarFlows {
         origins: &OriginTable,
         corpus_end: Timestamp,
         workers: usize,
+    ) -> EnrichedBuild {
+        Self::build_enriched_with_capacity(
+            updates, flows, resolver, origins, corpus_end, workers, 0,
+        )
+    }
+
+    /// [`ColumnarFlows::build_enriched`] with an explicit chunk capacity
+    /// (`0` = default; clamped to a power of two in
+    /// `[MIN_CHUNK_CAPACITY, MAX_CHUNK_CAPACITY]`). The
+    /// capacity changes only how rows are sliced into slabs — never the
+    /// row order or any per-row value — so every downstream report is
+    /// byte-identical for every capacity (pinned by the `columns_diff`
+    /// differential suite).
+    pub fn build_enriched_with_capacity(
+        updates: &UpdateLog,
+        flows: &FlowLog,
+        resolver: &MacResolver,
+        origins: &OriginTable,
+        corpus_end: Timestamp,
+        workers: usize,
+        chunk_capacity: usize,
     ) -> EnrichedBuild {
         let (blackholes, blackhole_prefixes) = compile_blackhole_prefixes(updates);
 
@@ -199,244 +614,258 @@ impl ColumnarFlows {
             lpm.longest_match(addr).map_or(NONE, |(_, &id)| id as u32)
         };
 
-        let workers = shard::resolve_workers(workers);
-        let partials = shard::map_chunks(flows.samples(), workers, |_, chunk| {
-            let mut p = Partial::with_capacity(chunk.len());
-            for s in chunk {
-                let mut flags = 0u8;
+        let seal = |start: usize, samples: &[FlowSample]| -> SealedChunk {
+            let mut b = ChunkBuilder::new(start, samples.len());
+            for (r, s) in samples.iter().enumerate() {
                 if s.fragment {
-                    flags |= FLAG_FRAGMENT;
+                    ChunkBuilder::set_bit(&mut b.chunk.fragment_bits, r);
                 }
                 if s.is_dropped() {
-                    flags |= FLAG_DROPPED;
+                    ChunkBuilder::set_bit(&mut b.chunk.dropped_bits, r);
                 }
                 let active_pid = match activity.longest_match(s.dst_ip) {
                     Some((_, &aid)) => {
                         let ivs = &active_intervals[aid];
                         let idx = ivs.partition_point(|iv| iv.start <= s.at);
                         if idx > 0 && ivs[idx - 1].contains(s.at) {
-                            flags |= FLAG_ACTIVE;
+                            ChunkBuilder::set_bit(&mut b.chunk.active_bits, r);
                         }
                         aid as u32
                     }
                     None => NONE,
                 };
-                p.at.push(s.at.as_millis());
-                p.src_ip.push(s.src_ip.to_u32());
-                p.dst_ip.push(s.dst_ip.to_u32());
-                p.src_port.push(s.src_port);
-                p.dst_port.push(s.dst_port);
-                p.protocol.push(s.protocol.number());
-                p.packet_len.push(s.packet_len);
-                p.flags.push(flags);
-                p.ingress.push(intern(resolver.handover(s)));
-                p.egress.push(intern(resolver.egress(s)));
-                p.origin.push(intern(origins.origin_of(s.src_ip)));
-                p.dst_pid.push(pid(&blackholes, s.dst_ip));
-                p.src_pid.push(pid(&blackholes, s.src_ip));
-                p.active_pid.push(active_pid);
+                b.chunk.at.push(s.at.as_millis());
+                b.chunk.src_ip.push(s.src_ip.to_u32());
+                b.chunk.dst_ip.push(s.dst_ip.to_u32());
+                b.chunk.src_port.push(s.src_port);
+                b.chunk.dst_port.push(s.dst_port);
+                b.chunk.protocol.push(s.protocol.number());
+                b.chunk.packet_len.push(u32::from(s.packet_len));
+                b.chunk.ingress.push(intern(resolver.handover(s)));
+                b.chunk.egress.push(intern(resolver.egress(s)));
+                b.chunk.origin.push(intern(origins.origin_of(s.src_ip)));
+                b.chunk.dst_pid.push(pid(&blackholes, s.dst_ip));
+                b.chunk.src_pid.push(pid(&blackholes, s.src_ip));
+                b.chunk.active_pid.push(active_pid);
             }
-            p
-        });
-
-        let n = flows.len();
-        let mut cols = Self {
-            at: Vec::with_capacity(n),
-            src_ip: Vec::with_capacity(n),
-            dst_ip: Vec::with_capacity(n),
-            src_port: Vec::with_capacity(n),
-            dst_port: Vec::with_capacity(n),
-            protocol: Vec::with_capacity(n),
-            packet_len: Vec::with_capacity(n),
-            flags: Vec::with_capacity(n),
-            ingress: Vec::with_capacity(n),
-            egress: Vec::with_capacity(n),
-            origin: Vec::with_capacity(n),
-            dst_pid: Vec::with_capacity(n),
-            src_pid: Vec::with_capacity(n),
-            active_pid: Vec::with_capacity(n),
-            asns,
-            active_prefixes,
-            buckets: TimeBuckets::empty(),
+            b.seal()
         };
-        for mut p in partials {
-            cols.at.append(&mut p.at);
-            cols.src_ip.append(&mut p.src_ip);
-            cols.dst_ip.append(&mut p.dst_ip);
-            cols.src_port.append(&mut p.src_port);
-            cols.dst_port.append(&mut p.dst_port);
-            cols.protocol.append(&mut p.protocol);
-            cols.packet_len.append(&mut p.packet_len);
-            cols.flags.append(&mut p.flags);
-            cols.ingress.append(&mut p.ingress);
-            cols.egress.append(&mut p.egress);
-            cols.origin.append(&mut p.origin);
-            cols.dst_pid.append(&mut p.dst_pid);
-            cols.src_pid.append(&mut p.src_pid);
-            cols.active_pid.append(&mut p.active_pid);
-        }
-        cols.buckets = TimeBuckets::build(&cols.at);
+
+        // Chunk bounds are a pure function of (n, capacity) — the worker
+        // count only distributes whole chunks over threads.
+        let (capacity, cap_shift) = normalize_capacity(chunk_capacity);
+        let samples = flows.samples();
+        let n = samples.len();
+        let bounds: Vec<(usize, usize)> = (0..n)
+            .step_by(capacity)
+            .map(|s| (s, (s + capacity).min(n)))
+            .collect();
+        let workers = shard::resolve_workers(workers);
+        let chunks: Vec<SealedChunk> = if bounds.is_empty() {
+            Vec::new()
+        } else {
+            shard::map_chunks(&bounds, workers, |_, bs| {
+                bs.iter()
+                    .map(|&(s, e)| seal(s, &samples[s..e]))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        let buckets = TimeBuckets::build(&chunks);
         EnrichedBuild {
-            columns: cols,
+            columns: ColumnarFlows {
+                chunks,
+                len: n,
+                cap_shift,
+                asns,
+                active_prefixes,
+                buckets,
+                stats: WindowStats::default(),
+            },
             blackholes,
             blackhole_prefixes,
         }
     }
 
     /// Base columns only (empty enrichment tables) — for callers that need
-    /// the layout and the time index but no control-plane context, e.g.
+    /// the layout and the window index but no control-plane context, e.g.
     /// micro-benches and unit tests.
     pub fn from_log(flows: &FlowLog) -> Self {
-        Self::build_enriched(
+        Self::from_log_with_capacity(flows, 0)
+    }
+
+    /// [`ColumnarFlows::from_log`] with an explicit chunk capacity
+    /// (`0` = default).
+    pub fn from_log_with_capacity(flows: &FlowLog, chunk_capacity: usize) -> Self {
+        Self::build_enriched_with_capacity(
             &UpdateLog::new(),
             flows,
             &MacResolver::from_map(BTreeMap::new()),
             &OriginTable::build(&[]),
             Timestamp::EPOCH,
             1,
+            chunk_capacity,
         )
         .columns
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.at.len()
+        self.len
     }
 
     /// True when no samples are stored.
     pub fn is_empty(&self) -> bool {
-        self.at.is_empty()
+        self.len == 0
+    }
+
+    /// The sealed chunks, in sample order. Chunk `k` holds global samples
+    /// `[k * capacity, min((k + 1) * capacity, len))` — every chunk except
+    /// the last is exactly full.
+    #[inline]
+    pub fn chunks(&self) -> &[SealedChunk] {
+        &self.chunks
+    }
+
+    /// The chunk capacity (rows per chunk, a power of two).
+    #[inline]
+    pub fn chunk_capacity(&self) -> usize {
+        1usize << self.cap_shift
+    }
+
+    /// Locates global sample `i`: `(chunk, chunk-local row)`.
+    #[inline]
+    fn loc(&self, i: usize) -> (&SealedChunk, usize) {
+        let mask = (1usize << self.cap_shift) - 1;
+        (&self.chunks[i >> self.cap_shift], i & mask)
     }
 
     /// Timestamp of sample `i`.
     #[inline]
     pub fn at(&self, i: usize) -> Timestamp {
-        Timestamp(self.at[i])
-    }
-
-    /// The raw (sorted) millisecond-timestamp column.
-    #[inline]
-    pub fn at_millis(&self) -> &[i64] {
-        &self.at
+        let (c, r) = self.loc(i);
+        Timestamp(c.at[r])
     }
 
     /// Source address of sample `i`.
     #[inline]
     pub fn src_ip(&self, i: usize) -> Ipv4Addr {
-        Ipv4Addr::from_u32(self.src_ip[i])
+        Ipv4Addr::from_u32(self.src_ip_raw(i))
     }
 
     /// Destination address of sample `i`.
     #[inline]
     pub fn dst_ip(&self, i: usize) -> Ipv4Addr {
-        Ipv4Addr::from_u32(self.dst_ip[i])
+        let (c, r) = self.loc(i);
+        Ipv4Addr::from_u32(c.dst_ip[r])
     }
 
     /// Source address of sample `i` as a raw `u32`.
     #[inline]
     pub fn src_ip_raw(&self, i: usize) -> u32 {
-        self.src_ip[i]
+        let (c, r) = self.loc(i);
+        c.src_ip[r]
     }
 
     /// Source port of sample `i`.
     #[inline]
     pub fn src_port(&self, i: usize) -> u16 {
-        self.src_port[i]
+        let (c, r) = self.loc(i);
+        c.src_port[r]
     }
 
     /// Destination port of sample `i`.
     #[inline]
     pub fn dst_port(&self, i: usize) -> u16 {
-        self.dst_port[i]
+        let (c, r) = self.loc(i);
+        c.dst_port[r]
     }
 
     /// Protocol of sample `i` (canonicalized, see the module docs).
     #[inline]
     pub fn protocol(&self, i: usize) -> Protocol {
-        Protocol::from_number(self.protocol[i])
+        Protocol::from_number(self.protocol_raw(i))
     }
 
     /// Raw wire protocol number of sample `i`.
     #[inline]
     pub fn protocol_raw(&self, i: usize) -> u8 {
-        self.protocol[i]
+        let (c, r) = self.loc(i);
+        c.protocol[r]
     }
 
-    /// Sampled packet length of sample `i`.
+    /// Sampled packet length of sample `i` (stored as `u32` per the ABI;
+    /// the wire format's lengths are `u16`, so no value is truncated).
     #[inline]
-    pub fn packet_len(&self, i: usize) -> u16 {
-        self.packet_len[i]
-    }
-
-    /// The packed flags column ([`FLAG_FRAGMENT`] | [`FLAG_DROPPED`] |
-    /// [`FLAG_ACTIVE`]).
-    #[inline]
-    pub fn flags(&self) -> &[u8] {
-        &self.flags
+    pub fn packet_len(&self, i: usize) -> u32 {
+        let (c, r) = self.loc(i);
+        c.packet_len[r]
     }
 
     /// Was sample `i` an IP fragment?
     #[inline]
     pub fn fragment(&self, i: usize) -> bool {
-        self.flags[i] & FLAG_FRAGMENT != 0
+        let (c, r) = self.loc(i);
+        c.fragment(r)
     }
 
     /// Was sample `i` delivered to the blackhole next hop?
     #[inline]
     pub fn is_dropped(&self, i: usize) -> bool {
-        self.flags[i] & FLAG_DROPPED != 0
+        let (c, r) = self.loc(i);
+        c.dropped(r)
     }
 
     /// The ingress (handover) member ASN of sample `i`, if known.
     #[inline]
     pub fn ingress(&self, i: usize) -> Option<Asn> {
-        self.asn_of(self.ingress[i])
+        let (c, r) = self.loc(i);
+        self.asn_lookup(c.ingress[r])
     }
 
     /// The egress member ASN of sample `i` (None for dropped samples).
     #[inline]
     pub fn egress(&self, i: usize) -> Option<Asn> {
-        self.asn_of(self.egress[i])
+        let (c, r) = self.loc(i);
+        self.asn_lookup(c.egress[r])
     }
 
     /// The origin AS of sample `i`'s source address, if routed.
     #[inline]
     pub fn origin(&self, i: usize) -> Option<Asn> {
-        self.asn_of(self.origin[i])
+        let (c, r) = self.loc(i);
+        self.asn_lookup(c.origin[r])
     }
 
+    /// Resolves an interned ASN id (from an `ingress`/`egress`/`origin`
+    /// id column) against the intern table; [`NONE`] maps to `None`.
     #[inline]
-    fn asn_of(&self, id: u32) -> Option<Asn> {
+    pub fn asn_lookup(&self, id: u32) -> Option<Asn> {
         (id != NONE).then(|| self.asns[id as usize])
-    }
-
-    /// Dense blackhole-prefix ids covering each destination ([`NONE`]
-    /// where uncovered) — the column
-    /// [`SampleIndex::from_columns`](crate::index::SampleIndex::from_columns)
-    /// buckets.
-    #[inline]
-    pub fn dst_prefix_ids(&self) -> &[u32] {
-        &self.dst_pid
-    }
-
-    /// Dense blackhole-prefix ids covering each source ([`NONE`] where
-    /// uncovered).
-    #[inline]
-    pub fn src_prefix_ids(&self) -> &[u32] {
-        &self.src_pid
     }
 
     /// The interval-holding prefix covering sample `i`'s destination, plus
     /// whether its blackhole was active at the sample's timestamp.
     #[inline]
     pub fn active_prefix(&self, i: usize) -> Option<(Prefix, bool)> {
-        let pid = self.active_pid[i];
-        (pid != NONE).then(|| {
-            (
-                self.active_prefixes[pid as usize],
-                self.flags[i] & FLAG_ACTIVE != 0,
-            )
-        })
+        let (c, r) = self.loc(i);
+        let pid = c.active_pid[r];
+        (pid != NONE).then(|| (self.active_prefixes[pid as usize], c.active(r)))
+    }
+
+    /// Resolves an interval-holding prefix id (from an `active_pid`
+    /// column) to its prefix.
+    #[inline]
+    pub fn active_prefix_lookup(&self, pid: u32) -> Prefix {
+        self.active_prefixes[pid as usize]
+    }
+
+    /// The interval-holding prefixes, indexed by `active_pid`.
+    pub fn active_prefixes(&self) -> &[Prefix] {
+        &self.active_prefixes
     }
 
     /// The sorted ASN intern table.
@@ -445,12 +874,21 @@ impl ColumnarFlows {
     }
 
     /// Global index range `[lo, hi)` of samples with
-    /// `start <= at < end`, answered via the time-bucket index.
+    /// `start <= at < end`, answered by chunk-header pruning plus at most
+    /// one in-chunk binary search per bound.
     pub fn time_range(&self, start: Timestamp, end: Timestamp) -> (usize, usize) {
-        (
-            self.buckets.lower_bound(&self.at, start.as_millis()),
-            self.buckets.lower_bound(&self.at, end.as_millis()),
-        )
+        (self.bound(start.as_millis()), self.bound(end.as_millis()))
+    }
+
+    /// One window bound (`partition_point` of the virtual concatenated
+    /// timestamp column), with observability counters.
+    fn bound(&self, t: i64) -> usize {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let (idx, probed) = self.buckets.lower_bound_impl(&self.chunks, self.len, t);
+        if probed {
+            self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        }
+        idx
     }
 
     /// Restricts a sorted sample-id slice (e.g. a
@@ -459,91 +897,168 @@ impl ColumnarFlows {
     ///
     /// Equivalent to filtering `ids` by each sample's timestamp — because
     /// both `ids` and the timestamp column are sorted, the time window
-    /// maps to one contiguous id range, found with two binary searches
-    /// seeded by the time-bucket index.
+    /// maps to one contiguous id range. The window bounds come from
+    /// chunk-header pruning ([`TimeBuckets`]); the id list is then joined
+    /// against them with [`gallop_partition_point`], which costs
+    /// O(log distance) rather than O(log len) per bound.
     pub fn window_ids<'a>(&self, ids: &'a [u32], start: Timestamp, end: Timestamp) -> &'a [u32] {
         let (glo, ghi) = self.time_range(start, end);
-        let lo = ids.partition_point(|&i| (i as usize) < glo);
-        let hi = ids.partition_point(|&i| (i as usize) < ghi);
+        let lo = gallop_partition_point(ids, 0, glo as u32);
+        let hi = gallop_partition_point(ids, lo, ghi as u32);
         &ids[lo..hi]
     }
+
+    /// Shape and window-query counters for `--timings` (see
+    /// [`ChunkStats`]). Counters accumulate over the store's lifetime.
+    pub fn chunk_stats(&self) -> ChunkStats {
+        let chunks = self.chunks.len();
+        let capacity = self.chunk_capacity();
+        let queries = self.stats.queries.load(Ordering::Relaxed);
+        let probes = self.stats.probes.load(Ordering::Relaxed);
+        let naive_visits = queries.saturating_mul(chunks as u64);
+        ChunkStats {
+            chunks,
+            capacity,
+            samples: self.len,
+            fill: if chunks == 0 {
+                0.0
+            } else {
+                self.len as f64 / (chunks * capacity) as f64
+            },
+            window_queries: queries,
+            chunks_probed: probes,
+            pruned_ratio: if naive_visits == 0 {
+                0.0
+            } else {
+                1.0 - probes as f64 / naive_visits as f64
+            },
+        }
+    }
 }
 
-/// Fixed-width time-slot partition over the sorted timestamp column:
-/// `offsets[b]` is the index of the first sample at or after slot `b`'s
-/// start. A window bound then binary-searches one slot's span instead of
-/// the whole column.
+/// `partition_point` for a sorted `u32` slice via galloping (exponential)
+/// search: the first index `>= from` whose element is `>= bound`.
+///
+/// Equivalent to `from + ids[from..].partition_point(|&x| x < bound)`, but
+/// probes at exponentially growing strides from `from` before binary
+/// searching the bracketed range — O(log d) comparisons where `d` is the
+/// distance from `from` to the answer. Window × prefix-id joins resolve
+/// near the front of the id list far more often than not, which is where
+/// galloping beats a full-width binary search.
+///
+/// # Example
+///
+/// ```
+/// use rtbh_core::columns::gallop_partition_point;
+///
+/// let ids = [2u32, 3, 5, 8, 13, 21];
+/// assert_eq!(gallop_partition_point(&ids, 0, 6), 3);
+/// // Resuming from a previous bound skips the prefix entirely.
+/// assert_eq!(gallop_partition_point(&ids, 3, 100), 6);
+/// assert_eq!(gallop_partition_point(&ids, 0, 1), 0);
+/// ```
+pub fn gallop_partition_point(ids: &[u32], from: usize, bound: u32) -> usize {
+    let n = ids.len();
+    if from >= n || ids[from] >= bound {
+        return from.min(n);
+    }
+    // Invariant: ids[lo] < bound. Double the stride until it overshoots.
+    let mut lo = from;
+    let mut step = 1usize;
+    while lo + step < n && ids[lo + step] < bound {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(n);
+    lo + 1 + ids[lo + 1..hi].partition_point(|&x| x < bound)
+}
+
+/// Chunk-pruning window index over the sealed chunks' timestamp headers.
+///
+/// With time-sorted samples the per-chunk `max_at` sequence is
+/// non-decreasing, so the chunk containing a window bound is found by a
+/// binary search over headers ([`TimeBuckets::prune`]); only that single
+/// chunk's timestamp slab is then binary-searched. Bounds that fall
+/// between chunks (or before/after the corpus) are answered by headers
+/// alone, without touching any column data.
+///
+/// # Example
+///
+/// ```
+/// use rtbh_core::columns::{ColumnarFlows, TimeBuckets};
+/// use rtbh_fabric::{FlowLog, FlowSample};
+/// use rtbh_net::{MacAddr, Protocol, Timestamp};
+///
+/// # let samples: Vec<FlowSample> = (0..100)
+/// #     .map(|i| FlowSample {
+/// #         at: Timestamp(i * 1_000),
+/// #         src_mac: MacAddr::from_id(1),
+/// #         dst_mac: MacAddr::from_id(2),
+/// #         src_ip: "192.0.2.1".parse().unwrap(),
+/// #         dst_ip: "198.51.100.9".parse().unwrap(),
+/// #         protocol: Protocol::Udp,
+/// #         src_port: 53,
+/// #         dst_port: 4444,
+/// #         packet_len: 512,
+/// #         fragment: false,
+/// #     })
+/// #     .collect();
+/// // 100 samples, one second apart, in chunks of 64 rows.
+/// let cols = ColumnarFlows::from_log_with_capacity(&FlowLog::from_samples(samples), 64);
+/// let buckets = TimeBuckets::build(cols.chunks());
+/// // t = 70 s: chunk 0 (max 63 s) is pruned by its header alone; only
+/// // chunk 1's timestamps are searched.
+/// assert_eq!(buckets.prune(70_000), 1);
+/// assert_eq!(buckets.lower_bound(cols.chunks(), 70_000), 70);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimeBuckets {
-    /// Timestamp (ms) of the first sample = start of slot 0.
-    start: i64,
-    /// Slot width in ms.
-    slot: i64,
-    /// `slots + 1` offsets; `offsets[slots] == len`.
-    offsets: Vec<u32>,
+    /// `max_at` header of each chunk; non-decreasing for time-sorted
+    /// samples.
+    chunk_max: Vec<i64>,
 }
 
-/// Default time-bucket slot width: one hour, matching the paper's ±1h
-/// correlation windows.
-pub const DEFAULT_SLOT_MILLIS: i64 = 3_600_000;
-
-/// Slot-count cap; the width doubles until the span fits.
-const MAX_SLOTS: i64 = 1 << 20;
-
 impl TimeBuckets {
-    fn empty() -> Self {
+    /// Builds the pruning index from the chunks' `max_at` headers.
+    pub fn build(chunks: &[SealedChunk]) -> Self {
         Self {
-            start: 0,
-            slot: DEFAULT_SLOT_MILLIS,
-            offsets: vec![0],
+            chunk_max: chunks.iter().map(|c| c.max_at_millis()).collect(),
         }
     }
 
-    /// Builds the partition over a sorted millisecond-timestamp column.
-    pub fn build(at: &[i64]) -> Self {
-        let (Some(&first), Some(&last)) = (at.first(), at.last()) else {
-            return Self::empty();
-        };
-        // Manual ceiling division: `i64::div_ceil` is not stable at the
-        // MSRV, and both operands are positive here.
-        let span = last - first + 1;
-        let mut slot = DEFAULT_SLOT_MILLIS;
-        while (span + slot - 1) / slot > MAX_SLOTS {
-            slot *= 2;
-        }
-        let slots = (span + slot - 1) / slot;
-        let mut offsets = Vec::with_capacity(slots as usize + 1);
-        offsets.push(0u32);
-        for b in 1..=slots {
-            let boundary = first + slot * b;
-            offsets.push(at.partition_point(|&t| t < boundary) as u32);
-        }
-        Self {
-            start: first,
-            slot,
-            offsets,
-        }
+    /// The index of the first chunk whose `max_at >= t` — the only chunk
+    /// that can contain the boundary `partition_point(|&x| x < t)`.
+    /// Returns the chunk count when every chunk ends before `t`.
+    pub fn prune(&self, t: i64) -> usize {
+        self.chunk_max.partition_point(|&m| m < t)
     }
 
-    fn slots(&self) -> usize {
-        self.offsets.len() - 1
+    /// The global index of the first sample with timestamp `>= t` (i.e.
+    /// `partition_point(|&x| x < t)` over the virtual concatenation of all
+    /// chunk timestamp columns). `chunks` must be the slice this index was
+    /// built over.
+    pub fn lower_bound(&self, chunks: &[SealedChunk], t: i64) -> usize {
+        let len = chunks.last().map_or(0, |c| c.start() + c.len());
+        self.lower_bound_impl(chunks, len, t).0
     }
 
-    /// The index of the first element of `at` that is `>= t` (i.e.
-    /// `at.partition_point(|&x| x < t)`), found by jumping to `t`'s slot
-    /// and binary-searching only its span. `at` must be the column this
-    /// partition was built over.
-    pub fn lower_bound(&self, at: &[i64], t: i64) -> usize {
-        if self.slots() == 0 || t <= self.start {
-            return 0;
+    /// [`TimeBuckets::lower_bound`] plus whether an in-chunk binary search
+    /// was needed (false = answered by headers alone).
+    fn lower_bound_impl(&self, chunks: &[SealedChunk], len: usize, t: i64) -> (usize, bool) {
+        let c = self.prune(t);
+        if c == chunks.len() {
+            return (len, false);
         }
-        let b = ((t - self.start) / self.slot) as usize;
-        if b >= self.slots() {
-            return at.len();
+        let chunk = &chunks[c];
+        if t <= chunk.min_at_millis() {
+            // The bound falls on or before this chunk's first row — every
+            // earlier chunk is entirely below `t` by its header.
+            return (chunk.start(), false);
         }
-        let lo = self.offsets[b] as usize;
-        let hi = self.offsets[b + 1] as usize;
-        lo + at[lo..hi].partition_point(|&x| x < t)
+        (
+            chunk.start() + chunk.at_millis().partition_point(|&x| x < t),
+            true,
+        )
     }
 }
 
@@ -551,7 +1066,6 @@ impl TimeBuckets {
 mod tests {
     use super::*;
     use rtbh_bgp::{BgpUpdate, UpdateKind};
-    use rtbh_fabric::FlowSample;
     use rtbh_net::{Community, MacAddr};
     use rtbh_rng::{ChaChaRng, Rng};
 
@@ -597,12 +1111,16 @@ mod tests {
         MacResolver::from_map(map)
     }
 
-    fn build(mins: &[i64]) -> (EnrichedBuild, FlowLog) {
-        let updates = UpdateLog::from_updates(vec![
+    fn test_updates() -> UpdateLog {
+        UpdateLog::from_updates(vec![
             update(0, "10.0.0.0/24", UpdateKind::Announce),
             update(0, "10.0.0.7/32", UpdateKind::Announce),
             update(50, "10.0.0.7/32", UpdateKind::Withdraw),
-        ]);
+        ])
+    }
+
+    fn build(mins: &[i64]) -> (EnrichedBuild, FlowLog) {
+        let updates = test_updates();
         let flows = FlowLog::from_samples(
             mins.iter()
                 .map(|&m| sample(m, "20.1.0.5", "10.0.0.7", m < 50))
@@ -624,6 +1142,7 @@ mod tests {
             assert_eq!(cols.src_ip(i), s.src_ip);
             assert_eq!(cols.dst_ip(i), s.dst_ip);
             assert_eq!(cols.protocol(i), s.protocol);
+            assert_eq!(cols.packet_len(i), u32::from(s.packet_len));
             assert_eq!(cols.fragment(i), s.fragment);
             assert_eq!(cols.is_dropped(i), s.is_dropped());
             assert_eq!(cols.ingress(i), Some(Asn(201)));
@@ -637,8 +1156,18 @@ mod tests {
             .iter()
             .position(|p| p.len() == 32)
             .unwrap() as u32;
-        assert!(cols.dst_prefix_ids().iter().all(|&id| id == id32));
-        assert!(cols.src_prefix_ids().iter().all(|&id| id == NONE));
+        let dst_pids: Vec<u32> = cols
+            .chunks()
+            .iter()
+            .flat_map(|c| c.dst_prefix_ids().iter().copied())
+            .collect();
+        let src_pids: Vec<u32> = cols
+            .chunks()
+            .iter()
+            .flat_map(|c| c.src_prefix_ids().iter().copied())
+            .collect();
+        assert!(dst_pids.iter().all(|&id| id == id32));
+        assert!(src_pids.iter().all(|&id| id == NONE));
         let actives: Vec<bool> = (0..cols.len())
             .map(|i| cols.active_prefix(i).unwrap().1)
             .collect();
@@ -654,11 +1183,7 @@ mod tests {
         let mins: Vec<i64> = (0..157).map(|i| i % 97).collect();
         let (reference, flows) = build(&mins);
         let origins = OriginTable::build(&[("20.0.0.0/8".parse().unwrap(), Asn(300))]);
-        let updates = UpdateLog::from_updates(vec![
-            update(0, "10.0.0.0/24", UpdateKind::Announce),
-            update(0, "10.0.0.7/32", UpdateKind::Announce),
-            update(50, "10.0.0.7/32", UpdateKind::Withdraw),
-        ]);
+        let updates = test_updates();
         for workers in [2, 3, 16] {
             let sharded = ColumnarFlows::build_enriched(
                 &updates,
@@ -673,38 +1198,136 @@ mod tests {
     }
 
     #[test]
+    fn chunk_capacity_changes_slicing_but_not_values() {
+        let mins: Vec<i64> = (0..311).map(|i| i % 97).collect();
+        let (reference, flows) = build(&mins);
+        let origins = OriginTable::build(&[("20.0.0.0/8".parse().unwrap(), Asn(300))]);
+        let updates = test_updates();
+        let reference = &reference.columns;
+        for capacity in [64usize, 128, 1 << 20] {
+            let built = ColumnarFlows::build_enriched_with_capacity(
+                &updates,
+                &flows,
+                &test_resolver(),
+                &origins,
+                ts(100),
+                3,
+                capacity,
+            )
+            .columns;
+            assert_eq!(built.chunk_capacity(), capacity);
+            assert_eq!(built.len(), reference.len());
+            // Every chunk except the last is exactly full, headers bracket
+            // the rows, and per-sample values are capacity-invariant.
+            for (k, c) in built.chunks().iter().enumerate() {
+                assert_eq!(c.start(), k * capacity);
+                if k + 1 < built.chunks().len() {
+                    assert_eq!(c.len(), capacity);
+                }
+                assert_eq!(
+                    c.min_at_millis(),
+                    c.at_millis().iter().copied().min().unwrap()
+                );
+                assert_eq!(
+                    c.max_at_millis(),
+                    c.at_millis().iter().copied().max().unwrap()
+                );
+            }
+            for i in 0..reference.len() {
+                assert_eq!(built.at(i), reference.at(i), "cap {capacity} sample {i}");
+                assert_eq!(built.packet_len(i), reference.packet_len(i));
+                assert_eq!(built.fragment(i), reference.fragment(i));
+                assert_eq!(built.is_dropped(i), reference.is_dropped(i));
+                assert_eq!(built.ingress(i), reference.ingress(i));
+                assert_eq!(built.active_prefix(i), reference.active_prefix(i));
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_tail_bits_are_zero() {
+        let mins: Vec<i64> = (0..157).map(|i| i % 97).collect();
+        let (built, _) = build(&mins);
+        for c in built.columns.chunks() {
+            assert_eq!(c.words(), c.len().div_ceil(64));
+            let tail = c.len() % 64;
+            if tail != 0 {
+                let mask = !0u64 << tail;
+                for bits in [c.fragment_words(), c.dropped_words(), c.active_words()] {
+                    assert_eq!(bits[c.words() - 1] & mask, 0, "tail bits must be zero");
+                }
+            }
+            // The popcount contract: whole-word counting equals rowwise.
+            let words: u32 = c.fragment_words().iter().map(|w| w.count_ones()).sum();
+            let rows = (0..c.len()).filter(|&r| c.fragment(r)).count() as u32;
+            assert_eq!(words, rows);
+        }
+    }
+
+    #[test]
     fn buckets_match_naive_partition_point_on_seeded_columns() {
         let mut rng = ChaChaRng::seed_from_u64(0x000c_0ffe_ec01_u64);
         for case in 0..40 {
-            // Mix densities: sparse multi-day spans, dense bursts, and a
-            // huge span that forces the slot-width widening loop.
+            // Mix densities and capacities: sparse multi-day spans, dense
+            // sub-chunk bursts, and multi-chunk stores.
             let n = (rng.next_u64() % 400) as usize;
             let spread: i64 = match case % 3 {
-                0 => 90 * 24 * 3_600_000,          // ~a measurement period
-                1 => 1000,                         // one burst, sub-slot
-                _ => MAX_SLOTS * 3 * 3_600_000i64, // forces widening
+                0 => 90 * 24 * 3_600_000, // ~a measurement period
+                1 => 1000,                // one burst, sub-chunk
+                _ => 3_600_000,
             };
+            let capacity = [64usize, 128, 1 << 16][case % 3];
             let mut at: Vec<i64> = (0..n)
                 .map(|_| (rng.next_u64() % spread as u64) as i64)
                 .collect();
             at.sort_unstable();
-            let buckets = TimeBuckets::build(&at);
+            let flows = FlowLog::from_samples(
+                at.iter()
+                    .map(|&t| {
+                        let mut s = sample(0, "20.1.0.5", "10.0.0.7", false);
+                        s.at = Timestamp(t);
+                        s
+                    })
+                    .collect(),
+            );
+            let cols = ColumnarFlows::from_log_with_capacity(&flows, capacity);
+            let buckets = TimeBuckets::build(cols.chunks());
             let mut probes: Vec<i64> = (0..64)
                 .map(|_| (rng.next_u64() % (spread as u64 * 2)) as i64 - spread / 2)
                 .collect();
-            // Exact sample times and slot boundaries are the edge cases.
+            // Exact sample times and chunk boundaries are the edge cases.
             probes.extend(at.iter().take(16).copied());
             probes.extend(at.iter().take(8).map(|t| t + 1));
-            if let Some(&first) = at.first() {
-                probes.extend([first, first + buckets.slot, first + 2 * buckets.slot]);
-            }
+            probes.extend(
+                cols.chunks()
+                    .iter()
+                    .flat_map(|c| [c.min_at_millis(), c.max_at_millis(), c.max_at_millis() + 1]),
+            );
             for t in probes {
                 assert_eq!(
-                    buckets.lower_bound(&at, t),
+                    buckets.lower_bound(cols.chunks(), t),
                     at.partition_point(|&x| x < t),
-                    "case {case}, t {t}, n {n}"
+                    "case {case}, t {t}, n {n}, capacity {capacity}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn gallop_matches_partition_point() {
+        let mut rng = ChaChaRng::seed_from_u64(0x6a11_0b00_u64);
+        for _ in 0..200 {
+            let n = (rng.next_u64() % 200) as usize;
+            let mut ids: Vec<u32> = (0..n).map(|_| (rng.next_u64() % 500) as u32).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let from = (rng.next_u64() as usize) % (ids.len() + 1);
+            let bound = (rng.next_u64() % 520) as u32;
+            assert_eq!(
+                gallop_partition_point(&ids, from, bound),
+                from + ids[from..].partition_point(|&x| x < bound),
+                "ids {ids:?} from {from} bound {bound}"
+            );
         }
     }
 
@@ -733,13 +1356,92 @@ mod tests {
                 .collect();
             assert_eq!(cols.window_ids(&ids, start, end), naive.as_slice());
         }
+        let stats = cols.chunk_stats();
+        assert_eq!(stats.window_queries, 100);
+        assert!(stats.chunks_probed <= stats.window_queries);
     }
 
     #[test]
     fn empty_log_is_safe() {
         let cols = ColumnarFlows::from_log(&FlowLog::new());
         assert!(cols.is_empty());
+        assert!(cols.chunks().is_empty());
         assert_eq!(cols.time_range(ts(0), ts(100)), (0, 0));
         assert_eq!(cols.window_ids(&[], ts(0), ts(100)), &[] as &[u32]);
+        let stats = cols.chunk_stats();
+        assert_eq!(stats.chunks, 0);
+        assert_eq!(stats.fill, 0.0);
+    }
+
+    #[test]
+    fn capacity_normalization_clamps_and_rounds() {
+        assert_eq!(normalize_capacity(0).0, abi::DEFAULT_CHUNK_CAPACITY);
+        assert_eq!(normalize_capacity(1).0, abi::MIN_CHUNK_CAPACITY);
+        assert_eq!(normalize_capacity(64).0, 64);
+        assert_eq!(normalize_capacity(100).0, 128);
+        assert_eq!(normalize_capacity(usize::MAX).0, abi::MAX_CHUNK_CAPACITY);
+        let (cap, shift) = normalize_capacity(1024);
+        assert_eq!((cap, shift), (1024, 10));
+    }
+
+    /// The written contract and the code must agree: every ABI constant's
+    /// width matches the element type actually stored, and every column,
+    /// flag and header field is documented by name in `docs/CHUNK_ABI.md`.
+    #[test]
+    fn abi_constants_match_layout_and_spec_document() {
+        use std::mem::size_of;
+        let widths: BTreeMap<&str, usize> = abi::VALUE_COLUMNS.iter().copied().collect();
+        assert_eq!(widths["at"], size_of::<i64>());
+        assert_eq!(widths["src_ip"], size_of::<u32>());
+        assert_eq!(widths["dst_ip"], size_of::<u32>());
+        assert_eq!(widths["src_port"], size_of::<u16>());
+        assert_eq!(widths["dst_port"], size_of::<u16>());
+        assert_eq!(widths["protocol"], size_of::<u8>());
+        assert_eq!(widths["packet_len"], size_of::<u32>());
+        for id_col in [
+            "ingress",
+            "egress",
+            "origin",
+            "dst_pid",
+            "src_pid",
+            "active_pid",
+        ] {
+            assert_eq!(widths[id_col], size_of::<u32>(), "{id_col}");
+        }
+        assert_eq!(abi::VALUE_COLUMNS.len(), 13);
+        assert_eq!(abi::FLAG_WORD_BITS, u64::BITS as usize);
+        assert!(abi::DEFAULT_CHUNK_CAPACITY.is_power_of_two());
+        assert!(abi::MIN_CHUNK_CAPACITY.is_power_of_two());
+        assert!(abi::MAX_CHUNK_CAPACITY.is_power_of_two());
+
+        let spec = include_str!("../../../docs/CHUNK_ABI.md");
+        for (name, width) in abi::VALUE_COLUMNS {
+            let cell = format!("| `{name}` ");
+            assert!(spec.contains(&cell), "spec is missing column `{name}`");
+            assert!(
+                spec.contains(&format!("`{name}` | {width} ")),
+                "spec width for `{name}` must be {width} bytes"
+            );
+        }
+        for name in abi::FLAG_COLUMNS {
+            assert!(
+                spec.contains(&format!("| `{name}` |")),
+                "spec is missing flag column `{name}`"
+            );
+        }
+        for (name, _) in abi::HEADER_FIELDS {
+            assert!(
+                spec.contains(&format!("| `{name}` |")),
+                "spec is missing header field `{name}`"
+            );
+        }
+        assert!(
+            spec.contains(&abi::DEFAULT_CHUNK_CAPACITY.to_string()),
+            "spec must state the default chunk capacity"
+        );
+        assert!(
+            spec.contains(&format!("version {}", abi::ABI_VERSION)),
+            "spec must state the ABI version"
+        );
     }
 }

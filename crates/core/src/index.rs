@@ -94,10 +94,12 @@ impl SampleIndex {
     /// precomputed `dst`/`src` prefix ids of its chunk.
     ///
     /// `lpm` and `prefixes` must be the pair the columns were enriched with
-    /// (see [`compile_blackhole_prefixes`] via
+    /// (see `compile_blackhole_prefixes` via
     /// [`crate::columns::ColumnarFlows::build_enriched`]), so the dense ids
-    /// line up. Chunks merge in chunk order — byte-identical to
-    /// [`SampleIndex::build_with_workers`] for every worker count.
+    /// line up. Workers bucket whole sealed chunks and the partials merge
+    /// in chunk order — byte-identical to
+    /// [`SampleIndex::build_with_workers`] for every worker count and every
+    /// chunk capacity.
     pub fn from_columns(
         lpm: FrozenLpm<usize>,
         prefixes: Vec<Prefix>,
@@ -106,18 +108,20 @@ impl SampleIndex {
     ) -> Self {
         let n = prefixes.len();
         let workers = shard::resolve_workers(workers);
-        let src_pids = cols.src_prefix_ids();
-        let partials = shard::map_chunks(cols.dst_prefix_ids(), workers, |start, chunk| {
+        let partials = shard::map_chunks(cols.chunks(), workers, |_, chunks| {
             let mut towards = vec![Vec::new(); n];
             let mut from = vec![Vec::new(); n];
-            for (i, &dst_pid) in chunk.iter().enumerate() {
-                let sample = (start + i) as u32;
-                if dst_pid != crate::columns::NONE {
-                    towards[dst_pid as usize].push(sample);
+            for c in chunks {
+                let base = c.start() as u32;
+                for (r, &dst_pid) in c.dst_prefix_ids().iter().enumerate() {
+                    if dst_pid != crate::columns::NONE {
+                        towards[dst_pid as usize].push(base + r as u32);
+                    }
                 }
-                let src_pid = src_pids[start + i];
-                if src_pid != crate::columns::NONE {
-                    from[src_pid as usize].push(sample);
+                for (r, &src_pid) in c.src_prefix_ids().iter().enumerate() {
+                    if src_pid != crate::columns::NONE {
+                        from[src_pid as usize].push(base + r as u32);
+                    }
                 }
             }
             (towards, from)

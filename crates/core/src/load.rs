@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use rtbh_bgp::{active_count_series, blackhole_intervals, UpdateLog};
 use rtbh_net::{Interval, TimeDelta, Timestamp};
 
-use crate::columns::{ColumnarFlows, FLAG_ACTIVE, FLAG_DROPPED};
+use crate::columns::ColumnarFlows;
 use crate::shard;
 
 /// The control-plane load analysis (Fig. 3).
@@ -117,28 +117,40 @@ impl DropProvenance {
 
 /// Attributes each dropped sample to route-server blackholes (or not),
 /// sharded over `workers` scoped threads. The activity check was already
-/// done by the enrichment pass ([`FLAG_ACTIVE`]), so this is a pure
-/// flags-column scan; per-chunk partial sums make the totals worker-count
-/// invariant.
+/// done by the enrichment pass (the sealed chunks' `active` bitset), so
+/// this is a word-at-a-time bitset scan: packet counts are popcounts over
+/// the `dropped` words (and `dropped & active` for the explained share),
+/// and only the words with set bits are walked for the byte sums. Workers
+/// scan whole sealed chunks; per-chunk partial sums make the totals
+/// worker-count and chunk-capacity invariant.
 pub fn drop_provenance(cols: &ColumnarFlows, workers: usize) -> DropProvenance {
     let workers = shard::resolve_workers(workers);
-    let partials = shard::map_chunks(cols.flags(), workers, |start, chunk| {
+    let partials = shard::map_chunks(cols.chunks(), workers, |_, chunks| {
         let mut p = DropProvenance {
             dropped_packets: 0,
             dropped_bytes: 0,
             explained_packets: 0,
             explained_bytes: 0,
         };
-        for (off, &flags) in chunk.iter().enumerate() {
-            if flags & FLAG_DROPPED == 0 {
-                continue;
-            }
-            let bytes = cols.packet_len(start + off) as u64;
-            p.dropped_packets += 1;
-            p.dropped_bytes += bytes;
-            if flags & FLAG_ACTIVE != 0 {
-                p.explained_packets += 1;
-                p.explained_bytes += bytes;
+        for c in chunks {
+            let lens = c.packet_lens();
+            for (w, (&dropped, &active)) in
+                c.dropped_words().iter().zip(c.active_words()).enumerate()
+            {
+                // Tail bits are zero by the chunk ABI, so whole-word
+                // popcounts are exact packet counts.
+                p.dropped_packets += u64::from(dropped.count_ones());
+                p.explained_packets += u64::from((dropped & active).count_ones());
+                let mut bits = dropped;
+                while bits != 0 {
+                    let r = (w << 6) | bits.trailing_zeros() as usize;
+                    let bytes = u64::from(lens[r]);
+                    p.dropped_bytes += bytes;
+                    if active >> (r & 63) & 1 == 1 {
+                        p.explained_bytes += bytes;
+                    }
+                    bits &= bits - 1;
+                }
             }
         }
         p

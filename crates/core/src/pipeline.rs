@@ -78,6 +78,11 @@ pub struct AnalyzerConfig {
     /// merge per-chunk results in chunk order, so every worker count
     /// produces byte-identical reports (`rtbh analyze --threads N`).
     pub workers: usize,
+    /// Sealed-chunk capacity for the columnar flow store (rows per chunk;
+    /// `0` = the ABI default, [`crate::columns::abi::DEFAULT_CHUNK_CAPACITY`]).
+    /// Clamped to a power of two in `[64, 2^30]`. Changes only how samples
+    /// are sliced into slabs — reports are byte-identical for every value.
+    pub chunk_capacity: usize,
 }
 
 impl AnalyzerConfig {
@@ -105,6 +110,7 @@ impl AnalyzerConfig {
         visibility_step: TimeDelta::minutes(10),
         load_step: TimeDelta::minutes(1),
         workers: 0,
+        chunk_capacity: 0,
     };
 
     /// Returns the configuration with the sample-kernel worker count set
@@ -253,13 +259,14 @@ impl Analyzer {
             },
             workers,
             || {
-                ColumnarFlows::build_enriched(
+                ColumnarFlows::build_enriched_with_capacity(
                     &corpus.updates,
                     &flows,
                     &resolver,
                     &origins,
                     corpus.period.end,
                     workers,
+                    config.chunk_capacity,
                 )
             },
         );
@@ -742,7 +749,7 @@ impl FullReport {
 rtbh_json::impl_json! {
     struct AnalyzerConfig {
         merge_delta, preevent, host, classify, offset_half_range, offset_step,
-        visibility_step, load_step, workers,
+        visibility_step, load_step, workers, chunk_capacity,
     }
 }
 

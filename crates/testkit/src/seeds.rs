@@ -3,7 +3,7 @@
 //! Every randomized test in the workspace derives its `ChaChaRng` stream
 //! from a seed constant. Two tests sharing a constant explore *correlated*
 //! case sequences — they look like independent evidence but are not. The
-//! [`seed_table!`] macro declares a crate's seeds in one place and builds a
+//! `seed_table!` macro declares a crate's seeds in one place and builds a
 //! compile-time table; [`assert_unique_seeds`] is the one-line test that
 //! keeps the table collision-free as suites grow.
 
@@ -28,7 +28,7 @@ macro_rules! seed_table {
     };
 }
 
-/// Panics if any two entries of a [`seed_table!`] share a value, naming the
+/// Panics if any two entries of a `seed_table!` share a value, naming the
 /// colliding constants.
 pub fn assert_unique_seeds(table: &[(&str, u64)]) {
     let mut by_value: std::collections::BTreeMap<u64, Vec<&str>> =

@@ -20,5 +20,8 @@ rtbh_testkit::seed_table! {
         FUZZ_JSON_GARBAGE = 0x7E57_4B17_0000_000B,
         FUZZ_LPM_DIFF = 0x7E57_4B17_0000_000C,
         FUZZ_REPORT_IDENTITY = 0x7E57_4B17_0000_000D,
+        FUZZ_COLUMNS_BITSET = 0x7E57_4B17_0000_000E,
+        FUZZ_COLUMNS_GALLOP = 0x7E57_4B17_0000_000F,
+        FUZZ_CHUNK_CAPACITY = 0x7E57_4B17_0000_0010,
     }
 }

@@ -73,6 +73,9 @@ fn arb_config(rng: &mut ChaChaRng) -> AnalyzerConfig {
         visibility_step: TimeDelta::minutes(rng.gen_range(30..=360i64)),
         load_step: TimeDelta::minutes(rng.gen_range(1..=60i64)),
         workers: 0, // overridden per run below
+        // Sealed-chunk capacity must never move report bytes either; fuzz
+        // it from sub-corpus slabs up to whole-corpus (0 = ABI default).
+        chunk_capacity: [0usize, 64, 1024, 4096][rng.gen_range(0..4usize)],
     }
 }
 

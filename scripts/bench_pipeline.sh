@@ -19,13 +19,15 @@ reps="${2:-3}"
 cargo build --release -p rtbh-bench --bin pipeline_bench
 
 # pipeline_bench exits non-zero when the sequential and parallel reports
-# are not byte-identical (or the index/flow-store micro-benches diverge).
+# are not byte-identical (or the index/flow-store micro-benches diverge),
+# and --flows-floor additionally fails the run if the enriched-kernel
+# speedup vs the AoS baseline regresses below 5x (the CI perf gate).
 # Guard it explicitly — `set -e` alone would die silently mid-script, and
 # a benched pipeline whose modes disagree must fail loudly, not just print
 # numbers.
 if ! ./target/release/pipeline_bench --scale "$scale" --reps "$reps" \
     --out BENCH_pipeline.json --index-out BENCH_index.json \
-    --flows-out BENCH_flows.json; then
-    echo "bench_pipeline: FAILED — sequential/parallel report identity (or index/flow-store equivalence) check did not pass" >&2
+    --flows-out BENCH_flows.json --flows-floor 5; then
+    echo "bench_pipeline: FAILED — report identity, index/flow-store equivalence or the 5x enriched-kernel floor did not pass" >&2
     exit 1
 fi

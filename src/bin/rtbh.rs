@@ -157,6 +157,33 @@ fn analyze(args: Vec<String>) {
     if timings {
         println!();
         print!("{}", profile.render());
+        // Sealed-chunk shape and window-query behaviour: the counters
+        // accumulated over every stage's window queries during the run.
+        let cs = analyzer.columns().chunk_stats();
+        let enrich_ns = profile
+            .prepare
+            .iter()
+            .find(|s| s.stage == "enrich")
+            .map_or(0, |s| s.wall_ns);
+        println!(
+            "chunks: {} x {} rows ({} samples, {:.1}% fill)",
+            cs.chunks,
+            cs.capacity,
+            cs.samples,
+            cs.fill * 100.0
+        );
+        if enrich_ns > 0 {
+            println!(
+                "prepare:enrich sealed {:.2} Msamples/s",
+                cs.samples as f64 / (enrich_ns as f64 / 1e9) / 1e6
+            );
+        }
+        println!(
+            "window queries: {} ({} chunk probes, {:.1}% of chunk visits pruned)",
+            cs.window_queries,
+            cs.chunks_probed,
+            cs.pruned_ratio * 100.0
+        );
         let payload = rtbh_json::Json::Obj(vec![
             ("corpus".to_string(), path.to_json()),
             (
