@@ -7,6 +7,7 @@
 //! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N]
 //!                [--out PATH] [--index-out PATH] [--no-index]
 //!                [--flows-out PATH] [--no-flows] [--flows-floor F]
+//!                [--serve] [--serve-out PATH] [--serve-floor QPS]
 //! ```
 //!
 //! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json --index-out
@@ -18,6 +19,14 @@
 //! `--flows-floor F` is the CI performance gate: after the answers are
 //! cross-checked, the process exits 1 if the enriched-kernel speedup vs
 //! the AoS baseline falls below `F`.
+//!
+//! `--serve` additionally runs the `rtbhd` load bench
+//! (`rtbh_bench::serve`): an in-process daemon driven by 1/2/all-cores
+//! concurrent clients, every response cross-checked byte-for-byte against
+//! the batch report before timing, with queries/sec + p50/p99 written to
+//! `BENCH_serve.json` (`--serve-out`). `--serve-floor QPS` exits 1 if any
+//! concurrency level's throughput falls below the floor, and divergence
+//! from the batch answers always exits 1.
 
 use std::io::Write;
 
@@ -28,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] \
          [--out PATH] [--index-out PATH] [--no-index] [--flows-out PATH] [--no-flows] \
-         [--flows-floor F]"
+         [--flows-floor F] [--serve] [--serve-out PATH] [--serve-floor QPS]"
     );
     std::process::exit(2);
 }
@@ -40,6 +49,8 @@ fn main() {
     let mut index_out_path = Some(String::from("BENCH_index.json"));
     let mut flows_out_path = Some(String::from("BENCH_flows.json"));
     let mut flows_floor: Option<f64> = None;
+    let mut serve_out_path: Option<String> = None;
+    let mut serve_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -74,6 +85,18 @@ fn main() {
             "--no-flows" => flows_out_path = None,
             "--flows-floor" => {
                 flows_floor = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--serve" => {
+                serve_out_path.get_or_insert_with(|| String::from("BENCH_serve.json"));
+            }
+            "--serve-out" => serve_out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--serve-floor" => {
+                serve_floor = Some(
                     args.next()
                         .unwrap_or_else(|| usage())
                         .parse()
@@ -177,7 +200,7 @@ fn main() {
         None => true,
         Some(path) => {
             eprintln!("\nflow-store micro-bench ({reps} rep(s) per variant) ...");
-            let fb = bench_flows(config, reps);
+            let fb = bench_flows(config.clone(), reps);
             writeln!(
                 stdout,
                 "\nflow-store kernel scans over {} samples ({} dropped, enrich {:.2} ms once):",
@@ -226,6 +249,52 @@ fn main() {
         }
     };
 
+    let mut serve_qps_min: Option<f64> = None;
+    let serve_ok = match &serve_out_path {
+        None => true,
+        Some(path) => {
+            eprintln!("\nrtbhd load bench ({reps} rep(s) per concurrency level) ...");
+            let sb = rtbh_bench::bench_serve(config, reps);
+            writeln!(
+                stdout,
+                "\nrtbhd: {} distinct queries over {} samples \
+                 ({} server workers, cache hit ratio {:.2}):",
+                sb.distinct_queries, sb.samples, sb.server_workers, sb.cache_hit_ratio
+            )
+            .expect("write stdout");
+            for l in &sb.levels {
+                writeln!(
+                    stdout,
+                    "  {:>3} client(s): {:>10.0} q/s  p50 {:>9.1} us  p99 {:>9.1} us  \
+                     ({} requests)",
+                    l.clients,
+                    l.queries_per_sec,
+                    l.p50_ns as f64 / 1e3,
+                    l.p99_ns as f64 / 1e3,
+                    l.requests
+                )
+                .expect("write stdout");
+            }
+            writeln!(
+                stdout,
+                "  answers identical to batch report: {}",
+                sb.answers_identical
+            )
+            .expect("write stdout");
+            std::fs::write(path, rtbh_json::to_vec_pretty(&sb)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+            serve_qps_min = sb
+                .levels
+                .iter()
+                .map(|l| l.queries_per_sec)
+                .min_by(|a, b| a.total_cmp(b));
+            sb.answers_identical
+        }
+    };
+
     if !bench.reports_identical {
         eprintln!("ERROR: sequential and parallel reports diverged");
         std::process::exit(1);
@@ -247,5 +316,18 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("enriched-kernel speedup {speedup:.2}x >= {floor:.2}x floor: ok");
+    }
+    if !serve_ok {
+        eprintln!("ERROR: rtbhd responses diverged from the batch report");
+        std::process::exit(1);
+    }
+    if let (Some(floor), Some(qps)) = (serve_floor, serve_qps_min) {
+        if qps < floor {
+            eprintln!(
+                "ERROR: rtbhd throughput {qps:.0} q/s regressed below the {floor:.0} q/s floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("rtbhd throughput {qps:.0} q/s >= {floor:.0} q/s floor: ok");
     }
 }

@@ -13,6 +13,7 @@ pub mod flows;
 pub mod lpm;
 pub mod pipeline;
 pub mod render;
+pub mod serve;
 
 use rtbh_core::pipeline::{Analyzer, FullReport};
 use rtbh_sim::{GroundTruth, ScenarioConfig, SimOutput};
@@ -22,6 +23,7 @@ pub use flows::{bench_flows, FlowsBench};
 pub use lpm::{bench_index, IndexBench};
 pub use pipeline::{bench_pipeline, PipelineBench};
 pub use render::FigureReport;
+pub use serve::{bench_serve, ServeBench};
 
 /// A fully prepared experiment context: simulated corpus + analysis results
 /// + (for scoring annotations only) the ground truth.

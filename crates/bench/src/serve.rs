@@ -1,0 +1,262 @@
+//! The `rtbhd` load bench: N concurrent clients against an in-process
+//! daemon, with every response cross-checked byte-for-byte before any
+//! timing starts.
+//!
+//! The harness builds a canonical query list — every report section, the
+//! corpus summary, event-derived window aggregates and per-prefix drill
+//! downs — and computes each query's expected bytes from the batch
+//! [`Analyzer::full`](rtbh_core::pipeline::Analyzer::full) report and the
+//! *naive* reference kernels ([`window_aggregate_naive`],
+//! [`prefix_slice_naive`]), i.e. from code paths the server does not
+//! share. A correctness pass replays the whole list over a real TCP
+//! connection and compares every reply byte-for-byte; only then do the
+//! timed passes run, at 1, 2 and all-cores client concurrency, recording
+//! per-request latency for p50/p99 and aggregate queries/sec
+//! (`BENCH_serve.json`, `pipeline_bench --serve`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
+use rtbh_core::serve::{
+    info_summary, prefix_slice_naive, section_json, window_aggregate_naive, Client, Request,
+    Response, Section, ServeOptions, ServeState, Server,
+};
+use rtbh_core::shard;
+use rtbh_sim::ScenarioConfig;
+
+/// One timed concurrency level.
+#[derive(Debug, Clone)]
+pub struct LevelTiming {
+    /// Concurrent clients (each on its own TCP connection).
+    pub clients: usize,
+    /// Requests sent across all clients in the best rep.
+    pub requests: u64,
+    /// Best-of-reps wall time for the whole level.
+    pub best_wall_ns: u64,
+    /// Aggregate throughput in the best rep.
+    pub queries_per_sec: f64,
+    /// Median per-request latency in the best rep.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request latency in the best rep.
+    pub p99_ns: u64,
+}
+
+rtbh_json::impl_json! {
+    serialize struct LevelTiming {
+        clients, requests, best_wall_ns, queries_per_sec, p50_ns, p99_ns,
+    }
+}
+
+/// The full serve-bench record (`BENCH_serve.json`).
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Scenario label (days/members/seed).
+    pub scenario: String,
+    /// Samples in the corpus.
+    pub samples: usize,
+    /// Distinct queries in the canonical list.
+    pub distinct_queries: usize,
+    /// Repetitions per concurrency level (best-of).
+    pub reps: usize,
+    /// True iff every response matched its batch-derived expectation
+    /// byte-for-byte before timing.
+    pub answers_identical: bool,
+    /// Server-side LRU hit ratio over the whole run.
+    pub cache_hit_ratio: f64,
+    /// Worker threads the in-process daemon ran with.
+    pub server_workers: usize,
+    /// Timings at 1, 2 and all-cores client concurrency.
+    pub levels: Vec<LevelTiming>,
+}
+
+rtbh_json::impl_json! {
+    serialize struct ServeBench {
+        scenario, samples, distinct_queries, reps, answers_identical,
+        cache_hit_ratio, server_workers, levels,
+    }
+}
+
+/// How many times each client replays the canonical list per timed rep.
+const LAPS_PER_CLIENT: usize = 3;
+
+/// Builds the canonical query list with batch-derived expected bytes.
+fn canonical_queries(state: &ServeState) -> Vec<(Request, Vec<u8>)> {
+    let analyzer = state.analyzer();
+    let cols = analyzer.columns();
+    let index = analyzer.index();
+    let period = analyzer.corpus().period;
+    let (start, end) = (period.start.as_millis(), period.end.as_millis());
+
+    let mut queries = Vec::new();
+    queries.push((Request::Ping, rtbh_json::to_vec_pretty("pong")));
+    queries.push((
+        Request::Info,
+        rtbh_json::to_vec_pretty(&info_summary(analyzer)),
+    ));
+    for section in Section::ALL {
+        queries.push((
+            Request::Report(section),
+            section_json(state.report(), section),
+        ));
+    }
+    // Whole-period window plus event-derived windows (one minute before
+    // each event start to five minutes after — the shape an operator's
+    // incident drill-down would ask for).
+    let mut windows = vec![(start, end)];
+    for event in analyzer.events().iter().take(8) {
+        let at = event.start().as_millis();
+        windows.push((at - 60_000, at + 300_000));
+    }
+    for (s, e) in windows {
+        queries.push((
+            Request::Window {
+                start_ms: s,
+                end_ms: e,
+            },
+            rtbh_json::to_vec_pretty(&window_aggregate_naive(cols, s, e)),
+        ));
+    }
+    for &prefix in index.prefixes().iter().take(8) {
+        let expected = prefix_slice_naive(index, cols, prefix, start, end)
+            .expect("indexed prefix must resolve");
+        queries.push((
+            Request::Prefix {
+                prefix,
+                start_ms: start,
+                end_ms: end,
+            },
+            rtbh_json::to_vec_pretty(&expected),
+        ));
+    }
+    queries
+}
+
+/// Runs one timed rep: `clients` threads, each replaying the query list
+/// [`LAPS_PER_CLIENT`] times on its own connection. Returns (wall ns,
+/// per-request latencies ns).
+fn timed_rep(
+    addr: std::net::SocketAddr,
+    queries: &[(Request, Vec<u8>)],
+    clients: usize,
+) -> (u64, Vec<u64>) {
+    let t0 = Instant::now();
+    let latencies = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("bench client connect");
+                    let mut lats = Vec::with_capacity(queries.len() * LAPS_PER_CLIENT);
+                    for _ in 0..LAPS_PER_CLIENT {
+                        for (request, _) in queries {
+                            let q0 = Instant::now();
+                            let reply = client.request(request).expect("bench request");
+                            lats.push(q0.elapsed().as_nanos() as u64);
+                            assert!(
+                                matches!(reply, Response::Ok(_)),
+                                "timed pass got an error reply for {request:?}"
+                            );
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for j in joins {
+            all.extend(j.join().expect("bench client thread"));
+        }
+        all
+    });
+    (t0.elapsed().as_nanos() as u64, latencies)
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+/// Simulates `config`, spins up an in-process `rtbhd`, cross-checks every
+/// canonical query byte-for-byte against the batch answers, then times
+/// the query mix at 1, 2 and all-cores client concurrency.
+pub fn bench_serve(config: ScenarioConfig, reps: usize) -> ServeBench {
+    let reps = reps.max(1);
+    let out = rtbh_sim::run(&config);
+    let samples = out.corpus.flows.len();
+    let scenario = format!(
+        "{} days, {} members, seed {:#x}",
+        config.days, config.members, config.seed
+    );
+    let analyzer_config = AnalyzerConfig::for_corpus(&out.corpus);
+    let state = Arc::new(ServeState::new(Analyzer::new(out.corpus, analyzer_config)));
+    let queries = canonical_queries(&state);
+
+    let server_workers = shard::resolve_workers(0);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&state), ServeOptions::default())
+        .expect("bind in-process daemon");
+    let handle = server.spawn().expect("spawn in-process daemon");
+    let addr = handle.addr();
+
+    // Correctness pass: every canonical query over a real connection,
+    // byte-for-byte against the batch-derived expectation, BEFORE timing.
+    let mut answers_identical = true;
+    {
+        let mut client = Client::connect(addr).expect("cross-check client connect");
+        for (request, expected) in &queries {
+            match client.request(request).expect("cross-check request") {
+                Response::Ok(body) => {
+                    if &body != expected {
+                        eprintln!("serve bench: response for {request:?} diverged from batch");
+                        answers_identical = false;
+                    }
+                }
+                Response::Err { code, message } => {
+                    eprintln!("serve bench: {request:?} errored ({code}): {message}");
+                    answers_identical = false;
+                }
+            }
+        }
+        // Exercise the stats path too (not byte-checked: counters move).
+        let _ = client.request(&Request::Stats);
+    }
+
+    let mut client_levels = vec![1, 2, server_workers];
+    client_levels.sort_unstable();
+    client_levels.dedup();
+    let mut levels = Vec::new();
+    for clients in client_levels {
+        let mut best_wall = u64::MAX;
+        let mut best_lats: Vec<u64> = Vec::new();
+        for _ in 0..reps {
+            let (wall, lats) = timed_rep(addr, &queries, clients);
+            if wall < best_wall {
+                best_wall = wall;
+                best_lats = lats;
+            }
+        }
+        best_lats.sort_unstable();
+        let requests = best_lats.len() as u64;
+        levels.push(LevelTiming {
+            clients,
+            requests,
+            best_wall_ns: best_wall,
+            queries_per_sec: requests as f64 / (best_wall as f64 / 1e9),
+            p50_ns: percentile(&best_lats, 50),
+            p99_ns: percentile(&best_lats, 99),
+        });
+    }
+
+    handle.shutdown().expect("drain in-process daemon");
+    ServeBench {
+        scenario,
+        samples,
+        distinct_queries: queries.len(),
+        reps,
+        answers_identical,
+        cache_hit_ratio: state.stats_report().cache_hit_ratio,
+        server_workers,
+        levels,
+    }
+}

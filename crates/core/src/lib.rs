@@ -31,7 +31,11 @@
 //! [`shard`] is the chunk-parallel scaffold behind the data-parallel sample
 //! kernels (enrichment, index build, clock shift, offset scan); [`profile`]
 //! records per-stage wall times, worker counts and input footprints (`rtbh
-//! analyze --timings`, `BENCH_pipeline.json`).
+//! analyze --timings`, `BENCH_pipeline.json`); [`serve`] promotes the
+//! analyzer into the `rtbhd` multi-client query server (length-prefixed
+//! binary protocol, thread-per-core workers, [`lru`]-cached responses)
+//! answering window aggregates, per-prefix drop provenance and report
+//! sections over `Arc` snapshots of the sealed chunks.
 //!
 //! The pipeline never sees simulator ground truth — only what the paper's
 //! vantage point could record.
@@ -51,11 +55,13 @@ pub mod filtering;
 pub mod hosts;
 pub mod index;
 pub mod load;
+pub mod lru;
 pub mod pipeline;
 pub mod preevent;
 pub mod profile;
 pub mod protocols;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod visibility;
 

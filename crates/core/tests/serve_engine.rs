@@ -1,0 +1,195 @@
+//! Corpus-backed tests of the `serve` module: the fast query kernels
+//! against their naive references, the engine's byte-identity with the
+//! batch serialization, and the live TCP server end to end (these need a
+//! simulator corpus, so they live outside the crate — `rtbh-sim` is a
+//! dev-dependency that itself depends on `rtbh-core`, and the two copies
+//! only type-unify in an external test crate).
+
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
+use rtbh_core::serve::{
+    prefix_slice, prefix_slice_naive, section_json, window_aggregate, window_aggregate_naive,
+    Action, Client, Request, Response, Section, ServeOptions, ServeState, Server, ERR_MALFORMED,
+    REQUEST_MAX,
+};
+use rtbh_net::Prefix;
+
+fn tiny_state() -> Arc<ServeState> {
+    let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+    let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+    Arc::new(ServeState::new(Analyzer::new(out.corpus, config)))
+}
+
+#[test]
+fn window_kernel_matches_naive_reference_on_a_real_corpus() {
+    let state = tiny_state();
+    let cols = state.analyzer().columns();
+    let period = state.analyzer().corpus().period;
+    let (start, end) = (period.start.as_millis(), period.end.as_millis());
+    let span = end - start;
+    let mut windows = vec![
+        (start, end),
+        (start, start),        // empty
+        (end, start),          // inverted
+        (start - 1000, start), // before the corpus
+        (end, end + 1000),     // after the corpus
+        (i64::MIN + 1, i64::MAX),
+    ];
+    // Sliding and nested windows at various alignments.
+    for k in 0..32 {
+        let lo = start + span * k / 32;
+        windows.push((lo, lo + span / 16));
+        windows.push((lo, lo + 1));
+        windows.push((lo - 7, lo + span / 5 + 13));
+    }
+    for (s, e) in windows {
+        assert_eq!(
+            window_aggregate(cols, s, e),
+            window_aggregate_naive(cols, s, e),
+            "window [{s}, {e}) diverged"
+        );
+    }
+    // Sanity: the whole-corpus window sees every sample.
+    let whole = window_aggregate(cols, start, end);
+    assert_eq!(whole.samples, cols.len() as u64);
+    assert!(whole.dropped_packets > 0);
+    assert!(whole.explained_packets <= whole.dropped_packets);
+}
+
+#[test]
+fn prefix_slice_matches_naive_reference_for_every_event_prefix() {
+    let state = tiny_state();
+    let index = state.analyzer().index();
+    let cols = state.analyzer().columns();
+    let period = state.analyzer().corpus().period;
+    let (start, end) = (period.start.as_millis(), period.end.as_millis());
+    let mid = start + (end - start) / 2;
+    let mut sliced = 0u64;
+    for &prefix in index.prefixes() {
+        for (s, e) in [(start, end), (start, mid), (mid, end), (mid, mid)] {
+            let fast = prefix_slice(index, cols, prefix, s, e).unwrap();
+            let naive = prefix_slice_naive(index, cols, prefix, s, e).unwrap();
+            assert_eq!(fast, naive, "prefix {prefix} window [{s}, {e}) diverged");
+            sliced += fast.samples;
+        }
+    }
+    assert!(sliced > 0, "no prefix saw any sample — vacuous test");
+    // Unknown prefixes resolve to None, not a panic.
+    let unknown: Prefix = "198.18.255.0/30".parse().unwrap();
+    assert!(prefix_slice(index, cols, unknown, start, end).is_none());
+}
+
+#[test]
+fn engine_answers_match_batch_serialization_and_cache() {
+    let state = tiny_state();
+    for section in Section::ALL {
+        let (response, action) = state.answer(Request::Report(section));
+        assert_eq!(action, Action::Continue);
+        match response {
+            Response::Ok(body) => {
+                assert_eq!(body, section_json(state.report(), section), "{section:?}")
+            }
+            other => panic!("section {section:?} errored: {other:?}"),
+        }
+    }
+    // Same queries again: every one a cache hit.
+    let misses_before = state.stats.cache_misses.load(Ordering::Relaxed);
+    for section in Section::ALL {
+        let (response, _) = state.answer(Request::Report(section));
+        assert!(matches!(response, Response::Ok(_)));
+    }
+    assert_eq!(
+        state.stats.cache_misses.load(Ordering::Relaxed),
+        misses_before,
+        "repeat queries must not miss"
+    );
+    assert!(state.stats.cache_hits.load(Ordering::Relaxed) >= Section::ALL.len() as u64);
+    let stats = state.stats_report();
+    assert!(stats.cache_hit_ratio > 0.0);
+
+    // Malformed payloads get an error reply and count as errors.
+    let (reply, action) = state.handle(&[0xFF, 0xFE]);
+    assert_eq!(action, Action::Continue);
+    assert!(matches!(
+        Response::decode(&reply),
+        Some(Response::Err {
+            code: ERR_MALFORMED,
+            ..
+        })
+    ));
+    assert!(state.stats.errors.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn server_serves_concurrent_clients_and_drains_on_shutdown() {
+    let state = tiny_state();
+    let expected_full = section_json(state.report(), Section::Full);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&state), ServeOptions::default())
+        .expect("bind ephemeral");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let expected = expected_full.clone();
+            joins.push(s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..3 {
+                    match client.request(&Request::Report(Section::Full)).unwrap() {
+                        Response::Ok(body) => assert_eq!(body, expected),
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+                // A hostile frame gets an error reply...
+                match client.request_raw(&[0xAB; 7]).unwrap() {
+                    Response::Err { code, .. } => assert_eq!(code, ERR_MALFORMED),
+                    other => panic!("hostile frame got {other:?}"),
+                }
+                // ...and the connection keeps working afterwards.
+                assert!(matches!(
+                    client.request(&Request::Ping).unwrap(),
+                    Response::Ok(_)
+                ));
+            }));
+        }
+        for j in joins {
+            j.join().expect("client thread");
+        }
+    });
+
+    // Protocol-level shutdown: reply first, then drain and exit.
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    assert!(matches!(
+        client.request(&Request::Shutdown).unwrap(),
+        Response::Ok(_)
+    ));
+    handle.shutdown().expect("drain");
+    assert!(
+        Client::connect(addr).is_err()
+            || Client::connect(addr)
+                .and_then(|mut c| {
+                    c.request(&Request::Ping)
+                        .map_err(|_| io::Error::other("closed"))
+                })
+                .is_err(),
+        "server must stop accepting after shutdown"
+    );
+}
+
+#[test]
+fn oversized_request_frames_get_an_error_reply() {
+    let state = tiny_state();
+    let server = Server::bind("127.0.0.1:0", state, ServeOptions::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.spawn().unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    match client.request_raw(&vec![0u8; REQUEST_MAX + 1]) {
+        Ok(Response::Err { code, .. }) => assert_eq!(code, ERR_MALFORMED),
+        other => panic!("oversized frame got {other:?}"),
+    }
+    handle.shutdown().unwrap();
+}

@@ -20,6 +20,8 @@
 //! * [`Protocol`] / [`amplification`] — transport protocols and the
 //!   UDP-amplification service table of the paper's Table 3.
 //! * [`Timestamp`] / [`TimeDelta`] — millisecond-resolution virtual time.
+//! * [`cursor`] / [`frame`] — byte cursors and length-prefixed framing for
+//!   the wire codecs and the `rtbhd` query protocol.
 //!
 //! Everything here is plain data: `Copy` where possible, totally ordered,
 //! hashable, and JSON-serializable (via the in-tree `rtbh-json` traits), so
@@ -35,6 +37,7 @@ pub mod asn;
 pub mod community;
 pub mod cursor;
 pub mod error;
+pub mod frame;
 pub mod lpm;
 pub mod mac;
 pub mod ports;

@@ -23,5 +23,9 @@ rtbh_testkit::seed_table! {
         FUZZ_COLUMNS_BITSET = 0x7E57_4B17_0000_000E,
         FUZZ_COLUMNS_GALLOP = 0x7E57_4B17_0000_000F,
         FUZZ_CHUNK_CAPACITY = 0x7E57_4B17_0000_0010,
+        FUZZ_SERVE_ROUNDTRIP = 0x7E57_4B17_0000_0011,
+        FUZZ_SERVE_MUTATED = 0x7E57_4B17_0000_0012,
+        FUZZ_SERVE_GARBAGE = 0x7E57_4B17_0000_0013,
+        FUZZ_SERVE_ENGINE = 0x7E57_4B17_0000_0014,
     }
 }

@@ -1,0 +1,170 @@
+//! Deterministic fuzz suite for the `rtbhd` query protocol
+//! (`rtbh_core::serve`).
+//!
+//! Round-trip targets feed *valid* generated requests through
+//! encode→decode; hardening targets feed mutated canonical requests and
+//! pure garbage through the request/response/frame decoders and the live
+//! query engine. The contract under fire: the decoders never panic, and
+//! the engine answers every payload — hostile or not — with a
+//! well-formed, decodable reply (malformed ones with a clean
+//! `ERR_MALFORMED` error, never a dropped connection state or a crash).
+//!
+//! Every failure prints a `RTBH_FUZZ_SEED=…` reproduction command.
+
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
+use std::sync::{Arc, OnceLock};
+
+use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
+use rtbh_core::serve::{
+    Action, ProtoError, Request, Response, Section, ServeState, ERR_MALFORMED, REQUEST_MAX,
+};
+use rtbh_net::frame;
+use rtbh_net::{Ipv4Addr, Prefix};
+use rtbh_rng::Rng;
+use rtbh_testkit::{mutate, FuzzTarget};
+
+fn target(test_name: &'static str, base_seed: u64) -> FuzzTarget {
+    FuzzTarget {
+        package: "rtbh-testkit",
+        test_file: "fuzz_serve",
+        test_name,
+        base_seed,
+    }
+}
+
+/// The engine under fire: one tiny corpus, prepared once for the whole
+/// suite (`Analyzer::full` is far too slow to run per case).
+fn engine() -> &'static Arc<ServeState> {
+    static ENGINE: OnceLock<Arc<ServeState>> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+        let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+        Arc::new(ServeState::new(Analyzer::new(out.corpus, config)))
+    })
+}
+
+fn arb_i64<R: Rng>(rng: &mut R) -> i64 {
+    match rng.gen_range(0..8usize) {
+        0 => i64::MIN,
+        1 => i64::MAX,
+        2 => 0,
+        3 => rng.gen_range(-1_000_000i64..=1_000_000),
+        _ => rng.next_u64() as i64,
+    }
+}
+
+fn arb_request<R: Rng>(rng: &mut R) -> Request {
+    match rng.gen_range(0..7usize) {
+        0 => Request::Ping,
+        1 => Request::Info,
+        2 => {
+            let tag = rng.gen_range(0..Section::ALL.len());
+            Request::Report(Section::ALL[tag])
+        }
+        3 => Request::Window {
+            start_ms: arb_i64(rng),
+            end_ms: arb_i64(rng),
+        },
+        4 => {
+            let len = rng.gen_range(0..=32usize) as u8;
+            let prefix = Prefix::new(Ipv4Addr::from_u32(rng.next_u32()), len)
+                .expect("len <= 32 is always valid");
+            Request::Prefix {
+                prefix,
+                start_ms: arb_i64(rng),
+                end_ms: arb_i64(rng),
+            }
+        }
+        5 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+#[test]
+fn request_roundtrip() {
+    target("request_roundtrip", seeds::FUZZ_SERVE_ROUNDTRIP).run(2000, |_, rng| {
+        let request = arb_request(rng);
+        let encoded = request.encode();
+        assert!(encoded.len() <= REQUEST_MAX, "canonical request over cap");
+        assert_eq!(Request::decode(&encoded), Ok(request));
+    });
+}
+
+#[test]
+fn mutated_requests_never_panic() {
+    target("mutated_requests_never_panic", seeds::FUZZ_SERVE_MUTATED).run(2000, |_, rng| {
+        let mut bytes = arb_request(rng).encode();
+        let hits = rng.gen_range(1..=4usize);
+        mutate::mutate_n(rng, &mut bytes, hits);
+        // Decode must return, not panic; a successful decode must
+        // re-encode to something that decodes to the same request.
+        if let Ok(request) = Request::decode(&bytes) {
+            assert_eq!(Request::decode(&request.encode()), Ok(request));
+        }
+        // The response decoder faces the same hostile bytes on the
+        // client side.
+        let _ = Response::decode(&bytes);
+    });
+}
+
+#[test]
+fn garbage_decoders_never_panic() {
+    target("garbage_decoders_never_panic", seeds::FUZZ_SERVE_GARBAGE).run(2000, |_, rng| {
+        let bytes = mutate::random_bytes(rng, 256);
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+        // The framing layer sees the same garbage as a wire stream; it
+        // must reject oversized/torn frames cleanly and never panic.
+        let mut stream = &bytes[..];
+        while let Ok(Some(_)) = frame::read_frame(&mut stream, REQUEST_MAX) {}
+    });
+}
+
+#[test]
+fn hostile_payloads_get_clean_error_replies() {
+    let state = engine();
+    target(
+        "hostile_payloads_get_clean_error_replies",
+        seeds::FUZZ_SERVE_ENGINE,
+    )
+    .run(600, |_, rng| {
+        // Half mutated canonical requests, half pure garbage.
+        let payload = if rng.gen_bool(0.5) {
+            let mut bytes = arb_request(rng).encode();
+            let hits = rng.gen_range(1..=4usize);
+            mutate::mutate_n(rng, &mut bytes, hits);
+            bytes
+        } else {
+            mutate::random_bytes(rng, 64)
+        };
+        let decodes = Request::decode(&payload);
+        let (reply, action) = state.handle(&payload);
+        // Every reply — to hostile bytes included — must itself be a
+        // well-formed response frame payload.
+        match Response::decode(&reply) {
+            Some(Response::Ok(_)) => {
+                assert!(decodes.is_ok(), "Ok reply to an undecodable payload")
+            }
+            Some(Response::Err { code, message }) => {
+                assert!(!message.is_empty(), "error reply with no diagnostic");
+                if let Err(e) = &decodes {
+                    assert_eq!(code, ERR_MALFORMED, "wrong code for {e:?}");
+                }
+            }
+            None => panic!("engine produced an undecodable reply"),
+        }
+        // Only a well-formed Shutdown may stop the server.
+        if action == Action::Shutdown {
+            assert_eq!(decodes, Ok(Request::Shutdown));
+        }
+        // Decode errors must be total and displayable (the message
+        // lands in the error reply).
+        if let Err(e) = decodes {
+            assert!(!e.to_string().is_empty());
+            let _ = matches!(e, ProtoError::Empty);
+        }
+    });
+}

@@ -4,6 +4,10 @@
 //! rtbh simulate [--tiny | --paper | --scale F] [--seed N] <out.rtbh>
 //! rtbh info    <corpus.rtbh>
 //! rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]
+//! rtbh query   <addr> <ping|info|stats|shutdown>
+//! rtbh query   <addr> report [section]
+//! rtbh query   <addr> window <start_ms> <end_ms>
+//! rtbh query   <addr> prefix <cidr> [<start_ms> <end_ms>]
 //! ```
 //!
 //! `simulate` writes the corpus in the binary container format (JSON
@@ -16,6 +20,9 @@
 //! wall-time table of the parallel pipeline (preparation kernels included)
 //! and writes the profile as machine-readable JSON to `BENCH_pipeline.json`
 //! in the working directory (see the README's "Performance" section).
+//! `query` is the client for a running `rtbhd` daemon: it sends one
+//! request over the length-prefixed binary protocol and prints the JSON
+//! reply (exit 1 on an error reply or a dead server).
 
 use std::path::PathBuf;
 
@@ -26,7 +33,11 @@ use rtbh_json::ToJson;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  rtbh simulate [--tiny|--paper|--scale F] [--seed N] <out.rtbh>\n  \
-         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]"
+         rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]\n  \
+         rtbh query <addr> <ping|info|stats|shutdown>\n  \
+         rtbh query <addr> report [section]\n  \
+         rtbh query <addr> window <start_ms> <end_ms>\n  \
+         rtbh query <addr> prefix <cidr> [<start_ms> <end_ms>]"
     );
     std::process::exit(2);
 }
@@ -37,6 +48,7 @@ fn main() {
         Some("simulate") => simulate(args.collect()),
         Some("info") => info(args.collect()),
         Some("analyze") => analyze(args.collect()),
+        Some("query") => query(args.collect()),
         _ => usage(),
     }
 }
@@ -121,6 +133,90 @@ fn info(args: Vec<String>) {
     );
     println!("route table:    {} prefixes", corpus.routes.len());
     println!("digest:         {:#018x}", corpus.digest());
+}
+
+fn query(args: Vec<String>) {
+    use rtbh::core::serve::{Client, Request, Response, Section};
+
+    let mut it = args.into_iter();
+    let Some(addr) = it.next() else { usage() };
+    let Some(verb) = it.next() else { usage() };
+    let parse_ms = |s: Option<String>| -> i64 {
+        s.unwrap_or_else(|| usage())
+            .parse()
+            .unwrap_or_else(|_| usage())
+    };
+    let request = match verb.as_str() {
+        "ping" => Request::Ping,
+        "info" => Request::Info,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "report" => {
+            let section = match it.next() {
+                None => Section::Full,
+                Some(name) => Section::from_name(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown section {name:?}; one of: {}",
+                        Section::ALL.map(Section::name).join(", ")
+                    );
+                    std::process::exit(2);
+                }),
+            };
+            Request::Report(section)
+        }
+        "window" => Request::Window {
+            start_ms: parse_ms(it.next()),
+            end_ms: parse_ms(it.next()),
+        },
+        "prefix" => {
+            let prefix = it
+                .next()
+                .unwrap_or_else(|| usage())
+                .parse()
+                .unwrap_or_else(|_| usage());
+            let (start_ms, end_ms) = match it.next() {
+                // No window: slice over all of (virtual) time.
+                None => (i64::MIN, i64::MAX),
+                Some(s) => (s.parse().unwrap_or_else(|_| usage()), parse_ms(it.next())),
+            };
+            Request::Prefix {
+                prefix,
+                start_ms,
+                end_ms,
+            }
+        }
+        _ => usage(),
+    };
+    if it.next().is_some() {
+        usage();
+    }
+    let mut client = Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("failed to connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    match client.request(&request) {
+        Ok(Response::Ok(body)) => {
+            let mut out = std::io::stdout().lock();
+            use std::io::Write as _;
+            // A closed pipe (`rtbh query … | head`) is a normal way for
+            // the reader to stop consuming, not an error.
+            if let Err(e) = out.write_all(&body).and_then(|()| out.write_all(b"\n")) {
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    std::process::exit(0);
+                }
+                eprintln!("write stdout: {e}");
+                std::process::exit(1);
+            }
+        }
+        Ok(Response::Err { code, message }) => {
+            eprintln!("server error {code}: {message}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn analyze(args: Vec<String>) {
