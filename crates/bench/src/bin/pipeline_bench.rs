@@ -8,6 +8,7 @@
 //!                [--out PATH] [--index-out PATH] [--no-index]
 //!                [--flows-out PATH] [--no-flows] [--flows-floor F]
 //!                [--serve] [--serve-out PATH] [--serve-floor QPS]
+//!                [--stream] [--stream-out PATH] [--stream-floor EPS]
 //! ```
 //!
 //! Defaults: `--scale 0.25 --reps 3 --out BENCH_pipeline.json --index-out
@@ -27,6 +28,14 @@
 //! `BENCH_serve.json` (`--serve-out`). `--serve-floor QPS` exits 1 if any
 //! concurrency level's throughput falls below the floor, and divergence
 //! from the batch answers always exits 1.
+//!
+//! `--stream` runs the streaming-ingest bench (`rtbh_bench::stream`): the
+//! corpus replayed through `rtbh_core::stream` at 1/2/all-cores finalizer
+//! workers, every finalized report cross-checked byte-for-byte against the
+//! batch `FullReport` before the numbers count, with events/sec written to
+//! `BENCH_stream.json` (`--stream-out`). `--stream-floor EPS` exits 1 if
+//! any level's ingest throughput falls below the floor; divergence from
+//! the batch report always exits 1.
 
 use std::io::Write;
 
@@ -37,7 +46,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] \
          [--out PATH] [--index-out PATH] [--no-index] [--flows-out PATH] [--no-flows] \
-         [--flows-floor F] [--serve] [--serve-out PATH] [--serve-floor QPS]"
+         [--flows-floor F] [--serve] [--serve-out PATH] [--serve-floor QPS] \
+         [--stream] [--stream-out PATH] [--stream-floor EPS]"
     );
     std::process::exit(2);
 }
@@ -51,6 +61,8 @@ fn main() {
     let mut flows_floor: Option<f64> = None;
     let mut serve_out_path: Option<String> = None;
     let mut serve_floor: Option<f64> = None;
+    let mut stream_out_path: Option<String> = None;
+    let mut stream_floor: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,6 +109,18 @@ fn main() {
             "--serve-out" => serve_out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--serve-floor" => {
                 serve_floor = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--stream" => {
+                stream_out_path.get_or_insert_with(|| String::from("BENCH_stream.json"));
+            }
+            "--stream-out" => stream_out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--stream-floor" => {
+                stream_floor = Some(
                     args.next()
                         .unwrap_or_else(|| usage())
                         .parse()
@@ -254,7 +278,7 @@ fn main() {
         None => true,
         Some(path) => {
             eprintln!("\nrtbhd load bench ({reps} rep(s) per concurrency level) ...");
-            let sb = rtbh_bench::bench_serve(config, reps);
+            let sb = rtbh_bench::bench_serve(config.clone(), reps);
             writeln!(
                 stdout,
                 "\nrtbhd: {} distinct queries over {} samples \
@@ -295,6 +319,51 @@ fn main() {
         }
     };
 
+    let mut stream_eps_min: Option<f64> = None;
+    let stream_ok = match &stream_out_path {
+        None => true,
+        Some(path) => {
+            eprintln!("\nstreaming-ingest bench ({reps} rep(s) per worker level) ...");
+            let tb = rtbh_bench::bench_stream(config, reps);
+            writeln!(
+                stdout,
+                "\nstream: {} events ({} updates + {} samples), batch size {}, \
+                 {} live verdicts per replay:",
+                tb.updates + tb.samples,
+                tb.updates,
+                tb.samples,
+                tb.batch_size,
+                tb.verdicts
+            )
+            .expect("write stdout");
+            for l in &tb.levels {
+                writeln!(
+                    stdout,
+                    "  {:>3} worker(s): {:>12.0} events/s ingest  \
+                     (finalize {:>8.2} ms, report identical: {})",
+                    l.workers,
+                    l.events_per_sec,
+                    l.finalize_ns as f64 / 1e6,
+                    l.report_identical
+                )
+                .expect("write stdout");
+            }
+            writeln!(
+                stdout,
+                "  finalized reports identical to batch: {}",
+                tb.answers_identical
+            )
+            .expect("write stdout");
+            std::fs::write(path, rtbh_json::to_vec_pretty(&tb)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+            stream_eps_min = Some(tb.min_events_per_sec);
+            tb.answers_identical
+        }
+    };
+
     if !bench.reports_identical {
         eprintln!("ERROR: sequential and parallel reports diverged");
         std::process::exit(1);
@@ -329,5 +398,19 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("rtbhd throughput {qps:.0} q/s >= {floor:.0} q/s floor: ok");
+    }
+    if !stream_ok {
+        eprintln!("ERROR: streaming finalized report diverged from batch");
+        std::process::exit(1);
+    }
+    if let (Some(floor), Some(eps)) = (stream_floor, stream_eps_min) {
+        if eps < floor {
+            eprintln!(
+                "ERROR: stream ingest {eps:.0} events/s regressed below the \
+                 {floor:.0} events/s floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("stream ingest {eps:.0} events/s >= {floor:.0} events/s floor: ok");
     }
 }

@@ -14,6 +14,7 @@ pub mod lpm;
 pub mod pipeline;
 pub mod render;
 pub mod serve;
+pub mod stream;
 
 use rtbh_core::pipeline::{Analyzer, FullReport};
 use rtbh_sim::{GroundTruth, ScenarioConfig, SimOutput};
@@ -24,6 +25,7 @@ pub use lpm::{bench_index, IndexBench};
 pub use pipeline::{bench_pipeline, PipelineBench};
 pub use render::FigureReport;
 pub use serve::{bench_serve, ServeBench};
+pub use stream::{bench_stream, StreamBench};
 
 /// A fully prepared experiment context: simulated corpus + analysis results
 /// + (for scoring annotations only) the ground truth.

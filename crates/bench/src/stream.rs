@@ -1,0 +1,162 @@
+//! The streaming-ingest throughput bench: the corpus replayed through
+//! [`rtbh_core::stream`] with the finalized report cross-checked
+//! byte-for-byte against the batch pipeline before any timing is recorded.
+//!
+//! For every worker level (1, 2, all cores — worker counts shard the
+//! *finalizer's* batch kernels; ingest itself is single-threaded by
+//! design, one ordered feed) the harness replays the interleaved feed
+//! `reps` times, keeps the best ingest wall time, and records events/sec.
+//! A level is only recorded after its finalized `FullReport` matched the
+//! batch report byte-for-byte (`BENCH_stream.json`,
+//! `pipeline_bench --stream`).
+
+use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
+use rtbh_core::shard;
+use rtbh_core::stream::{StreamConfig, StreamDriver};
+use rtbh_sim::ScenarioConfig;
+
+/// One timed worker level.
+#[derive(Debug, Clone)]
+pub struct StreamLevel {
+    /// Finalizer worker threads (ingest is one ordered feed).
+    pub workers: usize,
+    /// Events (updates + samples) fed per rep.
+    pub events: u64,
+    /// Best-of-reps ingest wall time.
+    pub best_ingest_ns: u64,
+    /// Ingest throughput in the best rep.
+    pub events_per_sec: f64,
+    /// Finalize (batch kernels over the accumulated logs) wall time in the
+    /// best rep.
+    pub finalize_ns: u64,
+    /// True iff this level's finalized report matched the batch report
+    /// byte-for-byte.
+    pub report_identical: bool,
+}
+
+rtbh_json::impl_json! {
+    serialize struct StreamLevel {
+        workers, events, best_ingest_ns, events_per_sec, finalize_ns,
+        report_identical,
+    }
+}
+
+/// The full stream-bench record (`BENCH_stream.json`).
+#[derive(Debug, Clone)]
+pub struct StreamBench {
+    /// Scenario label (days/members/seed).
+    pub scenario: String,
+    /// Samples in the corpus.
+    pub samples: usize,
+    /// BGP updates in the corpus.
+    pub updates: usize,
+    /// Feed batch size used for ingest.
+    pub batch_size: usize,
+    /// Repetitions per level (best-of).
+    pub reps: usize,
+    /// True iff every level's report matched batch byte-for-byte.
+    pub answers_identical: bool,
+    /// Live verdicts journaled per replay.
+    pub verdicts: u64,
+    /// Timings at 1, 2 and all-cores finalizer workers.
+    pub levels: Vec<StreamLevel>,
+    /// Minimum events/sec across levels (the CI floor gate).
+    pub min_events_per_sec: f64,
+}
+
+rtbh_json::impl_json! {
+    serialize struct StreamBench {
+        scenario, samples, updates, batch_size, reps, answers_identical,
+        verdicts, levels, min_events_per_sec,
+    }
+}
+
+/// Feed batch size for the timed replays (the CLI default).
+const BATCH_SIZE: usize = 4096;
+
+/// Simulates `config`, computes the batch reference report once, then for
+/// each worker level replays the interleaved feed through the streaming
+/// analyzer `reps` times, byte-compares the finalized report against batch
+/// and records ingest events/sec.
+pub fn bench_stream(config: ScenarioConfig, reps: usize) -> StreamBench {
+    let reps = reps.max(1);
+    let out = rtbh_sim::run(&config);
+    let corpus = out.corpus;
+    let scenario = format!(
+        "{} days, {} members, seed {:#x}",
+        config.days, config.members, config.seed
+    );
+    let samples = corpus.flows.len();
+    let updates = corpus.updates.len();
+
+    let all_workers = shard::resolve_workers(0);
+    let mut worker_levels = vec![1, 2, all_workers];
+    worker_levels.sort_unstable();
+    worker_levels.dedup();
+
+    let mut answers_identical = true;
+    let mut verdicts = 0u64;
+    let mut levels = Vec::new();
+    for workers in worker_levels {
+        let analyzer_config = AnalyzerConfig::for_corpus(&corpus).with_workers(workers);
+        // Batch reference for THIS worker count (reports are byte-identical
+        // across workers, but compare like-for-like anyway).
+        let expected =
+            rtbh_json::to_vec_pretty(&Analyzer::new(corpus.clone(), analyzer_config).full());
+        let stream_config = StreamConfig {
+            analyzer: analyzer_config,
+            ..StreamConfig::for_corpus(&corpus)
+        };
+        let driver = StreamDriver::new(BATCH_SIZE);
+        let mut best_ingest = u64::MAX;
+        let mut finalize_ns = 0u64;
+        let mut events = 0u64;
+        let mut report_identical = true;
+        for _ in 0..reps {
+            let run = driver.replay(&corpus, stream_config);
+            // Correctness BEFORE the numbers count: a fast-but-wrong
+            // stream path must fail the bench, not win it.
+            if rtbh_json::to_vec_pretty(&run.report) != expected {
+                eprintln!("stream bench: finalized report diverged from batch ({workers} workers)");
+                report_identical = false;
+                answers_identical = false;
+            }
+            events = run.events_fed as u64;
+            verdicts = run.status.verdicts;
+            let ingest_ns = run
+                .profile
+                .prepare
+                .iter()
+                .find(|s| s.stage == "ingest")
+                .map_or(u64::MAX, |s| s.wall_ns.max(1));
+            if ingest_ns < best_ingest {
+                best_ingest = ingest_ns;
+                finalize_ns = run.profile.total_wall_ns;
+            }
+        }
+        levels.push(StreamLevel {
+            workers,
+            events,
+            best_ingest_ns: best_ingest,
+            events_per_sec: events as f64 / (best_ingest as f64 / 1e9),
+            finalize_ns,
+            report_identical,
+        });
+    }
+
+    let min_events_per_sec = levels
+        .iter()
+        .map(|l| l.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    StreamBench {
+        scenario,
+        samples,
+        updates,
+        batch_size: BATCH_SIZE,
+        reps,
+        answers_identical,
+        verdicts,
+        levels,
+        min_events_per_sec,
+    }
+}

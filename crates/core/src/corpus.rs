@@ -6,7 +6,9 @@ use std::sync::OnceLock;
 use rtbh_bgp::UpdateLog;
 use rtbh_fabric::FlowLog;
 use rtbh_net::{Asn, Interval, MacAddr};
-use rtbh_peeringdb::Registry;
+// Re-exported so downstream test harnesses can build a `Corpus` without a
+// direct `rtbh-peeringdb` dependency.
+pub use rtbh_peeringdb::Registry;
 
 /// The MAC addresses of one member's router ports, as known to the IXP
 /// (the paper maps sampled MACs to member ASes this way, §3.1).

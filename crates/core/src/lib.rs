@@ -35,7 +35,11 @@
 //! analyzer into the `rtbhd` multi-client query server (length-prefixed
 //! binary protocol, thread-per-core workers, [`lru`]-cached responses)
 //! answering window aggregates, per-prefix drop provenance and report
-//! sections over `Arc` snapshots of the sealed chunks.
+//! sections over `Arc` snapshots of the sealed chunks; [`stream`] is the
+//! event-driven analyzer — a watermark-ordered feed of updates and samples
+//! drives a bounded ring of sealed chunks, incremental EWMA detectors and
+//! a journaled live-verdict log, and its finalizer reproduces the batch
+//! [`pipeline::FullReport`](pipeline::FullReport) byte-for-byte.
 //!
 //! The pipeline never sees simulator ground truth — only what the paper's
 //! vantage point could record.
@@ -63,6 +67,7 @@ pub mod protocols;
 pub mod report;
 pub mod serve;
 pub mod shard;
+pub mod stream;
 pub mod visibility;
 
 pub use corpus::{Corpus, MemberInfo};

@@ -173,7 +173,6 @@ impl Analyzer {
     pub fn new(corpus: Corpus, config: AnalyzerConfig) -> Self {
         let workers = crate::shard::resolve_workers(config.workers);
         let mut prepare = Vec::new();
-        let updates_total = corpus.updates.len() as u64;
 
         let ((cleaned, clean_report), st) = profile::time_stage_with_workers(
             "clean",
@@ -186,6 +185,38 @@ impl Analyzer {
             || clean_flows_with_workers(&corpus, workers),
         );
         prepare.push(st);
+
+        Self::prepare(corpus, config, clean_report, cleaned, prepare, workers)
+    }
+
+    /// Prepares a corpus whose flow log is **already cleaned** (internal
+    /// IXP traffic removed), skipping the clean stage and running the
+    /// remaining preparation kernels (align → shift → event inference →
+    /// enrichment → index) exactly as [`Analyzer::new`] would.
+    ///
+    /// This is the finalizer path of the streaming analyzer
+    /// ([`crate::stream`]): the stream cleans samples on ingest while
+    /// accumulating the same [`CleanReport`] counters, so replaying its
+    /// accumulated logs through this constructor reproduces the batch
+    /// [`FullReport`] byte-for-byte (pinned by the `stream_diff` suite).
+    pub fn from_cleaned(corpus: Corpus, config: AnalyzerConfig, clean_report: CleanReport) -> Self {
+        let workers = crate::shard::resolve_workers(config.workers);
+        let cleaned = corpus.flows.clone();
+        Self::prepare(corpus, config, clean_report, cleaned, Vec::new(), workers)
+    }
+
+    /// The shared preparation tail: every kernel after cleaning, in batch
+    /// order. `cleaned` must hold the corpus's samples with internal
+    /// traffic removed, in original log order.
+    fn prepare(
+        corpus: Corpus,
+        config: AnalyzerConfig,
+        clean_report: CleanReport,
+        cleaned: FlowLog,
+        mut prepare: Vec<StageStats>,
+        workers: usize,
+    ) -> Self {
+        let updates_total = corpus.updates.len() as u64;
 
         let (alignment, st) = profile::time_stage_with_workers(
             "align",

@@ -41,6 +41,10 @@ pub enum ExecutionMode {
     Sequential,
     /// Independent stages on scoped worker threads.
     Parallel,
+    /// Event-at-a-time ingest through [`crate::stream`], then the batch
+    /// finalizer — `prepare` carries the ingest/finish/finalize phases,
+    /// `stages` the analysis stages of the finalized report.
+    Streaming,
 }
 
 impl ExecutionMode {
@@ -49,6 +53,7 @@ impl ExecutionMode {
         match self {
             Self::Sequential => "sequential",
             Self::Parallel => "parallel",
+            Self::Streaming => "streaming",
         }
     }
 }
@@ -350,7 +355,7 @@ mod tests {
     }
 }
 
-rtbh_json::impl_json! { enum ExecutionMode { Sequential, Parallel } }
+rtbh_json::impl_json! { enum ExecutionMode { Sequential, Parallel, Streaming } }
 
 rtbh_json::impl_json! { struct Footprint { updates, samples, events } }
 

@@ -180,6 +180,117 @@ fn server_serves_concurrent_clients_and_drains_on_shutdown() {
     );
 }
 
+/// Regression for the hot-reload direction (ROADMAP item 2): every other
+/// test in this suite serves one sealed corpus forever. A reloading
+/// deployment swaps a fresh `Arc<ServeState>` under concurrent readers —
+/// a reader that grabbed its snapshot must keep seeing ONE consistent
+/// chunk set end to end, never a mix of old report bytes and new columns.
+#[test]
+fn arc_swapped_snapshots_see_a_consistent_chunk_set() {
+    use std::sync::RwLock;
+
+    // Two distinguishable corpora (different seeds → different digests,
+    // sample counts and report bytes).
+    let build = |seed: u64| -> Arc<ServeState> {
+        let mut config = rtbh_sim::ScenarioConfig::tiny();
+        config.seed = seed;
+        let out = rtbh_sim::run(&config);
+        let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+        Arc::new(ServeState::new(Analyzer::new(out.corpus, config)))
+    };
+    let states = [build(1), build(2)];
+    // Per-state expectation: (full-report bytes, whole-period window
+    // aggregate, total samples) — three facts that only agree when they
+    // come from the same snapshot.
+    let expected: Vec<_> = states
+        .iter()
+        .map(|state| {
+            let cols = state.analyzer().columns();
+            let period = state.analyzer().corpus().period;
+            let (s, e) = (period.start.as_millis(), period.end.as_millis());
+            (
+                section_json(state.report(), Section::Full),
+                window_aggregate(cols, s, e),
+                cols.len() as u64,
+            )
+        })
+        .collect();
+    assert_ne!(expected[0].0, expected[1].0, "corpora must differ");
+
+    let current: RwLock<Arc<ServeState>> = RwLock::new(Arc::clone(&states[0]));
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            joins.push(scope.spawn(|| {
+                for _ in 0..200 {
+                    // Snapshot: clone the Arc out of the lock, then answer
+                    // everything from the snapshot alone.
+                    let snap = Arc::clone(&current.read().expect("reader lock"));
+                    let cols = snap.analyzer().columns();
+                    let period = snap.analyzer().corpus().period;
+                    let (s, e) = (period.start.as_millis(), period.end.as_millis());
+                    let report = section_json(snap.report(), Section::Full);
+                    let window = window_aggregate(cols, s, e);
+                    let samples = cols.len() as u64;
+                    let matched = expected
+                        .iter()
+                        .any(|(rep, win, n)| report == *rep && window == *win && samples == *n);
+                    assert!(
+                        matched,
+                        "snapshot mixed chunk sets: {samples} samples with a \
+                         report from a different corpus"
+                    );
+                    assert_eq!(
+                        window.samples, samples,
+                        "whole-period window must see the snapshot's own chunks"
+                    );
+                }
+            }));
+        }
+        // Writer: swap the served state back and forth while readers run.
+        joins.push(scope.spawn(|| {
+            for i in 0..400usize {
+                let next = Arc::clone(&states[i % 2]);
+                *current.write().expect("writer lock") = next;
+            }
+        }));
+        for j in joins {
+            j.join().expect("snapshot thread");
+        }
+    });
+}
+
+/// A stream-finalized analyzer must serve the exact bytes the batch-built
+/// one serves — the serve layer cannot tell how its chunks were ingested.
+#[test]
+fn stream_finalized_state_serves_batch_identical_bytes() {
+    use rtbh_core::stream::{StreamConfig, StreamDriver};
+
+    let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+    let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+    let batch = Arc::new(ServeState::new(Analyzer::new(out.corpus.clone(), config)));
+    let stream_config = StreamConfig {
+        analyzer: config,
+        ..StreamConfig::for_corpus(&out.corpus)
+    };
+    let run = StreamDriver::new(4096).replay(&out.corpus, stream_config);
+    let streamed = Arc::new(ServeState::new(run.analyzer));
+    for section in Section::ALL {
+        assert_eq!(
+            section_json(streamed.report(), section),
+            section_json(batch.report(), section),
+            "section {section:?} diverged between stream- and batch-built state"
+        );
+    }
+    let period = batch.analyzer().corpus().period;
+    let (s, e) = (period.start.as_millis(), period.end.as_millis());
+    assert_eq!(
+        window_aggregate(streamed.analyzer().columns(), s, e),
+        window_aggregate(batch.analyzer().columns(), s, e),
+        "window kernels diverged between stream- and batch-built chunks"
+    );
+}
+
 #[test]
 fn oversized_request_frames_get_an_error_reply() {
     let state = tiny_state();

@@ -20,10 +20,14 @@
 //!   the wire codecs, parse→write→parse fixpoints for JSON, and
 //!   `FrozenLpm`-vs-`PrefixTrie` lookup equivalence.
 //!
-//! Plus two smaller utilities: [`snapshot`] (golden-file assertions with a
-//! `RTBH_BLESS=1` regeneration path and a readable first-divergence diff)
-//! and [`seeds`] (compile-time seed tables + uniqueness assertions so no
-//! two randomized tests in a crate share an `rtbh-rng` stream).
+//! Plus [`streamgen`] — interleaved update/sample event feeds with
+//! adversarial orderings (bounded out-of-order arrivals, duplicates,
+//! seal-boundary bursts, clock-skewed sources) for the streaming analyzer's
+//! differential and fuzz suites — and two smaller utilities: [`snapshot`]
+//! (golden-file assertions with a `RTBH_BLESS=1` regeneration path and a
+//! readable first-divergence diff) and [`seeds`] (compile-time seed tables
+//! with uniqueness assertions so no two randomized tests in a crate share
+//! an `rtbh-rng` stream).
 //!
 //! See `TESTING.md` at the workspace root for the full suite map.
 
@@ -36,6 +40,7 @@ pub mod mutate;
 pub mod oracle;
 pub mod seeds;
 pub mod snapshot;
+pub mod streamgen;
 
 pub use driver::{fuzz_iters, FuzzTarget};
 pub use seeds::assert_unique_seeds;

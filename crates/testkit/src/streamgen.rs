@@ -1,0 +1,386 @@
+//! Generators for interleaved update/sample event feeds with adversarial
+//! orderings — the raw material of the `stream_diff` differential suite
+//! and the `fuzz_stream` hostile-feed targets.
+//!
+//! A *feed* here is a `Vec<FeedItem>` (the testkit-local mirror of
+//! `rtbh_core::stream::StreamEvent`; this crate stays a leaf below `core`,
+//! so the suites map items into core's type at the test boundary). The
+//! base generator [`arb_feed`] produces a *well-formed* feed: blackhole
+//! announce/withdraw runs with targeted traffic, background flows, all in
+//! timestamp order inside a bounded period. The adversarial combinators
+//! then degrade it along one axis each — bounded out-of-order arrivals
+//! ([`shuffle_bounded`]), duplicated events ([`duplicate_some`]),
+//! same-timestamp bursts that straddle chunk-seal boundaries
+//! ([`burst_at`]), and clock-skewed sources ([`skew_samples`]) — so a
+//! failing case identifies which property broke the consumer.
+
+use rtbh_bgp::{BgpUpdate, UpdateKind};
+use rtbh_fabric::FlowSample;
+use rtbh_net::{Asn, Community, Ipv4Addr, MacAddr, Prefix, Protocol, TimeDelta, Timestamp};
+use rtbh_rng::{Rng, SliceRandom};
+
+/// One event of an interleaved feed (mirror of
+/// `rtbh_core::stream::StreamEvent`, kept here so the testkit library
+/// needs no `core` dependency).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeedItem {
+    /// A BGP update.
+    Update(BgpUpdate),
+    /// A flow sample.
+    Sample(FlowSample),
+}
+
+impl FeedItem {
+    /// The event's timestamp.
+    pub fn at(&self) -> Timestamp {
+        match self {
+            FeedItem::Update(u) => u.at,
+            FeedItem::Sample(s) => s.at,
+        }
+    }
+
+    /// Returns the item shifted by `delta` (clock-skew building block).
+    pub fn shifted(&self, delta: TimeDelta) -> FeedItem {
+        match self {
+            FeedItem::Update(u) => {
+                let mut u = u.clone();
+                u.at += delta;
+                FeedItem::Update(u)
+            }
+            FeedItem::Sample(s) => {
+                let mut s = *s;
+                s.at += delta;
+                FeedItem::Sample(s)
+            }
+        }
+    }
+}
+
+/// Shape of a generated feed.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedConfig {
+    /// Feed duration in minutes (events land in `[0, minutes)`).
+    pub minutes: i64,
+    /// Blackhole announce/withdraw runs to weave in.
+    pub runs: usize,
+    /// Flow samples (targeted + background).
+    pub samples: usize,
+}
+
+impl FeedConfig {
+    /// A small default: a one-day window, a handful of runs, a few hundred
+    /// samples — enough to exercise seal boundaries at capacity 64.
+    pub fn small() -> Self {
+        Self {
+            minutes: 24 * 60,
+            runs: 6,
+            samples: 400,
+        }
+    }
+}
+
+const MINUTE_MS: i64 = 60_000;
+
+fn ts(minute: i64, rng_ms: i64) -> Timestamp {
+    Timestamp::from_millis(minute * MINUTE_MS + rng_ms)
+}
+
+/// A member MAC from the small id space the corpus templates use.
+fn arb_member_mac<R: Rng>(rng: &mut R, members: u32) -> MacAddr {
+    MacAddr::from_id(rng.gen_range(1..=members.max(1)))
+}
+
+/// An in-order interleaved feed: `config.runs` blackhole announce /
+/// withdraw runs over distinct prefixes (some host routes, some /24s, a
+/// few left open-ended), `config.samples` flow samples — roughly half
+/// aimed at the blackholed prefixes (dropped via the blackhole MAC while
+/// a run is plausibly open), the rest background noise — all sorted by
+/// timestamp. The result is the *well-formed* baseline every adversarial
+/// combinator starts from.
+pub fn arb_feed<R: Rng>(rng: &mut R, config: FeedConfig) -> Vec<FeedItem> {
+    let minutes = config.minutes.max(2);
+    let mut items: Vec<FeedItem> = Vec::new();
+    let mut prefixes: Vec<Prefix> = Vec::new();
+    for i in 0..config.runs {
+        // Distinct, non-overlapping target prefixes: one /24 per run id,
+        // host routes within it for odd runs.
+        let base = Ipv4Addr::new(10, (i >> 6) as u8, (i & 0x3F) as u8, 0);
+        let len = if i % 2 == 1 { 32 } else { 24 };
+        let addr = if len == 32 {
+            Ipv4Addr::new(
+                10,
+                (i >> 6) as u8,
+                (i & 0x3F) as u8,
+                rng.gen_range(1..=254u32) as u8,
+            )
+        } else {
+            base
+        };
+        let prefix = Prefix::new(addr, len).expect("len <= 32");
+        prefixes.push(prefix);
+        let peer = Asn(64500 + rng.gen_range(0..8u32));
+        let start = rng.gen_range(0..minutes - 1);
+        let end = rng.gen_range(start + 1..=minutes);
+        let announce = BgpUpdate {
+            at: ts(start, rng.gen_range(0..MINUTE_MS)),
+            peer,
+            prefix,
+            origin: peer,
+            kind: UpdateKind::Announce,
+            communities: vec![Community::BLACKHOLE],
+            next_hop: Ipv4Addr::new(203, 0, 113, 66),
+        };
+        items.push(FeedItem::Update(announce.clone()));
+        // Roughly a third of the runs stay open-ended (no withdrawal).
+        if rng.gen_bool(0.67) && end < minutes {
+            items.push(FeedItem::Update(BgpUpdate {
+                at: ts(end, rng.gen_range(0..MINUTE_MS)),
+                kind: UpdateKind::Withdraw,
+                origin: Asn::RESERVED,
+                communities: Vec::new(),
+                next_hop: Ipv4Addr::UNSPECIFIED,
+                ..announce
+            }));
+        }
+    }
+    for _ in 0..config.samples {
+        let at = ts(rng.gen_range(0..minutes), rng.gen_range(0..MINUTE_MS));
+        let targeted = !prefixes.is_empty() && rng.gen_bool(0.5);
+        let dst_ip = if targeted {
+            let p = *prefixes.choose(rng).expect("non-empty");
+            // An address inside the prefix: the network address itself for
+            // hosts, a low host offset otherwise.
+            if p.is_host() {
+                p.network()
+            } else {
+                Ipv4Addr::from_u32(p.network().to_u32() | rng.gen_range(0..256u32))
+            }
+        } else {
+            Ipv4Addr::new(192, 0, 2, rng.gen_range(0..=255u32) as u8)
+        };
+        let dropped = targeted && rng.gen_bool(0.6);
+        items.push(FeedItem::Sample(FlowSample {
+            at,
+            src_mac: arb_member_mac(rng, 8),
+            dst_mac: if dropped {
+                MacAddr::BLACKHOLE
+            } else {
+                arb_member_mac(rng, 8)
+            },
+            src_ip: Ipv4Addr::new(198, 51, 100, rng.gen_range(0..=255u32) as u8),
+            dst_ip,
+            protocol: *[Protocol::Tcp, Protocol::Udp, Protocol::Icmp]
+                .choose(rng)
+                .expect("non-empty"),
+            src_port: rng.gen(),
+            dst_port: rng.gen_range(0..1024u32) as u16,
+            packet_len: rng.gen_range(64..1500u32) as u16,
+            fragment: rng.gen_bool(0.05),
+        }));
+    }
+    items.sort_by_key(|item| item.at().as_millis());
+    items
+}
+
+/// Bounded out-of-order arrival: each event is displaced by a uniform
+/// amount in `[0, max_displacement]` *positions backward in arrival order*
+/// while its timestamp stays put — the shape a consumer with a lateness
+/// allowance must tolerate. Displacement 0 returns the feed unchanged.
+pub fn shuffle_bounded<R: Rng>(
+    rng: &mut R,
+    feed: &[FeedItem],
+    max_displacement: usize,
+) -> Vec<FeedItem> {
+    if max_displacement == 0 || feed.len() < 2 {
+        return feed.to_vec();
+    }
+    // Stable sort by `index + uniform(0..=bound)`: an item with index i
+    // gets a key in [i, i+bound], every index >= i+bound+1 keys strictly
+    // above it and every index <= i-bound-1 strictly below, so no item
+    // lands more than `bound` positions from where it started.
+    let mut keyed: Vec<(usize, &FeedItem)> = feed
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            (
+                i + rng.gen_range(0..=max_displacement as u64) as usize,
+                item,
+            )
+        })
+        .collect();
+    keyed.sort_by_key(|&(key, _)| key);
+    keyed.into_iter().map(|(_, item)| item.clone()).collect()
+}
+
+/// Duplicates each event with probability `p` (the copy arrives
+/// immediately after the original). Duplicate *updates* are idempotent
+/// re-announcements/re-withdrawals; duplicate *samples* inflate counters —
+/// either way the consumer must not panic or corrupt its ring.
+pub fn duplicate_some<R: Rng>(rng: &mut R, feed: &[FeedItem], p: f64) -> Vec<FeedItem> {
+    let mut out = Vec::with_capacity(feed.len() * 2);
+    for item in feed {
+        out.push(item.clone());
+        if rng.gen_bool(p) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+/// Shifts every *sample* timestamp by `skew`, leaving updates untouched —
+/// a clock-skewed data-plane source feeding an otherwise ordered stream.
+/// The result is re-sorted (the merged feed a collector would emit).
+pub fn skew_samples(feed: &[FeedItem], skew: TimeDelta) -> Vec<FeedItem> {
+    let mut out: Vec<FeedItem> = feed
+        .iter()
+        .map(|item| match item {
+            FeedItem::Sample(_) => item.shifted(skew),
+            FeedItem::Update(_) => item.clone(),
+        })
+        .collect();
+    out.sort_by_key(|item| item.at().as_millis());
+    out
+}
+
+/// A burst of `n` near-identical samples at one timestamp aimed at
+/// `prefix` — with `n` larger than a chunk capacity, the burst must
+/// straddle a seal boundary inside the consumer's ring.
+pub fn burst_at<R: Rng>(rng: &mut R, at: Timestamp, n: usize, prefix: Prefix) -> Vec<FeedItem> {
+    (0..n)
+        .map(|_| {
+            FeedItem::Sample(FlowSample {
+                at,
+                src_mac: arb_member_mac(rng, 8),
+                dst_mac: MacAddr::BLACKHOLE,
+                src_ip: Ipv4Addr::new(198, 51, 100, rng.gen_range(0..=255u32) as u8),
+                dst_ip: prefix.network(),
+                protocol: Protocol::Udp,
+                src_port: rng.gen(),
+                dst_port: 53,
+                packet_len: 512,
+                fragment: false,
+            })
+        })
+        .collect()
+}
+
+/// Splices `burst` into `feed` at the position its timestamp belongs,
+/// keeping the feed sorted (stable: burst items land after any existing
+/// events at the same timestamp).
+pub fn splice_sorted(feed: &[FeedItem], burst: Vec<FeedItem>) -> Vec<FeedItem> {
+    let mut out = feed.to_vec();
+    out.extend(burst);
+    out.sort_by_key(|item| item.at().as_millis());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtbh_rng::ChaChaRng;
+
+    fn sorted(feed: &[FeedItem]) -> bool {
+        feed.windows(2).all(|w| w[0].at() <= w[1].at())
+    }
+
+    #[test]
+    fn arb_feed_is_sorted_and_deterministic() {
+        let run = |seed: u64| {
+            let mut rng = ChaChaRng::seed_from_u64(seed);
+            arb_feed(&mut rng, FeedConfig::small())
+        };
+        let feed = run(11);
+        assert!(sorted(&feed));
+        assert!(feed.iter().any(|i| matches!(i, FeedItem::Update(_))));
+        assert!(feed.iter().any(|i| matches!(i, FeedItem::Sample(_))));
+        assert_eq!(feed, run(11));
+    }
+
+    #[test]
+    fn shuffle_bounded_respects_the_displacement_bound() {
+        let mut rng = ChaChaRng::seed_from_u64(12);
+        let feed = arb_feed(&mut rng, FeedConfig::small());
+        let bound = 5;
+        let shuffled = shuffle_bounded(&mut rng, &feed, bound);
+        assert_eq!(shuffled.len(), feed.len());
+        // Same multiset of events...
+        let key = |f: &[FeedItem]| {
+            let mut ks: Vec<i64> = f.iter().map(|i| i.at().as_millis()).collect();
+            ks.sort_unstable();
+            ks
+        };
+        assert_eq!(key(&shuffled), key(&feed));
+        // ...and every event within `bound` positions of its sorted slot.
+        for (pos, item) in shuffled.iter().enumerate() {
+            let orig = feed
+                .iter()
+                .position(|o| o == item)
+                .expect("event preserved");
+            assert!(
+                pos.abs_diff(orig) <= bound,
+                "event moved {} > {bound} positions",
+                pos.abs_diff(orig)
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_some_only_inserts_adjacent_copies() {
+        let mut rng = ChaChaRng::seed_from_u64(13);
+        let feed = arb_feed(&mut rng, FeedConfig::small());
+        let dup = duplicate_some(&mut rng, &feed, 0.3);
+        assert!(dup.len() > feed.len());
+        assert!(sorted(&dup), "adjacent copies keep the feed sorted");
+    }
+
+    #[test]
+    fn skew_samples_shifts_only_samples() {
+        let mut rng = ChaChaRng::seed_from_u64(14);
+        let feed = arb_feed(&mut rng, FeedConfig::small());
+        let skew = TimeDelta::seconds(90);
+        let skewed = skew_samples(&feed, skew);
+        assert!(sorted(&skewed));
+        let updates = |f: &[FeedItem]| {
+            f.iter()
+                .filter_map(|i| match i {
+                    FeedItem::Update(u) => Some(u.at),
+                    FeedItem::Sample(_) => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(updates(&skewed), updates(&feed));
+        let sample_ms = |f: &[FeedItem]| {
+            let mut v: Vec<i64> = f
+                .iter()
+                .filter_map(|i| match i {
+                    FeedItem::Sample(s) => Some(s.at.as_millis()),
+                    FeedItem::Update(_) => None,
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let (a, b) = (sample_ms(&feed), sample_ms(&skewed));
+        assert!(a.iter().zip(&b).all(|(x, y)| y - x == skew.as_millis()));
+    }
+
+    #[test]
+    fn burst_lands_at_one_timestamp_on_one_prefix() {
+        let mut rng = ChaChaRng::seed_from_u64(15);
+        let prefix: Prefix = "10.9.9.9/32".parse().expect("valid");
+        let at = Timestamp::from_millis(1_000_000);
+        let burst = burst_at(&mut rng, at, 130, prefix);
+        assert_eq!(burst.len(), 130);
+        for item in &burst {
+            assert_eq!(item.at(), at);
+            match item {
+                FeedItem::Sample(s) => assert_eq!(s.dst_ip, prefix.network()),
+                FeedItem::Update(_) => panic!("bursts are samples"),
+            }
+        }
+        let feed = arb_feed(&mut rng, FeedConfig::small());
+        let spliced = splice_sorted(&feed, burst);
+        assert!(sorted(&spliced));
+        assert_eq!(spliced.len(), feed.len() + 130);
+    }
+}

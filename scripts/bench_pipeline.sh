@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pipeline.json, BENCH_index.json, BENCH_flows.json and
-# BENCH_serve.json: builds release, simulates a corpus, times the
-# sequential vs parallel analysis pipeline (best-of-N per mode), runs the
-# LPM/index micro-bench (trie vs frozen lookups, 1-vs-N-worker index
-# builds), the flow-store micro-bench (AoS vs columnar vs
-# columnar+enriched kernel scans) and the rtbhd serve load bench
+# Regenerates BENCH_pipeline.json, BENCH_index.json, BENCH_flows.json,
+# BENCH_serve.json and BENCH_stream.json: builds release, simulates a
+# corpus, times the sequential vs parallel analysis pipeline (best-of-N
+# per mode), runs the LPM/index micro-bench (trie vs frozen lookups,
+# 1-vs-N-worker index builds), the flow-store micro-bench (AoS vs
+# columnar vs columnar+enriched kernel scans), the rtbhd serve load bench
 # (concurrent clients against an in-process daemon, responses
-# cross-checked byte-for-byte against the batch report before timing).
+# cross-checked byte-for-byte against the batch report before timing) and
+# the stream-ingest bench (event-driven replay through
+# rtbh_core::stream, finalized report byte-checked against batch before
+# every timed rep).
 #
 # usage: scripts/bench_pipeline.sh [scale] [reps]
 #   scale  scenario scale factor (default 0.25; 1.0 = full 104-day corpus)
@@ -24,15 +27,18 @@ cargo build --release -p rtbh-bench --bin pipeline_bench
 # pipeline_bench exits non-zero when the sequential and parallel reports
 # are not byte-identical (or the index/flow-store micro-benches diverge),
 # --flows-floor additionally fails the run if the enriched-kernel speedup
-# vs the AoS baseline regresses below 5x, and --serve/--serve-floor fail
+# vs the AoS baseline regresses below 5x, --serve/--serve-floor fail
 # it if any rtbhd response diverges from the batch report or throughput
-# drops below 200 q/s (the CI gates). Guard it explicitly — `set -e`
+# drops below 200 q/s, and --stream/--stream-floor fail it if the
+# stream-finalized report ever diverges from batch or ingest drops below
+# 100k events/s (the CI gates). Guard it explicitly — `set -e`
 # alone would die silently mid-script, and a benched pipeline whose modes
 # disagree must fail loudly, not just print numbers.
 if ! ./target/release/pipeline_bench --scale "$scale" --reps "$reps" \
     --out BENCH_pipeline.json --index-out BENCH_index.json \
     --flows-out BENCH_flows.json --flows-floor 5 \
-    --serve --serve-out BENCH_serve.json --serve-floor 200; then
-    echo "bench_pipeline: FAILED — report identity, index/flow-store/serve equivalence, the 5x enriched-kernel floor or the 200 q/s serve floor did not pass" >&2
+    --serve --serve-out BENCH_serve.json --serve-floor 200 \
+    --stream --stream-out BENCH_stream.json --stream-floor 100000; then
+    echo "bench_pipeline: FAILED — report identity, index/flow-store/serve/stream equivalence, the 5x enriched-kernel floor, the 200 q/s serve floor or the 100k events/s stream floor did not pass" >&2
     exit 1
 fi

@@ -4,6 +4,8 @@
 //! rtbh simulate [--tiny | --paper | --scale F] [--seed N] <out.rtbh>
 //! rtbh info    <corpus.rtbh>
 //! rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]
+//! rtbh stream  <corpus.rtbh> [--batch N] [--lateness-ms N] [--retention-ms N]
+//!              [--journal <out.jsonl>] [--verify] [--json <out.json>] [--threads N]
 //! rtbh query   <addr> <ping|info|stats|shutdown>
 //! rtbh query   <addr> report [section]
 //! rtbh query   <addr> window <start_ms> <end_ms>
@@ -20,6 +22,13 @@
 //! wall-time table of the parallel pipeline (preparation kernels included)
 //! and writes the profile as machine-readable JSON to `BENCH_pipeline.json`
 //! in the working directory (see the README's "Performance" section).
+//! `stream` replays the corpus through the event-driven analyzer
+//! (`rtbh_core::stream`): the two logs are interleaved into one
+//! timestamp-ordered feed, pushed in `--batch`-sized groups through the
+//! watermarked reorder buffer, and finalized into the same `FullReport`
+//! the batch pipeline produces. `--verify` additionally runs the batch
+//! pipeline and exits 1 unless the two reports are byte-identical;
+//! `--journal` writes the live verdict journal as JSONL.
 //! `query` is the client for a running `rtbhd` daemon: it sends one
 //! request over the length-prefixed binary protocol and prints the JSON
 //! reply (exit 1 on an error reply or a dead server).
@@ -34,6 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  rtbh simulate [--tiny|--paper|--scale F] [--seed N] <out.rtbh>\n  \
          rtbh info <corpus.rtbh>\n  rtbh analyze <corpus.rtbh> [--json <out.json>] [--timings] [--threads N]\n  \
+         rtbh stream <corpus.rtbh> [--batch N] [--lateness-ms N] [--retention-ms N] [--journal <out.jsonl>] [--verify] [--json <out.json>] [--threads N]\n  \
          rtbh query <addr> <ping|info|stats|shutdown>\n  \
          rtbh query <addr> report [section]\n  \
          rtbh query <addr> window <start_ms> <end_ms>\n  \
@@ -48,6 +58,7 @@ fn main() {
         Some("simulate") => simulate(args.collect()),
         Some("info") => info(args.collect()),
         Some("analyze") => analyze(args.collect()),
+        Some("stream") => stream(args.collect()),
         Some("query") => query(args.collect()),
         _ => usage(),
     }
@@ -133,6 +144,101 @@ fn info(args: Vec<String>) {
     );
     println!("route table:    {} prefixes", corpus.routes.len());
     println!("digest:         {:#018x}", corpus.digest());
+}
+
+fn stream(args: Vec<String>) {
+    use rtbh::core::stream::{render_journal, Retention, StreamConfig, StreamDriver};
+
+    let mut path: Option<String> = None;
+    let mut batch: usize = 4096;
+    let mut lateness_ms: i64 = 0;
+    let mut retention_ms: Option<i64> = None;
+    let mut journal_out: Option<String> = None;
+    let mut verify = false;
+    let mut json_out: Option<String> = None;
+    let mut threads: usize = 0;
+    let mut it = args.into_iter();
+    let parse = |it: &mut std::vec::IntoIter<String>| -> i64 {
+        it.next()
+            .unwrap_or_else(|| usage())
+            .parse()
+            .unwrap_or_else(|_| usage())
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batch" => batch = parse(&mut it).max(1) as usize,
+            "--lateness-ms" => lateness_ms = parse(&mut it),
+            "--retention-ms" => retention_ms = Some(parse(&mut it)),
+            "--journal" => journal_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--verify" => verify = true,
+            "--json" => json_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--threads" => threads = parse(&mut it) as usize,
+            p if !p.starts_with('-') => path = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let corpus = load(&path);
+    let config = StreamConfig {
+        analyzer: rtbh::core::pipeline::AnalyzerConfig::for_corpus(&corpus).with_workers(threads),
+        lateness: rtbh_net::TimeDelta::millis(lateness_ms),
+        retention: match retention_ms {
+            Some(ms) => Retention::Window(rtbh_net::TimeDelta::millis(ms)),
+            None => Retention::Unbounded,
+        },
+    };
+    let run = StreamDriver::new(batch).replay(&corpus, config);
+    print!(
+        "{}",
+        rtbh::core::report::render_report(&run.report, run.analyzer.corpus())
+    );
+    println!();
+    let ingest_ns = run
+        .profile
+        .prepare
+        .iter()
+        .find(|s| s.stage == "ingest")
+        .map_or(0, |s| s.wall_ns);
+    if ingest_ns > 0 {
+        println!(
+            "stream: {} events ingested at {:.2} Mevents/s ({} verdicts journaled, {} late-dropped)",
+            run.events_fed,
+            run.events_fed as f64 / (ingest_ns as f64 / 1e9) / 1e6,
+            run.status.verdicts,
+            run.status.late_dropped
+        );
+    }
+    println!(
+        "ring: {} sealed chunks, {} rows retained, {} chunks / {} rows evicted",
+        run.status.ring_chunks,
+        run.status.ring_rows,
+        run.status.ring_evicted_chunks,
+        run.status.ring_evicted_rows
+    );
+    if verify {
+        let batch_report = Analyzer::new(corpus, config.analyzer).full();
+        if rtbh_json::to_vec_pretty(&run.report) == rtbh_json::to_vec_pretty(&batch_report) {
+            println!("verify: stream report byte-identical to batch");
+        } else {
+            eprintln!("verify FAILED: stream report differs from batch");
+            std::process::exit(1);
+        }
+    }
+    if let Some(out) = journal_out {
+        std::fs::write(&out, render_journal(&run.journal)).expect("write journal");
+        eprintln!("wrote {out} ({} verdicts)", run.journal.len());
+    }
+    if let Some(out) = json_out {
+        let payload = rtbh_json::Json::Obj(vec![
+            ("corpus".to_string(), path.to_json()),
+            ("events_fed".to_string(), run.events_fed.to_json()),
+            ("status".to_string(), run.status.to_json()),
+            ("profile".to_string(), run.profile.to_json()),
+            ("headline".to_string(), run.report.headline().to_json()),
+        ]);
+        std::fs::write(&out, rtbh_json::to_vec_pretty(&payload)).expect("write json");
+        eprintln!("wrote {out}");
+    }
 }
 
 fn query(args: Vec<String>) {
