@@ -7,6 +7,7 @@
 //! pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N]
 //!                [--out PATH] [--index-out PATH] [--no-index]
 //!                [--flows-out PATH] [--no-flows] [--flows-floor F]
+//!                [--filters] [--filters-out PATH] [--filters-floor F]
 //!                [--serve] [--serve-out PATH] [--serve-floor QPS]
 //!                [--stream] [--stream-out PATH] [--stream-floor EPS]
 //! ```
@@ -20,6 +21,15 @@
 //! `--flows-floor F` is the CI performance gate: after the answers are
 //! cross-checked, the process exits 1 if the enriched-kernel speedup vs
 //! the AoS baseline falls below `F`.
+//!
+//! `--filters` runs the predicate-pushdown bench (`rtbh_bench::filters`):
+//! a representative query set evaluated by the naive rowwise walk, the
+//! autovectorized selection-mask kernels, and the masked+chunk-pruned
+//! kernels at 1/2/all-cores workers, answers byte-checked against the
+//! naive reference before timing, written to `BENCH_filters.json`
+//! (`--filters-out`). `--filters-floor F` exits 1 if the masked-kernel
+//! speedup vs naive at one worker falls below `F`; divergence from the
+//! naive answers always exits 1.
 //!
 //! `--serve` additionally runs the `rtbhd` load bench
 //! (`rtbh_bench::serve`): an in-process daemon driven by 1/2/all-cores
@@ -46,7 +56,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pipeline_bench [--tiny | --scale F | --paper] [--seed N] [--reps N] \
          [--out PATH] [--index-out PATH] [--no-index] [--flows-out PATH] [--no-flows] \
-         [--flows-floor F] [--serve] [--serve-out PATH] [--serve-floor QPS] \
+         [--flows-floor F] [--filters] [--filters-out PATH] [--filters-floor F] \
+         [--serve] [--serve-out PATH] [--serve-floor QPS] \
          [--stream] [--stream-out PATH] [--stream-floor EPS]"
     );
     std::process::exit(2);
@@ -59,6 +70,8 @@ fn main() {
     let mut index_out_path = Some(String::from("BENCH_index.json"));
     let mut flows_out_path = Some(String::from("BENCH_flows.json"));
     let mut flows_floor: Option<f64> = None;
+    let mut filters_out_path: Option<String> = None;
+    let mut filters_floor: Option<f64> = None;
     let mut serve_out_path: Option<String> = None;
     let mut serve_floor: Option<f64> = None;
     let mut stream_out_path: Option<String> = None;
@@ -97,6 +110,18 @@ fn main() {
             "--no-flows" => flows_out_path = None,
             "--flows-floor" => {
                 flows_floor = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--filters" => {
+                filters_out_path.get_or_insert_with(|| String::from("BENCH_filters.json"));
+            }
+            "--filters-out" => filters_out_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--filters-floor" => {
+                filters_floor = Some(
                     args.next()
                         .unwrap_or_else(|| usage())
                         .parse()
@@ -273,6 +298,51 @@ fn main() {
         }
     };
 
+    let mut filters_speedup: Option<f64> = None;
+    let filters_ok = match &filters_out_path {
+        None => true,
+        Some(path) => {
+            eprintln!("\npredicate-pushdown bench ({reps} rep(s) per variant) ...");
+            let pb = rtbh_bench::bench_filters(config.clone(), reps);
+            writeln!(
+                stdout,
+                "\nfilter kernels: {} queries over {} samples \
+                 ({} dictionary lists, {} distinct):",
+                pb.queries.len(),
+                pb.samples,
+                pb.dict_lists,
+                pb.dict_entries
+            )
+            .expect("write stdout");
+            for t in &pb.timings {
+                writeln!(
+                    stdout,
+                    "  {:<13} {:>3} worker(s): {:>8.2} ms  {:>12.0} rows/s  {:.2}x vs naive",
+                    t.variant,
+                    t.workers,
+                    t.best_wall_ns as f64 / 1e6,
+                    t.rows_per_sec,
+                    t.speedup_vs_naive
+                )
+                .expect("write stdout");
+            }
+            writeln!(
+                stdout,
+                "  masked speedup vs naive (1 worker): {:.2}x  (pruned: {:.2}x)  \
+                 answers identical: {}",
+                pb.masked_speedup, pb.pruned_speedup, pb.answers_identical
+            )
+            .expect("write stdout");
+            std::fs::write(path, rtbh_json::to_vec_pretty(&pb)).unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+            filters_speedup = Some(pb.masked_speedup);
+            pb.answers_identical
+        }
+    };
+
     let mut serve_qps_min: Option<f64> = None;
     let serve_ok = match &serve_out_path {
         None => true,
@@ -385,6 +455,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("enriched-kernel speedup {speedup:.2}x >= {floor:.2}x floor: ok");
+    }
+    if !filters_ok {
+        eprintln!("ERROR: filter kernel answers diverged from the naive reference");
+        std::process::exit(1);
+    }
+    if let (Some(floor), Some(speedup)) = (filters_floor, filters_speedup) {
+        if speedup < floor {
+            eprintln!(
+                "ERROR: masked-filter speedup {speedup:.2}x regressed below the \
+                 {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("masked-filter speedup {speedup:.2}x >= {floor:.2}x floor: ok");
     }
     if !serve_ok {
         eprintln!("ERROR: rtbhd responses diverged from the batch report");

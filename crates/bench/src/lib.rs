@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod filters;
 pub mod flows;
 pub mod lpm;
 pub mod pipeline;
@@ -20,6 +21,7 @@ use rtbh_core::pipeline::{Analyzer, FullReport};
 use rtbh_sim::{GroundTruth, ScenarioConfig, SimOutput};
 
 pub use figures::all_figures;
+pub use filters::{bench_filters, FiltersBench};
 pub use flows::{bench_flows, FlowsBench};
 pub use lpm::{bench_index, IndexBench};
 pub use pipeline::{bench_pipeline, PipelineBench};

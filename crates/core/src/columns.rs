@@ -115,6 +115,12 @@ pub mod abi {
     pub const FLAG_COLUMNS: [&str; 3] = ["fragment", "dropped", "active"];
     /// `(name, width in bytes)` of the chunk-header fields, in ABI order.
     pub const HEADER_FIELDS: [(&str, usize); 3] = [("start", 8), ("min_at", 8), ("max_at", 8)];
+    /// Ids per sync block in a dictionary-encoded sorted id list
+    /// ([`crate::filter::IdDict`]): every block stores its first id and
+    /// stream offset in the sync tables, so a gallop over the sync ids
+    /// lands on a block boundary and decodes at most
+    /// `DICT_SYNC_INTERVAL - 1` varint deltas to reach any id.
+    pub const DICT_SYNC_INTERVAL: usize = 64;
 }
 
 /// One immutable, fixed-capacity slab of the columnar store.
@@ -1751,6 +1757,17 @@ mod tests {
             spec.contains(&abi::DEFAULT_CHUNK_CAPACITY.to_string()),
             "spec must state the default chunk capacity"
         );
+        assert!(
+            spec.contains(&format!(
+                "`abi::DICT_SYNC_INTERVAL` (= {})",
+                abi::DICT_SYNC_INTERVAL
+            )),
+            "spec must state the dictionary sync interval"
+        );
+        // The sync interval shares the flag-word geometry so a sync block
+        // never straddles more selection-mask words than one flag word
+        // covers rows.
+        assert_eq!(abi::DICT_SYNC_INTERVAL, abi::FLAG_WORD_BITS);
         assert!(
             spec.contains(&format!("version {}", abi::ABI_VERSION)),
             "spec must state the ABI version"

@@ -55,6 +55,7 @@ pub mod collateral;
 pub mod columns;
 pub mod corpus;
 pub mod events;
+pub mod filter;
 pub mod filtering;
 pub mod hosts;
 pub mod index;

@@ -12,9 +12,9 @@
 //!
 //! Frames are length-prefixed ([`rtbh_net::frame`]): a big-endian `u32`
 //! payload length, then the payload. Request payloads are one tag byte
-//! plus a fixed-size body; response payloads are one status byte (`0` ok,
-//! `1` error) plus either UTF-8 JSON (ok) or a `u16` error code and a
-//! UTF-8 message (error):
+//! plus a body; response payloads are one status byte (`0` ok, `1`
+//! error) plus either UTF-8 JSON (ok) or a `u16` error code and a UTF-8
+//! message (error):
 //!
 //! ```text
 //! request  := u32 len | tag u8 | body
@@ -26,16 +26,23 @@
 //!                         start i64, end i64)    -> PrefixSlice JSON
 //!   tag 6 Stats     body ()                      -> server counters JSON
 //!   tag 7 Shutdown  body ()                      -> "draining", then exit
+//!   tag 8 Filter    body (start i64, end i64,
+//!                         present u8, bits u32, plen u8,
+//!                         npreds u8,
+//!                         npreds * (col u8, op u8, value u32))
+//!                                                -> FilterAggregate JSON
 //! response := u32 len | 0 u8 | json bytes
 //!           | u32 len | 1 u8 | code u16 | utf-8 message
 //! ```
 //!
-//! Every body is fixed-size, so the decoder validates the exact length
-//! before touching a byte: hostile or truncated frames yield a clean
-//! error reply ([`Response::Err`]), never a panic, and never kill the
-//! connection loop (pinned by the `fuzz_serve` suite). Request frames are
-//! capped at [`REQUEST_MAX`] bytes and response frames at
-//! [`RESPONSE_MAX`].
+//! Every body's size is determined by the tag (for `Filter`, by the
+//! `npreds` count at a fixed offset, capped at
+//! [`MAX_PREDICATES`](crate::filter::MAX_PREDICATES)), so the decoder
+//! validates the exact length before touching a byte: hostile or
+//! truncated frames yield a clean error reply ([`Response::Err`]), never
+//! a panic, and never kill the connection loop (pinned by the
+//! `fuzz_serve` and `fuzz_filter` suites). Request frames are capped at
+//! [`REQUEST_MAX`] bytes and response frames at [`RESPONSE_MAX`].
 //!
 //! # Snapshots and determinism
 //!
@@ -46,8 +53,10 @@
 //! locks on the read path — and every response is *definitionally*
 //! byte-identical to the batch answer the bench cross-checks against.
 //! The only mutable state is the [`Lru`] response cache (one mutex,
-//! keyed by `(query kind, window, prefix-id)`) and the atomic counters
-//! behind the `Stats` query.
+//! keyed by `(query kind, window, prefix-id)` for the fixed-size queries
+//! and by the canonical predicate fingerprint for `Filter` — see
+//! [`FilterQuery::canonicalize`]) and the atomic counters behind the
+//! `Stats` query.
 //!
 //! # Concurrency
 //!
@@ -71,7 +80,10 @@ use rtbh_net::cursor::{PutBytes, Reader};
 use rtbh_net::frame::{self, FrameError};
 use rtbh_net::{Ipv4Addr, Prefix, Timestamp};
 
-use crate::columns::ColumnarFlows;
+use crate::columns::{gallop_partition_point, ColumnarFlows};
+use crate::filter::{
+    self, FilterAggregate, FilterQuery, IdDict, Predicate, SelectionMask, MAX_PREDICATES,
+};
 use crate::index::SampleIndex;
 use crate::lru::Lru;
 use crate::pipeline::{Analyzer, FullReport};
@@ -181,7 +193,7 @@ impl Section {
 }
 
 /// One query, as decoded from a request frame payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -209,6 +221,9 @@ pub enum Request {
     Stats,
     /// Graceful shutdown: answer, drain in-flight queries, exit.
     Shutdown,
+    /// Predicate-pushdown aggregate: window × optional prefix ×
+    /// column/flag conjuncts, evaluated by the masked filter kernels.
+    Filter(FilterQuery),
 }
 
 const TAG_PING: u8 = 1;
@@ -218,6 +233,13 @@ const TAG_WINDOW: u8 = 4;
 const TAG_PREFIX: u8 = 5;
 const TAG_STATS: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_FILTER: u8 = 8;
+
+/// Fixed-size head of a `Filter` body: window (16) + prefix presence
+/// flag (1) + prefix bits (4) + prefix length (1) + predicate count (1).
+const FILTER_HEAD: usize = 23;
+/// Bytes per encoded predicate: column u8, op u8, value u32.
+const FILTER_PRED_BYTES: usize = 6;
 
 /// Why a request payload failed to decode. Rendered into the error reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -239,6 +261,15 @@ pub enum ProtoError {
     UnknownSection(u8),
     /// The `Prefix` body carries a length > 32.
     BadPrefix(u8),
+    /// The `Filter` body declares more than
+    /// [`MAX_PREDICATES`](crate::filter::MAX_PREDICATES) predicates.
+    TooManyPredicates(u8),
+    /// The `Filter` predicate at this index has an unknown column/op
+    /// code or an out-of-range value.
+    BadPredicate(u8),
+    /// The `Filter` body is structurally invalid (bad presence flag, or
+    /// nonzero prefix bytes with the prefix absent).
+    BadFilter(&'static str),
 }
 
 impl std::fmt::Display for ProtoError {
@@ -251,6 +282,11 @@ impl std::fmt::Display for ProtoError {
             }
             Self::UnknownSection(s) => write!(f, "unknown report section {s}"),
             Self::BadPrefix(l) => write!(f, "prefix length {l} exceeds 32"),
+            Self::TooManyPredicates(n) => {
+                write!(f, "{n} predicates exceed the limit of {MAX_PREDICATES}")
+            }
+            Self::BadPredicate(i) => write!(f, "predicate {i} is invalid"),
+            Self::BadFilter(why) => write!(f, "malformed filter body: {why}"),
         }
     }
 }
@@ -258,20 +294,20 @@ impl std::fmt::Display for ProtoError {
 impl std::error::Error for ProtoError {}
 
 impl Request {
-    /// Encodes the request as a frame payload (tag byte + fixed body).
+    /// Encodes the request as a frame payload (tag byte + body).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(22);
-        match *self {
+        let mut out = Vec::with_capacity(24);
+        match self {
             Request::Ping => out.put_u8(TAG_PING),
             Request::Info => out.put_u8(TAG_INFO),
             Request::Report(section) => {
                 out.put_u8(TAG_REPORT);
-                out.put_u8(section as u8);
+                out.put_u8(*section as u8);
             }
             Request::Window { start_ms, end_ms } => {
                 out.put_u8(TAG_WINDOW);
-                out.put_i64(start_ms);
-                out.put_i64(end_ms);
+                out.put_i64(*start_ms);
+                out.put_i64(*end_ms);
             }
             Request::Prefix {
                 prefix,
@@ -281,18 +317,23 @@ impl Request {
                 out.put_u8(TAG_PREFIX);
                 out.put_u32(prefix.network().to_u32());
                 out.put_u8(prefix.len());
-                out.put_i64(start_ms);
-                out.put_i64(end_ms);
+                out.put_i64(*start_ms);
+                out.put_i64(*end_ms);
             }
             Request::Stats => out.put_u8(TAG_STATS),
             Request::Shutdown => out.put_u8(TAG_SHUTDOWN),
+            Request::Filter(query) => {
+                out.put_u8(TAG_FILTER);
+                filter_body_into(query, &mut out);
+            }
         }
         out
     }
 
-    /// Decodes a frame payload. Total: every body is fixed-size, so the
-    /// length is validated per tag before any byte is read — hostile
-    /// payloads produce a [`ProtoError`], never a panic.
+    /// Decodes a frame payload. Total: every body's size is determined by
+    /// the tag (for `Filter`, by the capped predicate count at a fixed
+    /// offset) and validated before any byte is read — hostile payloads
+    /// produce a [`ProtoError`], never a panic.
     pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
         let (&tag, body) = payload.split_first().ok_or(ProtoError::Empty)?;
         let expect = |n: usize| -> Result<(), ProtoError> {
@@ -338,8 +379,89 @@ impl Request {
             }
             TAG_STATS => expect(0).map(|()| Request::Stats),
             TAG_SHUTDOWN => expect(0).map(|()| Request::Shutdown),
+            TAG_FILTER => {
+                if body.len() < FILTER_HEAD {
+                    return Err(ProtoError::BadLength {
+                        tag,
+                        expected: FILTER_HEAD,
+                        got: body.len(),
+                    });
+                }
+                let npreds = body[FILTER_HEAD - 1];
+                if npreds as usize > MAX_PREDICATES {
+                    return Err(ProtoError::TooManyPredicates(npreds));
+                }
+                expect(FILTER_HEAD + FILTER_PRED_BYTES * npreds as usize)?;
+                let mut r = Reader::new(body);
+                let start_ms = r.get_i64();
+                let end_ms = r.get_i64();
+                let present = r.get_u8();
+                let bits = r.get_u32();
+                let plen = r.get_u8();
+                let _ = r.get_u8(); // npreds, validated above
+                let prefix = match present {
+                    0 => {
+                        if bits != 0 || plen != 0 {
+                            return Err(ProtoError::BadFilter(
+                                "absent prefix must encode zero bits and length",
+                            ));
+                        }
+                        None
+                    }
+                    1 => Some(
+                        Prefix::new(Ipv4Addr::from_u32(bits), plen)
+                            .ok_or(ProtoError::BadPrefix(plen))?,
+                    ),
+                    _ => {
+                        return Err(ProtoError::BadFilter("prefix presence flag must be 0 or 1"));
+                    }
+                };
+                let mut predicates = Vec::with_capacity(npreds as usize);
+                for i in 0..npreds {
+                    let (col, op) = (r.get_u8(), r.get_u8());
+                    let value = r.get_u32();
+                    predicates.push(
+                        Predicate::from_key(col, op, value).ok_or(ProtoError::BadPredicate(i))?,
+                    );
+                }
+                Ok(Request::Filter(FilterQuery {
+                    start_ms,
+                    end_ms,
+                    prefix,
+                    predicates,
+                }))
+            }
             other => Err(ProtoError::UnknownTag(other)),
         }
+    }
+}
+
+/// Writes a [`FilterQuery`] as a `Filter` request body (everything after
+/// the tag byte). Also the cache fingerprint: encoding a *canonicalized*
+/// query ([`FilterQuery::canonicalize`]) is injective — two queries share
+/// bytes iff they ask the same question.
+fn filter_body_into(query: &FilterQuery, out: &mut Vec<u8>) {
+    out.put_i64(query.start_ms);
+    out.put_i64(query.end_ms);
+    match query.prefix {
+        Some(prefix) => {
+            out.put_u8(1);
+            out.put_u32(prefix.network().to_u32());
+            out.put_u8(prefix.len());
+        }
+        None => {
+            out.put_u8(0);
+            out.put_u32(0);
+            out.put_u8(0);
+        }
+    }
+    debug_assert!(query.predicates.len() <= MAX_PREDICATES);
+    out.put_u8(query.predicates.len() as u8);
+    for p in &query.predicates {
+        let (col, op, value) = p.key();
+        out.put_u8(col);
+        out.put_u8(op);
+        out.put_u32(value);
     }
 }
 
@@ -459,76 +581,31 @@ pub fn window_aggregate_naive(cols: &ColumnarFlows, start_ms: i64, end_ms: i64) 
     agg
 }
 
+impl WindowAggregate {
+    /// A window query is a predicate-free filter: the fields map 1:1.
+    fn from_filter(agg: FilterAggregate) -> WindowAggregate {
+        WindowAggregate {
+            samples: agg.samples,
+            total_bytes: agg.total_bytes,
+            dropped_packets: agg.dropped_packets,
+            dropped_bytes: agg.dropped_bytes,
+            explained_packets: agg.explained_packets,
+            explained_bytes: agg.explained_bytes,
+            fragments: agg.fragments,
+        }
+    }
+}
+
 /// Event-window aggregate via [`TimeBuckets`](crate::columns::TimeBuckets)
-/// chunk pruning and word-at-a-time bitset kernels.
-///
-/// The window bounds prune whole chunks through their headers; inside the
-/// covered range the dropped/explained/fragment counts come from masked
-/// popcounts over whole flag words, byte sums walk only the set bits, and
-/// the total-byte sum is a plain (autovectorizable) slice reduction.
+/// chunk pruning and the shared selection-mask kernels
+/// ([`filter::filter_aggregate`] with an empty predicate list): masked
+/// popcounts for counts, set-bit walks for byte sums, a plain
+/// (autovectorizable) slice reduction for fully-selected words.
 /// Byte-identical to [`window_aggregate_naive`] for every window (pinned
 /// by unit tests, the `fuzz_serve` suite and the serve bench).
 pub fn window_aggregate(cols: &ColumnarFlows, start_ms: i64, end_ms: i64) -> WindowAggregate {
-    let mut agg = WindowAggregate::default();
-    if end_ms <= start_ms {
-        return agg;
-    }
-    let (lo, hi) = cols.time_range(Timestamp(start_ms), Timestamp(end_ms));
-    if hi <= lo {
-        return agg;
-    }
-    agg.samples = (hi - lo) as u64;
-    for chunk in cols.chunks() {
-        let c_start = chunk.start();
-        let c_end = c_start + chunk.len();
-        if c_end <= lo {
-            continue;
-        }
-        if c_start >= hi {
-            break;
-        }
-        // Row range of this chunk inside the window, chunk-local.
-        let a = lo.saturating_sub(c_start);
-        let b = hi.min(c_end) - c_start;
-        let lens = chunk.packet_lens();
-        for &l in &lens[a..b] {
-            agg.total_bytes += u64::from(l);
-        }
-        let dropped = chunk.dropped_words();
-        let active = chunk.active_words();
-        let fragment = chunk.fragment_words();
-        let (first_word, last_word) = (a / 64, (b - 1) / 64);
-        for w in first_word..=last_word {
-            let mut mask = !0u64;
-            if w == first_word {
-                mask &= !0u64 << (a % 64);
-            }
-            if w == last_word {
-                let top = b - w * 64;
-                if top < 64 {
-                    mask &= (1u64 << top) - 1;
-                }
-            }
-            let d = dropped[w] & mask;
-            let e = d & active[w];
-            agg.dropped_packets += u64::from(d.count_ones());
-            agg.explained_packets += u64::from(e.count_ones());
-            agg.fragments += u64::from((fragment[w] & mask).count_ones());
-            let mut bits = d;
-            while bits != 0 {
-                let r = w * 64 + bits.trailing_zeros() as usize;
-                agg.dropped_bytes += u64::from(lens[r]);
-                bits &= bits - 1;
-            }
-            let mut bits = e;
-            while bits != 0 {
-                let r = w * 64 + bits.trailing_zeros() as usize;
-                agg.explained_bytes += u64::from(lens[r]);
-                bits &= bits - 1;
-            }
-        }
-    }
-    agg
+    let query = FilterQuery::matching(Vec::new()).with_window(start_ms, end_ms);
+    WindowAggregate::from_filter(filter::filter_aggregate(cols, None, &query))
 }
 
 /// Drop provenance of one blackholed prefix restricted to a window.
@@ -587,8 +664,10 @@ fn prefix_slice_over(cols: &ColumnarFlows, prefix: Prefix, ids: &[u32]) -> Prefi
 /// Per-prefix drop provenance via the gallop join: the index's sorted
 /// `towards` list for the prefix is restricted to the window with
 /// [`ColumnarFlows::window_ids`] (chunk-header pruning +
-/// [`gallop_partition_point`](crate::columns::gallop_partition_point)),
-/// then aggregated. `None` if the prefix is not in the blackhole index.
+/// [`gallop_partition_point`]), scattered into a per-chunk
+/// [`SelectionMask`] and aggregated by the shared
+/// [`filter::aggregate_chunk`] kernel. `None` if the prefix is not in the
+/// blackhole index.
 pub fn prefix_slice(
     index: &SampleIndex,
     cols: &ColumnarFlows,
@@ -602,7 +681,35 @@ pub fn prefix_slice(
     } else {
         cols.window_ids(index.towards(pid), Timestamp(start_ms), Timestamp(end_ms))
     };
-    Some(prefix_slice_over(cols, prefix, ids))
+    let mut agg = FilterAggregate::default();
+    let mut mask = SelectionMask::new();
+    let mut cur = 0usize;
+    for chunk in cols.chunks() {
+        if cur >= ids.len() {
+            break;
+        }
+        let c_start = chunk.start();
+        let c_end = c_start + chunk.len();
+        if ids[cur] as usize >= c_end {
+            continue;
+        }
+        let end = gallop_partition_point(ids, cur, c_end as u32);
+        mask.reset_zero(chunk.len());
+        for &id in &ids[cur..end] {
+            mask.set(id as usize - c_start);
+        }
+        filter::aggregate_chunk(chunk, &mask, &mut agg);
+        cur = end;
+    }
+    Some(PrefixSlice {
+        prefix,
+        samples: agg.samples,
+        total_bytes: agg.total_bytes,
+        dropped_packets: agg.dropped_packets,
+        dropped_bytes: agg.dropped_bytes,
+        explained_packets: agg.explained_packets,
+        explained_bytes: agg.explained_bytes,
+    })
 }
 
 /// [`prefix_slice`]'s reference implementation: filter the same id list
@@ -748,8 +855,16 @@ pub enum Action {
     Shutdown,
 }
 
-/// LRU key: (request tag, window start, window end, prefix-/section-id).
-type CacheKey = (u8, i64, i64, u32);
+/// LRU key. Fixed-size queries key on
+/// `(request tag, window start, window end, prefix-/section-id)`;
+/// `Filter` queries key on the canonical predicate fingerprint — the
+/// wire encoding of the canonicalized query, so permuted or duplicated
+/// predicate lists hit the same entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Fixed(u8, i64, i64, u32),
+    Filter(Vec<u8>),
+}
 
 /// Everything a query needs, immutable after construction: the prepared
 /// analyzer, the batch report, the response cache and the counters.
@@ -758,6 +873,7 @@ type CacheKey = (u8, i64, i64, u32);
 pub struct ServeState {
     analyzer: Analyzer,
     report: FullReport,
+    dict: IdDict,
     /// Counters behind the `Stats` query.
     pub stats: ServeStats,
     cache: Mutex<Lru<CacheKey, Arc<Vec<u8>>>>,
@@ -776,9 +892,11 @@ impl ServeState {
     /// [`ServeState::new`] with an explicit LRU capacity.
     pub fn with_cache_capacity(analyzer: Analyzer, cache_capacity: usize) -> Self {
         let report = analyzer.full();
+        let dict = IdDict::from_index(analyzer.index());
         Self {
             analyzer,
             report,
+            dict,
             stats: ServeStats::default(),
             cache: Mutex::new(Lru::new(cache_capacity)),
         }
@@ -787,6 +905,13 @@ impl ServeState {
     /// The prepared analyzer behind the queries.
     pub fn analyzer(&self) -> &Analyzer {
         &self.analyzer
+    }
+
+    /// The dictionary-encoded per-prefix id lists `Filter` queries
+    /// gallop-join against (one list per blackholed prefix, deduplicated
+    /// across prefixes that attract the same sample set).
+    pub fn dict(&self) -> &IdDict {
+        &self.dict
     }
 
     /// The batch report computed at startup.
@@ -861,13 +986,13 @@ impl ServeState {
                 Action::Continue,
             ),
             Request::Report(section) => {
-                let body = self.cached((TAG_REPORT, 0, 0, section as u32), || {
+                let body = self.cached(CacheKey::Fixed(TAG_REPORT, 0, 0, section as u32), || {
                     section_json(&self.report, section)
                 });
                 (Response::Ok(body.as_ref().clone()), Action::Continue)
             }
             Request::Window { start_ms, end_ms } => {
-                let body = self.cached((TAG_WINDOW, start_ms, end_ms, 0), || {
+                let body = self.cached(CacheKey::Fixed(TAG_WINDOW, start_ms, end_ms, 0), || {
                     rtbh_json::to_vec_pretty(&window_aggregate(
                         self.analyzer.columns(),
                         start_ms,
@@ -890,17 +1015,20 @@ impl ServeState {
                         Action::Continue,
                     );
                 };
-                let body = self.cached((TAG_PREFIX, start_ms, end_ms, pid as u32), || {
-                    let slice = prefix_slice(
-                        self.analyzer.index(),
-                        self.analyzer.columns(),
-                        prefix,
-                        start_ms,
-                        end_ms,
-                    )
-                    .expect("prefix id resolved above");
-                    rtbh_json::to_vec_pretty(&slice)
-                });
+                let body = self.cached(
+                    CacheKey::Fixed(TAG_PREFIX, start_ms, end_ms, pid as u32),
+                    || {
+                        let slice = prefix_slice(
+                            self.analyzer.index(),
+                            self.analyzer.columns(),
+                            prefix,
+                            start_ms,
+                            end_ms,
+                        )
+                        .expect("prefix id resolved above");
+                        rtbh_json::to_vec_pretty(&slice)
+                    },
+                );
                 (Response::Ok(body.as_ref().clone()), Action::Continue)
             }
             Request::Stats => (
@@ -911,6 +1039,39 @@ impl ServeState {
                 Response::Ok(rtbh_json::to_vec_pretty("draining")),
                 Action::Shutdown,
             ),
+            Request::Filter(query) => {
+                let join = match query.prefix {
+                    Some(prefix) => match self.analyzer.index().prefix_id(prefix) {
+                        Some(pid) => Some((&self.dict, pid as u32)),
+                        None => {
+                            return (
+                                Response::Err {
+                                    code: ERR_NOT_FOUND,
+                                    message: format!(
+                                        "prefix {prefix} is not in the blackhole index"
+                                    ),
+                                },
+                                Action::Continue,
+                            );
+                        }
+                    },
+                    None => None,
+                };
+                let mut canonical = query;
+                canonical.canonicalize();
+                let mut fingerprint = Vec::with_capacity(
+                    FILTER_HEAD + FILTER_PRED_BYTES * canonical.predicates.len(),
+                );
+                filter_body_into(&canonical, &mut fingerprint);
+                let body = self.cached(CacheKey::Filter(fingerprint), || {
+                    rtbh_json::to_vec_pretty(&filter::filter_aggregate(
+                        self.analyzer.columns(),
+                        join,
+                        &canonical,
+                    ))
+                });
+                (Response::Ok(body.as_ref().clone()), Action::Continue)
+            }
         }
     }
 }
@@ -1300,9 +1461,23 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Filter(FilterQuery::matching(Vec::new())),
+            Request::Filter(
+                FilterQuery::matching(vec![
+                    Predicate::parse("dst_port=53").unwrap(),
+                    Predicate::parse("protocol=17").unwrap(),
+                    Predicate::parse("fragment=1").unwrap(),
+                ])
+                .with_window(-5, i64::MAX)
+                .with_prefix(prefix),
+            ),
         ] {
             let encoded = request.encode();
-            assert_eq!(Request::decode(&encoded), Ok(request), "{request:?}");
+            assert_eq!(
+                Request::decode(&encoded),
+                Ok(request.clone()),
+                "{request:?}"
+            );
         }
     }
 
@@ -1338,6 +1513,75 @@ mod tests {
         bad.put_u8(33);
         bad.put_i64(0);
         bad.put_i64(1);
+        assert_eq!(Request::decode(&bad), Err(ProtoError::BadPrefix(33)));
+    }
+
+    #[test]
+    fn decode_rejects_hostile_filter_bodies_cleanly() {
+        let base = |npreds: u8| {
+            let mut out = vec![TAG_FILTER];
+            out.put_i64(0);
+            out.put_i64(1);
+            out.put_u8(0); // prefix absent
+            out.put_u32(0);
+            out.put_u8(0);
+            out.put_u8(npreds);
+            out
+        };
+        // Truncated head.
+        assert_eq!(
+            Request::decode(&[TAG_FILTER, 0, 0]),
+            Err(ProtoError::BadLength {
+                tag: TAG_FILTER,
+                expected: FILTER_HEAD,
+                got: 2
+            })
+        );
+        // Declared predicate count beyond the cap.
+        assert_eq!(
+            Request::decode(&base(17)),
+            Err(ProtoError::TooManyPredicates(17))
+        );
+        // Declared count without the predicate bytes.
+        assert_eq!(
+            Request::decode(&base(2)),
+            Err(ProtoError::BadLength {
+                tag: TAG_FILTER,
+                expected: FILTER_HEAD + 2 * FILTER_PRED_BYTES,
+                got: FILTER_HEAD
+            })
+        );
+        // Unknown predicate column code.
+        let mut bad = base(1);
+        bad.put_u8(9);
+        bad.put_u8(0);
+        bad.put_u32(1);
+        assert_eq!(Request::decode(&bad), Err(ProtoError::BadPredicate(0)));
+        // Out-of-range compare value for a u16 column.
+        let mut bad = base(1);
+        bad.put_u8(0);
+        bad.put_u8(0);
+        bad.put_u32(70_000);
+        assert_eq!(Request::decode(&bad), Err(ProtoError::BadPredicate(0)));
+        // Absent prefix must zero its bytes (canonical encoding).
+        let mut bad = base(0);
+        bad[17] = 0; // present flag
+        bad[18] = 7; // nonzero bits
+        assert!(matches!(
+            Request::decode(&bad),
+            Err(ProtoError::BadFilter(_))
+        ));
+        // Presence flag beyond 0/1.
+        let mut bad = base(0);
+        bad[17] = 2;
+        assert!(matches!(
+            Request::decode(&bad),
+            Err(ProtoError::BadFilter(_))
+        ));
+        // Present prefix with length > 32.
+        let mut bad = base(0);
+        bad[17] = 1;
+        bad[22] = 33;
         assert_eq!(Request::decode(&bad), Err(ProtoError::BadPrefix(33)));
     }
 

@@ -9,11 +9,12 @@ use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use rtbh_core::filter::{filter_aggregate_naive, FilterQuery, Predicate};
 use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
 use rtbh_core::serve::{
     prefix_slice, prefix_slice_naive, section_json, window_aggregate, window_aggregate_naive,
     Action, Client, Request, Response, Section, ServeOptions, ServeState, Server, ERR_MALFORMED,
-    REQUEST_MAX,
+    ERR_NOT_FOUND, REQUEST_MAX,
 };
 use rtbh_net::Prefix;
 
@@ -121,6 +122,104 @@ fn engine_answers_match_batch_serialization_and_cache() {
         })
     ));
     assert!(state.stats.errors.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn filter_answers_match_naive_and_key_the_cache_by_canonical_fingerprint() {
+    let state = tiny_state();
+    let index = state.analyzer().index();
+    let cols = state.analyzer().columns();
+    let period = state.analyzer().corpus().period;
+    let (start, end) = (period.start.as_millis(), period.end.as_millis());
+    let mid = start + (end - start) / 2;
+    let prefix = index.prefixes()[0];
+
+    let udp = Predicate::parse("protocol=17").unwrap();
+    let dns = Predicate::parse("dst_port=53").unwrap();
+    let big = Predicate::parse("packet_len>=700").unwrap();
+    let queries = [
+        FilterQuery::matching(vec![]),
+        FilterQuery::matching(vec![udp]),
+        FilterQuery::matching(vec![udp, dns]),
+        FilterQuery::matching(vec![udp, big]).with_window(start, mid),
+        FilterQuery::matching(vec![dns]).with_prefix(prefix),
+        FilterQuery::matching(vec![]).with_window(mid, mid), // empty window
+    ];
+    for query in &queries {
+        let pid = query
+            .prefix
+            .map(|p| index.prefix_id(p).expect("known prefix") as u32);
+        let expected = rtbh_json::to_vec_pretty(&filter_aggregate_naive(cols, pid, query));
+        match state.answer(Request::Filter(query.clone())) {
+            (Response::Ok(body), Action::Continue) => {
+                assert_eq!(body, expected, "{query:?} diverged from naive")
+            }
+            other => panic!("{query:?} errored: {other:?}"),
+        }
+    }
+
+    // Permuted and duplicated predicate lists canonicalize to the same
+    // fingerprint: re-asking must be pure cache hits.
+    let misses_before = state.stats.cache_misses.load(Ordering::Relaxed);
+    let hits_before = state.stats.cache_hits.load(Ordering::Relaxed);
+    let permuted = [
+        FilterQuery::matching(vec![dns, udp]),
+        FilterQuery::matching(vec![udp, dns, udp]),
+        FilterQuery::matching(vec![big, udp]).with_window(start, mid),
+    ];
+    for query in &permuted {
+        assert!(matches!(
+            state.answer(Request::Filter(query.clone())),
+            (Response::Ok(_), Action::Continue)
+        ));
+    }
+    assert_eq!(
+        state.stats.cache_misses.load(Ordering::Relaxed),
+        misses_before,
+        "permuted/duplicated predicates must hit the canonical entry"
+    );
+    assert_eq!(
+        state.stats.cache_hits.load(Ordering::Relaxed),
+        hits_before + permuted.len() as u64
+    );
+
+    // Unknown prefixes are NOT_FOUND before any scan.
+    let unknown: Prefix = "198.18.255.0/30".parse().unwrap();
+    match state.answer(Request::Filter(
+        FilterQuery::matching(vec![]).with_prefix(unknown),
+    )) {
+        (Response::Err { code, .. }, Action::Continue) => assert_eq!(code, ERR_NOT_FOUND),
+        other => panic!("unknown prefix got {other:?}"),
+    }
+}
+
+#[test]
+fn filter_cache_evicts_least_recently_used_fingerprints() {
+    let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+    let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+    let state = ServeState::with_cache_capacity(Analyzer::new(out.corpus, config), 2);
+
+    let port =
+        |p: u16| FilterQuery::matching(vec![Predicate::parse(&format!("dst_port={p}")).unwrap()]);
+    let ask = |q: &FilterQuery| {
+        assert!(matches!(
+            state.answer(Request::Filter(q.clone())),
+            (Response::Ok(_), Action::Continue)
+        ));
+    };
+    let misses = || state.stats.cache_misses.load(Ordering::Relaxed);
+
+    ask(&port(1)); // cache: [1]
+    ask(&port(2)); // cache: [1, 2]
+    assert_eq!(misses(), 2);
+    ask(&port(1)); // hit; cache: [2, 1]
+    assert_eq!(misses(), 2);
+    ask(&port(3)); // evicts 2; cache: [1, 3]
+    assert_eq!(misses(), 3);
+    ask(&port(2)); // must recompute; evicts 1
+    assert_eq!(misses(), 4, "evicted fingerprint must miss again");
+    ask(&port(3)); // still resident
+    assert_eq!(misses(), 4);
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Differential fuzz for the predicate-pushdown filter kernels
+//! (`rtbh_core::filter`).
+//!
+//! Three suites pin the masked kernels against the rowwise reference:
+//!
+//! 1. **masked vs naive on fuzzed predicate sets**: randomized
+//!    conjunctions of port/protocol/length/flag predicates, windows
+//!    (degenerate and inverted included) and optional prefix joins must
+//!    aggregate identically through the pruned kernel, the unpruned
+//!    scan kernel and the naive rowwise walk, at 1, 2 and 7 workers.
+//! 2. **dictionary vs index id lists**: `IdDict::from_index` must
+//!    decode back to the exact `towards` lists it encoded, and cursor
+//!    scatters over fuzzed chunk windows must select exactly the ids a
+//!    plain filtered scan selects.
+//! 3. **chunk capacity identity**: filter aggregates at capacities
+//!    {64, 1024, whole-corpus} × workers {1, 2, 7} must equal the
+//!    default-capacity naive answer — chunk boundaries must never move
+//!    an aggregate.
+//!
+//! Every failure prints a `RTBH_FUZZ_SEED=…` reproduction command.
+
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
+use std::sync::OnceLock;
+
+use rtbh_core::filter::{
+    filter_aggregate_naive, filter_aggregate_scan_sharded, filter_aggregate_sharded, CmpCol, CmpOp,
+    FilterQuery, FlagCol, IdDict, Predicate, SelectionMask,
+};
+use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
+use rtbh_rng::Rng;
+use rtbh_testkit::FuzzTarget;
+
+fn target(test_name: &'static str, base_seed: u64) -> FuzzTarget {
+    FuzzTarget {
+        package: "rtbh-testkit",
+        test_file: "filter_diff",
+        test_name,
+        base_seed,
+    }
+}
+
+/// One tiny prepared corpus for the whole suite (preparation is far too
+/// slow to run per fuzz case; the kernels under test are pure readers).
+fn analyzer() -> &'static Analyzer {
+    static ANALYZER: OnceLock<Analyzer> = OnceLock::new();
+    ANALYZER.get_or_init(|| {
+        let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+        let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+        Analyzer::new(out.corpus, config)
+    })
+}
+
+fn arb_predicate<R: Rng>(rng: &mut R) -> Predicate {
+    if rng.gen_bool(0.25) {
+        let col = FlagCol::ALL[rng.gen_range(0..FlagCol::ALL.len())];
+        Predicate::Flag {
+            col,
+            set: rng.gen_bool(0.5),
+        }
+    } else {
+        let col = CmpCol::ALL[rng.gen_range(0..CmpCol::ALL.len())];
+        let op = CmpOp::ALL[rng.gen_range(0..CmpOp::ALL.len())];
+        // Values clustered where the corpus lives (ports, packet sizes)
+        // plus boundary extremes.
+        let value = match rng.gen_range(0..5usize) {
+            0 => 0,
+            1 => rng.gen_range(0..100u64) as u32,
+            2 => rng.gen_range(0..2_000u64) as u32,
+            3 => rng.gen_range(0..60_000u64) as u32,
+            _ => col.max_value(),
+        };
+        Predicate::Cmp { col, op, value }
+    }
+}
+
+fn arb_query<R: Rng>(rng: &mut R, span: (i64, i64)) -> FilterQuery {
+    let n = rng.gen_range(0..=4usize);
+    let predicates = (0..n).map(|_| arb_predicate(rng)).collect();
+    let mut query = FilterQuery::matching(predicates);
+    if rng.gen_bool(0.7) {
+        let (start, end) = span;
+        let width = end - start;
+        let a = start + rng.gen_range(0..(2 * width) as u64) as i64 - width / 2;
+        let b = a + rng.gen_range(0..(width + 3) as u64) as i64 - 1;
+        query = query.with_window(a, b); // sometimes empty or inverted
+    }
+    query
+}
+
+#[test]
+fn masked_kernels_match_naive_rowwise_on_fuzzed_predicates() {
+    let analyzer = analyzer();
+    let cols = analyzer.columns();
+    let index = analyzer.index();
+    let period = analyzer.corpus().period;
+    let span = (period.start.as_millis(), period.end.as_millis());
+    let dict = IdDict::from_index(index);
+
+    target(
+        "masked_kernels_match_naive_rowwise_on_fuzzed_predicates",
+        seeds::FUZZ_FILTER_DIFF,
+    )
+    .run(150, |seed, rng| {
+        let mut query = arb_query(rng, span);
+        let join = if rng.gen_bool(0.4) && !index.prefixes().is_empty() {
+            let pid = rng.gen_range(0..index.prefixes().len());
+            query = query.with_prefix(index.prefixes()[pid]);
+            Some(pid as u32)
+        } else {
+            None
+        };
+        let naive = filter_aggregate_naive(cols, join, &query);
+        let dict_join = join.map(|pid| (&dict, pid));
+        for workers in [1usize, 2, 7] {
+            assert_eq!(
+                filter_aggregate_sharded(cols, dict_join, &query, workers),
+                naive,
+                "pruned kernel diverged at {workers} workers (seed {seed:#x}): {query:?}"
+            );
+            assert_eq!(
+                filter_aggregate_scan_sharded(cols, dict_join, &query, workers),
+                naive,
+                "scan kernel diverged at {workers} workers (seed {seed:#x}): {query:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn dictionary_lists_match_index_and_scatter_matches_filtered_scan() {
+    let analyzer = analyzer();
+    let index = analyzer.index();
+    let total = analyzer.columns().len();
+    let dict = IdDict::from_index(index);
+
+    // Exact round trip: every prefix's encoded list decodes to the
+    // index's `towards` list, byte for byte.
+    assert_eq!(dict.lists(), index.prefixes().len());
+    for pid in 0..index.prefixes().len() {
+        assert_eq!(
+            dict.decode_list(pid),
+            index.towards(pid),
+            "dictionary list {pid} diverged from the index"
+        );
+    }
+
+    target(
+        "dictionary_lists_match_index_and_scatter_matches_filtered_scan",
+        seeds::FUZZ_FILTER_DICT,
+    )
+    .run(200, |seed, rng| {
+        let pid = rng.gen_range(0..dict.lists());
+        let ids = index.towards(pid);
+        let mut cursor = dict.cursor(pid);
+        let mut mask = SelectionMask::new();
+        // Fuzzed windows, including a forward sweep (the serve access
+        // pattern the gallop hint accelerates) and random jumps (which
+        // must restart cleanly).
+        for _ in 0..8 {
+            let len = *[64usize, 1024, 4096].get(rng.gen_range(0..3usize)).unwrap();
+            let base = rng.gen_range(0..(total + len) as u64) as usize;
+            let (lo, hi) = (base as u32, (base + len) as u32);
+            mask.reset_zero(len);
+            cursor.scatter(lo, hi, base, &mut mask);
+            let expected: Vec<usize> = ids
+                .iter()
+                .filter(|&&id| lo <= id && id < hi)
+                .map(|&id| id as usize - base)
+                .collect();
+            assert_eq!(
+                mask.count(),
+                expected.len() as u64,
+                "scatter count diverged, list {pid} window {lo}..{hi} (seed {seed:#x})"
+            );
+            for r in expected {
+                assert!(
+                    mask.get(r),
+                    "row {r} missing, list {pid} window {lo}..{hi} (seed {seed:#x})"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn filter_aggregates_identical_across_chunk_capacities() {
+    let analyzer = analyzer();
+    let corpus = analyzer.corpus().clone();
+    let period = corpus.period;
+    let span = (period.start.as_millis(), period.end.as_millis());
+    let base = AnalyzerConfig::for_corpus(&corpus);
+    let whole_corpus = analyzer.columns().len().next_power_of_two().max(64);
+
+    // Reference answers from the default-capacity naive walk.
+    let udp = Predicate::parse("protocol=17").unwrap();
+    let dns = Predicate::parse("dst_port=53").unwrap();
+    let frag = Predicate::parse("fragment=1").unwrap();
+    let mid = span.0 + (span.1 - span.0) / 2;
+    let queries = [
+        FilterQuery::matching(vec![]),
+        FilterQuery::matching(vec![udp, dns]),
+        FilterQuery::matching(vec![frag]).with_window(span.0, mid),
+        FilterQuery::matching(vec![udp]).with_window(mid, span.1),
+    ];
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| filter_aggregate_naive(analyzer.columns(), None, q))
+        .collect();
+
+    let target = target(
+        "filter_aggregates_identical_across_chunk_capacities",
+        seeds::FUZZ_FILTER_CAPACITY,
+    );
+    // One case = one corpus preparation; keep the count small and capped.
+    let cases: Vec<(usize, usize)> = [64usize, 1024, whole_corpus]
+        .iter()
+        .flat_map(|&cap| [1usize, 2, 7].map(|w| (cap, w)))
+        .collect();
+    target.run_capped(cases.len() as u64, cases.len() as u64, |seed, rng| {
+        let (capacity, workers) = cases[rng.gen_range(0..cases.len())];
+        let mut config = base.with_workers(workers);
+        config.chunk_capacity = capacity;
+        let prepared = Analyzer::new(corpus.clone(), config);
+        for (query, expected) in queries.iter().zip(&reference) {
+            assert_eq!(
+                &filter_aggregate_sharded(prepared.columns(), None, query, workers),
+                expected,
+                "aggregate moved at chunk capacity {capacity}, {workers} workers \
+                 (case seed {seed:#x}): {query:?}"
+            );
+        }
+    });
+}

@@ -1,0 +1,185 @@
+//! Deterministic fuzz suite for the `Filter` request — the protocol's
+//! first variable-length body (`rtbh_core::serve` tag 8).
+//!
+//! Round-trip targets feed *valid* generated filter queries through
+//! encode→decode and the predicate text grammar; hardening targets feed
+//! mutated canonical bodies and pure garbage through the total decoder
+//! and the live query engine. The contract under fire: the decoder never
+//! panics and never over-reads (the body length is validated from the
+//! capped predicate count before any byte is touched), and the engine
+//! answers every hostile body with a clean, decodable `ERR_MALFORMED`
+//! reply.
+//!
+//! Every failure prints a `RTBH_FUZZ_SEED=…` reproduction command.
+
+#[path = "common/seeds.rs"]
+#[allow(dead_code)]
+mod seeds;
+
+use std::sync::{Arc, OnceLock};
+
+use rtbh_core::filter::{CmpCol, CmpOp, FilterQuery, FlagCol, Predicate, MAX_PREDICATES};
+use rtbh_core::pipeline::{Analyzer, AnalyzerConfig};
+use rtbh_core::serve::{Action, Request, Response, ServeState, ERR_MALFORMED, REQUEST_MAX};
+use rtbh_net::{Ipv4Addr, Prefix};
+use rtbh_rng::Rng;
+use rtbh_testkit::{mutate, FuzzTarget};
+
+fn target(test_name: &'static str, base_seed: u64) -> FuzzTarget {
+    FuzzTarget {
+        package: "rtbh-testkit",
+        test_file: "fuzz_filter",
+        test_name,
+        base_seed,
+    }
+}
+
+/// The engine under fire: one tiny corpus, prepared once for the whole
+/// suite (`Analyzer::full` is far too slow to run per case).
+fn engine() -> &'static Arc<ServeState> {
+    static ENGINE: OnceLock<Arc<ServeState>> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let out = rtbh_sim::run(&rtbh_sim::ScenarioConfig::tiny());
+        let config = AnalyzerConfig::for_corpus(&out.corpus).with_workers(2);
+        Arc::new(ServeState::new(Analyzer::new(out.corpus, config)))
+    })
+}
+
+fn arb_predicate<R: Rng>(rng: &mut R) -> Predicate {
+    if rng.gen_bool(0.25) {
+        Predicate::Flag {
+            col: FlagCol::ALL[rng.gen_range(0..FlagCol::ALL.len())],
+            set: rng.gen_bool(0.5),
+        }
+    } else {
+        let col = CmpCol::ALL[rng.gen_range(0..CmpCol::ALL.len())];
+        Predicate::Cmp {
+            col,
+            op: CmpOp::ALL[rng.gen_range(0..CmpOp::ALL.len())],
+            value: (rng.next_u64() % (u64::from(col.max_value()) + 1)) as u32,
+        }
+    }
+}
+
+fn arb_filter<R: Rng>(rng: &mut R) -> FilterQuery {
+    let n = rng.gen_range(0..=MAX_PREDICATES);
+    let mut query = FilterQuery::matching((0..n).map(|_| arb_predicate(rng)).collect());
+    if rng.gen_bool(0.5) {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
+        query = query.with_window(a.min(b), a.max(b));
+    }
+    if rng.gen_bool(0.5) {
+        let len = rng.gen_range(0..=32usize) as u8;
+        let prefix = Prefix::new(Ipv4Addr::from_u32(rng.next_u32()), len)
+            .expect("len <= 32 is always valid");
+        query = query.with_prefix(prefix);
+    }
+    query
+}
+
+#[test]
+fn filter_roundtrip() {
+    target("filter_roundtrip", seeds::FUZZ_FILTER_ROUNDTRIP).run(2000, |_, rng| {
+        let request = Request::Filter(arb_filter(rng));
+        let encoded = request.encode();
+        assert!(
+            encoded.len() <= REQUEST_MAX,
+            "canonical filter request over cap"
+        );
+        assert_eq!(Request::decode(&encoded), Ok(request));
+    });
+}
+
+#[test]
+fn predicate_text_grammar_round_trips() {
+    target(
+        "predicate_text_grammar_round_trips",
+        seeds::FUZZ_FILTER_GRAMMAR,
+    )
+    .run(2000, |_, rng| {
+        // Display → parse is the identity on every valid predicate (the
+        // CLI's input path), and the wire key round-trips through it.
+        let pred = arb_predicate(rng);
+        assert_eq!(Predicate::parse(&pred.to_string()), Some(pred));
+        let (col, op, value) = pred.key();
+        assert_eq!(Predicate::from_key(col, op, value), Some(pred));
+    });
+}
+
+#[test]
+fn mutated_filter_bodies_never_panic() {
+    target(
+        "mutated_filter_bodies_never_panic",
+        seeds::FUZZ_FILTER_MUTATED,
+    )
+    .run(2000, |_, rng| {
+        let mut bytes = Request::Filter(arb_filter(rng)).encode();
+        let hits = rng.gen_range(1..=6usize);
+        mutate::mutate_n(rng, &mut bytes, hits);
+        // Decode must return, not panic; a successful decode must
+        // re-encode to something that decodes to the same request.
+        if let Ok(request) = Request::decode(&bytes) {
+            assert_eq!(Request::decode(&request.encode()), Ok(request));
+        }
+    });
+}
+
+#[test]
+fn garbage_filter_bodies_never_panic() {
+    target(
+        "garbage_filter_bodies_never_panic",
+        seeds::FUZZ_FILTER_GARBAGE,
+    )
+    .run(2000, |_, rng| {
+        // Force the filter tag so every case exercises the
+        // variable-length path (pure-garbage tags are fuzz_serve's job).
+        let mut bytes = mutate::random_bytes(rng, 160);
+        if bytes.is_empty() {
+            bytes.push(8);
+        } else {
+            bytes[0] = 8;
+        }
+        let _ = Request::decode(&bytes);
+    });
+}
+
+#[test]
+fn hostile_filter_bodies_get_clean_error_replies() {
+    let state = engine();
+    target(
+        "hostile_filter_bodies_get_clean_error_replies",
+        seeds::FUZZ_FILTER_ENGINE,
+    )
+    .run(400, |_, rng| {
+        let payload = if rng.gen_bool(0.5) {
+            let mut bytes = Request::Filter(arb_filter(rng)).encode();
+            let hits = rng.gen_range(1..=6usize);
+            mutate::mutate_n(rng, &mut bytes, hits);
+            bytes
+        } else {
+            let mut bytes = mutate::random_bytes(rng, 96);
+            if bytes.is_empty() {
+                bytes.push(8);
+            } else {
+                bytes[0] = 8;
+            }
+            bytes
+        };
+        let decodes = Request::decode(&payload);
+        let (reply, action) = state.handle(&payload);
+        assert_eq!(action, Action::Continue, "a filter body stopped the server");
+        match Response::decode(&reply) {
+            Some(Response::Ok(_)) => {
+                assert!(decodes.is_ok(), "Ok reply to an undecodable payload")
+            }
+            Some(Response::Err { code, message }) => {
+                assert!(!message.is_empty(), "error reply with no diagnostic");
+                if decodes.is_err() {
+                    assert_eq!(code, ERR_MALFORMED);
+                }
+            }
+            None => panic!("engine produced an undecodable reply"),
+        }
+    });
+}

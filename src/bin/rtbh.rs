@@ -10,6 +10,7 @@
 //! rtbh query   <addr> report [section]
 //! rtbh query   <addr> window <start_ms> <end_ms>
 //! rtbh query   <addr> prefix <cidr> [<start_ms> <end_ms>]
+//! rtbh query   <addr> filter [--window <start_ms> <end_ms>] [--prefix <cidr>] [PRED...]
 //! ```
 //!
 //! `simulate` writes the corpus in the binary container format (JSON
@@ -31,7 +32,13 @@
 //! `--journal` writes the live verdict journal as JSONL.
 //! `query` is the client for a running `rtbhd` daemon: it sends one
 //! request over the length-prefixed binary protocol and prints the JSON
-//! reply (exit 1 on an error reply or a dead server).
+//! reply (exit 1 on an error reply or a dead server). `filter` takes up
+//! to 16 `column op value` conjuncts — e.g. `dst_port=53 protocol=17
+//! 'packet_len>=700' fragment=1` over the columns
+//! `src_port|dst_port|protocol|packet_len` (ops `= != < <= > >=`) and
+//! flags `fragment|dropped|active` (`=0/1`) — evaluated server-side by
+//! the predicate-pushdown mask kernels (quote predicates containing
+//! `<`/`>` to keep the shell off them).
 
 use std::path::PathBuf;
 
@@ -47,7 +54,10 @@ fn usage() -> ! {
          rtbh query <addr> <ping|info|stats|shutdown>\n  \
          rtbh query <addr> report [section]\n  \
          rtbh query <addr> window <start_ms> <end_ms>\n  \
-         rtbh query <addr> prefix <cidr> [<start_ms> <end_ms>]"
+         rtbh query <addr> prefix <cidr> [<start_ms> <end_ms>]\n  \
+         rtbh query <addr> filter [--window <start_ms> <end_ms>] [--prefix <cidr>] [PRED...]\n    \
+         PRED := <src_port|dst_port|protocol|packet_len><=|!=|<|<=|>|>=><value>\n           \
+         | <fragment|dropped|active>=<0|1>   (up to 16, ANDed)"
     );
     std::process::exit(2);
 }
@@ -290,6 +300,45 @@ fn query(args: Vec<String>) {
                 start_ms,
                 end_ms,
             }
+        }
+        "filter" => {
+            use rtbh::core::filter::{FilterQuery, Predicate, MAX_PREDICATES};
+            let mut query = FilterQuery::matching(Vec::new());
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--window" => {
+                        query.start_ms = parse_ms(it.next());
+                        query.end_ms = parse_ms(it.next());
+                    }
+                    "--prefix" => {
+                        query.prefix =
+                            Some(it.next().unwrap_or_else(|| usage()).parse().unwrap_or_else(
+                                |_| {
+                                    eprintln!("--prefix takes an IPv4 CIDR like 203.0.113.0/24");
+                                    std::process::exit(2);
+                                },
+                            ));
+                    }
+                    text => {
+                        let Some(pred) = Predicate::parse(text) else {
+                            eprintln!(
+                                "bad predicate {text:?}; expected column op value, e.g. \
+                                 dst_port=53, protocol=17, 'packet_len>=700', fragment=1"
+                            );
+                            std::process::exit(2);
+                        };
+                        query.predicates.push(pred);
+                    }
+                }
+            }
+            if query.predicates.len() > MAX_PREDICATES {
+                eprintln!(
+                    "{} predicates exceed the limit of {MAX_PREDICATES}",
+                    query.predicates.len()
+                );
+                std::process::exit(2);
+            }
+            Request::Filter(query)
         }
         _ => usage(),
     };
